@@ -1,0 +1,459 @@
+package vmwild_test
+
+// The benchmark harness regenerates every table and figure of the paper.
+// Each benchmark runs one experiment at full scale (the four data centers
+// of Table 2, 30-day monitoring + 14-day evaluation) and reports the
+// headline numbers via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's results end to end. Workload generation and the
+// baseline planner runs are shared across benchmarks through a cached
+// study set; the first use pays the generation cost.
+
+import (
+	"sync"
+	"testing"
+
+	"vmwild"
+)
+
+var (
+	benchOnce    sync.Once
+	benchStudies map[string]*vmwild.Study
+	benchErr     error
+)
+
+func studies(b *testing.B) map[string]*vmwild.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudies = make(map[string]*vmwild.Study, 4)
+		for _, p := range vmwild.Profiles() {
+			s, err := vmwild.NewStudy(p)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			benchStudies[p.Name] = s
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudies
+}
+
+// BenchmarkTable2Workloads regenerates Table 2: the workload summary.
+func BenchmarkTable2Workloads(b *testing.B) {
+	ss := studies(b)
+	ordered := []*vmwild.Study{ss["A"], ss["B"], ss["C"], ss["D"]}
+	for i := 0; i < b.N; i++ {
+		sums, err := vmwild.Summaries(ordered)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range sums {
+				b.ReportMetric(s.MeanCPUUtil*100, "util%_"+s.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig01Burstiness regenerates Figure 1: the low-average,
+// high-peak signature of individual production servers.
+func BenchmarkFig01Burstiness(b *testing.B) {
+	s := studies(b)["A"]
+	for i := 0; i < b.N; i++ {
+		servers, err := s.SampleBurstiness(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(servers[0].AvgUtil*100, "avg_util%")
+			b.ReportMetric(servers[0].PeakUtil*100, "peak_util%")
+		}
+	}
+}
+
+// BenchmarkFig02PeakAvgCPU regenerates Figure 2: CDFs of the CPU
+// peak-to-average ratio at 1, 2 and 4 hour consolidation intervals.
+func BenchmarkFig02PeakAvgCPU(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			curves, err := ss[name].PeakToAverageCPU()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 && name == "A" {
+				b.ReportMetric(curves[0].CDF.Median(), "A_median@1h")
+				b.ReportMetric(curves[0].CDF.FractionAbove(10), "A_frac>10@1h")
+				b.ReportMetric(curves[2].CDF.FractionAbove(10), "A_frac>10@4h")
+			}
+		}
+	}
+}
+
+// BenchmarkFig03CoVCPU regenerates Figure 3: CPU CoV CDFs.
+func BenchmarkFig03CoVCPU(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			cdf, err := ss[name].CoVCPU()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(cdf.FractionAbove(1), "heavyTail_"+name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig04PeakAvgMem regenerates Figure 4: memory peak-to-average.
+func BenchmarkFig04PeakAvgMem(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			curves, err := ss[name].PeakToAverageMem()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(curves[0].CDF.At(1.5), "fracBelow1.5_"+name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig05CoVMem regenerates Figure 5: memory CoV CDFs.
+func BenchmarkFig05CoVMem(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			cdf, err := ss[name].CoVMem()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(cdf.FractionAbove(1), "heavyTail_"+name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig06ResourceRatio regenerates Figure 6: the aggregate
+// CPU-to-memory demand ratio against the reference blade's 160 RPE2/GB.
+func BenchmarkFig06ResourceRatio(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			r, err := ss[name].ResourceRatio()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(r.MemoryBoundFrac, "memBound_"+name)
+			}
+		}
+	}
+}
+
+// BenchmarkOlioScaling regenerates the Section 4.1 Olio micro-study.
+func BenchmarkOlioScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := vmwild.OlioStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.CPUMultiplier, "cpu_x")
+			b.ReportMetric(res.MemMultiplier, "mem_x")
+		}
+	}
+}
+
+// BenchmarkMigrationModel regenerates the Section 4.3 pre-copy study.
+func BenchmarkMigrationModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := vmwild.MigrationStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Clark-scale anchor: 2 GB at 40 MB/s dirty rate.
+			for _, p := range points {
+				if p.MemGB == 2 && p.DirtyMBps == 40 {
+					b.ReportMetric(p.Result.Duration.Seconds(), "clark_s")
+					b.ReportMetric(p.Result.Downtime.Seconds()*1000, "downtime_ms")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkEmulatorVerification regenerates the Section 5.2 accuracy study.
+func BenchmarkEmulatorVerification(b *testing.B) {
+	s := studies(b)["A"]
+	for i := 0; i < b.N; i++ {
+		results, err := s.VerifyEmulator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range results {
+				b.ReportMetric(r.P99Error*100, "p99err%_"+r.Workload)
+			}
+		}
+	}
+}
+
+// BenchmarkFig07InfraCost regenerates Figure 7: normalized space and power
+// cost of the three planners on all four workloads.
+func BenchmarkFig07InfraCost(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			rows, err := ss[name].CompareCosts()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				for _, r := range rows {
+					if r.Planner == "dynamic" {
+						b.ReportMetric(r.NormSpace, "dynSpace_"+name)
+						b.ReportMetric(r.NormPower, "dynPower_"+name)
+					}
+					if r.Planner == "stochastic" {
+						b.ReportMetric(r.NormSpace, "stochSpace_"+name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig08ContentionTime regenerates Figure 8.
+func BenchmarkFig08ContentionTime(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			rows, err := ss[name].Contention()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				for _, r := range rows {
+					if r.Planner == "dynamic" {
+						b.ReportMetric(r.Fraction, "dynContention_"+name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig09ContentionMagnitude regenerates Figure 9 (the Airlines line
+// is absent, exactly as in the paper).
+func BenchmarkFig09ContentionMagnitude(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		mag, err := ss["A"].ContentionMagnitude()
+		if err != nil {
+			b.Fatal(err)
+		}
+		none, err := ss["B"].ContentionMagnitude()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if mag != nil {
+				b.ReportMetric(mag.Median(), "A_medianOver")
+			}
+			if none == nil {
+				b.ReportMetric(1, "B_noLine")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10AvgUtilization regenerates Figure 10.
+func BenchmarkFig10AvgUtilization(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			utils, err := ss[name].Utilization()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				for _, u := range utils {
+					if u.Planner == "dynamic" {
+						b.ReportMetric(u.Avg.Median(), "dynAvgUtil_"+name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11PeakUtilization regenerates Figure 11.
+func BenchmarkFig11PeakUtilization(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			utils, err := ss[name].Utilization()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				for _, u := range utils {
+					if u.Planner == "dynamic" {
+						b.ReportMetric(u.FracPeakOver1, "dynPeakOver1_"+name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig12ActiveServers regenerates Figure 12.
+func BenchmarkFig12ActiveServers(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			cdf, err := ss[name].ActiveServers()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(cdf.Quantile(0), "minActive_"+name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig13to16Sensitivity regenerates Figures 13-16: the
+// migration-reservation sweep for all four workloads.
+func BenchmarkFig13to16Sensitivity(b *testing.B) {
+	ss := studies(b)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"A", "B", "C", "D"} {
+			sens, err := ss[name].Sensitivity(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				first := sens.Points[0]
+				last := sens.Points[len(sens.Points)-1]
+				b.ReportMetric(float64(first.DynamicHosts), name+"_hosts@0.70")
+				b.ReportMetric(float64(last.DynamicHosts), name+"_hosts@1.00")
+				b.ReportMetric(float64(sens.StochasticHosts), name+"_stochastic")
+			}
+		}
+	}
+}
+
+// Ablation benches: design choices DESIGN.md calls out.
+
+// BenchmarkAblationBodyPercentile sweeps the PCP body percentile on
+// Banking: more aggressive bodies pack tighter but erode the safety margin.
+func BenchmarkAblationBodyPercentile(b *testing.B) {
+	s := studies(b)["A"]
+	for i := 0; i < b.N; i++ {
+		for _, p := range []float64{50, 80, 90, 95} {
+			in := s.Input()
+			in.BodyPercentile = p
+			plan, err := vmwild.Stochastic().Plan(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(plan.Provisioned), "hosts_p"+itoa(int(p)))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDedup sweeps the memory-deduplication factor on the
+// memory-bound Airlines workload, where it directly buys capacity.
+func BenchmarkAblationDedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, dedup := range []float64{0, 0.15, 0.30} {
+			profile := vmwild.Airlines()
+			study, err := vmwild.NewStudy(profile, vmwild.WithDedup(dedup))
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, res, err := study.PlanAndReplay(vmwild.Dynamic())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(plan.Provisioned), "hosts_dedup"+itoa(int(dedup*100)))
+				b.ReportMetric(res.AvgPowerWatts(), "watts_dedup"+itoa(int(dedup*100)))
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationClusterCorr compares exact all-pairs correlation against
+// the cluster-medoid proxy in the stochastic planner (packing quality and
+// planning cost trade-off on the Banking estate).
+func BenchmarkAblationClusterCorr(b *testing.B) {
+	s := studies(b)["A"]
+	for i := 0; i < b.N; i++ {
+		exactIn := s.Input()
+		exact, err := vmwild.Stochastic().Plan(exactIn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proxyIn := s.Input()
+		proxyIn.ClusterCorrelation = true
+		proxy, err := vmwild.Stochastic().Plan(proxyIn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(exact.Provisioned), "hosts_exact")
+			b.ReportMetric(float64(proxy.Provisioned), "hosts_medoid")
+		}
+	}
+}
+
+// BenchmarkAblationOracleSizing isolates the cost of prediction error in
+// dynamic consolidation: predictive sizing vs clairvoyant sizing on Banking.
+func BenchmarkAblationOracleSizing(b *testing.B) {
+	s := studies(b)["A"]
+	for i := 0; i < b.N; i++ {
+		in := s.Input()
+		predictive, err := vmwild.Dynamic().Plan(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in.OracleSizing = true
+		oracle, err := vmwild.Dynamic().Plan(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(predictive.Provisioned), "hosts_predictive")
+			b.ReportMetric(float64(oracle.Provisioned), "hosts_oracle")
+		}
+	}
+}

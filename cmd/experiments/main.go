@@ -1,0 +1,23 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes the full report to stdout — the source of
+// EXPERIMENTS.md:
+//
+//	go run ./cmd/experiments > experiments.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmwild"
+)
+
+func main() {
+	seed := flag.Int64("seed", vmwild.DefaultSeed, "workload generator seed")
+	flag.Parse()
+	if err := vmwild.WriteReport(os.Stdout, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

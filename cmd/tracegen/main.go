@@ -1,0 +1,108 @@
+// Command tracegen writes the synthetic data-center traces as CSV for use
+// outside the library (spreadsheets, other simulators).
+//
+//	tracegen -workload A -hours 1056 -seed 20141208 -o traces_a.csv
+//
+// The CSV has one row per (server, hour): server id, application, class,
+// hardware capacities, hour index, CPU demand (RPE2) and memory demand (MB).
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"vmwild"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload    = flag.String("workload", "A", "workload profile: A, B, C or D")
+		profilePath = flag.String("profile", "", "load a custom profile from this JSON file instead of -workload")
+		hours       = flag.Int("hours", vmwild.HorizonHours, "hours of trace to generate")
+		seed        = flag.Int64("seed", vmwild.DefaultSeed, "generator seed")
+		out         = flag.String("o", "", "output file (default stdout)")
+		servers     = flag.Int("servers", 0, "override server count (0 keeps the profile's)")
+	)
+	flag.Parse()
+
+	var profile *vmwild.Profile
+	if *profilePath != "" {
+		f, err := os.Open(*profilePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		profile, err = vmwild.ReadProfileJSON(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		for _, p := range vmwild.Profiles() {
+			if p.Name == *workload {
+				profile = p
+				break
+			}
+		}
+		if profile == nil {
+			return fmt.Errorf("unknown workload %q", *workload)
+		}
+	}
+	if *servers > 0 {
+		profile.Servers = *servers
+	}
+
+	set, err := vmwild.Generate(profile, *hours, *seed)
+	if err != nil {
+		return err
+	}
+
+	var w *bufio.Writer
+	if *out == "" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"server", "app", "class", "cpu_rpe2_capacity", "mem_mb_capacity", "hour", "cpu_rpe2", "mem_mb"}); err != nil {
+		return err
+	}
+	for _, st := range set.Servers {
+		base := []string{
+			string(st.ID),
+			st.App,
+			st.Class,
+			strconv.FormatFloat(st.Spec.CPURPE2, 'f', 0, 64),
+			strconv.FormatFloat(st.Spec.MemMB, 'f', 0, 64),
+		}
+		for h, u := range st.Series.Samples {
+			row := append(append([]string(nil), base...),
+				strconv.Itoa(h),
+				strconv.FormatFloat(u.CPU, 'f', 1, 64),
+				strconv.FormatFloat(u.Mem, 'f', 1, 64),
+			)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

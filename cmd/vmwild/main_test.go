@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CLI's run() is the testable surface; every subcommand is exercised on
+// a small estate so the suite stays quick.
+func TestRunDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs planners")
+	}
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "analyze", args: []string{"analyze", "-workload", "D", "-servers", "20"}},
+		{name: "compare", args: []string{"compare", "-workload", "B", "-servers", "20"}},
+		{name: "sensitivity", args: []string{"sensitivity", "-workload", "C", "-servers", "20"}},
+		{name: "recommend", args: []string{"recommend", "-workload", "A", "-servers", "20"}},
+		{name: "execute", args: []string{"execute", "-workload", "A", "-servers", "20"}},
+		{name: "migrate", args: []string{"migrate", "-mem", "1024", "-dirty", "20"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("no-args error = %v", err)
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("expected error for unknown subcommand")
+	}
+	if err := run([]string{"analyze", "-workload", "Z"}); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	if err := run([]string{"migrate", "-mem", "-5"}); err == nil {
+		t.Error("expected error for invalid migration parameters")
+	}
+}

@@ -1,0 +1,174 @@
+// Command vmwildd is the deployable consolidation service: it runs the
+// monitoring warehouse (agents connect over TCP), the query server
+// (planning tools pull aggregated series), and — once enough history has
+// accumulated — the dynamic consolidation control loop.
+//
+//	vmwildd -listen :7700 -query-listen :7701 -interval 2h
+//
+// For a self-contained demonstration, -simulate A feeds the daemon a
+// synthetic Banking fleet on compressed time and prints each consolidation
+// tick:
+//
+//	vmwildd -simulate A -servers 40 -ticks 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmwild"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vmwildd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7700", "agent ingestion address")
+		queryListen = flag.String("query-listen", "127.0.0.1:7701", "query protocol address")
+		interval    = flag.Duration("interval", 2*time.Hour, "consolidation interval")
+		retention   = flag.Duration("retention", 30*24*time.Hour, "sample retention")
+		snapshot    = flag.String("snapshot", "", "restore this snapshot file at startup and rewrite it on shutdown")
+		simulate    = flag.String("simulate", "", "run a self-contained simulation of workload A, B, C or D instead of serving")
+		servers     = flag.Int("servers", 40, "simulated fleet size")
+		ticks       = flag.Int("ticks", 12, "simulated consolidation intervals")
+		seed        = flag.Int64("seed", vmwild.DefaultSeed, "simulation seed")
+	)
+	flag.Parse()
+
+	if *simulate != "" {
+		return simulateRun(*simulate, *servers, *ticks, *seed)
+	}
+	return serve(*listen, *queryListen, *interval, *retention, *snapshot)
+}
+
+// serve runs the daemon against real agents until SIGINT/SIGTERM.
+func serve(listen, queryListen string, interval, retention time.Duration, snapshotPath string) error {
+	warehouse := vmwild.NewWarehouse(retention)
+	if snapshotPath != "" {
+		if f, err := os.Open(snapshotPath); err == nil {
+			n, err := warehouse.Restore(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("restore snapshot: %w", err)
+			}
+			fmt.Printf("restored %d samples from %s\n", n, snapshotPath)
+		}
+	}
+	addr, err := warehouse.Listen(listen)
+	if err != nil {
+		return err
+	}
+	defer warehouse.Close()
+	qs := vmwild.NewQueryServer(warehouse)
+	qaddr, err := qs.Listen(queryListen)
+	if err != nil {
+		return err
+	}
+	defer qs.Close()
+	fmt.Printf("ingesting on %s, serving queries on %s, interval %v\n", addr, qaddr, interval)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	<-stop
+
+	if snapshotPath != "" {
+		f, err := os.Create(snapshotPath)
+		if err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		defer f.Close()
+		if err := warehouse.Snapshot(f); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot written to %s\n", snapshotPath)
+	}
+	return nil
+}
+
+// simulateRun exercises the full daemon loop on compressed time.
+func simulateRun(workload string, servers, ticks int, seed int64) error {
+	var profile *vmwild.Profile
+	for _, p := range vmwild.Profiles() {
+		if p.Name == workload {
+			profile = p
+			break
+		}
+	}
+	if profile == nil {
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	profile.Servers = servers
+
+	warmup := 7 * 24
+	horizon := warmup + 2*ticks + 2
+	fleet, err := vmwild.Generate(profile, horizon, seed)
+	if err != nil {
+		return err
+	}
+	epoch := time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+	warehouse := vmwild.NewWarehouse(0)
+	specs := make(map[vmwild.ServerID]vmwild.Spec)
+	sources := make([]vmwild.MonitorSource, len(fleet.Servers))
+	for i, st := range fleet.Servers {
+		specs[st.ID] = st.Spec
+		src, err := vmwild.NewTraceSource(st, epoch, int64(i))
+		if err != nil {
+			return err
+		}
+		sources[i] = src
+	}
+	streamed := 0
+	streamUpTo := func(hour int) error {
+		for ; streamed < hour*4; streamed++ {
+			ts := epoch.Add(time.Duration(streamed*15) * time.Minute)
+			for _, src := range sources {
+				s, err := src.Collect(ts)
+				if err != nil {
+					return err
+				}
+				warehouse.Ingest(s)
+			}
+		}
+		return nil
+	}
+
+	ctrl, err := vmwild.NewController(vmwild.ControllerConfig{
+		Fetch: func() (*vmwild.TraceSet, error) {
+			return warehouse.CollectSet(profile.Name, specs, epoch)
+		},
+		Planner: vmwild.PlanInput{Host: vmwild.HS23Elite()},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("simulating workload %s: %d servers, %d intervals after a %dh warm-up\n\n",
+		profile.Name, servers, ticks, warmup)
+	fmt.Println("interval | hosts | migrations | wave | feasible")
+	for k := 0; k < ticks; k++ {
+		hour := warmup + 2*k
+		if err := streamUpTo(hour); err != nil {
+			return err
+		}
+		tick, err := ctrl.RunInterval()
+		if err != nil {
+			return err
+		}
+		wave := "-"
+		if tick.Execution != nil {
+			wave = tick.Execution.Total.Round(time.Second).String()
+		}
+		fmt.Printf("%8d | %5d | %10d | %6s | %v\n",
+			tick.Interval, tick.Step.ActiveHosts, tick.Step.Migrations, wave, tick.Feasible)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package vmwild_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vmwild"
+)
+
+// ExampleGenerate synthesizes a small deterministic trace set.
+func ExampleGenerate() {
+	profile := vmwild.Airlines()
+	profile.Servers = 3
+	set, err := vmwild.Generate(profile, 24, vmwild.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("servers:", len(set.Servers))
+	fmt.Println("hours:", set.Servers[0].Series.Len())
+	// Output:
+	// servers: 3
+	// hours: 24
+}
+
+// ExampleSimulateMigration runs the pre-copy model for a busy 2 GB VM on a
+// gigabit link.
+func ExampleSimulateMigration() {
+	res, err := vmwild.SimulateMigration(2048, 40, vmwild.DefaultMigrationConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("rounds:", res.Rounds)
+	// Output:
+	// converged: true
+	// rounds: 5
+}
+
+// ExampleMigrationReliable checks the Section 4.3 reliability envelope.
+func ExampleMigrationReliable() {
+	fmt.Println(vmwild.MigrationReliable(0.5, 0.5))
+	fmt.Println(vmwild.MigrationReliable(0.9, 0.5))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleOlioStudy reproduces the Section 4.1 scaling multipliers.
+func ExampleOlioStudy() {
+	res, err := vmwild.OlioStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("6x throughput costs %.1fx CPU and %.1fx memory\n", res.CPUMultiplier, res.MemMultiplier)
+	// Output:
+	// 6x throughput costs 7.9x CPU and 3.0x memory
+}
+
+// ExampleNewStudy shows the study-level workflow on a small estate.
+func ExampleNewStudy() {
+	profile := vmwild.Banking()
+	profile.Servers = 24
+	study, err := vmwild.NewStudy(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := study.CompareCosts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r.Planner)
+	}
+	// Output:
+	// semi-static
+	// stochastic
+	// dynamic
+}
+
+// ExampleWriteTraceCSV round-trips a trace set through CSV.
+func ExampleWriteTraceCSV() {
+	profile := vmwild.Beverage()
+	profile.Servers = 2
+	set, err := vmwild.Generate(profile, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.CreateTemp("", "traces-*.csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if err := vmwild.WriteTraceCSV(f, set); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	back, err := vmwild.ReadTraceCSV(f, "restored")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("restored servers:", len(back.Servers))
+	// Output:
+	// restored servers: 2
+}

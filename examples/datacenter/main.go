@@ -1,0 +1,94 @@
+// Datacenter: a consolidation-engagement walkthrough — workload analysis,
+// deployment constraints, planner comparison and the migration-reservation
+// sensitivity sweep, the way the paper's Section 5 evaluates a real estate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmwild"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	profile := vmwild.Beverage()
+	profile.Servers = 80
+	study, err := vmwild.NewStudy(profile, vmwild.WithVirtOverhead(0.05))
+	if err != nil {
+		return err
+	}
+
+	// Step 1: understand the workload (Section 4 of the paper).
+	fmt.Printf("=== workload %s (%s), %d servers ===\n", profile.Name, profile.Industry, profile.Servers)
+	curves, err := study.PeakToAverageCPU()
+	if err != nil {
+		return err
+	}
+	for _, c := range curves {
+		fmt.Printf("CPU peak/avg @%dh: median %.1f, 10%% of servers above %.1f\n",
+			c.IntervalHours, c.CDF.Median(), c.CDF.Quantile(0.90))
+	}
+	ratio, err := study.ResourceRatio()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("memory-bound in %.0f%% of 2h intervals (aggregate ratio median %.0f vs blade %.0f RPE2/GB)\n\n",
+		ratio.MemoryBoundFrac*100, ratio.CDF.Median(), ratio.BladeRatio)
+
+	// Step 2: encode deployment constraints (Section 2.2.4). The first
+	// two database servers of the estate are a clustered pair that must
+	// not share a host; the first web application is pinned to its
+	// subnet's rack by keeping its members together.
+	var dbPair, webApp []vmwild.ServerID
+	for _, st := range study.Monitoring().Servers {
+		if len(dbPair) < 2 && st.Class == "web" && st.App != "" && len(webApp) > 0 && st.App != firstApp(study) {
+			dbPair = append(dbPair, st.ID)
+		}
+		if st.App == firstApp(study) {
+			webApp = append(webApp, st.ID)
+		}
+	}
+	cs := vmwild.ConstraintSet{
+		vmwild.AntiAffinity(dbPair...),
+		vmwild.SameRack(webApp...),
+	}
+
+	// Step 3: compare planners under those constraints.
+	in := study.Input()
+	in.Constraints = cs
+	fmt.Printf("%-12s %8s %12s\n", "planner", "hosts", "migrations")
+	for _, planner := range []vmwild.Planner{vmwild.SemiStatic(), vmwild.Stochastic(), vmwild.Dynamic()} {
+		plan, err := planner.Plan(in)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %8d %12d\n", planner.Name(), plan.Provisioned, plan.Migrations)
+	}
+
+	// Step 4: how sensitive is dynamic consolidation to the live
+	// migration reservation? (Figures 13-16.)
+	sens, err := study.Sensitivity(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmigration-reservation sweep (vanilla=%d, stochastic=%d):\n", sens.VanillaHosts, sens.StochasticHosts)
+	for _, pt := range sens.Points {
+		marker := ""
+		if pt.DynamicHosts <= sens.StochasticHosts {
+			marker = "  <- dynamic wins from here"
+		}
+		fmt.Printf("  reserve %2.0f%% -> %d hosts%s\n", (1-pt.Bound)*100, pt.DynamicHosts, marker)
+	}
+	return nil
+}
+
+// firstApp returns the first application label of the estate.
+func firstApp(study *vmwild.Study) string {
+	return study.Monitoring().Servers[0].App
+}

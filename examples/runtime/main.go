@@ -1,0 +1,112 @@
+// Runtime: the full live system on compressed time — agents stream the
+// Table 1 metrics into the warehouse over TCP while the consolidation
+// controller wakes every (virtual) 2-hour interval, pulls fresh history,
+// predicts the next interval's peaks, adapts the placement and schedules
+// the migration waves. This is the deployed-system shape of the paper's
+// dynamic consolidation tools.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vmwild"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	profile := vmwild.Banking()
+	profile.Servers = 30
+	const horizonHours = 10 * 24
+	fleet, err := vmwild.Generate(profile, horizonHours, vmwild.DefaultSeed)
+	if err != nil {
+		return err
+	}
+	epoch := time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+	// Monitoring plane: agents -> TCP -> warehouse.
+	warehouse := vmwild.NewWarehouse(0)
+	addr, err := warehouse.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer warehouse.Close()
+	fmt.Printf("warehouse on %s; streaming %d servers\n", addr, profile.Servers)
+
+	specs := make(map[vmwild.ServerID]vmwild.Spec)
+	sources := make([]vmwild.MonitorSource, len(fleet.Servers))
+	for i, st := range fleet.Servers {
+		specs[st.ID] = st.Spec
+		src, err := vmwild.NewTraceSource(st, epoch, int64(i))
+		if err != nil {
+			return err
+		}
+		sources[i] = src
+	}
+
+	// streamUpTo pushes 15-minute samples into the warehouse until the
+	// given virtual hour.
+	streamed := 0
+	streamUpTo := func(hour int) error {
+		for ; streamed < hour*4; streamed++ {
+			ts := epoch.Add(time.Duration(streamed*15) * time.Minute)
+			for _, src := range sources {
+				s, err := src.Collect(ts)
+				if err != nil {
+					return err
+				}
+				warehouse.Ingest(s)
+			}
+		}
+		return nil
+	}
+
+	// Control plane: the consolidation loop reads whatever history the
+	// warehouse has accumulated.
+	ctrl, err := vmwild.NewController(vmwild.ControllerConfig{
+		Fetch: func() (*vmwild.TraceSet, error) {
+			return warehouse.CollectSet(profile.Name, specs, epoch)
+		},
+		Planner: vmwild.PlanInput{Host: vmwild.HS23Elite()},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Compressed time: one week of warm-up telemetry, then 2-hour
+	// consolidation intervals for a day and a half.
+	if err := streamUpTo(7 * 24); err != nil {
+		return err
+	}
+	fmt.Println("\nvirtual-hour | active hosts | migrations | wave time | fits 2h?")
+	for hour := 7 * 24; hour < 9*24; hour += 2 {
+		if err := streamUpTo(hour); err != nil {
+			return err
+		}
+		tick, err := ctrl.RunInterval()
+		if err != nil {
+			return err
+		}
+		wave := "-"
+		if tick.Execution != nil {
+			wave = tick.Execution.Total.Round(time.Second).String()
+		}
+		fmt.Printf("%12d | %12d | %10d | %9s | %v\n",
+			hour, tick.Step.ActiveHosts, tick.Step.Migrations, wave, tick.Feasible)
+	}
+
+	ticks := ctrl.Ticks()
+	var migrations int
+	for _, tk := range ticks {
+		migrations += tk.Step.Migrations
+	}
+	fmt.Printf("\n%d intervals completed, %d migrations ordered in total\n", len(ticks), migrations)
+	fmt.Println("night intervals consolidate onto fewer hosts; morning ramps spread out")
+	return nil
+}

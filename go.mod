@@ -1,0 +1,3 @@
+module vmwild
+
+go 1.23

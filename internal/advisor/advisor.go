@@ -1,0 +1,428 @@
+// Package advisor implements the paper's concluding recommendation
+// (Section 8): "Our work establishes the need of a comprehensive
+// consolidation planning analysis prior to VM consolidation in the wild."
+//
+// Given a monitoring window, the advisor computes the workload attributes
+// the paper shows to be decisive — CPU burstiness, memory constraint,
+// demand predictability and correlation stability — and recommends a
+// consolidation mode:
+//
+//   - highly bursty, predictable, CPU-bound estates benefit from dynamic
+//     consolidation (at the price of the migration reservation and
+//     contention risk);
+//   - memory-constrained estates should use semi-static consolidation;
+//     stochastic semi-static when tail pooling has something to win and
+//     workload correlations are stable, vanilla otherwise.
+//
+// It also classifies individual servers as candidates for dynamic
+// placement, following the screening idea of Bobroff et al. [4].
+package advisor
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/analysis"
+	"vmwild/internal/catalog"
+	"vmwild/internal/cluster"
+	"vmwild/internal/predict"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// Mode is a consolidation recommendation.
+type Mode int
+
+const (
+	// ModeSemiStatic recommends vanilla semi-static consolidation.
+	ModeSemiStatic Mode = iota + 1
+	// ModeStochastic recommends correlation-aware semi-static
+	// consolidation.
+	ModeStochastic
+	// ModeDynamic recommends dynamic consolidation with a live
+	// migration reservation.
+	ModeDynamic
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeSemiStatic:
+		return "semi-static"
+	case ModeStochastic:
+		return "stochastic"
+	case ModeDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Attributes are the decision inputs the advisor measures.
+type Attributes struct {
+	// HeavyTailFrac is the fraction of servers with CPU CoV >= 1
+	// (Figure 3).
+	HeavyTailFrac float64
+	// PeakAvgMedian is the median CPU peak-to-average ratio at the
+	// dynamic consolidation interval (Figure 2).
+	PeakAvgMedian float64
+	// MemoryBoundFrac is the fraction of consolidation intervals in
+	// which aggregate demand is memory-constrained (Figure 6).
+	MemoryBoundFrac float64
+	// UnderPrediction is the mean relative under-prediction of interval
+	// peaks by the dynamic planner's default predictor, averaged over a
+	// server sample — the paper's contention driver.
+	UnderPrediction float64
+	// CorrelationStability is the correlation between first-half and
+	// second-half pairwise correlations on a server sample; values near
+	// 1 mean stochastic placement decisions stay valid over time (the
+	// stability noted in [27]).
+	CorrelationStability float64
+	// TailGainFrac is the average fraction of a server's peak
+	// reservation that percentile (body) sizing would release — what
+	// stochastic consolidation has to play with.
+	TailGainFrac float64
+	// DynamicFriendlyFrac is the fraction of servers individually
+	// classified as good dynamic-placement candidates.
+	DynamicFriendlyFrac float64
+	// DemandClusters is the number of distinct demand patterns found in
+	// the server sample; low counts mean strong shared structure
+	// (events, job windows) that limits statistical multiplexing.
+	DemandClusters int
+}
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	Mode       Mode
+	Attributes Attributes
+	// Reasons explains the decision step by step.
+	Reasons []string
+}
+
+// Config tunes the decision thresholds; zero values select the defaults
+// derived from the paper's findings.
+type Config struct {
+	// IntervalHours is the dynamic consolidation interval (default 2).
+	IntervalHours int
+	// BladeRatio is the target host's CPU/memory capacity ratio in
+	// RPE2 per GB (default 160, the HS23-class blade).
+	BladeRatio float64
+	// MemoryBoundLimit above which dynamic consolidation is pointless
+	// (default 0.6).
+	MemoryBoundLimit float64
+	// HeavyTailMin is the heavy-tail fraction above which an estate
+	// counts as bursty (default 0.3).
+	HeavyTailMin float64
+	// UnderPredictionMax is the predictor error above which fine-grained
+	// sizing is too risky (default 0.25).
+	UnderPredictionMax float64
+	// TailGainMin is the sizing slack below which stochastic packing
+	// cannot beat vanilla (default 0.15).
+	TailGainMin float64
+	// SampleServers bounds how many servers the expensive per-server
+	// screens examine (default 64).
+	SampleServers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.IntervalHours <= 0 {
+		c.IntervalHours = 2
+	}
+	if c.BladeRatio <= 0 {
+		c.BladeRatio = catalog.ReferenceRatioPerGB
+	}
+	if c.MemoryBoundLimit <= 0 {
+		c.MemoryBoundLimit = 0.6
+	}
+	if c.HeavyTailMin <= 0 {
+		c.HeavyTailMin = 0.3
+	}
+	if c.UnderPredictionMax <= 0 {
+		c.UnderPredictionMax = 0.25
+	}
+	if c.TailGainMin <= 0 {
+		c.TailGainMin = 0.15
+	}
+	if c.SampleServers <= 0 {
+		c.SampleServers = 64
+	}
+	return c
+}
+
+// Advise analyzes the monitoring window and recommends a consolidation
+// mode.
+func Advise(set *trace.Set, cfg Config) (Recommendation, error) {
+	if set == nil || len(set.Servers) == 0 {
+		return Recommendation{}, errors.New("advisor: empty trace set")
+	}
+	cfg = cfg.withDefaults()
+
+	attrs, err := Measure(set, cfg)
+	if err != nil {
+		return Recommendation{}, err
+	}
+
+	rec := Recommendation{Attributes: attrs}
+	memBound := attrs.MemoryBoundFrac >= cfg.MemoryBoundLimit
+	bursty := attrs.HeavyTailFrac >= cfg.HeavyTailMin && attrs.PeakAvgMedian >= 3
+	predictable := attrs.UnderPrediction <= cfg.UnderPredictionMax
+	tailsWorthIt := attrs.TailGainFrac >= cfg.TailGainMin
+	stableCorr := attrs.CorrelationStability >= 0.5
+
+	switch {
+	case memBound:
+		rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+			"memory-constrained in %.0f%% of intervals: fine-grained CPU sizing cannot release capacity (Observation 3)",
+			attrs.MemoryBoundFrac*100))
+		if tailsWorthIt && stableCorr {
+			rec.Mode = ModeStochastic
+			rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+				"percentile sizing releases %.0f%% of peak reservations and correlations are stable (%.2f): stochastic packing is safe",
+				attrs.TailGainFrac*100, attrs.CorrelationStability))
+		} else {
+			rec.Mode = ModeSemiStatic
+			rec.Reasons = append(rec.Reasons,
+				"little sizing slack or unstable correlations: keep conservative peak sizing")
+		}
+	case bursty && predictable:
+		rec.Mode = ModeDynamic
+		rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+			"bursty (%.0f%% heavy-tailed, median peak/avg %.1f) and predictable (under-prediction %.0f%%): dynamic consolidation can save power (Observation 6)",
+			attrs.HeavyTailFrac*100, attrs.PeakAvgMedian, attrs.UnderPrediction*100))
+		rec.Reasons = append(rec.Reasons,
+			"reserve at least 20% of every host for live migration (Observation 4) and expect contention during record surges (Figures 8-9)")
+	case bursty:
+		rec.Mode = ModeStochastic
+		rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+			"bursty but hard to predict (under-prediction %.0f%%): fine-grained sizing would contend; pool tails statistically instead",
+			attrs.UnderPrediction*100))
+	default:
+		if tailsWorthIt && stableCorr {
+			rec.Mode = ModeStochastic
+			rec.Reasons = append(rec.Reasons,
+				"steady demand with usable sizing slack and stable correlations: stochastic semi-static captures the gains without migration risk (Observation 5)")
+		} else {
+			rec.Mode = ModeSemiStatic
+			rec.Reasons = append(rec.Reasons,
+				"steady demand with little slack: vanilla semi-static consolidation is sufficient")
+		}
+	}
+	return rec, nil
+}
+
+// Measure computes the advisor's decision attributes without deciding.
+func Measure(set *trace.Set, cfg Config) (Attributes, error) {
+	cfg = cfg.withDefaults()
+	var attrs Attributes
+
+	cov, err := analysis.CoVCDF(set, trace.CPU)
+	if err != nil {
+		return attrs, err
+	}
+	attrs.HeavyTailFrac = cov.FractionAbove(1)
+
+	pa, err := analysis.PeakToAverageCDF(set, cfg.IntervalHours, trace.CPU)
+	if err != nil {
+		return attrs, err
+	}
+	attrs.PeakAvgMedian = pa.Median()
+
+	memBound, err := analysis.MemoryBoundFraction(set, cfg.IntervalHours, cfg.BladeRatio)
+	if err != nil {
+		return attrs, err
+	}
+	attrs.MemoryBoundFrac = memBound
+
+	sample := sampleServers(set, cfg.SampleServers)
+	attrs.UnderPrediction, err = underPrediction(sample, cfg.IntervalHours)
+	if err != nil {
+		return attrs, err
+	}
+	attrs.CorrelationStability, err = correlationStability(sample, cfg.IntervalHours)
+	if err != nil {
+		return attrs, err
+	}
+	attrs.TailGainFrac, err = tailGain(sample)
+	if err != nil {
+		return attrs, err
+	}
+	attrs.DynamicFriendlyFrac, err = dynamicFriendlyFraction(sample, cfg)
+	if err != nil {
+		return attrs, err
+	}
+	clusters, err := cluster.ByCPUPattern(&trace.Set{Name: set.Name, Servers: sample},
+		cluster.Config{IntervalHours: cfg.IntervalHours})
+	if err != nil {
+		return attrs, err
+	}
+	attrs.DemandClusters = len(clusters.Clusters)
+	return attrs, nil
+}
+
+// sampleServers picks an evenly spaced subset for the per-server screens.
+func sampleServers(set *trace.Set, n int) []*trace.ServerTrace {
+	if len(set.Servers) <= n {
+		return set.Servers
+	}
+	out := make([]*trace.ServerTrace, 0, n)
+	step := float64(len(set.Servers)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, set.Servers[int(float64(i)*step)])
+	}
+	return out
+}
+
+// underPrediction scores the dynamic planner's default predictor across the
+// sample, walking each trace past a one-week warmup.
+func underPrediction(sample []*trace.ServerTrace, interval int) (float64, error) {
+	p := predict.Combined{
+		Predictors: []predict.Predictor{
+			predict.RecentPeak{Windows: 1},
+			predict.Periodic{Days: 7, SamplesPerDay: 24},
+		},
+		Headroom: 1.10,
+	}
+	var (
+		total float64
+		n     int
+	)
+	for _, st := range sample {
+		series := st.Series.Values(trace.CPU)
+		warmup := 7 * 24
+		if warmup >= len(series)-interval {
+			warmup = len(series) / 2
+		}
+		if warmup < interval {
+			continue
+		}
+		e, err := predict.Error(p, series, warmup, interval)
+		if err != nil {
+			return 0, fmt.Errorf("advisor: score %s: %w", st.ID, err)
+		}
+		total += e
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("advisor: traces too short to score predictability")
+	}
+	return total / float64(n), nil
+}
+
+// correlationStability compares pairwise interval-peak correlations
+// measured on the first and second halves of the window.
+func correlationStability(sample []*trace.ServerTrace, interval int) (float64, error) {
+	if len(sample) < 3 {
+		return 1, nil
+	}
+	half := sample[0].Series.Len() / 2
+	if half < 2*interval {
+		return 1, nil
+	}
+	var firsts, seconds []float64
+	for i := 0; i < len(sample); i++ {
+		for j := i + 1; j < len(sample) && j < i+6; j++ {
+			a, b := sample[i].Series, sample[j].Series
+			c1, err := halfCorr(a, b, 0, half, interval)
+			if err != nil {
+				return 0, err
+			}
+			c2, err := halfCorr(a, b, half, a.Len(), interval)
+			if err != nil {
+				return 0, err
+			}
+			firsts = append(firsts, c1)
+			seconds = append(seconds, c2)
+		}
+	}
+	c, err := stats.Correlation(firsts, seconds)
+	if err != nil {
+		return 0, err
+	}
+	return c, nil
+}
+
+func halfCorr(a, b *trace.Series, from, to, interval int) (float64, error) {
+	sa, err := a.Slice(from, to)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := b.Slice(from, to)
+	if err != nil {
+		return 0, err
+	}
+	pa, err := sa.Intervals(interval, trace.CPU, stats.Max)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := sb.Intervals(interval, trace.CPU, stats.Max)
+	if err != nil {
+		return 0, err
+	}
+	c, err := stats.Correlation(pa, pb)
+	if err != nil {
+		return 0, err
+	}
+	return c, nil
+}
+
+// tailGain measures how much of the peak CPU reservation percentile sizing
+// would release, averaged over the sample.
+func tailGain(sample []*trace.ServerTrace) (float64, error) {
+	var (
+		total float64
+		n     int
+	)
+	for _, st := range sample {
+		vals := st.Series.Values(trace.CPU)
+		peak := stats.Max(vals)
+		if peak <= 0 {
+			continue
+		}
+		body, err := stats.Percentile(vals, 90)
+		if err != nil {
+			return 0, err
+		}
+		total += (peak - body) / peak
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("advisor: no usable servers for tail gain")
+	}
+	return total / float64(n), nil
+}
+
+// dynamicFriendlyFraction classifies servers individually: a server is a
+// dynamic-placement candidate when its demand is bursty (peak/avg >= 3)
+// and its interval peaks are predictable (under-prediction <= 25%) — the
+// Bobroff-style screen.
+func dynamicFriendlyFraction(sample []*trace.ServerTrace, cfg Config) (float64, error) {
+	p := predict.Combined{
+		Predictors: []predict.Predictor{
+			predict.RecentPeak{Windows: 1},
+			predict.Periodic{Days: 7, SamplesPerDay: 24},
+		},
+		Headroom: 1.10,
+	}
+	friendly := 0
+	for _, st := range sample {
+		vals := st.Series.Values(trace.CPU)
+		if stats.PeakToAverage(vals) < 3 {
+			continue
+		}
+		warmup := 7 * 24
+		if warmup >= len(vals)-cfg.IntervalHours {
+			warmup = len(vals) / 2
+		}
+		if warmup < cfg.IntervalHours {
+			continue
+		}
+		e, err := predict.Error(p, vals, warmup, cfg.IntervalHours)
+		if err != nil {
+			return 0, err
+		}
+		if e <= cfg.UnderPredictionMax {
+			friendly++
+		}
+	}
+	return float64(friendly) / float64(len(sample)), nil
+}

@@ -1,0 +1,139 @@
+package advisor
+
+import (
+	"testing"
+
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+func generate(t *testing.T, p *workload.Profile, servers int) *trace.Set {
+	t.Helper()
+	p.Servers = servers
+	set, err := workload.Generate(p, workload.MonitoringHours, workload.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestAdviseEmpty(t *testing.T) {
+	if _, err := Advise(nil, Config{}); err == nil {
+		t.Error("expected error for nil set")
+	}
+	if _, err := Advise(&trace.Set{}, Config{}); err == nil {
+		t.Error("expected error for empty set")
+	}
+}
+
+func TestAdviseMemoryBoundWorkload(t *testing.T) {
+	// Airlines is memory-bound throughout: the advisor must not pick
+	// dynamic consolidation (the paper's Section 8 recommendation).
+	set := generate(t, workload.Airlines(), 120)
+	rec, err := Advise(set, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode == ModeDynamic {
+		t.Errorf("memory-bound estate recommended dynamic: %+v", rec)
+	}
+	if rec.Attributes.MemoryBoundFrac < 0.9 {
+		t.Errorf("memory-bound fraction = %.2f, want >= 0.9", rec.Attributes.MemoryBoundFrac)
+	}
+	if len(rec.Reasons) == 0 {
+		t.Error("recommendation must carry reasons")
+	}
+}
+
+func TestAdviseNaturalResources(t *testing.T) {
+	// Natural Resources: memory-constrained and only moderately bursty —
+	// semi-static family.
+	set := generate(t, workload.NaturalResources(), 150)
+	rec, err := Advise(set, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode == ModeDynamic {
+		t.Errorf("Natural Resources recommended dynamic: %+v", rec.Attributes)
+	}
+}
+
+func TestMeasureBankingAttributes(t *testing.T) {
+	set := generate(t, workload.Banking(), 150)
+	attrs, err := Measure(set, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs.HeavyTailFrac < 0.25 {
+		t.Errorf("Banking heavy-tail fraction = %.2f, want bursty", attrs.HeavyTailFrac)
+	}
+	if attrs.PeakAvgMedian < 3 {
+		t.Errorf("Banking peak/avg median = %.1f, want >= 3", attrs.PeakAvgMedian)
+	}
+	if attrs.MemoryBoundFrac > 0.6 {
+		t.Errorf("Banking memory-bound fraction = %.2f, want CPU-dominated", attrs.MemoryBoundFrac)
+	}
+	if attrs.TailGainFrac <= 0 || attrs.TailGainFrac >= 1 {
+		t.Errorf("tail gain = %.2f out of range", attrs.TailGainFrac)
+	}
+	if attrs.UnderPrediction < 0 || attrs.UnderPrediction > 1 {
+		t.Errorf("under-prediction = %.2f out of range", attrs.UnderPrediction)
+	}
+	if attrs.DynamicFriendlyFrac < 0 || attrs.DynamicFriendlyFrac > 1 {
+		t.Errorf("dynamic-friendly fraction = %.2f out of range", attrs.DynamicFriendlyFrac)
+	}
+}
+
+func TestAdviseBankingIsNotVanilla(t *testing.T) {
+	// Banking is the bursty CPU-bound estate: the advisor should pick
+	// dynamic (if the predictor scores well) or stochastic — never plain
+	// vanilla semi-static.
+	set := generate(t, workload.Banking(), 150)
+	rec, err := Advise(set, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode == ModeSemiStatic {
+		t.Errorf("Banking recommended vanilla semi-static: %+v", rec.Attributes)
+	}
+}
+
+func TestAdviseThresholdOverrides(t *testing.T) {
+	set := generate(t, workload.Banking(), 80)
+	// With an absurd memory-bound limit of effectively zero, everything
+	// is "memory-bound" and dynamic must not be chosen.
+	rec, err := Advise(set, Config{MemoryBoundLimit: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode == ModeDynamic {
+		t.Error("override should force the semi-static family")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeSemiStatic.String() != "semi-static" || ModeStochastic.String() != "stochastic" || ModeDynamic.String() != "dynamic" {
+		t.Error("mode names wrong")
+	}
+	if Mode(42).String() != "Mode(42)" {
+		t.Error("fallback name wrong")
+	}
+}
+
+func TestSampleServers(t *testing.T) {
+	set := generate(t, workload.Beverage(), 20)
+	if got := sampleServers(set, 50); len(got) != 20 {
+		t.Errorf("sample larger than population: %d", len(got))
+	}
+	got := sampleServers(set, 5)
+	if len(got) != 5 {
+		t.Errorf("sample size = %d, want 5", len(got))
+	}
+	seen := make(map[trace.ServerID]bool)
+	for _, st := range got {
+		if seen[st.ID] {
+			t.Error("duplicate server in sample")
+		}
+		seen[st.ID] = true
+	}
+}

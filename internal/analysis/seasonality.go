@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// Seasonality quantifies how periodic a server's demand is: the
+// autocorrelation of its hourly CPU series at the daily (24h) and weekly
+// (168h) lags. Values near 1 mean tomorrow looks like today — the property
+// that makes the dynamic planner's time-of-day predictor work, and that
+// semi-static consolidation exploits across weekends and month boundaries
+// (Section 1, "intra-week variations").
+type Seasonality struct {
+	ID     trace.ServerID
+	Daily  float64 // autocorrelation at lag 24
+	Weekly float64 // autocorrelation at lag 168
+}
+
+// Autocorrelation returns the Pearson correlation of a series with itself
+// shifted by lag samples.
+func Autocorrelation(values []float64, lag int) (float64, error) {
+	if lag < 1 {
+		return 0, errors.New("analysis: lag must be at least 1")
+	}
+	if len(values) < lag+2 {
+		return 0, fmt.Errorf("analysis: need more than %d samples for lag %d", lag+1, lag)
+	}
+	c, err := stats.Correlation(values[:len(values)-lag], values[lag:])
+	if err != nil {
+		return 0, err
+	}
+	return c, nil
+}
+
+// SeasonalityOf measures one server's daily and weekly demand periodicity.
+// The weekly component is zero when the trace is shorter than two weeks.
+func SeasonalityOf(st *trace.ServerTrace) (Seasonality, error) {
+	if err := st.Validate(); err != nil {
+		return Seasonality{}, err
+	}
+	values := st.Series.Values(trace.CPU)
+	daily, err := Autocorrelation(values, 24)
+	if err != nil {
+		return Seasonality{}, fmt.Errorf("analysis: server %s: %w", st.ID, err)
+	}
+	s := Seasonality{ID: st.ID, Daily: daily}
+	if len(values) >= 170 {
+		weekly, err := Autocorrelation(values, 168)
+		if err != nil {
+			return Seasonality{}, fmt.Errorf("analysis: server %s: %w", st.ID, err)
+		}
+		s.Weekly = weekly
+	}
+	return s, nil
+}
+
+// SeasonalityCDFs returns the per-server daily and weekly autocorrelation
+// distributions of a data center.
+func SeasonalityCDFs(set *trace.Set) (daily, weekly *stats.CDF, err error) {
+	if len(set.Servers) == 0 {
+		return nil, nil, errors.New("analysis: empty trace set")
+	}
+	var ds, ws []float64
+	for _, st := range set.Servers {
+		s, err := SeasonalityOf(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds = append(ds, s.Daily)
+		ws = append(ws, s.Weekly)
+	}
+	daily, err = stats.NewCDF(ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	weekly, err = stats.NewCDF(ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	return daily, weekly, nil
+}

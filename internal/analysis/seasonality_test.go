@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+func sinusoidal(id string, period, hours int) *trace.ServerTrace {
+	samples := make([]trace.Usage, hours)
+	for t := 0; t < hours; t++ {
+		samples[t] = trace.Usage{
+			CPU: 100 + 50*math.Sin(2*math.Pi*float64(t)/float64(period)),
+			Mem: 1000,
+		}
+	}
+	s, err := trace.NewSeries(time.Hour, samples)
+	if err != nil {
+		panic(err)
+	}
+	return &trace.ServerTrace{ID: trace.ServerID(id), Spec: trace.Spec{CPURPE2: 1000, MemMB: 8192}, Series: s}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A 24h sinusoid has autocorrelation ~1 at lag 24 and ~-1 at lag 12.
+	st := sinusoidal("s", 24, 24*14)
+	values := st.Series.Values(trace.CPU)
+	at24, err := Autocorrelation(values, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at24 < 0.99 {
+		t.Errorf("lag-24 autocorrelation = %v, want ~1", at24)
+	}
+	at12, err := Autocorrelation(values, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at12 > -0.99 {
+		t.Errorf("lag-12 autocorrelation = %v, want ~-1", at12)
+	}
+	if _, err := Autocorrelation(values, 0); err == nil {
+		t.Error("expected error for zero lag")
+	}
+	if _, err := Autocorrelation([]float64{1, 2}, 5); err == nil {
+		t.Error("expected error for lag beyond series")
+	}
+}
+
+func TestSeasonalityOf(t *testing.T) {
+	st := sinusoidal("diurnal", 24, 24*21)
+	s, err := SeasonalityOf(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Daily < 0.99 || s.Weekly < 0.99 {
+		t.Errorf("diurnal server seasonality = %+v, want ~1/~1", s)
+	}
+	// A 30h-period signal is NOT day-periodic.
+	odd, err := SeasonalityOf(sinusoidal("odd", 30, 24*21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odd.Daily > 0.5 {
+		t.Errorf("off-period server daily seasonality = %v, want low", odd.Daily)
+	}
+	if _, err := SeasonalityOf(&trace.ServerTrace{}); err == nil {
+		t.Error("expected error for invalid trace")
+	}
+	// Short traces skip the weekly component.
+	short, err := SeasonalityOf(sinusoidal("short", 24, 26*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Weekly != 0 {
+		t.Errorf("short trace weekly = %v, want 0", short.Weekly)
+	}
+}
+
+func TestSeasonalityCDFsOnWorkload(t *testing.T) {
+	p := workload.Banking()
+	p.Servers = 40
+	set, err := workload.Generate(p, 24*21, workload.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daily, weekly, err := SeasonalityCDFs(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-hour noise dominates raw autocorrelation, but the diurnal
+	// structure still shows as a consistently positive lag-24 component
+	// for the web-dominated estate.
+	if got := daily.Median(); got < 0.02 {
+		t.Errorf("median daily seasonality = %v, want positive", got)
+	}
+	if got := daily.Quantile(0.9); got < 0.1 {
+		t.Errorf("p90 daily seasonality = %v, want a clearly periodic subpopulation", got)
+	}
+	if got := weekly.Median(); got < -0.05 {
+		t.Errorf("median weekly seasonality = %v, want non-negative", got)
+	}
+	if _, _, err := SeasonalityCDFs(&trace.Set{}); err == nil {
+		t.Error("expected error for empty set")
+	}
+}

@@ -1,0 +1,151 @@
+// Package catalog describes the server hardware the experiments run on: CPU
+// performance ratings in RPE2 units (the IDEAS Relative Performance Estimate
+// v2 used by the paper) and memory sizes.
+//
+// The reference target host is an HS23-Elite-class blade: a two-socket,
+// 128 GB virtualization blade with a CPU-to-memory capacity ratio of
+// 160 RPE2 per GB — the comparison line in the paper's Figure 6. Source
+// servers (the legacy machines whose workloads are being consolidated) use
+// older, smaller models.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"vmwild/internal/trace"
+)
+
+// Model is one hardware model in the catalog.
+type Model struct {
+	// Name identifies the model.
+	Name string
+	// Spec is the capacity: CPU rating in RPE2 units, memory in MB.
+	Spec trace.Spec
+	// IdleWatts and PeakWatts parameterize the linear power model for
+	// this machine.
+	IdleWatts float64
+	PeakWatts float64
+	// BladesPerRack is how many of these fit in one rack for the
+	// facilities cost model.
+	BladesPerRack int
+}
+
+// Reference blade: the consolidation target in all experiments.
+//
+// 128 GB of memory at 160 RPE2/GB gives a 20480 RPE2 rating, matching the
+// paper's description of a memory-extended virtualization blade.
+var HS23Elite = Model{
+	Name:          "hs23-elite",
+	Spec:          trace.Spec{CPURPE2: 160 * 128, MemMB: 128 * 1024},
+	IdleWatts:     180,
+	PeakWatts:     420,
+	BladesPerRack: 14,
+}
+
+// ReferenceRatioPerGB is the HS23-class CPU-to-memory capacity ratio the
+// paper compares aggregate demand ratios against (Figure 6).
+const ReferenceRatioPerGB = 160.0
+
+// HS23Standard is the same blade without the memory extension (64 GB,
+// ratio 320 RPE2/GB) — the contrast behind Observation 3's "even after
+// using extended memory blade servers": on a standard-memory blade the
+// estates are memory-bound even more of the time.
+var HS23Standard = Model{
+	Name:          "hs23-standard",
+	Spec:          trace.Spec{CPURPE2: 160 * 128, MemMB: 64 * 1024},
+	IdleWatts:     170,
+	PeakWatts:     400,
+	BladesPerRack: 14,
+}
+
+// Legacy source-server models. Enterprise data centers of the study period
+// were dominated by small two- and four-core rack servers with 4-32 GB of
+// RAM; their ratings are scaled so that a typical legacy box is roughly a
+// tenth of the reference blade.
+var (
+	LegacySmall = Model{
+		Name:          "x3250-m3",
+		Spec:          trace.Spec{CPURPE2: 900, MemMB: 4 * 1024},
+		IdleWatts:     110,
+		PeakWatts:     230,
+		BladesPerRack: 42,
+	}
+	LegacyMedium = Model{
+		Name:          "x3550-m3",
+		Spec:          trace.Spec{CPURPE2: 2000, MemMB: 16 * 1024},
+		IdleWatts:     140,
+		PeakWatts:     310,
+		BladesPerRack: 42,
+	}
+	LegacyLarge = Model{
+		Name:          "x3650-m4",
+		Spec:          trace.Spec{CPURPE2: 4200, MemMB: 32 * 1024},
+		IdleWatts:     170,
+		PeakWatts:     400,
+		BladesPerRack: 21,
+	}
+	// LegacyXLarge is a four-socket scale-up box hosting CPU-hungry
+	// line-of-business applications (the Banking signature).
+	LegacyXLarge = Model{
+		Name:          "x3850-x5",
+		Spec:          trace.Spec{CPURPE2: 8400, MemMB: 64 * 1024},
+		IdleWatts:     320,
+		PeakWatts:     680,
+		BladesPerRack: 10,
+	}
+)
+
+// Catalog is a lookup of hardware models by name.
+type Catalog struct {
+	models map[string]Model
+}
+
+// New builds a catalog from the given models.
+func New(models ...Model) (*Catalog, error) {
+	c := &Catalog{models: make(map[string]Model, len(models))}
+	for _, m := range models {
+		if m.Name == "" {
+			return nil, fmt.Errorf("catalog: model with empty name")
+		}
+		if m.Spec.CPURPE2 <= 0 || m.Spec.MemMB <= 0 {
+			return nil, fmt.Errorf("catalog: model %q has non-positive capacity", m.Name)
+		}
+		if _, dup := c.models[m.Name]; dup {
+			return nil, fmt.Errorf("catalog: duplicate model %q", m.Name)
+		}
+		c.models[m.Name] = m
+	}
+	return c, nil
+}
+
+// Default returns the catalog used by all experiments: the HS23-class target
+// blade plus the four legacy source-server models.
+func Default() *Catalog {
+	c, err := New(HS23Elite, HS23Standard, LegacySmall, LegacyMedium, LegacyLarge, LegacyXLarge)
+	if err != nil {
+		// The built-in models are static and valid; reaching here is a
+		// programming error in this package.
+		panic(err)
+	}
+	return c
+}
+
+// Lookup returns the model with the given name.
+func (c *Catalog) Lookup(name string) (Model, error) {
+	m, ok := c.models[name]
+	if !ok {
+		return Model{}, fmt.Errorf("catalog: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// Names returns all model names in sorted order.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.models))
+	for name := range c.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,74 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"vmwild/internal/trace"
+)
+
+func TestHS23ReferenceRatio(t *testing.T) {
+	got := HS23Elite.Spec.RatioPerGB()
+	if math.Abs(got-ReferenceRatioPerGB) > 1e-9 {
+		t.Errorf("HS23 ratio = %v, want %v", got, ReferenceRatioPerGB)
+	}
+}
+
+func TestDefaultCatalog(t *testing.T) {
+	c := Default()
+	names := c.Names()
+	if len(names) != 6 {
+		t.Fatalf("default catalog has %d models, want 6", len(names))
+	}
+	m, err := c.Lookup("hs23-elite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec.MemMB != 128*1024 {
+		t.Errorf("hs23 memory = %v MB, want 131072", m.Spec.MemMB)
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		models []Model
+	}{
+		{name: "empty name", models: []Model{{Spec: trace.Spec{CPURPE2: 1, MemMB: 1}}}},
+		{name: "zero capacity", models: []Model{{Name: "x"}}},
+		{name: "duplicate", models: []Model{LegacySmall, LegacySmall}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.models...); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestStandardBladeRatio(t *testing.T) {
+	if got := HS23Standard.Spec.RatioPerGB(); got != 2*ReferenceRatioPerGB {
+		t.Errorf("standard blade ratio = %v, want 320 (no memory extension)", got)
+	}
+}
+
+func TestLegacyModelsAreSmallerThanReference(t *testing.T) {
+	for _, m := range []Model{LegacySmall, LegacyMedium, LegacyLarge, LegacyXLarge} {
+		if m.Spec.CPURPE2 >= HS23Elite.Spec.CPURPE2 {
+			t.Errorf("%s CPU rating %v should be below HS23 %v", m.Name, m.Spec.CPURPE2, HS23Elite.Spec.CPURPE2)
+		}
+		if m.Spec.MemMB >= HS23Elite.Spec.MemMB {
+			t.Errorf("%s memory %v should be below HS23 %v", m.Name, m.Spec.MemMB, HS23Elite.Spec.MemMB)
+		}
+		if m.IdleWatts <= 0 || m.PeakWatts <= m.IdleWatts {
+			t.Errorf("%s power model invalid: idle %v peak %v", m.Name, m.IdleWatts, m.PeakWatts)
+		}
+		if m.BladesPerRack <= 0 {
+			t.Errorf("%s has no rack density", m.Name)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package cluster groups servers by demand-pattern similarity. Enterprise
+// estates contain far fewer distinct behaviours than servers (web tiers
+// share flash crowds, batch tiers share job windows — Section 4); clustering
+// makes that structure explicit. The advisor uses it to report how much
+// pattern diversity a placement can exploit, and correlation-aware packing
+// can use medoids as cheap correlation proxies instead of all-pairs
+// computation.
+//
+// The algorithm is leader clustering on the Pearson correlation of
+// per-interval demand peaks: servers join the first cluster whose medoid
+// they correlate with above the threshold, otherwise they found a new
+// cluster. One pass, deterministic, O(servers x clusters).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// Cluster is one group of similarly behaving servers.
+type Cluster struct {
+	// Medoid is the representative server (the cluster's founder).
+	Medoid trace.ServerID
+	// Members lists all servers in the cluster, including the medoid.
+	Members []trace.ServerID
+}
+
+// Result is a clustering of a trace set.
+type Result struct {
+	Clusters []Cluster
+	// byID maps each server to its cluster index.
+	byID map[trace.ServerID]int
+}
+
+// ClusterOf returns the index of the cluster containing the server.
+func (r *Result) ClusterOf(id trace.ServerID) (int, bool) {
+	i, ok := r.byID[id]
+	return i, ok
+}
+
+// SameCluster reports whether two servers share a cluster.
+func (r *Result) SameCluster(a, b trace.ServerID) bool {
+	ia, oka := r.byID[a]
+	ib, okb := r.byID[b]
+	return oka && okb && ia == ib
+}
+
+// Sizes returns the member counts, largest first.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, len(r.Clusters))
+	for i, c := range r.Clusters {
+		sizes[i] = len(c.Members)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// Config tunes the clustering.
+type Config struct {
+	// IntervalHours aggregates demand to per-interval peaks before
+	// correlating (default 2, the consolidation interval).
+	IntervalHours int
+	// MinCorrelation is the similarity threshold for joining a cluster
+	// (default 0.6).
+	MinCorrelation float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.IntervalHours <= 0 {
+		c.IntervalHours = 2
+	}
+	if c.MinCorrelation == 0 {
+		c.MinCorrelation = 0.6
+	}
+	return c
+}
+
+// ByCPUPattern clusters the set's servers by the correlation of their CPU
+// interval-peak series.
+func ByCPUPattern(set *trace.Set, cfg Config) (*Result, error) {
+	if set == nil || len(set.Servers) == 0 {
+		return nil, errors.New("cluster: empty trace set")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MinCorrelation < -1 || cfg.MinCorrelation > 1 {
+		return nil, fmt.Errorf("cluster: correlation threshold %v outside [-1, 1]", cfg.MinCorrelation)
+	}
+
+	peaks := make([][]float64, len(set.Servers))
+	for i, st := range set.Servers {
+		p, err := st.Series.Intervals(cfg.IntervalHours, trace.CPU, stats.Max)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: server %s: %w", st.ID, err)
+		}
+		peaks[i] = p
+	}
+
+	res := &Result{byID: make(map[trace.ServerID]int, len(set.Servers))}
+	var medoids []int // index into set.Servers
+	for i, st := range set.Servers {
+		joined := false
+		for ci, mi := range medoids {
+			c, err := stats.Correlation(peaks[i], peaks[mi])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: correlate %s with %s: %w", st.ID, set.Servers[mi].ID, err)
+			}
+			if c >= cfg.MinCorrelation {
+				res.Clusters[ci].Members = append(res.Clusters[ci].Members, st.ID)
+				res.byID[st.ID] = ci
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			medoids = append(medoids, i)
+			res.Clusters = append(res.Clusters, Cluster{
+				Medoid:  st.ID,
+				Members: []trace.ServerID{st.ID},
+			})
+			res.byID[st.ID] = len(res.Clusters) - 1
+		}
+	}
+	return res, nil
+}
+
+// MedoidCorr builds a placement.CorrFunc-compatible correlation proxy: the
+// correlation between two servers is approximated by the correlation of
+// their cluster medoids (1 within a cluster). This reduces the all-pairs
+// cost from O(n^2) series correlations to O(k^2) for k clusters.
+func MedoidCorr(set *trace.Set, res *Result, cfg Config) (func(a, b trace.ServerID) float64, error) {
+	cfg = cfg.withDefaults()
+	byID := make(map[trace.ServerID]*trace.ServerTrace, len(set.Servers))
+	for _, st := range set.Servers {
+		byID[st.ID] = st
+	}
+	k := len(res.Clusters)
+	medoidPeaks := make([][]float64, k)
+	for i, c := range res.Clusters {
+		st, ok := byID[c.Medoid]
+		if !ok {
+			return nil, fmt.Errorf("cluster: medoid %s not in set", c.Medoid)
+		}
+		p, err := st.Series.Intervals(cfg.IntervalHours, trace.CPU, stats.Max)
+		if err != nil {
+			return nil, err
+		}
+		medoidPeaks[i] = p
+	}
+	// Precompute the k x k medoid correlation matrix.
+	m := make([][]float64, k)
+	for i := range m {
+		m[i] = make([]float64, k)
+		m[i][i] = 1
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			c, err := stats.Correlation(medoidPeaks[i], medoidPeaks[j])
+			if err != nil {
+				return nil, err
+			}
+			m[i][j], m[j][i] = c, c
+		}
+	}
+	return func(a, b trace.ServerID) float64 {
+		ia, oka := res.byID[a]
+		ib, okb := res.byID[b]
+		if !oka || !okb {
+			return 0
+		}
+		return m[ia][ib]
+	}, nil
+}

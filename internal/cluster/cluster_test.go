@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+func patterned(id string, pattern []float64, cycles int) *trace.ServerTrace {
+	samples := make([]trace.Usage, 0, len(pattern)*cycles)
+	for c := 0; c < cycles; c++ {
+		for _, v := range pattern {
+			samples = append(samples, trace.Usage{CPU: v, Mem: 100})
+		}
+	}
+	s, err := trace.NewSeries(time.Hour, samples)
+	if err != nil {
+		panic(err)
+	}
+	return &trace.ServerTrace{ID: trace.ServerID(id), Spec: trace.Spec{CPURPE2: 1000, MemMB: 1000}, Series: s}
+}
+
+func TestByCPUPatternSeparatesShapes(t *testing.T) {
+	day := []float64{10, 20, 400, 300, 20, 10}   // daytime peak
+	night := []float64{300, 400, 20, 10, 10, 20} // night jobs
+	set := &trace.Set{Name: "t", Servers: []*trace.ServerTrace{
+		patterned("day-1", day, 8),
+		patterned("day-2", day, 8),
+		patterned("night-1", night, 8),
+		patterned("night-2", night, 8),
+	}}
+	res, err := ByCPUPattern(set, Config{IntervalHours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2: %+v", len(res.Clusters), res.Clusters)
+	}
+	if !res.SameCluster("day-1", "day-2") {
+		t.Error("day servers should share a cluster")
+	}
+	if !res.SameCluster("night-1", "night-2") {
+		t.Error("night servers should share a cluster")
+	}
+	if res.SameCluster("day-1", "night-1") {
+		t.Error("anti-phased servers must not share a cluster")
+	}
+	if _, ok := res.ClusterOf("day-1"); !ok {
+		t.Error("ClusterOf lost a member")
+	}
+	if _, ok := res.ClusterOf("ghost"); ok {
+		t.Error("unknown server should not resolve")
+	}
+	sizes := res.Sizes()
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 2 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestByCPUPatternErrors(t *testing.T) {
+	if _, err := ByCPUPattern(nil, Config{}); err == nil {
+		t.Error("expected error for nil set")
+	}
+	if _, err := ByCPUPattern(&trace.Set{}, Config{}); err == nil {
+		t.Error("expected error for empty set")
+	}
+	set := &trace.Set{Servers: []*trace.ServerTrace{patterned("a", []float64{1, 2}, 4)}}
+	if _, err := ByCPUPattern(set, Config{MinCorrelation: 2}); err == nil {
+		t.Error("expected error for out-of-range threshold")
+	}
+}
+
+func TestMedoidCorr(t *testing.T) {
+	day := []float64{10, 20, 400, 300, 20, 10}
+	night := []float64{300, 400, 20, 10, 10, 20}
+	set := &trace.Set{Name: "t", Servers: []*trace.ServerTrace{
+		patterned("day-1", day, 8),
+		patterned("day-2", day, 8),
+		patterned("night-1", night, 8),
+	}}
+	res, err := ByCPUPattern(set, Config{IntervalHours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := MedoidCorr(set, res, Config{IntervalHours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := corr("day-1", "day-2"); got != 1 {
+		t.Errorf("within-cluster correlation = %v, want 1", got)
+	}
+	if got := corr("day-1", "night-1"); got >= 0 {
+		t.Errorf("cross-cluster correlation = %v, want negative for anti-phased patterns", got)
+	}
+	if got := corr("day-1", "ghost"); got != 0 {
+		t.Errorf("unknown server correlation = %v, want 0", got)
+	}
+}
+
+func TestClusterCountsOnRealWorkload(t *testing.T) {
+	// A Banking slice has far fewer demand patterns than servers.
+	p := workload.Banking()
+	p.Servers = 60
+	set, err := workload.Generate(p, 24*14, workload.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ByCPUPattern(set, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) >= len(set.Servers) {
+		t.Errorf("clustering found no structure: %d clusters for %d servers",
+			len(res.Clusters), len(set.Servers))
+	}
+	total := 0
+	for _, c := range res.Clusters {
+		total += len(c.Members)
+	}
+	if total != len(set.Servers) {
+		t.Errorf("clusters cover %d servers, want %d", total, len(set.Servers))
+	}
+}

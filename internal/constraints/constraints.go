@@ -1,0 +1,165 @@
+// Package constraints implements the deployment-constraint framework of
+// Section 2.2.4: inclusion constraints (affinity between VMs, VM-host
+// pinning, rack/subnet co-location) and exclusion constraints
+// (anti-affinity, host avoidance). Every placer consults a ConstraintSet
+// before assigning a VM to a host.
+package constraints
+
+import (
+	"fmt"
+
+	"vmwild/internal/trace"
+)
+
+// View is the read-only placement state a constraint may inspect. The
+// placement package's Placement satisfies it.
+type View interface {
+	// VMsOn returns the VMs currently assigned to the host.
+	VMsOn(host string) []trace.ServerID
+	// HostOf returns the host a VM is assigned to, if any.
+	HostOf(vm trace.ServerID) (string, bool)
+	// RackOf returns the rack identifier of a host.
+	RackOf(host string) string
+}
+
+// Constraint vetoes candidate (vm, host) assignments.
+type Constraint interface {
+	// Permits returns nil if placing vm on host is allowed given the
+	// current assignment, or an error explaining the veto.
+	Permits(vm trace.ServerID, host string, view View) error
+	// Name identifies the constraint in reports.
+	Name() string
+}
+
+// Set is an ordered collection of constraints, all of which must permit an
+// assignment.
+type Set []Constraint
+
+// Permits returns the first veto, or nil if every constraint permits.
+func (s Set) Permits(vm trace.ServerID, host string, view View) error {
+	for _, c := range s {
+		if err := c.Permits(vm, host, view); err != nil {
+			return fmt.Errorf("constraint %s: %w", c.Name(), err)
+		}
+	}
+	return nil
+}
+
+// SameHost is an inclusion constraint: all members must share one host.
+type SameHost struct {
+	// Group are the VMs bound together.
+	Group []trace.ServerID
+}
+
+// Permits implements Constraint.
+func (c SameHost) Permits(vm trace.ServerID, host string, view View) error {
+	if !contains(c.Group, vm) {
+		return nil
+	}
+	for _, other := range c.Group {
+		if other == vm {
+			continue
+		}
+		if placed, ok := view.HostOf(other); ok && placed != host {
+			return fmt.Errorf("%s requires host %s shared with %s", vm, placed, other)
+		}
+	}
+	return nil
+}
+
+// Name implements Constraint.
+func (c SameHost) Name() string { return "same-host" }
+
+// AntiAffinity is an exclusion constraint: no two members may share a host
+// (for example the replicas of a clustered service).
+type AntiAffinity struct {
+	// Group are the mutually exclusive VMs.
+	Group []trace.ServerID
+}
+
+// Permits implements Constraint.
+func (c AntiAffinity) Permits(vm trace.ServerID, host string, view View) error {
+	if !contains(c.Group, vm) {
+		return nil
+	}
+	for _, resident := range view.VMsOn(host) {
+		if resident != vm && contains(c.Group, resident) {
+			return fmt.Errorf("%s may not share host %s with %s", vm, host, resident)
+		}
+	}
+	return nil
+}
+
+// Name implements Constraint.
+func (c AntiAffinity) Name() string { return "anti-affinity" }
+
+// PinHost pins a VM to one specific host.
+type PinHost struct {
+	VM   trace.ServerID
+	Host string
+}
+
+// Permits implements Constraint.
+func (c PinHost) Permits(vm trace.ServerID, host string, _ View) error {
+	if vm == c.VM && host != c.Host {
+		return fmt.Errorf("%s is pinned to host %s", vm, c.Host)
+	}
+	return nil
+}
+
+// Name implements Constraint.
+func (c PinHost) Name() string { return "pin-host" }
+
+// AvoidHost excludes a VM from one specific host.
+type AvoidHost struct {
+	VM   trace.ServerID
+	Host string
+}
+
+// Permits implements Constraint.
+func (c AvoidHost) Permits(vm trace.ServerID, host string, _ View) error {
+	if vm == c.VM && host == c.Host {
+		return fmt.Errorf("%s must not run on host %s", vm, c.Host)
+	}
+	return nil
+}
+
+// Name implements Constraint.
+func (c AvoidHost) Name() string { return "avoid-host" }
+
+// SameRack is an inclusion constraint at rack granularity (the paper's
+// subnet/rack affinity): all placed members must sit in the same rack.
+type SameRack struct {
+	Group []trace.ServerID
+}
+
+// Permits implements Constraint.
+func (c SameRack) Permits(vm trace.ServerID, host string, view View) error {
+	if !contains(c.Group, vm) {
+		return nil
+	}
+	rack := view.RackOf(host)
+	for _, other := range c.Group {
+		if other == vm {
+			continue
+		}
+		if placed, ok := view.HostOf(other); ok {
+			if otherRack := view.RackOf(placed); otherRack != rack {
+				return fmt.Errorf("%s requires rack %s shared with %s", vm, otherRack, other)
+			}
+		}
+	}
+	return nil
+}
+
+// Name implements Constraint.
+func (c SameRack) Name() string { return "same-rack" }
+
+func contains(group []trace.ServerID, vm trace.ServerID) bool {
+	for _, g := range group {
+		if g == vm {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package constraints
+
+import (
+	"testing"
+
+	"vmwild/internal/trace"
+)
+
+// fakeView is a minimal constraint view for tests.
+type fakeView struct {
+	hosts map[trace.ServerID]string
+	racks map[string]string
+}
+
+func (v fakeView) VMsOn(host string) []trace.ServerID {
+	var out []trace.ServerID
+	for vm, h := range v.hosts {
+		if h == host {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+func (v fakeView) HostOf(vm trace.ServerID) (string, bool) {
+	h, ok := v.hosts[vm]
+	return h, ok
+}
+
+func (v fakeView) RackOf(host string) string { return v.racks[host] }
+
+func TestSameHost(t *testing.T) {
+	c := SameHost{Group: []trace.ServerID{"a", "b"}}
+	view := fakeView{hosts: map[trace.ServerID]string{"b": "h1"}}
+	if err := c.Permits("a", "h1", view); err != nil {
+		t.Errorf("same host should be permitted: %v", err)
+	}
+	if err := c.Permits("a", "h2", view); err == nil {
+		t.Error("different host should be vetoed")
+	}
+	// Non-members are unaffected.
+	if err := c.Permits("z", "h9", view); err != nil {
+		t.Errorf("non-member should be permitted: %v", err)
+	}
+	// Unplaced partners impose nothing.
+	if err := c.Permits("a", "h3", fakeView{hosts: map[trace.ServerID]string{}}); err != nil {
+		t.Errorf("unplaced partner should not veto: %v", err)
+	}
+}
+
+func TestAntiAffinity(t *testing.T) {
+	c := AntiAffinity{Group: []trace.ServerID{"a", "b"}}
+	view := fakeView{hosts: map[trace.ServerID]string{"b": "h1"}}
+	if err := c.Permits("a", "h1", view); err == nil {
+		t.Error("co-locating anti-affine VMs should be vetoed")
+	}
+	if err := c.Permits("a", "h2", view); err != nil {
+		t.Errorf("separate host should be permitted: %v", err)
+	}
+	if err := c.Permits("z", "h1", view); err != nil {
+		t.Errorf("non-member should be permitted: %v", err)
+	}
+}
+
+func TestPinAndAvoid(t *testing.T) {
+	pin := PinHost{VM: "a", Host: "h1"}
+	if err := pin.Permits("a", "h1", fakeView{}); err != nil {
+		t.Errorf("pinned host should be permitted: %v", err)
+	}
+	if err := pin.Permits("a", "h2", fakeView{}); err == nil {
+		t.Error("other host should be vetoed for pinned VM")
+	}
+	if err := pin.Permits("b", "h2", fakeView{}); err != nil {
+		t.Errorf("other VMs unaffected by pin: %v", err)
+	}
+
+	avoid := AvoidHost{VM: "a", Host: "h1"}
+	if err := avoid.Permits("a", "h1", fakeView{}); err == nil {
+		t.Error("avoided host should be vetoed")
+	}
+	if err := avoid.Permits("a", "h2", fakeView{}); err != nil {
+		t.Errorf("other hosts permitted: %v", err)
+	}
+}
+
+func TestSameRack(t *testing.T) {
+	c := SameRack{Group: []trace.ServerID{"a", "b"}}
+	view := fakeView{
+		hosts: map[trace.ServerID]string{"b": "h1"},
+		racks: map[string]string{"h1": "r0", "h2": "r0", "h3": "r1"},
+	}
+	if err := c.Permits("a", "h2", view); err != nil {
+		t.Errorf("same rack should be permitted: %v", err)
+	}
+	if err := c.Permits("a", "h3", view); err == nil {
+		t.Error("different rack should be vetoed")
+	}
+}
+
+func TestSetPermits(t *testing.T) {
+	set := Set{
+		AvoidHost{VM: "a", Host: "h1"},
+		PinHost{VM: "b", Host: "h2"},
+	}
+	if err := set.Permits("a", "h1", fakeView{}); err == nil {
+		t.Error("set should propagate the first veto")
+	}
+	if err := set.Permits("a", "h2", fakeView{}); err != nil {
+		t.Errorf("set should permit when all constraints permit: %v", err)
+	}
+	var empty Set
+	if err := empty.Permits("x", "anything", fakeView{}); err != nil {
+		t.Errorf("empty set must permit everything: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package controller is the runtime side of dynamic consolidation — the
+// counterpart of the paper's deployed systems [25, 28]: a control loop that
+// pulls fresh monitoring data each consolidation interval, predicts the
+// next interval's per-VM peaks, adapts the placement with the least-cost
+// actions, and schedules the resulting live migrations as
+// capacity-feasible waves.
+//
+// The loop is clock-agnostic: RunInterval advances one consolidation
+// interval deterministically (tests and simulations drive it directly),
+// and Run wraps it in a ticker-driven goroutine with clean shutdown for
+// wall-clock deployments.
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vmwild/internal/core"
+	"vmwild/internal/executor"
+	"vmwild/internal/placement"
+	"vmwild/internal/trace"
+)
+
+// FetchFunc returns the monitored demand history available so far: one
+// hourly series per server, oldest first. Implementations typically wrap
+// monitor.Warehouse.CollectSet or monitor.QueryClient.FetchSet.
+type FetchFunc func() (*trace.Set, error)
+
+// Config assembles a controller.
+type Config struct {
+	// Fetch supplies monitoring data each interval.
+	Fetch FetchFunc
+	// Planner carries host model, bound, constraints and predictors
+	// (the trace-set fields are ignored).
+	Planner core.Input
+	// Executor parameterizes migration-wave scheduling.
+	Executor executor.Config
+	// MinHistoryHours is the warm-up before the first adaptation
+	// (default one week — the periodic predictor's lookback).
+	MinHistoryHours int
+}
+
+// Tick reports one completed consolidation interval.
+type Tick struct {
+	// Interval is the 0-based interval index.
+	Interval int
+	// HistoryHours is how much monitored history the decision used.
+	HistoryHours int
+	// Step is the adaptation outcome.
+	Step core.StepResult
+	// Execution is the migration-wave schedule realizing the step (nil
+	// when nothing moved).
+	Execution *executor.Plan
+	// Feasible reports whether the waves fit inside the interval.
+	Feasible bool
+}
+
+// Controller runs the consolidation loop.
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex
+	adapter *core.Adapter
+	prev    *placement.Placement
+	ticks   []Tick
+}
+
+// New validates the configuration and builds a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Fetch == nil {
+		return nil, errors.New("controller: no fetch function")
+	}
+	if cfg.MinHistoryHours <= 0 {
+		cfg.MinHistoryHours = 7 * 24
+	}
+	if cfg.Executor.MaxPerHost == 0 && cfg.Executor.MaxConcurrent == 0 {
+		cfg.Executor = executor.DefaultConfig()
+	}
+	cfg.Executor.SpareHost = true
+	adapter, err := core.NewAdapter(cfg.Planner)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, adapter: adapter}, nil
+}
+
+// ErrInsufficientHistory is returned while the warm-up window has not
+// filled yet.
+var ErrInsufficientHistory = errors.New("controller: not enough monitored history yet")
+
+// RunInterval executes one consolidation interval: fetch, predict, adapt,
+// schedule. It is safe for use from one goroutine at a time.
+func (c *Controller) RunInterval() (Tick, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	set, err := c.cfg.Fetch()
+	if err != nil {
+		return Tick{}, fmt.Errorf("controller: fetch: %w", err)
+	}
+	if set == nil || len(set.Servers) == 0 {
+		return Tick{}, errors.New("controller: fetch returned no servers")
+	}
+	hours := set.Servers[0].Series.Len()
+	if hours < c.cfg.MinHistoryHours {
+		return Tick{}, fmt.Errorf("%w: %d of %d hours", ErrInsufficientHistory, hours, c.cfg.MinHistoryHours)
+	}
+
+	interval := c.cfg.Planner.IntervalHours
+	if interval == 0 {
+		interval = core.DefaultIntervalHours
+	}
+	n := len(set.Servers)
+	ids := make([]trace.ServerID, n)
+	specs := make([]trace.Spec, n)
+	cpuHist := make([][]float64, n)
+	memHist := make([][]float64, n)
+	for i, st := range set.Servers {
+		ids[i] = st.ID
+		specs[i] = st.Spec
+		cpuHist[i] = st.Series.Values(trace.CPU)
+		memHist[i] = st.Series.Values(trace.Mem)
+	}
+	items, err := core.PredictItems(c.cfg.Planner, ids, specs, cpuHist, memHist, interval)
+	if err != nil {
+		return Tick{}, err
+	}
+
+	step, err := c.adapter.Step(items)
+	if err != nil {
+		return Tick{}, err
+	}
+	tick := Tick{
+		Interval:     len(c.ticks),
+		HistoryHours: hours,
+		Step:         step,
+		Feasible:     true,
+	}
+
+	cur, err := c.adapter.Snapshot()
+	if err != nil {
+		return Tick{}, err
+	}
+	if c.prev != nil && step.Migrations > 0 {
+		plan, _, err := executor.ScheduleTransition(c.prev, cur, c.cfg.Executor)
+		if err != nil {
+			return Tick{}, fmt.Errorf("controller: schedule execution: %w", err)
+		}
+		tick.Execution = plan
+		tick.Feasible = plan.Total <= time.Duration(interval)*time.Hour
+	}
+	c.prev = cur
+	c.ticks = append(c.ticks, tick)
+	return tick, nil
+}
+
+// Placement returns a copy of the current placement, or nil before the
+// first interval.
+func (c *Controller) Placement() *placement.Placement {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prev == nil {
+		return nil
+	}
+	return c.prev.Clone()
+}
+
+// Ticks returns a copy of the completed intervals.
+func (c *Controller) Ticks() []Tick {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Tick(nil), c.ticks...)
+}
+
+// Run drives RunInterval on every ticker firing until the context ends.
+// Interval errors other than warm-up are delivered to onError (which may be
+// nil); the loop keeps running — a production controller must survive
+// transient monitoring outages.
+func (c *Controller) Run(ctx context.Context, tick <-chan time.Time, onError func(error)) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+			if _, err := c.RunInterval(); err != nil {
+				if errors.Is(err, ErrInsufficientHistory) {
+					continue
+				}
+				if onError != nil {
+					onError(err)
+				}
+			}
+		}
+	}
+}

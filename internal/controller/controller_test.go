@@ -1,0 +1,169 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/core"
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+// growingFetch simulates a warehouse that accumulates one more interval of
+// history on every call.
+type growingFetch struct {
+	full  *trace.Set
+	hours int
+	step  int
+}
+
+func (g *growingFetch) fetch() (*trace.Set, error) {
+	if g.hours > g.full.Servers[0].Series.Len() {
+		return nil, errors.New("out of trace")
+	}
+	set, err := g.full.SliceAll(0, g.hours)
+	g.hours += g.step
+	return set, err
+}
+
+func testConfig(t *testing.T, servers, startHours int) (*Controller, *growingFetch) {
+	t.Helper()
+	p := workload.Banking()
+	p.Servers = servers
+	full, err := workload.Generate(p, 24*12, workload.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &growingFetch{full: full, hours: startHours, step: 2}
+	c, err := New(Config{
+		Fetch:   g.fetch,
+		Planner: core.Input{Host: catalog.HS23Elite},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("expected error for missing fetch")
+	}
+	if _, err := New(Config{Fetch: func() (*trace.Set, error) { return nil, nil }}); err == nil {
+		t.Error("expected error for empty host model")
+	}
+}
+
+func TestWarmup(t *testing.T) {
+	c, _ := testConfig(t, 6, 24) // one day of history < one week warm-up
+	if _, err := c.RunInterval(); !errors.Is(err, ErrInsufficientHistory) {
+		t.Fatalf("err = %v, want ErrInsufficientHistory", err)
+	}
+	if c.Placement() != nil {
+		t.Error("no placement should exist during warm-up")
+	}
+}
+
+func TestRunIntervals(t *testing.T) {
+	c, _ := testConfig(t, 40, 8*24)
+	var ticks []Tick
+	for i := 0; i < 16; i++ {
+		tick, err := c.RunInterval()
+		if err != nil {
+			t.Fatalf("interval %d: %v", i, err)
+		}
+		ticks = append(ticks, tick)
+	}
+	if ticks[0].Step.Migrations != 0 {
+		t.Error("first interval packs from scratch, no migrations")
+	}
+	if ticks[0].Step.ActiveHosts < 1 {
+		t.Error("first interval must activate hosts")
+	}
+	// History grows between intervals.
+	if ticks[5].HistoryHours <= ticks[0].HistoryHours {
+		t.Error("history should accumulate across intervals")
+	}
+	// Something must have adapted over 12 intervals of a bursty estate.
+	total := 0
+	for _, tk := range ticks {
+		total += tk.Step.Migrations
+		if tk.Execution != nil {
+			if tk.Execution.Total <= 0 {
+				t.Error("execution plan with migrations must take time")
+			}
+			if !tk.Feasible && tk.Execution.Total <= 2*time.Hour {
+				t.Error("feasibility flag inconsistent with plan duration")
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("a bursty estate should trigger at least one migration across 16 intervals")
+	}
+	if got := len(c.Ticks()); got != 16 {
+		t.Errorf("recorded %d ticks, want 16", got)
+	}
+	if c.Placement() == nil {
+		t.Error("controller should expose its placement")
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	c, _ := testConfig(t, 6, 8*24)
+	tick := make(chan time.Time)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var loopErrs []error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx, tick, func(err error) { loopErrs = append(loopErrs, err) })
+	}()
+	for i := 0; i < 3; i++ {
+		tick <- time.Now()
+	}
+	cancel()
+	<-done
+	if len(loopErrs) != 0 {
+		t.Fatalf("loop errors: %v", loopErrs)
+	}
+	if got := len(c.Ticks()); got != 3 {
+		t.Errorf("loop completed %d intervals, want 3", got)
+	}
+}
+
+func TestRunLoopSurvivesFetchErrors(t *testing.T) {
+	calls := 0
+	c, err := New(Config{
+		Fetch: func() (*trace.Set, error) {
+			calls++
+			return nil, errors.New("monitoring outage")
+		},
+		Planner: core.Input{Host: catalog.HS23Elite},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := make(chan time.Time)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var loopErrs []error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx, tick, func(err error) { loopErrs = append(loopErrs, err) })
+	}()
+	tick <- time.Now()
+	tick <- time.Now()
+	cancel()
+	<-done
+	if calls != 2 {
+		t.Errorf("fetch called %d times, want 2 (loop must survive errors)", calls)
+	}
+	if len(loopErrs) != 2 {
+		t.Errorf("got %d delivered errors, want 2", len(loopErrs))
+	}
+}

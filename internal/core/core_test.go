@@ -1,0 +1,331 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/constraints"
+	"vmwild/internal/emulator"
+	"vmwild/internal/trace"
+)
+
+// testHost is a small host so unit tests need few VMs to fill it.
+var testHost = catalog.Model{
+	Name:          "test-host",
+	Spec:          trace.Spec{CPURPE2: 1000, MemMB: 10000},
+	IdleWatts:     100,
+	PeakWatts:     200,
+	BladesPerRack: 4,
+}
+
+// mkServer builds a server whose CPU series is cpu and whose memory is flat.
+func mkServer(id string, mem float64, cpu []float64) *trace.ServerTrace {
+	samples := make([]trace.Usage, len(cpu))
+	for i, c := range cpu {
+		samples[i] = trace.Usage{CPU: c, Mem: mem}
+	}
+	s, err := trace.NewSeries(time.Hour, samples)
+	if err != nil {
+		panic(err)
+	}
+	return &trace.ServerTrace{
+		ID:     trace.ServerID(id),
+		Spec:   trace.Spec{CPURPE2: 1000, MemMB: 8000},
+		Series: s,
+	}
+}
+
+// repeat builds a series that repeats pattern for n cycles.
+func repeat(pattern []float64, cycles int) []float64 {
+	out := make([]float64, 0, len(pattern)*cycles)
+	for i := 0; i < cycles; i++ {
+		out = append(out, pattern...)
+	}
+	return out
+}
+
+// splitInput builds an Input whose monitoring window is the first monHours
+// of each server and whose evaluation window is the rest.
+func splitInput(t *testing.T, monHours int, servers ...*trace.ServerTrace) Input {
+	t.Helper()
+	set := &trace.Set{Name: "test", Servers: servers}
+	mon, err := set.SliceAll(0, monHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := set.SliceAll(monHours, servers[0].Series.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{Monitoring: mon, Evaluation: eval, Host: testHost}
+}
+
+func TestSemiStaticPlan(t *testing.T) {
+	// Two VMs peaking at 600 CPU cannot share a 1000-CPU host.
+	day := []float64{100, 200, 600, 100}
+	in := splitInput(t, 8,
+		mkServer("a", 1000, repeat(day, 4)),
+		mkServer("b", 1000, repeat(day, 4)),
+	)
+	plan, err := (SemiStatic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Provisioned != 2 {
+		t.Errorf("Provisioned = %d, want 2 (peak sizing forbids sharing)", plan.Provisioned)
+	}
+	if plan.Migrations != 0 {
+		t.Error("semi-static plans never migrate")
+	}
+	if _, ok := plan.Schedule.(emulator.StaticSchedule); !ok {
+		t.Errorf("schedule type = %T, want StaticSchedule", plan.Schedule)
+	}
+}
+
+func TestStaticPlanAddsHeadroom(t *testing.T) {
+	// One VM peaking at 450: semi-static fits two on a host (900), the
+	// static planner's 1.25 headroom (562 each) does not.
+	day := []float64{100, 450, 100, 100}
+	servers := []*trace.ServerTrace{
+		mkServer("a", 1000, repeat(day, 4)),
+		mkServer("b", 1000, repeat(day, 4)),
+	}
+	in := splitInput(t, 8, servers...)
+	semi, err := (SemiStatic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := (Static{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semi.Provisioned != 1 {
+		t.Errorf("semi-static = %d hosts, want 1", semi.Provisioned)
+	}
+	if static.Provisioned != 2 {
+		t.Errorf("static = %d hosts, want 2 with lifetime headroom", static.Provisioned)
+	}
+}
+
+func TestStochasticPoolsUncorrelatedTails(t *testing.T) {
+	// Two anti-phased workloads: body 100, tail buffer 500 (peak 600),
+	// never peaking together. Stochastic pools the tails
+	// (200 + sqrt(2)*500 = 907 <= 1000) onto one host; vanilla peak
+	// sizing (600+600) needs two.
+	patA := []float64{600, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100}
+	patB := []float64{100, 100, 100, 100, 100, 100, 600, 100, 100, 100, 100, 100}
+	in := splitInput(t, 36, mkServer("a", 1000, repeat(patA, 4)), mkServer("b", 1000, repeat(patB, 4)))
+
+	vanilla, err := (SemiStatic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stoch, err := (Stochastic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vanilla.Provisioned != 2 {
+		t.Errorf("vanilla = %d hosts, want 2", vanilla.Provisioned)
+	}
+	if stoch.Provisioned != 1 {
+		t.Errorf("stochastic = %d hosts, want 1 for anti-correlated tails", stoch.Provisioned)
+	}
+}
+
+func TestStochasticRespectsCorrelatedTails(t *testing.T) {
+	// Two perfectly correlated workloads (identical phase) with pooled
+	// tails that would fit if independent (200 + sqrt(2)*500 = 907) but
+	// not when summed (200 + 1000 > 1000).
+	day := []float64{600, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100}
+	in := splitInput(t, 36,
+		mkServer("a", 1000, repeat(day, 4)),
+		mkServer("b", 1000, repeat(day, 4)),
+	)
+	stoch, err := (Stochastic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stoch.Provisioned != 2 {
+		t.Errorf("stochastic = %d hosts, want 2 for correlated tails", stoch.Provisioned)
+	}
+}
+
+func TestDynamicConsolidatesQuietIntervals(t *testing.T) {
+	// Workloads busy only in daytime hours; dynamic packs the night onto
+	// fewer hosts than its own daytime peak.
+	day := []float64{50, 50, 50, 50, 50, 50, 50, 50, 600, 600, 600, 600, 600, 600, 50, 50, 50, 50, 50, 50, 50, 50, 50, 50}
+	servers := []*trace.ServerTrace{
+		mkServer("a", 1000, repeat(day, 10)),
+		mkServer("b", 1000, repeat(day, 10)),
+		mkServer("c", 1000, repeat(day, 10)),
+	}
+	in := splitInput(t, 24*8, servers...)
+	plan, err := (Dynamic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Provisioned < 2 {
+		t.Errorf("Provisioned = %d, want >= 2 at daytime peak (3 x 600 CPU at bound 0.8)", plan.Provisioned)
+	}
+	sched, ok := plan.Schedule.(emulator.IntervalSchedule)
+	if !ok {
+		t.Fatalf("schedule type = %T", plan.Schedule)
+	}
+	minActive := plan.Provisioned
+	for _, p := range sched.Placements {
+		if a := p.ActiveHosts(); a < minActive {
+			minActive = a
+		}
+	}
+	if minActive >= plan.Provisioned {
+		t.Errorf("dynamic never consolidated below its peak of %d hosts", plan.Provisioned)
+	}
+	if plan.Migrations == 0 {
+		t.Error("dynamic with a diurnal workload must migrate")
+	}
+	if plan.MigrationDataMB <= 0 {
+		t.Error("migrations must account data volume")
+	}
+}
+
+func TestDynamicRespectsConstraints(t *testing.T) {
+	day := []float64{50, 50, 600, 50}
+	servers := []*trace.ServerTrace{
+		mkServer("a", 1000, repeat(day, 48)),
+		mkServer("b", 1000, repeat(day, 48)),
+	}
+	in := splitInput(t, 96, servers...)
+	in.Constraints = constraints.Set{constraints.AntiAffinity{Group: []trace.ServerID{"a", "b"}}}
+	plan, err := (Dynamic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := plan.Schedule.(emulator.IntervalSchedule)
+	for i, p := range sched.Placements {
+		ha, _ := p.HostOf("a")
+		hb, _ := p.HostOf("b")
+		if ha == hb {
+			t.Fatalf("interval %d: anti-affine VMs share host %s", i, ha)
+		}
+	}
+}
+
+func TestDynamicBoundSensitivity(t *testing.T) {
+	day := []float64{50, 50, 300, 500, 300, 50, 50, 50}
+	servers := make([]*trace.ServerTrace, 6)
+	for i := range servers {
+		servers[i] = mkServer(string(rune('a'+i)), 1000, repeat(day, 24))
+	}
+	in := splitInput(t, 96, servers...)
+	prev := 0
+	for _, bound := range []float64{0.6, 0.8, 1.0} {
+		in.Bound = bound
+		plan, err := (Dynamic{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != 0 && plan.Provisioned > prev {
+			t.Errorf("provisioned hosts increased from %d to %d as bound grew to %v", prev, plan.Provisioned, bound)
+		}
+		prev = plan.Provisioned
+	}
+}
+
+func TestPlannerInputValidation(t *testing.T) {
+	if _, err := (SemiStatic{}).Plan(Input{}); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := (Stochastic{}).Plan(Input{}); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := (Dynamic{}).Plan(Input{}); err == nil {
+		t.Error("expected error for empty input")
+	}
+	// Dynamic needs an evaluation window.
+	day := []float64{1, 2, 3, 4}
+	in := splitInput(t, 8, mkServer("a", 100, repeat(day, 4)))
+	in.Evaluation = nil
+	if _, err := (Dynamic{}).Plan(in); err == nil {
+		t.Error("expected error for missing evaluation window")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var in Input
+	if in.bound() != 0.8 {
+		t.Errorf("default bound = %v, want 0.8 (Table 3)", in.bound())
+	}
+	if in.intervalHours() != 2 {
+		t.Errorf("default interval = %d, want 2 (Table 3)", in.intervalHours())
+	}
+	if in.bodyPercentile() != 90 {
+		t.Errorf("default body percentile = %v, want 90 (Section 5.1)", in.bodyPercentile())
+	}
+	if DefaultCPUPredictor().Name() == "" || DefaultMemPredictor().Name() == "" {
+		t.Error("default predictors must have names")
+	}
+}
+
+func TestPlannerNames(t *testing.T) {
+	for _, p := range []Planner{Static{}, SemiStatic{}, Stochastic{}, Dynamic{}} {
+		if p.Name() == "" {
+			t.Errorf("%T has no name", p)
+		}
+	}
+}
+
+func TestStochasticClusterCorrelation(t *testing.T) {
+	// The medoid-proxy correlation must produce a valid plan whose host
+	// count is in the same ballpark as the exact all-pairs computation.
+	day := []float64{600, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100}
+	night := []float64{100, 100, 100, 100, 100, 100, 600, 100, 100, 100, 100, 100}
+	servers := []*trace.ServerTrace{
+		mkServer("d1", 1000, repeat(day, 4)),
+		mkServer("d2", 1000, repeat(day, 4)),
+		mkServer("n1", 1000, repeat(night, 4)),
+		mkServer("n2", 1000, repeat(night, 4)),
+	}
+	in := splitInput(t, 36, servers...)
+	exact, err := (Stochastic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.ClusterCorrelation = true
+	proxy, err := (Stochastic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.Provisioned <= 0 {
+		t.Fatal("cluster-correlation plan provisioned nothing")
+	}
+	diff := proxy.Provisioned - exact.Provisioned
+	if diff < -1 || diff > 1 {
+		t.Errorf("cluster proxy hosts %d diverge from exact %d", proxy.Provisioned, exact.Provisioned)
+	}
+}
+
+func TestDynamicOracleSizing(t *testing.T) {
+	// The clairvoyant variant never under-provisions and never needs the
+	// prediction headroom, so it provisions at most as many hosts as the
+	// predictive planner and suffers no contention from sizing error.
+	day := []float64{50, 50, 400, 600, 200, 50, 50, 50}
+	servers := make([]*trace.ServerTrace, 5)
+	for i := range servers {
+		servers[i] = mkServer(string(rune('a'+i)), 1000, repeat(day, 24))
+	}
+	in := splitInput(t, 96, servers...)
+	predictive, err := (Dynamic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.OracleSizing = true
+	oracle, err := (Dynamic{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Provisioned > predictive.Provisioned {
+		t.Errorf("oracle provisioned %d hosts, predictive %d: clairvoyance cannot cost hosts",
+			oracle.Provisioned, predictive.Provisioned)
+	}
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmwild/internal/emulator"
+	"vmwild/internal/placement"
+	"vmwild/internal/predict"
+	"vmwild/internal/sizing"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// Dynamic is the dynamic consolidation planner (Section 5.1): every
+// consolidation interval (2 hours by default) it re-sizes each VM to its
+// predicted peak demand for the interval, then adapts the placement with
+// the cheapest actions that fix overloads and the evacuations that free
+// whole hosts, counting every live migration it orders. A fraction of every
+// host (1 - Bound, 20% by default) stays reserved for the live migrations
+// themselves — Observation 4's price of admission.
+//
+// The planner walks forward through the evaluation window using only
+// history available at each decision point; the gap between its predicted
+// peaks and the realized demand is what produces the contention the
+// emulator later measures (Figures 8, 9, 11).
+type Dynamic struct{}
+
+// Name implements Planner.
+func (Dynamic) Name() string { return "dynamic" }
+
+// evacuationHeadroom keeps a little slack when consolidating onto fewer
+// hosts, so the next interval's growth does not immediately re-trigger
+// migrations (anti-thrash hysteresis).
+const evacuationHeadroom = 0.97
+
+// Plan implements Planner.
+func (Dynamic) Plan(in Input) (*Plan, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if in.Evaluation == nil || len(in.Evaluation.Servers) == 0 {
+		return nil, errors.New("dynamic: no evaluation window to plan over")
+	}
+	if len(in.Evaluation.Servers) != len(in.Monitoring.Servers) {
+		return nil, errors.New("dynamic: monitoring and evaluation sets differ in servers")
+	}
+
+	interval := in.intervalHours()
+	evalHours := in.Evaluation.Servers[0].Series.Len()
+	intervals := evalHours / interval
+	if intervals < 1 {
+		return nil, fmt.Errorf("dynamic: evaluation window of %d hours is shorter than one interval", evalHours)
+	}
+
+	cpuPred := in.CPUPredictor
+	if cpuPred == nil {
+		cpuPred = DefaultCPUPredictor()
+	}
+	memPred := in.MemPredictor
+	if memPred == nil {
+		memPred = DefaultMemPredictor()
+	}
+
+	// Concatenate monitoring and evaluation demand once per server; the
+	// walk-forward predictions slice into this.
+	n := len(in.Monitoring.Servers)
+	var (
+		ids     = make([]trace.ServerID, n)
+		specs   = make([]trace.Spec, n)
+		cpuHist = make([][]float64, n)
+		memHist = make([][]float64, n)
+	)
+	monHours := in.Monitoring.Servers[0].Series.Len()
+	for i, st := range in.Monitoring.Servers {
+		ev := in.Evaluation.Servers[i]
+		if ev.ID != st.ID {
+			return nil, fmt.Errorf("dynamic: server order mismatch at %d: %s vs %s", i, st.ID, ev.ID)
+		}
+		ids[i] = st.ID
+		specs[i] = st.Spec
+		cpuHist[i] = append(st.Series.Values(trace.CPU), ev.Series.Values(trace.CPU)...)
+		memHist[i] = append(st.Series.Values(trace.Mem), ev.Series.Values(trace.Mem)...)
+	}
+
+	plan := &Plan{Planner: "dynamic"}
+	adapter, err := NewAdapter(in)
+	if err != nil {
+		return nil, err
+	}
+	placements := make([]*placement.Placement, 0, intervals)
+	for k := 0; k < intervals; k++ {
+		histEnd := monHours + k*interval
+		items := make([]placement.Item, n)
+		for i := 0; i < n; i++ {
+			var cpu, mem float64
+			if in.OracleSizing {
+				cpu = stats.Max(cpuHist[i][histEnd:min(histEnd+interval, len(cpuHist[i]))])
+				mem = stats.Max(memHist[i][histEnd:min(histEnd+interval, len(memHist[i]))])
+			} else {
+				cpu, err = cpuPred.PredictPeak(cpuHist[i][:histEnd], interval)
+				if err != nil {
+					return nil, fmt.Errorf("dynamic: predict cpu for %s: %w", ids[i], err)
+				}
+				mem, err = memPred.PredictPeak(memHist[i][:histEnd], interval)
+				if err != nil {
+					return nil, fmt.Errorf("dynamic: predict mem for %s: %w", ids[i], err)
+				}
+			}
+			// A VM can demand at most its source machine's capacity;
+			// the adapter clamps to host capacity.
+			items[i] = placement.Item{ID: ids[i], Demand: sizing.Demand{
+				CPU: min(cpu, specs[i].CPURPE2),
+				Mem: min(mem, specs[i].MemMB),
+			}}
+		}
+
+		step, err := adapter.Step(items)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: interval %d: %w", k, err)
+		}
+		plan.Migrations += step.Migrations
+		plan.MigrationDataMB += step.MigrationDataMB
+		if step.ActiveHosts > plan.Provisioned {
+			plan.Provisioned = step.ActiveHosts
+		}
+		snap, err := adapter.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		placements = append(placements, snap)
+	}
+	plan.Schedule = emulator.IntervalSchedule{IntervalHours: interval, Placements: placements}
+	return plan, nil
+}
+
+// DefaultCPUPredictor is the dynamic planner's CPU sizing estimator: the
+// larger of the most recent interval's peak and the same interval's peak
+// over the previous week, with 10% headroom. Sizing at the weekly
+// time-of-day envelope is what a production planner that must bound SLA
+// risk does; it still under-predicts record-setting demand surges, which is
+// where the contention of Figures 8-9 comes from.
+func DefaultCPUPredictor() predict.Predictor {
+	return predict.Combined{
+		Predictors: []predict.Predictor{
+			predict.RecentPeak{Windows: 1},
+			predict.Periodic{Days: 7, SamplesPerDay: 24},
+		},
+		Headroom: 1.10,
+	}
+}
+
+// DefaultMemPredictor is the memory analogue with smaller headroom —
+// memory demand is an order of magnitude less bursty (Observation 2).
+func DefaultMemPredictor() predict.Predictor {
+	return predict.Combined{
+		Predictors: []predict.Predictor{
+			predict.RecentPeak{Windows: 1},
+			predict.Periodic{Days: 3, SamplesPerDay: 24},
+		},
+		Headroom: 1.05,
+	}
+}
+
+// repairOverloads migrates VMs off hosts whose resized demand exceeds the
+// utilization bound, cheapest (smallest-memory) VMs first, preferring the
+// most-loaded feasible target so the packing stays tight. Returns the moves
+// made and the memory they transferred.
+func repairOverloads(p *placement.Placement, in Input) (int, float64, error) {
+	var (
+		moves  int
+		dataMB float64
+	)
+	for _, hostID := range p.Overloaded() {
+		// Candidate order: cheapest migrations first.
+		vms := append([]trace.ServerID(nil), p.VMsOn(hostID)...)
+		sort.Slice(vms, func(i, j int) bool {
+			a, _ := p.Item(vms[i])
+			b, _ := p.Item(vms[j])
+			if a.Demand.Mem != b.Demand.Mem {
+				return a.Demand.Mem < b.Demand.Mem
+			}
+			return vms[i] < vms[j]
+		})
+		cap := p.Capacity()
+		for _, vm := range vms {
+			used := p.Used(hostID)
+			if used.CPU <= cap.CPU+1e-9 && used.Mem <= cap.Mem+1e-9 {
+				break
+			}
+			it, _ := p.Item(vm)
+			target := pickTarget(p, hostID, it, in)
+			if target == "" {
+				// Power a previously freed host back on before
+				// racking a new one.
+				for _, h := range p.Hosts() {
+					if h.ID != hostID && len(p.VMsOn(h.ID)) == 0 && in.Constraints.Permits(vm, h.ID, p) == nil {
+						target = h.ID
+						break
+					}
+				}
+			}
+			if target == "" {
+				h := p.OpenHost()
+				if in.Constraints.Permits(vm, h.ID, p) != nil {
+					continue
+				}
+				target = h.ID
+			}
+			if _, err := p.Remove(vm); err != nil {
+				return moves, dataMB, err
+			}
+			if err := p.Assign(it, target); err != nil {
+				return moves, dataMB, err
+			}
+			moves++
+			dataMB += it.Demand.Mem
+		}
+		used := p.Used(hostID)
+		if used.CPU > cap.CPU+1e-9 || used.Mem > cap.Mem+1e-9 {
+			return moves, dataMB, fmt.Errorf("host %s cannot be repaired within constraints", hostID)
+		}
+	}
+	return moves, dataMB, nil
+}
+
+// pickTarget returns the most-loaded other host that fits the item and
+// passes constraints, or "" if none.
+func pickTarget(p *placement.Placement, exclude string, it placement.Item, in Input) string {
+	var (
+		best     string
+		bestLoad = -1.0
+	)
+	cap := p.Capacity()
+	for _, h := range p.Hosts() {
+		if h.ID == exclude || len(p.VMsOn(h.ID)) == 0 {
+			continue
+		}
+		if !p.Fits(h.ID, it.Demand) {
+			continue
+		}
+		if in.Constraints.Permits(it.ID, h.ID, p) != nil {
+			continue
+		}
+		u := p.Used(h.ID)
+		load := max(u.CPU/cap.CPU, u.Mem/cap.Mem)
+		if load > bestLoad {
+			bestLoad, best = load, h.ID
+		}
+	}
+	return best
+}
+
+// consolidate evacuates lightly loaded hosts whose VMs all fit elsewhere
+// (with hysteresis headroom), switching the freed hosts off. Hosts are
+// tried emptiest-first.
+func consolidate(p *placement.Placement, in Input) (int, float64) {
+	cap := p.Capacity()
+	load := func(id string) float64 {
+		u := p.Used(id)
+		return max(u.CPU/cap.CPU, u.Mem/cap.Mem)
+	}
+	active := make([]string, 0, len(p.Hosts()))
+	for _, h := range p.Hosts() {
+		if len(p.VMsOn(h.ID)) > 0 {
+			active = append(active, h.ID)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool {
+		li, lj := load(active[i]), load(active[j])
+		if li != lj {
+			return li < lj
+		}
+		return active[i] < active[j]
+	})
+
+	var (
+		moves  int
+		dataMB float64
+	)
+	for _, src := range active {
+		vms := append([]trace.ServerID(nil), p.VMsOn(src)...)
+		if len(vms) == 0 {
+			continue
+		}
+		plan, ok := planEvacuation(p, src, vms, in)
+		if !ok {
+			continue
+		}
+		for vm, target := range plan {
+			it, _ := p.Item(vm)
+			if _, err := p.Remove(vm); err != nil {
+				continue
+			}
+			if err := p.Assign(it, target); err != nil {
+				// Re-place on the source host; planEvacuation
+				// verified feasibility so this is defensive.
+				_ = p.Assign(it, src)
+				continue
+			}
+			moves++
+			dataMB += it.Demand.Mem
+		}
+	}
+	return moves, dataMB
+}
+
+// planEvacuation checks whether every VM on src fits onto other active
+// hosts within the hysteresis headroom and constraints, and returns the
+// target mapping.
+func planEvacuation(p *placement.Placement, src string, vms []trace.ServerID, in Input) (map[trace.ServerID]string, bool) {
+	cap := p.Capacity()
+	limit := sizing.Demand{CPU: cap.CPU * evacuationHeadroom, Mem: cap.Mem * evacuationHeadroom}
+
+	// Residual capacity of each candidate target.
+	type slack struct{ cpu, mem float64 }
+	residual := make(map[string]*slack)
+	var targets []string
+	for _, h := range p.Hosts() {
+		if h.ID == src || len(p.VMsOn(h.ID)) == 0 {
+			continue
+		}
+		u := p.Used(h.ID)
+		residual[h.ID] = &slack{cpu: limit.CPU - u.CPU, mem: limit.Mem - u.Mem}
+		targets = append(targets, h.ID)
+	}
+	// Fill the most-loaded targets first.
+	sort.Slice(targets, func(i, j int) bool {
+		ri, rj := residual[targets[i]], residual[targets[j]]
+		li := min(ri.cpu/limit.CPU, ri.mem/limit.Mem)
+		lj := min(rj.cpu/limit.CPU, rj.mem/limit.Mem)
+		if li != lj {
+			return li < lj
+		}
+		return targets[i] < targets[j]
+	})
+
+	// Biggest VMs first.
+	sorted := append([]trace.ServerID(nil), vms...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, _ := p.Item(sorted[i])
+		b, _ := p.Item(sorted[j])
+		ka := max(a.Demand.CPU/cap.CPU, a.Demand.Mem/cap.Mem)
+		kb := max(b.Demand.CPU/cap.CPU, b.Demand.Mem/cap.Mem)
+		if ka != kb {
+			return ka > kb
+		}
+		return sorted[i] < sorted[j]
+	})
+
+	assignment := make(map[trace.ServerID]string, len(sorted))
+	view := overlayView{base: p, moved: assignment}
+	for _, vm := range sorted {
+		it, _ := p.Item(vm)
+		placed := false
+		for _, t := range targets {
+			r := residual[t]
+			if it.Demand.CPU > r.cpu+1e-9 || it.Demand.Mem > r.mem+1e-9 {
+				continue
+			}
+			if in.Constraints.Permits(vm, t, view) != nil {
+				continue
+			}
+			r.cpu -= it.Demand.CPU
+			r.mem -= it.Demand.Mem
+			assignment[vm] = t
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return assignment, true
+}
+
+// overlayView presents the placement as if the planned (but not yet
+// committed) evacuation moves had already happened, so constraints see the
+// post-move world while the plan is being built.
+type overlayView struct {
+	base  *placement.Placement
+	moved map[trace.ServerID]string
+}
+
+func (v overlayView) HostOf(vm trace.ServerID) (string, bool) {
+	if t, ok := v.moved[vm]; ok {
+		return t, true
+	}
+	return v.base.HostOf(vm)
+}
+
+func (v overlayView) VMsOn(host string) []trace.ServerID {
+	var out []trace.ServerID
+	for _, vm := range v.base.VMsOn(host) {
+		if t, ok := v.moved[vm]; ok && t != host {
+			continue
+		}
+		out = append(out, vm)
+	}
+	for vm, t := range v.moved {
+		if t == host {
+			if cur, ok := v.base.HostOf(vm); !ok || cur != host {
+				out = append(out, vm)
+			}
+		}
+	}
+	return out
+}
+
+func (v overlayView) RackOf(host string) string { return v.base.RackOf(host) }

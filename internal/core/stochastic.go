@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"vmwild/internal/cluster"
+	"vmwild/internal/emulator"
+	"vmwild/internal/placement"
+	"vmwild/internal/sizing"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// Stochastic is the correlation-aware semi-static planner modeled on the
+// PCP algorithm of [27] (Section 5.1): each VM is sized as an envelope —
+// body at the 90th percentile, tail at the maximum — and packed so that
+// tail buffers are shared between co-located VMs in proportion to how
+// correlated their demands are. Like vanilla semi-static consolidation it
+// needs no live-migration reservation.
+type Stochastic struct{}
+
+// Name implements Planner.
+func (Stochastic) Name() string { return "stochastic" }
+
+// Plan implements Planner.
+func (Stochastic) Plan(in Input) (*Plan, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	servers := in.Monitoring.Servers
+	items := make([]placement.Item, 0, len(servers))
+	for _, st := range servers {
+		env, envErr := sizing.SizeEnvelope(st, in.bodyPercentile())
+		if envErr != nil {
+			return nil, fmt.Errorf("stochastic: %w", envErr)
+		}
+		items = append(items, placement.Item{ID: st.ID, Demand: env.Body, Tail: env.Tail})
+	}
+
+	var (
+		corr placement.CorrFunc
+		err  error
+	)
+	if in.ClusterCorrelation {
+		corr, err = clusterCorrelation(in.Monitoring, in.intervalHours())
+	} else {
+		corr, err = intervalPeakCorrelation(in.Monitoring, in.intervalHours())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stochastic: %w", err)
+	}
+
+	p, err := placement.PCP{
+		HostSpec:    in.Host.Spec,
+		Bound:       1.0,
+		RackSize:    in.rackSize(),
+		Constraints: in.Constraints,
+		Corr:        corr,
+		MaxAvgCorr:  in.MaxAvgCorr,
+	}.Pack(items)
+	if err != nil {
+		return nil, fmt.Errorf("stochastic: %w", err)
+	}
+	return &Plan{
+		Planner:     "stochastic",
+		Provisioned: p.NumHosts(),
+		Schedule:    emulator.StaticSchedule{P: p},
+	}, nil
+}
+
+// clusterCorrelation approximates pairwise correlations by demand-pattern
+// cluster medoids (see internal/cluster) — within a cluster servers count
+// as fully correlated, across clusters the medoid correlation stands in.
+func clusterCorrelation(set *trace.Set, intervalHours int) (placement.CorrFunc, error) {
+	cfg := cluster.Config{IntervalHours: intervalHours}
+	res, err := cluster.ByCPUPattern(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := cluster.MedoidCorr(set, res, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+// intervalPeakCorrelation builds a pairwise Pearson correlation function
+// over per-interval CPU peaks. Interval peaks, not raw hourly samples, are
+// what co-located tails share — two workloads whose 2-hour peaks coincide
+// cannot pool their headroom even if the within-interval shapes differ.
+func intervalPeakCorrelation(set *trace.Set, intervalHours int) (placement.CorrFunc, error) {
+	n := len(set.Servers)
+	peaks := make([][]float64, n)
+	index := make(map[trace.ServerID]int, n)
+	for i, st := range set.Servers {
+		p, err := st.Series.Intervals(intervalHours, trace.CPU, stats.Max)
+		if err != nil {
+			return nil, err
+		}
+		peaks[i] = p
+		index[st.ID] = i
+	}
+	// Correlations are computed lazily and memoized: PCP only ever asks
+	// about pairs that are candidates for co-location, a small fraction
+	// of the full matrix for large data centers.
+	cache := make(map[[2]int]float64)
+	return func(a, b trace.ServerID) float64 {
+		ia, ok := index[a]
+		if !ok {
+			return 0
+		}
+		ib, ok := index[b]
+		if !ok {
+			return 0
+		}
+		if ia > ib {
+			ia, ib = ib, ia
+		}
+		key := [2]int{ia, ib}
+		if c, ok := cache[key]; ok {
+			return c
+		}
+		c, err := stats.Correlation(peaks[ia], peaks[ib])
+		if err != nil {
+			c = 0
+		}
+		cache[key] = c
+		return c
+	}, nil
+}

@@ -1,0 +1,43 @@
+package emulator
+
+import (
+	"testing"
+
+	"vmwild/internal/placement"
+	"vmwild/internal/power"
+	"vmwild/internal/sizing"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+// BenchmarkReplayWeek measures replaying a 50-server week against a
+// peak-sized FFD placement.
+func BenchmarkReplayWeek(b *testing.B) {
+	p := workload.Banking()
+	p.Servers = 50
+	set, err := workload.Generate(p, 24*7, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hostSpec := trace.Spec{CPURPE2: 20480, MemMB: 131072}
+	items := make([]placement.Item, 0, len(set.Servers))
+	for _, st := range set.Servers {
+		items = append(items, placement.Item{ID: st.ID, Demand: sizing.Demand{
+			CPU: stats.Max(st.Series.Values(trace.CPU)),
+			Mem: stats.Max(st.Series.Values(trace.Mem)),
+		}})
+	}
+	pl, err := (placement.FFD{HostSpec: hostSpec, Bound: 1, RackSize: 14}).Pack(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{HostSpec: hostSpec, Power: power.HostModel{IdleWatts: 180, PeakWatts: 420}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(set, StaticSchedule{P: pl}, 24*7, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

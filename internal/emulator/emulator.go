@@ -1,0 +1,255 @@
+// Package emulator replays resource-demand traces against consolidation
+// placements — the experimental instrument of Section 5.2. The paper's
+// emulator takes per-server usage traces and a placement and returns
+// consolidation statistics; it models virtualization overhead and memory
+// deduplication as configurable knobs. This package reproduces that
+// instrument: per-hour host utilization, power draw, active-server counts
+// and resource contention (demand above host capacity).
+package emulator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmwild/internal/placement"
+	"vmwild/internal/power"
+	"vmwild/internal/trace"
+)
+
+// Config parameterizes the emulated virtualization platform.
+type Config struct {
+	// HostSpec is the raw capacity of every target host.
+	HostSpec trace.Spec
+	// Power is the host power model.
+	Power power.HostModel
+	// VirtOverhead is the hypervisor CPU overhead as a fraction of VM
+	// demand (0.05 = 5%).
+	VirtOverhead float64
+	// DedupFactor is the fraction of VM memory recovered by page
+	// deduplication (0 disables).
+	DedupFactor float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.HostSpec.CPURPE2 <= 0 || c.HostSpec.MemMB <= 0 {
+		return errors.New("emulator: host spec must have positive capacities")
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.VirtOverhead < 0 || c.VirtOverhead > 1 {
+		return errors.New("emulator: virtualization overhead outside [0, 1]")
+	}
+	if c.DedupFactor < 0 || c.DedupFactor >= 1 {
+		return errors.New("emulator: dedup factor outside [0, 1)")
+	}
+	return nil
+}
+
+// Schedule tells the emulator which placement is in force at each hour of
+// the replay window.
+type Schedule interface {
+	// PlacementAt returns the placement for the given hour (0-based).
+	PlacementAt(hour int) *placement.Placement
+}
+
+// StaticSchedule keeps one placement for the whole window (static and
+// semi-static consolidation).
+type StaticSchedule struct {
+	P *placement.Placement
+}
+
+// PlacementAt implements Schedule.
+func (s StaticSchedule) PlacementAt(int) *placement.Placement { return s.P }
+
+// IntervalSchedule switches placements every IntervalHours (dynamic
+// consolidation).
+type IntervalSchedule struct {
+	IntervalHours int
+	Placements    []*placement.Placement
+}
+
+// PlacementAt implements Schedule.
+func (s IntervalSchedule) PlacementAt(hour int) *placement.Placement {
+	if s.IntervalHours < 1 || len(s.Placements) == 0 {
+		return nil
+	}
+	idx := hour / s.IntervalHours
+	if idx >= len(s.Placements) {
+		idx = len(s.Placements) - 1
+	}
+	return s.Placements[idx]
+}
+
+// Contention is one host-hour whose demand exceeded capacity.
+type Contention struct {
+	Hour int
+	Host string
+	// CPUOver and MemOver are the unmet demand as a fraction of host
+	// capacity (the paper's contention magnitude, Figure 9).
+	CPUOver float64
+	MemOver float64
+}
+
+// HostStats aggregates one host's utilization over the hours it was active.
+type HostStats struct {
+	Host        string
+	ActiveHours int
+	AvgCPUUtil  float64 // mean over active hours, uncapped
+	PeakCPUUtil float64 // maximum over active hours, uncapped
+}
+
+// Result is the outcome of one replay.
+type Result struct {
+	Hours int
+	// ActiveHosts is the number of powered-on hosts per hour.
+	ActiveHosts []int
+	// PowerWatts is the total draw per hour.
+	PowerWatts []float64
+	// Contentions lists every host-hour with unmet demand.
+	Contentions []Contention
+	// ContentionHours is the number of hours in which at least one host
+	// experienced contention (Figure 8's numerator).
+	ContentionHours int
+	// Hosts holds per-host utilization statistics, sorted by host ID.
+	Hosts []HostStats
+}
+
+// AvgPowerWatts returns the mean hourly power draw.
+func (r *Result) AvgPowerWatts() float64 {
+	if len(r.PowerWatts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range r.PowerWatts {
+		sum += w
+	}
+	return sum / float64(len(r.PowerWatts))
+}
+
+// ContentionFraction returns the fraction of replay hours with contention.
+func (r *Result) ContentionFraction() float64 {
+	if r.Hours == 0 {
+		return 0
+	}
+	return float64(r.ContentionHours) / float64(r.Hours)
+}
+
+// CPUContentionMagnitudes returns the CPU over-demand fractions of all
+// contention events (the Figure 9 sample).
+func (r *Result) CPUContentionMagnitudes() []float64 {
+	var out []float64
+	for _, c := range r.Contentions {
+		if c.CPUOver > 0 {
+			out = append(out, c.CPUOver)
+		}
+	}
+	return out
+}
+
+// hostAccum accumulates per-host running statistics during a replay.
+type hostAccum struct {
+	hours int
+	sum   float64
+	peak  float64
+}
+
+// Run replays hours of demand from the evaluation trace set against the
+// schedule. The trace set's series must cover at least that many samples.
+func Run(set *trace.Set, sched Schedule, hours int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hours < 1 {
+		return nil, errors.New("emulator: need at least one hour to replay")
+	}
+	byID := make(map[trace.ServerID]*trace.ServerTrace, len(set.Servers))
+	for _, st := range set.Servers {
+		if st.Series.Len() < hours {
+			return nil, fmt.Errorf("emulator: server %s has %d samples, need %d", st.ID, st.Series.Len(), hours)
+		}
+		byID[st.ID] = st
+	}
+
+	res := &Result{
+		Hours:       hours,
+		ActiveHosts: make([]int, hours),
+		PowerWatts:  make([]float64, hours),
+	}
+	accums := make(map[string]*hostAccum)
+
+	for h := 0; h < hours; h++ {
+		p := sched.PlacementAt(h)
+		if p == nil {
+			return nil, fmt.Errorf("emulator: schedule has no placement for hour %d", h)
+		}
+		contended := false
+		for _, host := range p.Hosts() {
+			vms := p.VMsOn(host.ID)
+			if len(vms) == 0 {
+				continue
+			}
+			var cpu, mem float64
+			for _, vm := range vms {
+				st, ok := byID[vm]
+				if !ok {
+					return nil, fmt.Errorf("emulator: placement references unknown server %s", vm)
+				}
+				u := st.Series.Samples[h]
+				cpu += u.CPU
+				mem += u.Mem
+			}
+			cpu *= 1 + cfg.VirtOverhead
+			mem *= 1 - cfg.DedupFactor
+
+			cpuUtil := cpu / cfg.HostSpec.CPURPE2
+			memUtil := mem / cfg.HostSpec.MemMB
+			acc := accums[host.ID]
+			if acc == nil {
+				acc = &hostAccum{}
+				accums[host.ID] = acc
+			}
+			acc.hours++
+			acc.sum += cpuUtil
+			if cpuUtil > acc.peak {
+				acc.peak = cpuUtil
+			}
+
+			res.ActiveHosts[h]++
+			res.PowerWatts[h] += cfg.Power.Watts(cpuUtil)
+
+			cpuOver := cpuUtil - 1
+			memOver := memUtil - 1
+			if cpuOver > 1e-9 || memOver > 1e-9 {
+				res.Contentions = append(res.Contentions, Contention{
+					Hour:    h,
+					Host:    host.ID,
+					CPUOver: max(0, cpuOver),
+					MemOver: max(0, memOver),
+				})
+				contended = true
+			}
+		}
+		if contended {
+			res.ContentionHours++
+		}
+	}
+
+	hosts := make([]string, 0, len(accums))
+	for id := range accums {
+		hosts = append(hosts, id)
+	}
+	sort.Strings(hosts)
+	for _, id := range hosts {
+		acc := accums[id]
+		res.Hosts = append(res.Hosts, HostStats{
+			Host:        id,
+			ActiveHours: acc.hours,
+			AvgCPUUtil:  acc.sum / float64(acc.hours),
+			PeakCPUUtil: acc.peak,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,245 @@
+package emulator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vmwild/internal/placement"
+	"vmwild/internal/power"
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+)
+
+var (
+	testSpec  = trace.Spec{CPURPE2: 1000, MemMB: 1000}
+	testPower = power.HostModel{IdleWatts: 100, PeakWatts: 300}
+)
+
+func testConfig() Config {
+	return Config{HostSpec: testSpec, Power: testPower}
+}
+
+func mkSet(cpuByServer map[string][]float64) *trace.Set {
+	set := &trace.Set{Name: "t"}
+	for id, cpu := range cpuByServer {
+		samples := make([]trace.Usage, len(cpu))
+		for i, c := range cpu {
+			samples[i] = trace.Usage{CPU: c, Mem: 100}
+		}
+		s, err := trace.NewSeries(time.Hour, samples)
+		if err != nil {
+			panic(err)
+		}
+		set.Servers = append(set.Servers, &trace.ServerTrace{
+			ID: trace.ServerID(id), Spec: testSpec, Series: s,
+		})
+	}
+	return set
+}
+
+func mkPlacement(t *testing.T, assign map[string]string) *placement.Placement {
+	t.Helper()
+	p, err := placement.NewPlacement(testSpec, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened := make(map[string]bool)
+	// Open hosts in deterministic order of first use.
+	hostFor := make(map[string]string)
+	for vm, host := range assign {
+		hostFor[vm] = host
+	}
+	for _, host := range []string{"h0000", "h0001", "h0002", "h0003"} {
+		needed := false
+		for _, h := range hostFor {
+			if h == host {
+				needed = true
+			}
+		}
+		if needed || len(opened) == 0 {
+			p.OpenHost()
+			opened[host] = true
+		}
+	}
+	for vm, host := range assign {
+		it := placement.Item{ID: trace.ServerID(vm), Demand: sizing.Demand{CPU: 1, Mem: 1}}
+		if err := p.Assign(it, host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestRunBasic(t *testing.T) {
+	set := mkSet(map[string][]float64{
+		"a": {100, 200},
+		"b": {300, 400},
+	})
+	p := mkPlacement(t, map[string]string{"a": "h0000", "b": "h0000"})
+	res, err := Run(set, StaticSchedule{P: p}, 2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hours != 2 {
+		t.Errorf("Hours = %d", res.Hours)
+	}
+	if res.ActiveHosts[0] != 1 || res.ActiveHosts[1] != 1 {
+		t.Errorf("ActiveHosts = %v", res.ActiveHosts)
+	}
+	// Hour 0: util 0.4 -> 100+200*0.4 = 180 W.
+	if math.Abs(res.PowerWatts[0]-180) > 1e-9 {
+		t.Errorf("PowerWatts[0] = %v, want 180", res.PowerWatts[0])
+	}
+	if len(res.Hosts) != 1 {
+		t.Fatalf("Hosts = %d", len(res.Hosts))
+	}
+	hs := res.Hosts[0]
+	if math.Abs(hs.AvgCPUUtil-0.5) > 1e-9 {
+		t.Errorf("AvgCPUUtil = %v, want 0.5", hs.AvgCPUUtil)
+	}
+	if math.Abs(hs.PeakCPUUtil-0.6) > 1e-9 {
+		t.Errorf("PeakCPUUtil = %v, want 0.6", hs.PeakCPUUtil)
+	}
+	if res.ContentionHours != 0 || len(res.Contentions) != 0 {
+		t.Error("no contention expected")
+	}
+	if math.Abs(res.AvgPowerWatts()-200) > 1e-9 {
+		t.Errorf("AvgPowerWatts = %v, want 200 ((180+220)/2)", res.AvgPowerWatts())
+	}
+}
+
+func TestRunContention(t *testing.T) {
+	set := mkSet(map[string][]float64{
+		"a": {600, 100},
+		"b": {600, 100},
+	})
+	p := mkPlacement(t, map[string]string{"a": "h0000", "b": "h0000"})
+	res, err := Run(set, StaticSchedule{P: p}, 2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentionHours != 1 {
+		t.Fatalf("ContentionHours = %d, want 1", res.ContentionHours)
+	}
+	c := res.Contentions[0]
+	if c.Hour != 0 || math.Abs(c.CPUOver-0.2) > 1e-9 {
+		t.Errorf("contention = %+v, want hour 0 with 20%% CPU over", c)
+	}
+	if got := res.ContentionFraction(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("ContentionFraction = %v, want 0.5", got)
+	}
+	mags := res.CPUContentionMagnitudes()
+	if len(mags) != 1 || math.Abs(mags[0]-0.2) > 1e-9 {
+		t.Errorf("magnitudes = %v", mags)
+	}
+}
+
+func TestRunVirtOverheadAndDedup(t *testing.T) {
+	set := mkSet(map[string][]float64{"a": {500}})
+	p := mkPlacement(t, map[string]string{"a": "h0000"})
+	cfg := testConfig()
+	cfg.VirtOverhead = 0.10
+	res, err := Run(set, StaticSchedule{P: p}, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// util = 500*1.1/1000 = 0.55 -> power 100+200*0.55 = 210.
+	if math.Abs(res.PowerWatts[0]-210) > 1e-9 {
+		t.Errorf("power with overhead = %v, want 210", res.PowerWatts[0])
+	}
+	cfg.DedupFactor = 0.5
+	if _, err := Run(set, StaticSchedule{P: p}, 1, cfg); err != nil {
+		t.Errorf("dedup config rejected: %v", err)
+	}
+}
+
+func TestRunSwitchedOffHostsDrawNothing(t *testing.T) {
+	set := mkSet(map[string][]float64{"a": {100}})
+	p := mkPlacement(t, map[string]string{"a": "h0000"})
+	p.OpenHost() // an empty host
+	res, err := Run(set, StaticSchedule{P: p}, 1, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveHosts[0] != 1 {
+		t.Errorf("ActiveHosts = %d, want 1 (empty host off)", res.ActiveHosts[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	set := mkSet(map[string][]float64{"a": {100}})
+	p := mkPlacement(t, map[string]string{"a": "h0000"})
+	if _, err := Run(set, StaticSchedule{P: p}, 0, testConfig()); err == nil {
+		t.Error("expected error for zero hours")
+	}
+	if _, err := Run(set, StaticSchedule{P: p}, 5, testConfig()); err == nil {
+		t.Error("expected error for trace shorter than replay")
+	}
+	bad := testConfig()
+	bad.HostSpec = trace.Spec{}
+	if _, err := Run(set, StaticSchedule{P: p}, 1, bad); err == nil {
+		t.Error("expected error for invalid config")
+	}
+	// Placement referencing a VM with no trace.
+	p2 := mkPlacement(t, map[string]string{"ghost": "h0000"})
+	if _, err := Run(set, StaticSchedule{P: p2}, 1, testConfig()); err == nil {
+		t.Error("expected error for unknown server")
+	}
+}
+
+func TestIntervalSchedule(t *testing.T) {
+	p1 := mkPlacement(t, map[string]string{})
+	p2 := mkPlacement(t, map[string]string{})
+	s := IntervalSchedule{IntervalHours: 2, Placements: []*placement.Placement{p1, p2}}
+	if s.PlacementAt(0) != p1 || s.PlacementAt(1) != p1 {
+		t.Error("hours 0-1 should use the first placement")
+	}
+	if s.PlacementAt(2) != p2 {
+		t.Error("hour 2 should use the second placement")
+	}
+	if s.PlacementAt(99) != p2 {
+		t.Error("beyond the last interval the final placement holds")
+	}
+	if (IntervalSchedule{}).PlacementAt(0) != nil {
+		t.Error("empty schedule returns nil")
+	}
+}
+
+func TestVerifyAccuracy(t *testing.T) {
+	set := mkSet(map[string][]float64{
+		"a": {100, 200, 300, 400},
+		"b": {50, 60, 70, 80},
+	})
+	p := mkPlacement(t, map[string]string{"a": "h0000", "b": "h0000"})
+	sched := StaticSchedule{P: p}
+
+	rubis, err := VerifyAccuracy(set, sched, 4, testConfig(), RUBiSNoise, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daxpy, err := VerifyAccuracy(set, sched, 4, testConfig(), DaxpyNoise, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rubis <= 0 || daxpy <= 0 {
+		t.Error("noisy verification should report positive error")
+	}
+	if daxpy >= rubis {
+		t.Errorf("daxpy error %v should be below rubis error %v", daxpy, rubis)
+	}
+	// Zero noise -> zero error.
+	zero, err := VerifyAccuracy(set, sched, 4, testConfig(), NoiseProfile{Name: "exact"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Errorf("zero-noise error = %v, want 0", zero)
+	}
+	if _, err := VerifyAccuracy(set, sched, 0, testConfig(), RUBiSNoise, 1); err == nil {
+		t.Error("expected error for zero hours")
+	}
+	if _, err := VerifyAccuracy(set, sched, 4, testConfig(), NoiseProfile{Sigma: -1}, 1); err == nil {
+		t.Error("expected error for negative sigma")
+	}
+}

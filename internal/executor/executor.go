@@ -1,0 +1,414 @@
+// Package executor implements the Execution step of the consolidation flow
+// (Section 2.1): turning a placement change into an ordered schedule of
+// live migrations that respects link bandwidth, per-host migration
+// concurrency and capacity feasibility at every intermediate state.
+//
+// This is the step whose "uncertainty in duration and impact" the paper
+// identifies as the reason real data centers avoid dynamic consolidation
+// (Section 1.2): a re-planned interval is only as good as the migration
+// wave that realizes it, and that wave must finish well inside the
+// consolidation interval. ScheduleStudy in internal/experiments uses this
+// package to measure exactly that.
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"vmwild/internal/migration"
+	"vmwild/internal/placement"
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+)
+
+// Move is one VM relocation.
+type Move struct {
+	VM   trace.ServerID
+	From string
+	To   string
+	// Demand is the VM's reservation, used for capacity feasibility and
+	// migration cost (memory volume, CPU-derived dirty rate).
+	Demand sizing.Demand
+}
+
+// ErrDeadlock is returned when no feasible migration order exists without
+// a spare host (cyclic space dependencies).
+var ErrDeadlock = errors.New("executor: cyclic space dependency, enable a spare host")
+
+// Diff computes the moves that turn placement from into placement to. Both
+// placements must contain exactly the same VMs; demands are taken from the
+// target placement (the post-resize reservations).
+func Diff(from, to *placement.Placement) ([]Move, error) {
+	if from == nil || to == nil {
+		return nil, errors.New("executor: nil placement")
+	}
+	if from.NumVMs() != to.NumVMs() {
+		return nil, fmt.Errorf("executor: placements hold %d vs %d VMs", from.NumVMs(), to.NumVMs())
+	}
+	var moves []Move
+	for _, h := range to.Hosts() {
+		for _, vm := range to.VMsOn(h.ID) {
+			src, ok := from.HostOf(vm)
+			if !ok {
+				return nil, fmt.Errorf("executor: VM %s missing from source placement", vm)
+			}
+			if src == h.ID {
+				continue
+			}
+			it, _ := to.Item(vm)
+			moves = append(moves, Move{VM: vm, From: src, To: h.ID, Demand: it.Demand})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].VM < moves[j].VM })
+	return moves, nil
+}
+
+// Config tunes the migration scheduler.
+type Config struct {
+	// Migration parameterizes per-move durations (pre-copy model).
+	Migration migration.Config
+	// MaxPerHost bounds concurrent migrations touching one host as
+	// source or target (default 1 — VMware's per-host vMotion guidance
+	// for gigabit links).
+	MaxPerHost int
+	// MaxConcurrent bounds simultaneous migrations in the whole data
+	// center (network fabric limit, default 8).
+	MaxConcurrent int
+	// SpareHost allows the scheduler to bounce one VM through a
+	// temporary staging host to break cyclic space dependencies; the
+	// bounced VM migrates twice.
+	SpareHost bool
+	// PostCopy costs moves with the target-driven post-copy model
+	// instead of iterative pre-copy (the Section 7 improvement).
+	PostCopy bool
+}
+
+// DefaultConfig returns the baseline execution settings.
+func DefaultConfig() Config {
+	return Config{
+		Migration:     migration.DefaultConfig(),
+		MaxPerHost:    1,
+		MaxConcurrent: 8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPerHost <= 0 {
+		c.MaxPerHost = 1
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.Migration.LinkMBps <= 0 {
+		c.Migration = migration.DefaultConfig()
+	}
+	return c
+}
+
+// Wave is one batch of migrations that run concurrently; the wave lasts as
+// long as its slowest migration.
+type Wave struct {
+	Moves    []Move
+	Duration time.Duration
+}
+
+// Plan is a feasible execution schedule.
+type Plan struct {
+	Waves []Wave
+	// Total is the end-to-end execution time (waves are sequential).
+	Total time.Duration
+	// DataMB is the total network volume, including pre-copy re-sends.
+	DataMB float64
+	// Bounced counts VMs that had to stage through the spare host.
+	Bounced int
+}
+
+// Moves returns the total number of migrations (bounced VMs count twice).
+func (p *Plan) Moves() int {
+	n := 0
+	for _, w := range p.Waves {
+		n += len(w.Moves)
+	}
+	return n
+}
+
+// ScheduleTransition plans the execution that turns placement from into
+// placement to: every VM is first re-sized in place to its target
+// reservation (resizing is free — no migration), then the relocations are
+// scheduled with Schedule. It returns the plan and the underlying moves.
+func ScheduleTransition(from, to *placement.Placement, cfg Config) (*Plan, []Move, error) {
+	moves, err := Diff(from, to)
+	if err != nil {
+		return nil, nil, err
+	}
+	resized := from.Clone()
+	for _, h := range to.Hosts() {
+		for _, vm := range to.VMsOn(h.ID) {
+			it, _ := to.Item(vm)
+			if err := resized.UpdateDemand(vm, it.Demand); err != nil {
+				return nil, nil, fmt.Errorf("executor: resize %s: %w", vm, err)
+			}
+		}
+	}
+	plan, err := Schedule(resized, moves, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, moves, nil
+}
+
+// Schedule orders the moves into concurrent waves such that every
+// intermediate state respects host capacity. The from placement must
+// already carry execution-time reservations (see ScheduleTransition); it is
+// not modified.
+func Schedule(from *placement.Placement, moves []Move, cfg Config) (*Plan, error) {
+	if from == nil {
+		return nil, errors.New("executor: nil source placement")
+	}
+	cfg = cfg.withDefaults()
+	plan := &Plan{}
+	if len(moves) == 0 {
+		return plan, nil
+	}
+
+	state := from.Clone()
+	pending := append([]Move(nil), moves...)
+	// Targets opened by the planner's later state may not exist in the
+	// source placement yet; register them before scheduling.
+	for _, mv := range moves {
+		state.EnsureHost(mv.To)
+	}
+	var spares []string
+	// Moves staged on a spare host still owe their hop to the real
+	// target; spareOf records where each staged VM sits.
+	staged := make(map[trace.ServerID]Move)
+	spareOf := make(map[trace.ServerID]string)
+
+	for len(pending) > 0 || len(staged) > 0 {
+		var (
+			wave     Wave
+			busy     = make(map[string]int)
+			selected []int
+		)
+		// Staged VMs go home first when their target has room
+		// (sorted for determinism).
+		var stagedIDs []trace.ServerID
+		for vm := range staged {
+			stagedIDs = append(stagedIDs, vm)
+		}
+		sort.Slice(stagedIDs, func(i, j int) bool { return stagedIDs[i] < stagedIDs[j] })
+		for _, vm := range stagedIDs {
+			mv := staged[vm]
+			src := spareOf[vm]
+			if len(wave.Moves) >= cfg.MaxConcurrent {
+				break
+			}
+			if !state.Fits(mv.To, mv.Demand) || busy[src] >= cfg.MaxPerHost || busy[mv.To] >= cfg.MaxPerHost {
+				continue
+			}
+			hop := Move{VM: vm, From: src, To: mv.To, Demand: mv.Demand}
+			wave.Moves = append(wave.Moves, hop)
+			busy[src]++
+			busy[mv.To]++
+			delete(staged, vm)
+			delete(spareOf, vm)
+		}
+		for i, mv := range pending {
+			if len(wave.Moves) >= cfg.MaxConcurrent {
+				break
+			}
+			if busy[mv.From] >= cfg.MaxPerHost || busy[mv.To] >= cfg.MaxPerHost {
+				continue
+			}
+			if !state.Fits(mv.To, mv.Demand) {
+				continue
+			}
+			wave.Moves = append(wave.Moves, mv)
+			busy[mv.From]++
+			busy[mv.To]++
+			selected = append(selected, i)
+		}
+
+		if len(wave.Moves) == 0 {
+			if len(pending) == 0 {
+				// Only staged VMs remain and none can go home yet;
+				// with no pending departures this cannot resolve.
+				return nil, ErrDeadlock
+			}
+			// Nothing fits: cyclic space dependency.
+			if !cfg.SpareHost {
+				return nil, ErrDeadlock
+			}
+			// Bounce the smallest pending VM through a spare host
+			// with room, opening another spare if all are full.
+			sort.Slice(pending, func(i, j int) bool {
+				if pending[i].Demand.Mem != pending[j].Demand.Mem {
+					return pending[i].Demand.Mem < pending[j].Demand.Mem
+				}
+				return pending[i].VM < pending[j].VM
+			})
+			mv := pending[0]
+			spare := ""
+			for _, s := range spares {
+				if state.Fits(s, mv.Demand) {
+					spare = s
+					break
+				}
+			}
+			if spare == "" {
+				spare = state.OpenHost().ID
+				spares = append(spares, spare)
+			}
+			wave.Moves = append(wave.Moves, Move{VM: mv.VM, From: mv.From, To: spare, Demand: mv.Demand})
+			staged[mv.VM] = mv
+			spareOf[mv.VM] = spare
+			selected = append(selected, 0)
+			plan.Bounced++
+		}
+
+		// Apply the wave to the state and cost it.
+		var longest time.Duration
+		for _, mv := range wave.Moves {
+			it, ok := state.Item(mv.VM)
+			if !ok {
+				return nil, fmt.Errorf("executor: VM %s not in state", mv.VM)
+			}
+			if _, err := state.Remove(mv.VM); err != nil {
+				return nil, err
+			}
+			it.Demand = mv.Demand
+			if err := state.Assign(it, mv.To); err != nil {
+				return nil, fmt.Errorf("executor: apply move of %s: %w", mv.VM, err)
+			}
+			memMB := max(mv.Demand.Mem, 64)
+			var (
+				dataMB   float64
+				duration time.Duration
+			)
+			if cfg.PostCopy {
+				pcCfg := migration.DefaultPostCopyConfig()
+				pcCfg.LinkMBps = cfg.Migration.LinkMBps
+				res, err := migration.SimulatePostCopy(memMB, memMB/4, pcCfg)
+				if err != nil {
+					return nil, err
+				}
+				dataMB, duration = res.TransferredMB, res.Duration
+			} else {
+				cost, err := migration.EstimateCost(memMB, vmUtil(mv.Demand, state), cfg.Migration)
+				if err != nil {
+					return nil, err
+				}
+				dataMB, duration = cost.DataMB, cost.Duration
+			}
+			plan.DataMB += dataMB
+			if duration > longest {
+				longest = duration
+			}
+		}
+		wave.Duration = longest
+		plan.Total += longest
+		plan.Waves = append(plan.Waves, wave)
+
+		// Drop executed moves from pending (indices shift; rebuild).
+		if len(selected) > 0 {
+			keep := pending[:0]
+			sel := make(map[int]bool, len(selected))
+			for _, i := range selected {
+				sel[i] = true
+			}
+			for i, mv := range pending {
+				if !sel[i] {
+					keep = append(keep, mv)
+				}
+			}
+			pending = keep
+		}
+	}
+	return plan, nil
+}
+
+// vmUtil derives a busy-ness proxy for the dirty-rate model: the VM's CPU
+// reservation as a fraction of its host's capacity.
+func vmUtil(d sizing.Demand, p *placement.Placement) float64 {
+	if p.Spec.CPURPE2 <= 0 {
+		return 0
+	}
+	u := d.CPU / p.Spec.CPURPE2
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Drain plans the evacuation of one host for maintenance — the live
+// migration use real data centers do adopt (Section 1.2: "VM live
+// migration is often employed for high availability and server maintenance
+// but not for dynamic VM consolidation"). Every VM on the host is
+// relocated to the remaining hosts by first-fit over the emptiest targets;
+// the returned schedule respects the usual concurrency and capacity rules.
+func Drain(p *placement.Placement, host string, cfg Config) (*Plan, []Move, error) {
+	if p == nil {
+		return nil, nil, errors.New("executor: nil placement")
+	}
+	vms := append([]trace.ServerID(nil), p.VMsOn(host)...)
+	if len(vms) == 0 {
+		return &Plan{}, nil, nil
+	}
+	// Largest VMs first onto the emptiest hosts.
+	sort.Slice(vms, func(i, j int) bool {
+		a, _ := p.Item(vms[i])
+		b, _ := p.Item(vms[j])
+		if a.Demand.Mem != b.Demand.Mem {
+			return a.Demand.Mem > b.Demand.Mem
+		}
+		return vms[i] < vms[j]
+	})
+	cap := p.Capacity()
+	type slack struct{ cpu, mem float64 }
+	residual := make(map[string]*slack)
+	var targets []string
+	for _, h := range p.Hosts() {
+		if h.ID == host {
+			continue
+		}
+		u := p.Used(h.ID)
+		residual[h.ID] = &slack{cpu: cap.CPU - u.CPU, mem: cap.Mem - u.Mem}
+		targets = append(targets, h.ID)
+	}
+	var moves []Move
+	for _, vm := range vms {
+		it, _ := p.Item(vm)
+		// Emptiest-first keeps the drained load spread out.
+		sort.Slice(targets, func(i, j int) bool {
+			ri, rj := residual[targets[i]], residual[targets[j]]
+			li := min(ri.cpu/cap.CPU, ri.mem/cap.Mem)
+			lj := min(rj.cpu/cap.CPU, rj.mem/cap.Mem)
+			if li != lj {
+				return li > lj
+			}
+			return targets[i] < targets[j]
+		})
+		placed := false
+		for _, tgt := range targets {
+			r := residual[tgt]
+			if it.Demand.CPU > r.cpu+1e-9 || it.Demand.Mem > r.mem+1e-9 {
+				continue
+			}
+			r.cpu -= it.Demand.CPU
+			r.mem -= it.Demand.Mem
+			moves = append(moves, Move{VM: vm, From: host, To: tgt, Demand: it.Demand})
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, nil, fmt.Errorf("executor: no capacity to drain %s off %s", vm, host)
+		}
+	}
+	plan, err := Schedule(p, moves, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, moves, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmwild/internal/analysis"
+	"vmwild/internal/catalog"
+	"vmwild/internal/core"
+)
+
+// BladeRow compares one target host model in the blade-choice study.
+type BladeRow struct {
+	Model string
+	// RatioPerGB is the blade's CPU-to-memory capacity ratio.
+	RatioPerGB float64
+	// MemoryBoundFrac is the fraction of intervals where the estate's
+	// aggregate demand ratio falls below the blade's ratio.
+	MemoryBoundFrac float64
+	// Host counts per planner on this blade.
+	VanillaHosts    int
+	StochasticHosts int
+	DynamicHosts    int
+}
+
+// BladeStudy quantifies Observation 3's "even after using extended memory
+// blade servers": comparing the memory-extended reference blade against a
+// standard-memory one of equal compute shows how the memory extension
+// moves the estate toward CPU-bound territory and shrinks every planner's
+// footprint. Models defaults to {HS23Elite, HS23Standard}.
+func BladeStudy(c *Context, models []catalog.Model) ([]BladeRow, error) {
+	if len(models) == 0 {
+		models = []catalog.Model{catalog.HS23Elite, catalog.HS23Standard}
+	}
+	rows := make([]BladeRow, 0, len(models))
+	for _, m := range models {
+		ratio := m.Spec.RatioPerGB()
+		memBound, err := analysis.MemoryBoundFraction(c.Evaluation, 2, ratio)
+		if err != nil {
+			return nil, err
+		}
+		row := BladeRow{Model: m.Name, RatioPerGB: ratio, MemoryBoundFrac: memBound}
+		for _, planner := range Planners() {
+			in := c.Input()
+			in.Host = m
+			run, err := c.RunWith(planner, in)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: blade study %s %s: %w", m.Name, planner.Name(), err)
+			}
+			switch planner.(type) {
+			case core.SemiStatic:
+				row.VanillaHosts = run.Plan.Provisioned
+			case core.Stochastic:
+				row.StochasticHosts = run.Plan.Provisioned
+			case core.Dynamic:
+				row.DynamicHosts = run.Plan.Provisioned
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,192 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the workload studies of Section 4 (Figures 1-6, Table 2), the
+// migration and Olio micro-studies, the emulator verification, and the
+// planner comparison of Section 5 (Figures 7-16, Table 3). Each experiment
+// is a function from a workload Context to a structured result; the cmd
+// tools and the benchmark harness render them.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/core"
+	"vmwild/internal/emulator"
+	"vmwild/internal/power"
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+// Config fixes the experimental conditions shared by all experiments.
+type Config struct {
+	// Seed drives the synthetic workload generator.
+	Seed int64
+	// Host is the consolidation target host model.
+	Host catalog.Model
+	// VirtOverhead is the hypervisor CPU overhead fraction.
+	VirtOverhead float64
+	// DedupFactor is the memory deduplication saving fraction.
+	DedupFactor float64
+}
+
+// DefaultConfig returns the paper's baseline conditions (Table 3).
+func DefaultConfig() Config {
+	return Config{
+		Seed:         workload.DefaultSeed,
+		Host:         catalog.HS23Elite,
+		VirtOverhead: 0.05,
+	}
+}
+
+// Context holds one data center's generated traces, split into the
+// monitoring and evaluation horizons, plus a cache of planner runs.
+type Context struct {
+	Config     Config
+	Profile    *workload.Profile
+	Monitoring *trace.Set
+	Evaluation *trace.Set
+
+	runs map[string]*Run
+}
+
+// Run is a planner execution: the plan plus the emulator replay of its
+// schedule over the evaluation window.
+type Run struct {
+	Plan   *core.Plan
+	Result *emulator.Result
+}
+
+// NewContext generates the profile's traces and prepares the two horizons.
+func NewContext(p *workload.Profile, cfg Config) (*Context, error) {
+	if p == nil {
+		return nil, errors.New("experiments: nil profile")
+	}
+	set, err := workload.Generate(p, workload.HorizonHours, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate %s: %w", p.Name, err)
+	}
+	mon, err := set.SliceAll(0, workload.MonitoringHours)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := set.SliceAll(workload.MonitoringHours, workload.HorizonHours)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{
+		Config:     cfg,
+		Profile:    p,
+		Monitoring: mon,
+		Evaluation: eval,
+		runs:       make(map[string]*Run),
+	}, nil
+}
+
+// NewContextFromTraces builds a context over externally supplied traces
+// (for example loaded from a warehouse or a CSV export) instead of
+// generating synthetic ones. Monitoring and evaluation must cover the same
+// servers in the same order; the planner comparison replays the whole
+// evaluation window, whatever its length.
+func NewContextFromTraces(name string, mon, eval *trace.Set, cfg Config) (*Context, error) {
+	if mon == nil || eval == nil {
+		return nil, errors.New("experiments: nil trace sets")
+	}
+	if err := mon.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: monitoring set: %w", err)
+	}
+	if err := eval.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: evaluation set: %w", err)
+	}
+	if len(mon.Servers) != len(eval.Servers) {
+		return nil, fmt.Errorf("experiments: monitoring has %d servers, evaluation %d", len(mon.Servers), len(eval.Servers))
+	}
+	for i := range mon.Servers {
+		if mon.Servers[i].ID != eval.Servers[i].ID {
+			return nil, fmt.Errorf("experiments: server order mismatch at %d", i)
+		}
+	}
+	profile := &workload.Profile{Name: name, Industry: "external", Servers: len(mon.Servers)}
+	return &Context{
+		Config:     cfg,
+		Profile:    profile,
+		Monitoring: mon,
+		Evaluation: eval,
+		runs:       make(map[string]*Run),
+	}, nil
+}
+
+// Contexts prepares all four study data centers (Table 2 order).
+func Contexts(cfg Config) ([]*Context, error) {
+	profiles := workload.Profiles()
+	out := make([]*Context, 0, len(profiles))
+	for _, p := range profiles {
+		c, err := NewContext(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// EmulatorConfig returns the replay configuration for this context.
+func (c *Context) EmulatorConfig() emulator.Config {
+	return emulator.Config{
+		HostSpec:     c.Config.Host.Spec,
+		Power:        power.HostModel{IdleWatts: c.Config.Host.IdleWatts, PeakWatts: c.Config.Host.PeakWatts},
+		VirtOverhead: c.Config.VirtOverhead,
+		DedupFactor:  c.Config.DedupFactor,
+	}
+}
+
+// Input assembles the planner input at the baseline settings. Memory
+// deduplication raises the host's effective memory capacity for packing —
+// the emulator discounts VM memory by the same factor, so the two views
+// agree (the paper's emulator "captures ... memory savings due to
+// deduplication in a configurable fashion").
+func (c *Context) Input() core.Input {
+	host := c.Config.Host
+	if c.Config.DedupFactor > 0 && c.Config.DedupFactor < 1 {
+		host.Spec.MemMB /= 1 - c.Config.DedupFactor
+	}
+	return core.Input{
+		Monitoring: c.Monitoring,
+		Evaluation: c.Evaluation,
+		Host:       host,
+	}
+}
+
+// Run plans with the given planner at the baseline settings and replays the
+// schedule, caching by planner name.
+func (c *Context) Run(planner core.Planner) (*Run, error) {
+	if r, ok := c.runs[planner.Name()]; ok {
+		return r, nil
+	}
+	r, err := c.RunWith(planner, c.Input())
+	if err != nil {
+		return nil, err
+	}
+	c.runs[planner.Name()] = r
+	return r, nil
+}
+
+// RunWith plans with explicit input (for sensitivity sweeps) and replays
+// the schedule; results are not cached.
+func (c *Context) RunWith(planner core.Planner, in core.Input) (*Run, error) {
+	plan, err := planner.Plan(in)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s plan %s: %w", c.Profile.Name, planner.Name(), err)
+	}
+	res, err := emulator.Run(c.Evaluation, plan.Schedule, c.Evaluation.Servers[0].Series.Len(), c.EmulatorConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s replay %s: %w", c.Profile.Name, planner.Name(), err)
+	}
+	return &Run{Plan: plan, Result: res}, nil
+}
+
+// Planners returns the three compared planners in the paper's order
+// (Section 5.1).
+func Planners() []core.Planner {
+	return []core.Planner{core.SemiStatic{}, core.Stochastic{}, core.Dynamic{}}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/core"
+	"vmwild/internal/emulator"
+	"vmwild/internal/power"
+	"vmwild/internal/stats"
+)
+
+// CostRow is one bar pair of Figure 7: one planner's space and power cost
+// on one workload, normalized to the vanilla semi-static planner.
+type CostRow struct {
+	Workload  string
+	Planner   string
+	Hosts     int
+	SpaceCost float64
+	NormSpace float64
+	AvgPowerW float64
+	NormPower float64
+	// Migrations and MigrationDataGB quantify the dynamic plan's
+	// execution cost (zero for the semi-static variants).
+	Migrations      int
+	MigrationDataGB float64
+}
+
+// Fig7Costs compares the three planners on one workload.
+func Fig7Costs(c *Context) ([]CostRow, error) {
+	facilities := power.DefaultFacilities()
+	var (
+		rows      []CostRow
+		baseSpace float64
+		basePower float64
+	)
+	for _, planner := range Planners() {
+		run, err := c.Run(planner)
+		if err != nil {
+			return nil, err
+		}
+		space, err := facilities.SpaceCost(run.Plan.Provisioned)
+		if err != nil {
+			return nil, err
+		}
+		avgPower := run.Result.AvgPowerWatts()
+		if planner.Name() == "semi-static" {
+			baseSpace, basePower = space, avgPower
+		}
+		rows = append(rows, CostRow{
+			Workload:        c.Profile.Name,
+			Planner:         planner.Name(),
+			Hosts:           run.Plan.Provisioned,
+			SpaceCost:       space,
+			AvgPowerW:       avgPower,
+			Migrations:      run.Plan.Migrations,
+			MigrationDataGB: run.Plan.MigrationDataMB / 1024,
+		})
+	}
+	if baseSpace <= 0 || basePower <= 0 {
+		return nil, errors.New("experiments: vanilla semi-static baseline missing")
+	}
+	for i := range rows {
+		rows[i].NormSpace = rows[i].SpaceCost / baseSpace
+		rows[i].NormPower = rows[i].AvgPowerW / basePower
+	}
+	return rows, nil
+}
+
+// ContentionRow is one bar of Figure 8: the fraction of evaluation hours in
+// which a planner's placement suffered resource contention.
+type ContentionRow struct {
+	Workload string
+	Planner  string
+	Hours    int
+	Fraction float64
+}
+
+// Fig8Contention measures contention time for the three planners.
+func Fig8Contention(c *Context) ([]ContentionRow, error) {
+	var rows []ContentionRow
+	for _, planner := range Planners() {
+		run, err := c.Run(planner)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ContentionRow{
+			Workload: c.Profile.Name,
+			Planner:  planner.Name(),
+			Hours:    run.Result.ContentionHours,
+			Fraction: run.Result.ContentionFraction(),
+		})
+	}
+	return rows, nil
+}
+
+// Fig9ContentionMagnitude returns the CDF of CPU contention magnitude
+// (unmet demand as a fraction of host capacity) under dynamic
+// consolidation, or nil when the workload never contends — the paper's
+// "absence of line for Airline indicates no contention".
+func Fig9ContentionMagnitude(c *Context) (*stats.CDF, error) {
+	run, err := c.Run(core.Dynamic{})
+	if err != nil {
+		return nil, err
+	}
+	mags := run.Result.CPUContentionMagnitudes()
+	if len(mags) == 0 {
+		return nil, nil
+	}
+	return stats.NewCDF(mags)
+}
+
+// UtilizationCurves is one workload-planner cell of Figures 10 and 11: the
+// CDFs of per-host average and peak CPU utilization over the evaluation
+// window, plus the fraction of hosts whose peak crossed 100%.
+type UtilizationCurves struct {
+	Workload      string
+	Planner       string
+	Avg           *stats.CDF
+	Peak          *stats.CDF
+	FracPeakOver1 float64
+}
+
+// Fig10and11Utilization computes host-utilization distributions for all
+// planners on one workload.
+func Fig10and11Utilization(c *Context) ([]UtilizationCurves, error) {
+	var out []UtilizationCurves
+	for _, planner := range Planners() {
+		run, err := c.Run(planner)
+		if err != nil {
+			return nil, err
+		}
+		var avgs, peaks []float64
+		over := 0
+		for _, h := range run.Result.Hosts {
+			avgs = append(avgs, h.AvgCPUUtil)
+			peaks = append(peaks, h.PeakCPUUtil)
+			if h.PeakCPUUtil > 1 {
+				over++
+			}
+		}
+		if len(avgs) == 0 {
+			return nil, fmt.Errorf("experiments: %s %s produced no active hosts", c.Profile.Name, planner.Name())
+		}
+		avgCDF, err := stats.NewCDF(avgs)
+		if err != nil {
+			return nil, err
+		}
+		peakCDF, err := stats.NewCDF(peaks)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, UtilizationCurves{
+			Workload:      c.Profile.Name,
+			Planner:       planner.Name(),
+			Avg:           avgCDF,
+			Peak:          peakCDF,
+			FracPeakOver1: float64(over) / float64(len(run.Result.Hosts)),
+		})
+	}
+	return out, nil
+}
+
+// Fig12ActiveServers returns the CDF over consolidation intervals of the
+// fraction of provisioned servers that dynamic consolidation keeps active —
+// the dynamism signature of Figure 12.
+func Fig12ActiveServers(c *Context) (*stats.CDF, error) {
+	run, err := c.Run(core.Dynamic{})
+	if err != nil {
+		return nil, err
+	}
+	sched, ok := run.Plan.Schedule.(emulator.IntervalSchedule)
+	if !ok {
+		return nil, errors.New("experiments: dynamic plan has no interval schedule")
+	}
+	provisioned := float64(run.Plan.Provisioned)
+	if provisioned == 0 {
+		return nil, errors.New("experiments: dynamic plan provisioned no hosts")
+	}
+	fracs := make([]float64, 0, len(sched.Placements))
+	for _, p := range sched.Placements {
+		fracs = append(fracs, float64(p.ActiveHosts())/provisioned)
+	}
+	return stats.NewCDF(fracs)
+}
+
+// SensitivityPoint is one x-position of Figures 13-16.
+type SensitivityPoint struct {
+	Bound        float64
+	DynamicHosts int
+}
+
+// SensitivityResult is one workload's Figure 13-16 panel: the dynamic host
+// count as a function of the utilization bound, against the two semi-static
+// reference lines.
+type SensitivityResult struct {
+	Workload        string
+	VanillaHosts    int
+	StochasticHosts int
+	Points          []SensitivityPoint
+}
+
+// DefaultBounds is the utilization-bound sweep of Figures 13-16.
+var DefaultBounds = []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00}
+
+// Sensitivity sweeps the live-migration reservation for one workload.
+func Sensitivity(c *Context, bounds []float64) (SensitivityResult, error) {
+	if len(bounds) == 0 {
+		bounds = DefaultBounds
+	}
+	vanilla, err := c.Run(core.SemiStatic{})
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	stoch, err := c.Run(core.Stochastic{})
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	res := SensitivityResult{
+		Workload:        c.Profile.Name,
+		VanillaHosts:    vanilla.Plan.Provisioned,
+		StochasticHosts: stoch.Plan.Provisioned,
+	}
+	for _, b := range bounds {
+		in := c.Input()
+		in.Bound = b
+		plan, err := (core.Dynamic{}).Plan(in)
+		if err != nil {
+			return SensitivityResult{}, fmt.Errorf("experiments: sensitivity %s bound %v: %w", c.Profile.Name, b, err)
+		}
+		res.Points = append(res.Points, SensitivityPoint{Bound: b, DynamicHosts: plan.Provisioned})
+	}
+	return res, nil
+}

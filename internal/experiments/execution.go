@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vmwild/internal/core"
+	"vmwild/internal/emulator"
+	"vmwild/internal/executor"
+	"vmwild/internal/stats"
+)
+
+// ExecutionRow summarizes executing the dynamic plan's migration waves with
+// one migration mechanism — the Section 1.2 adoption question made
+// quantitative: does the re-planning of each interval actually fit inside
+// the interval?
+type ExecutionRow struct {
+	Mechanism string
+	// Interval execution-time distribution across the plan's intervals
+	// that had any migrations.
+	P50, P95, Max time.Duration
+	// InfeasibleFrac is the fraction of intervals whose migration waves
+	// exceed the consolidation interval itself.
+	InfeasibleFrac float64
+	// AvgMoves is the mean number of migrations per re-planned interval.
+	AvgMoves float64
+	// TotalDataGB is the network volume over the whole window.
+	TotalDataGB float64
+	// Bounced counts VMs staged through a spare host to break cyclic
+	// space dependencies.
+	Bounced int
+}
+
+// ExecutionStudy schedules every interval transition of the workload's
+// dynamic plan under pre-copy and post-copy migration and reports whether
+// the waves fit the 2-hour interval.
+func ExecutionStudy(c *Context) ([]ExecutionRow, error) {
+	run, err := c.Run(core.Dynamic{})
+	if err != nil {
+		return nil, err
+	}
+	sched, ok := run.Plan.Schedule.(emulator.IntervalSchedule)
+	if !ok {
+		return nil, errors.New("experiments: dynamic plan has no interval schedule")
+	}
+	intervalDur := time.Duration(sched.IntervalHours) * time.Hour
+
+	mechanisms := []struct {
+		name string
+		cfg  executor.Config
+	}{
+		{name: "pre-copy", cfg: preCopyExecCfg()},
+		{name: "post-copy", cfg: postCopyExecCfg()},
+	}
+	var rows []ExecutionRow
+	for _, mech := range mechanisms {
+		var (
+			durations  []float64
+			moves      int
+			intervals  int
+			infeasible int
+			dataMB     float64
+			bounced    int
+		)
+		for k := 1; k < len(sched.Placements); k++ {
+			plan, diff, err := executor.ScheduleTransition(sched.Placements[k-1], sched.Placements[k], mech.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: schedule interval %d (%s): %w", k, mech.name, err)
+			}
+			if len(diff) == 0 {
+				continue
+			}
+			durations = append(durations, plan.Total.Seconds())
+			moves += plan.Moves()
+			intervals++
+			dataMB += plan.DataMB
+			bounced += plan.Bounced
+			if plan.Total > intervalDur {
+				infeasible++
+			}
+		}
+		if intervals == 0 {
+			return nil, errors.New("experiments: dynamic plan never migrated")
+		}
+		cdf, err := stats.NewCDF(durations)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExecutionRow{
+			Mechanism:      mech.name,
+			P50:            time.Duration(cdf.Median() * float64(time.Second)),
+			P95:            time.Duration(cdf.Quantile(0.95) * float64(time.Second)),
+			Max:            time.Duration(cdf.Quantile(1) * float64(time.Second)),
+			InfeasibleFrac: float64(infeasible) / float64(intervals),
+			AvgMoves:       float64(moves) / float64(intervals),
+			TotalDataGB:    dataMB / 1024,
+			Bounced:        bounced,
+		})
+	}
+	return rows, nil
+}
+
+func preCopyExecCfg() executor.Config {
+	cfg := executor.DefaultConfig()
+	cfg.SpareHost = true
+	return cfg
+}
+
+func postCopyExecCfg() executor.Config {
+	cfg := executor.DefaultConfig()
+	cfg.SpareHost = true
+	cfg.PostCopy = true
+	return cfg
+}

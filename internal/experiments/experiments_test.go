@@ -1,0 +1,448 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"vmwild/internal/core"
+)
+
+// Contexts are expensive to build (planner runs over 3000+ servers), so the
+// observation tests share one set per package run.
+var (
+	ctxOnce sync.Once
+	ctxAll  []*Context
+	ctxErr  error
+)
+
+func sharedContexts(t *testing.T) []*Context {
+	t.Helper()
+	ctxOnce.Do(func() {
+		ctxAll, ctxErr = Contexts(DefaultConfig())
+	})
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	return ctxAll
+}
+
+func byName(t *testing.T, ctxs []*Context, name string) *Context {
+	t.Helper()
+	for _, c := range ctxs {
+		if c.Profile.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no context named %s", name)
+	return nil
+}
+
+func costRows(t *testing.T, c *Context) map[string]CostRow {
+	t.Helper()
+	rows, err := Fig7Costs(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[string]CostRow, len(rows))
+	for _, r := range rows {
+		m[r.Planner] = r
+	}
+	return m
+}
+
+// TestObservation5Space: dynamic consolidation does not beat intelligent
+// semi-static consolidation on space for any workload, while stochastic
+// improves on vanilla semi-static.
+func TestObservation5Space(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner comparison")
+	}
+	dynamicBeatsVanilla := 0
+	for _, c := range sharedContexts(t) {
+		rows := costRows(t, c)
+		stoch, dyn, vanilla := rows["stochastic"], rows["dynamic"], rows["semi-static"]
+		if stoch.NormSpace > dyn.NormSpace+1e-9 {
+			t.Errorf("%s: stochastic space %.3f should not exceed dynamic %.3f (Observation 5)",
+				c.Profile.Name, stoch.NormSpace, dyn.NormSpace)
+		}
+		if stoch.NormSpace >= vanilla.NormSpace {
+			t.Errorf("%s: stochastic space %.3f should beat vanilla %.3f",
+				c.Profile.Name, stoch.NormSpace, vanilla.NormSpace)
+		}
+		if dyn.NormSpace < vanilla.NormSpace {
+			dynamicBeatsVanilla++
+		}
+		if dyn.Migrations == 0 {
+			t.Errorf("%s: dynamic plan must migrate", c.Profile.Name)
+		}
+	}
+	// Section 5.4: dynamic outperforms vanilla semi-static for 3 of the
+	// 4 workloads (all but Airlines).
+	if dynamicBeatsVanilla != 3 {
+		t.Errorf("dynamic beats vanilla on %d workloads, paper reports 3 of 4", dynamicBeatsVanilla)
+	}
+	airlines := costRows(t, byName(t, sharedContexts(t), "B"))
+	if airlines["dynamic"].NormSpace <= airlines["semi-static"].NormSpace {
+		t.Error("Airlines should be the workload where dynamic loses to vanilla on space")
+	}
+}
+
+// TestObservation6Power: dynamic consolidation saves substantial power for
+// the bursty CPU-intensive workloads (Banking, Beverage) and much less for
+// the memory-bound ones (Airlines, Natural Resources).
+func TestObservation6Power(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner comparison")
+	}
+	saving := make(map[string]float64)
+	for _, c := range sharedContexts(t) {
+		rows := costRows(t, c)
+		saving[c.Profile.Name] = 1 - rows["dynamic"].AvgPowerW/rows["stochastic"].AvgPowerW
+	}
+	// Banking and Beverage: large savings over stochastic (paper: up to
+	// ~50% for Banking).
+	if saving["A"] < 0.25 {
+		t.Errorf("Banking dynamic power saving over stochastic = %.2f, want >= 0.25", saving["A"])
+	}
+	if saving["D"] < 0.20 {
+		t.Errorf("Beverage dynamic power saving over stochastic = %.2f, want >= 0.20", saving["D"])
+	}
+	// Airlines and Natural Resources: muted (|saving| small).
+	if math.Abs(saving["B"]) > 0.15 {
+		t.Errorf("Airlines dynamic power saving = %.2f, want muted (|x| <= 0.15)", saving["B"])
+	}
+	if math.Abs(saving["C"]) > 0.15 {
+		t.Errorf("Natural Resources dynamic power saving = %.2f, want muted (|x| <= 0.15)", saving["C"])
+	}
+	// The bursty workloads save strictly more than the memory-bound ones.
+	if !(saving["A"] > saving["B"] && saving["A"] > saving["C"] && saving["D"] > saving["B"] && saving["D"] > saving["C"]) {
+		t.Errorf("power savings ordering violated: %+v", saving)
+	}
+}
+
+// TestObservation7Sensitivity: Banking's Figure 13 shape — dynamic is very
+// sensitive to the migration reservation, crossing below stochastic around
+// a 15% reservation and reaching ~18% fewer hosts with no reservation,
+// while a 30% reservation makes it worse than vanilla.
+func TestObservation7Sensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	sens, err := Sensitivity(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := make(map[float64]int, len(sens.Points))
+	prev := 1 << 30
+	for _, pt := range sens.Points {
+		hosts[pt.Bound] = pt.DynamicHosts
+		if pt.DynamicHosts > prev {
+			t.Errorf("dynamic hosts must not increase with the bound: %v", sens.Points)
+		}
+		prev = pt.DynamicHosts
+	}
+	if hosts[0.80] <= sens.StochasticHosts {
+		t.Errorf("at the baseline bound dynamic (%d) should need at least as many hosts as stochastic (%d)",
+			hosts[0.80], sens.StochasticHosts)
+	}
+	if hosts[0.90] >= sens.StochasticHosts {
+		t.Errorf("by bound 0.90 dynamic (%d) should outperform stochastic (%d) (paper: crossover near 0.85)",
+			hosts[0.90], sens.StochasticHosts)
+	}
+	gain := 1 - float64(hosts[1.0])/float64(sens.StochasticHosts)
+	if gain < 0.10 || gain > 0.30 {
+		t.Errorf("dynamic at bound 1.0 saves %.2f over stochastic, paper reports ~0.18", gain)
+	}
+	if hosts[0.70] <= sens.VanillaHosts {
+		t.Errorf("at bound 0.70 dynamic (%d) should be worse than vanilla (%d)", hosts[0.70], sens.VanillaHosts)
+	}
+}
+
+// TestContentionShape: contention concentrates in the bursty workloads
+// under dynamic consolidation (Figures 8, 9, 11); Airlines never contends.
+func TestContentionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner comparison")
+	}
+	ctxs := sharedContexts(t)
+	frac := make(map[string]map[string]float64)
+	for _, c := range ctxs {
+		rows, err := Fig8Contention(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac[c.Profile.Name] = make(map[string]float64)
+		for _, r := range rows {
+			frac[c.Profile.Name][r.Planner] = r.Fraction
+		}
+	}
+	// Banking-dynamic is the contention hotspot.
+	if frac["A"]["dynamic"] <= 0 {
+		t.Error("Banking under dynamic consolidation must show contention")
+	}
+	for _, w := range []string{"B", "C"} {
+		if frac[w]["dynamic"] >= frac["A"]["dynamic"] {
+			t.Errorf("%s dynamic contention %.3f should be below Banking's %.3f", w, frac[w]["dynamic"], frac["A"]["dynamic"])
+		}
+	}
+	// Airlines: no contention at all, so Figure 9 has no line.
+	if frac["B"]["dynamic"] != 0 {
+		t.Errorf("Airlines dynamic contention = %.3f, paper shows none", frac["B"]["dynamic"])
+	}
+	mag, err := Fig9ContentionMagnitude(byName(t, ctxs, "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mag != nil {
+		t.Error("Figure 9 must have no Airlines line")
+	}
+	magA, err := Fig9ContentionMagnitude(byName(t, ctxs, "A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if magA == nil || magA.Len() == 0 {
+		t.Fatal("Figure 9 must have a Banking line")
+	}
+	// Semi-static contention stays rare everywhere (isolated cases only).
+	for w, planners := range frac {
+		if planners["semi-static"] > 0.02 {
+			t.Errorf("%s semi-static contention %.3f should be isolated (<= 0.02)", w, planners["semi-static"])
+		}
+	}
+}
+
+// TestUtilizationShape: Figures 10-11 — Airlines hosts run at very low CPU
+// utilization (memory-bound); dynamic consolidation achieves higher average
+// utilization than vanilla for the bursty workloads; Banking-dynamic has
+// the largest population of hosts whose peak crosses 100%.
+func TestUtilizationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner comparison")
+	}
+	ctxs := sharedContexts(t)
+	curves := make(map[string]map[string]UtilizationCurves)
+	for _, c := range ctxs {
+		utils, err := Fig10and11Utilization(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curves[c.Profile.Name] = make(map[string]UtilizationCurves)
+		for _, u := range utils {
+			curves[c.Profile.Name][u.Planner] = u
+		}
+	}
+	// Airlines: really low average CPU utilization under every scheme.
+	for planner, u := range curves["B"] {
+		if got := u.Avg.Median(); got > 0.15 {
+			t.Errorf("Airlines %s median avg utilization = %.2f, want <= 0.15 (memory-bound)", planner, got)
+		}
+	}
+	// Dynamic raises average utilization over vanilla for Banking.
+	if curves["A"]["dynamic"].Avg.Median() <= curves["A"]["semi-static"].Avg.Median() {
+		t.Error("Banking dynamic should raise median average utilization over vanilla")
+	}
+	// Peak-over-100% population is largest for Banking-dynamic.
+	bankDyn := curves["A"]["dynamic"].FracPeakOver1
+	if bankDyn <= 0 {
+		t.Error("Banking dynamic must have hosts crossing 100% peak utilization")
+	}
+	for _, w := range []string{"B", "C"} {
+		if curves[w]["dynamic"].FracPeakOver1 >= bankDyn {
+			t.Errorf("%s dynamic peak>100%% fraction should be below Banking's", w)
+		}
+	}
+	if curves["A"]["semi-static"].FracPeakOver1 >= bankDyn {
+		t.Error("vanilla semi-static should have fewer hosts crossing 100% than dynamic (Banking)")
+	}
+}
+
+// TestActiveServersShape: Figure 12 — Banking and Beverage switch off large
+// server fractions in quiet intervals; the minimum active fraction drops
+// well below 50% for Banking.
+func TestActiveServersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner comparison")
+	}
+	ctxs := sharedContexts(t)
+	for _, tt := range []struct {
+		workload string
+		maxMin   float64 // the minimum active fraction must be below this
+	}{
+		{workload: "A", maxMin: 0.5},
+		{workload: "D", maxMin: 0.6},
+	} {
+		cdf, err := Fig12ActiveServers(byName(t, ctxs, tt.workload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cdf.Quantile(0); got > tt.maxMin {
+			t.Errorf("%s: minimum active fraction = %.2f, want <= %.2f (Figure 12)", tt.workload, got, tt.maxMin)
+		}
+		if got := cdf.Quantile(1); got > 1.0+1e-9 {
+			t.Errorf("%s: active fraction above provisioned: %v", tt.workload, got)
+		}
+	}
+	// Airlines barely varies: its active fraction stays high throughout.
+	cdf, err := Fig12ActiveServers(byName(t, ctxs, "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cdf.Quantile(0); got < 0.6 {
+		t.Errorf("Airlines minimum active fraction = %.2f, want >= 0.6 (stable memory floor)", got)
+	}
+}
+
+// TestMigrationVolume: Section 6.3 cites that more than 25% of VMs may need
+// migration in each consolidation interval for dynamic consolidation.
+func TestMigrationVolume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner comparison")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	run, err := c.Run(core.Dynamic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervals := 168.0
+	vms := float64(len(c.Monitoring.Servers))
+	perInterval := float64(run.Plan.Migrations) / intervals / vms
+	if perInterval < 0.05 || perInterval > 0.60 {
+		t.Errorf("Banking migrates %.0f%% of VMs per interval, want a substantial fraction (paper cites >25%%)", perInterval*100)
+	}
+	if run.Plan.MigrationDataMB <= 0 {
+		t.Error("migration data volume must be positive")
+	}
+}
+
+func TestEmulatorVerificationBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner comparison")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	results, err := EmulatorVerification(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d verification rows, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.P99Error <= 0 || r.P99Error > r.Bound {
+			t.Errorf("%s 99p error = %.4f, want in (0, %.2f] (Section 5.2)", r.Workload, r.P99Error, r.Bound)
+		}
+	}
+}
+
+func TestOlioStudy(t *testing.T) {
+	res, err := OlioStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("got %d points, want 6", len(res.Points))
+	}
+	if math.Abs(res.CPUMultiplier-7.9) > 0.05 {
+		t.Errorf("CPU multiplier = %.2f, want 7.9", res.CPUMultiplier)
+	}
+	if math.Abs(res.MemMultiplier-3.0) > 0.05 {
+		t.Errorf("memory multiplier = %.2f, want 3.0", res.MemMultiplier)
+	}
+}
+
+func TestMigrationStudy(t *testing.T) {
+	points, err := MigrationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 30 {
+		t.Fatalf("got %d points, want 30", len(points))
+	}
+	converged, diverged := 0, 0
+	for _, p := range points {
+		if p.Result.Converged {
+			converged++
+		} else {
+			diverged++
+		}
+	}
+	if converged == 0 || diverged == 0 {
+		t.Errorf("study should cover both regimes: %d converged, %d diverged", converged, diverged)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs generated traces")
+	}
+	sums, err := Table2(sharedContexts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"A": 816, "B": 445, "C": 1390, "D": 722}
+	for _, s := range sums {
+		if s.Servers != want[s.Name] {
+			t.Errorf("%s has %d servers, want %d (Table 2)", s.Name, s.Servers, want[s.Name])
+		}
+	}
+}
+
+func TestCheckTable3(t *testing.T) {
+	if err := CheckTable3(); err != nil {
+		t.Error(err)
+	}
+	if len(Table3()) != 5 {
+		t.Error("Table 3 should list five settings")
+	}
+}
+
+func TestFig1Burstiness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs generated traces")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	servers, err := Fig1Burstiness(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 2 {
+		t.Fatalf("got %d servers", len(servers))
+	}
+	// Figure 1's motivation: low average, high peak.
+	for _, s := range servers {
+		if s.AvgUtil > 0.25 {
+			t.Errorf("%s average utilization %.2f too high for the Figure 1 signature", s.ID, s.AvgUtil)
+		}
+		if s.PeakUtil < 0.5 {
+			t.Errorf("%s peak utilization %.2f should exceed 50%%", s.ID, s.PeakUtil)
+		}
+	}
+	if _, err := Fig1Burstiness(c, 0); err == nil {
+		t.Error("expected error for n < 1")
+	}
+}
+
+func TestWriteAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report")
+	}
+	var sb strings.Builder
+	if err := WriteAll(&sb, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 2", "Table 3", "Figure 1", "Figure 2", "Figure 3", "Figure 4",
+		"Figure 5", "Figure 6", "Olio", "migration", "verification",
+		"Figure 7", "Figure 8", "Figure 9", "Figures 10-11", "Figure 12", "Figure 13-16",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	if !strings.Contains(out, "no contention under dynamic consolidation") {
+		t.Error("report should note the missing Airlines line in Figure 9")
+	}
+}

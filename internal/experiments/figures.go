@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vmwild/internal/analysis"
+	"vmwild/internal/catalog"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// BurstinessIntervals are the consolidation-interval durations the paper
+// studies in Figures 2 and 4.
+var BurstinessIntervals = []int{1, 2, 4}
+
+// Fig1Burstiness reproduces Figure 1: it picks the n burstiest servers of
+// the monitoring window and reports their utilization profile, showing the
+// low-average/high-peak signature that motivates dynamic consolidation.
+func Fig1Burstiness(c *Context, n int) ([]analysis.ServerBurstiness, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: need at least one server, got %d", n)
+	}
+	all := make([]analysis.ServerBurstiness, 0, len(c.Monitoring.Servers))
+	for _, st := range c.Monitoring.Servers {
+		b, err := analysis.Burstiness(st)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, b)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].PeakToAvg != all[j].PeakToAvg {
+			return all[i].PeakToAvg > all[j].PeakToAvg
+		}
+		return all[i].ID < all[j].ID
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n], nil
+}
+
+// IntervalCurve is one CDF curve of Figures 2 or 4: the per-server
+// peak-to-average ratio at one consolidation-interval length.
+type IntervalCurve struct {
+	IntervalHours int
+	CDF           *stats.CDF
+}
+
+// Fig2PeakAvgCPU computes the Figure 2 curves (CPU peak-to-average ratio at
+// 1, 2 and 4 hour intervals) for one workload.
+func Fig2PeakAvgCPU(c *Context) ([]IntervalCurve, error) {
+	return peakAvgCurves(c, trace.CPU)
+}
+
+// Fig4PeakAvgMem computes the Figure 4 curves (memory peak-to-average).
+func Fig4PeakAvgMem(c *Context) ([]IntervalCurve, error) {
+	return peakAvgCurves(c, trace.Mem)
+}
+
+func peakAvgCurves(c *Context, r trace.Resource) ([]IntervalCurve, error) {
+	out := make([]IntervalCurve, 0, len(BurstinessIntervals))
+	for _, h := range BurstinessIntervals {
+		cdf, err := analysis.PeakToAverageCDF(c.Monitoring, h, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IntervalCurve{IntervalHours: h, CDF: cdf})
+	}
+	return out, nil
+}
+
+// Fig3CoVCPU computes the Figure 3 curve: per-server CPU coefficient of
+// variability.
+func Fig3CoVCPU(c *Context) (*stats.CDF, error) {
+	return analysis.CoVCDF(c.Monitoring, trace.CPU)
+}
+
+// Fig5CoVMem computes the Figure 5 curve: per-server memory CoV.
+func Fig5CoVMem(c *Context) (*stats.CDF, error) {
+	return analysis.CoVCDF(c.Monitoring, trace.Mem)
+}
+
+// RatioResult is Figure 6 for one workload: the CDF of the aggregate
+// CPU/memory demand ratio across consolidation intervals and the fraction
+// of intervals that are memory-constrained relative to the reference blade.
+type RatioResult struct {
+	Workload        string
+	CDF             *stats.CDF
+	MemoryBoundFrac float64
+	BladeRatio      float64
+}
+
+// Fig6ResourceRatio computes Figure 6 over the evaluation window at the
+// baseline 2-hour interval.
+func Fig6ResourceRatio(c *Context) (RatioResult, error) {
+	cdf, err := analysis.ResourceRatioCDF(c.Evaluation, 2)
+	if err != nil {
+		return RatioResult{}, err
+	}
+	return RatioResult{
+		Workload:        c.Profile.Name,
+		CDF:             cdf,
+		MemoryBoundFrac: cdf.At(catalog.ReferenceRatioPerGB),
+		BladeRatio:      catalog.ReferenceRatioPerGB,
+	}, nil
+}
+
+// WorkloadSummary is one Table 2 row.
+type WorkloadSummary struct {
+	Name        string
+	Industry    string
+	Servers     int
+	MeanCPUUtil float64
+	WebFraction float64
+}
+
+// Table2 summarizes the study workloads.
+func Table2(ctxs []*Context) ([]WorkloadSummary, error) {
+	out := make([]WorkloadSummary, 0, len(ctxs))
+	for _, c := range ctxs {
+		util, err := analysis.MeanCPUUtilization(c.Monitoring)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WorkloadSummary{
+			Name:        c.Profile.Name,
+			Industry:    c.Profile.Industry,
+			Servers:     len(c.Monitoring.Servers),
+			MeanCPUUtil: util,
+			WebFraction: c.Profile.WebFraction(),
+		})
+	}
+	return out, nil
+}

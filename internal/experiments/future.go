@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmwild/internal/core"
+	"vmwild/internal/migration"
+	"vmwild/internal/predict"
+)
+
+// The Section 7 discussion sketches two improvement directions: shorter
+// consolidation intervals (enabled by faster networks) and more efficient
+// live migration (offloading work from the source host). These experiments
+// quantify both on the reproduced workloads.
+
+// IntervalPoint is one consolidation-interval setting in the Section 7
+// "shorter intervals" study.
+type IntervalPoint struct {
+	IntervalHours int
+	Provisioned   int
+	AvgPowerW     float64
+	Migrations    int
+	ContentionHrs int
+}
+
+// IntervalStudy sweeps the dynamic consolidation interval. Shorter
+// intervals track demand more closely (fewer hosts, less power) at the cost
+// of more migrations — the trade the paper expects better networks to
+// shift.
+func IntervalStudy(c *Context, intervals []int) ([]IntervalPoint, error) {
+	if len(intervals) == 0 {
+		intervals = []int{1, 2, 4, 8}
+	}
+	out := make([]IntervalPoint, 0, len(intervals))
+	for _, h := range intervals {
+		if h < 1 {
+			return nil, fmt.Errorf("experiments: interval %d hours is invalid", h)
+		}
+		in := c.Input()
+		in.IntervalHours = h
+		run, err := c.RunWith(core.Dynamic{}, in)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: interval study @%dh: %w", h, err)
+		}
+		out = append(out, IntervalPoint{
+			IntervalHours: h,
+			Provisioned:   run.Plan.Provisioned,
+			AvgPowerW:     run.Result.AvgPowerWatts(),
+			Migrations:    run.Plan.Migrations,
+			ContentionHrs: run.Result.ContentionHours,
+		})
+	}
+	return out, nil
+}
+
+// PredictorPoint is one predictor's outcome in the sizing-estimator
+// ablation.
+type PredictorPoint struct {
+	Predictor     string
+	Provisioned   int
+	AvgPowerW     float64
+	ContentionHrs int
+	Migrations    int
+}
+
+// PredictorStudy runs the dynamic planner with different interval-peak
+// predictors, isolating how the Prediction step trades provisioning
+// against contention (the paper's Figures 8/9/11 risk).
+func PredictorStudy(c *Context) ([]PredictorPoint, error) {
+	predictors := []predict.Predictor{
+		predict.RecentPeak{Windows: 1},
+		predict.RecentPeak{Windows: 12},
+		predict.EWMA{Alpha: 0.4, Intervals: 48},
+		predict.Periodic{Days: 7, SamplesPerDay: 24},
+		core.DefaultCPUPredictor(),
+	}
+	out := make([]PredictorPoint, 0, len(predictors))
+	for _, p := range predictors {
+		in := c.Input()
+		in.CPUPredictor = p
+		run, err := c.RunWith(core.Dynamic{}, in)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: predictor study %s: %w", p.Name(), err)
+		}
+		out = append(out, PredictorPoint{
+			Predictor:     p.Name(),
+			Provisioned:   run.Plan.Provisioned,
+			AvgPowerW:     run.Result.AvgPowerWatts(),
+			ContentionHrs: run.Result.ContentionHours,
+			Migrations:    run.Plan.Migrations,
+		})
+	}
+	return out, nil
+}
+
+// MechanismRow compares one migration mechanism in the Section 7
+// improved-migration study.
+type MechanismRow struct {
+	Mechanism string
+	// Reservation is the host fraction the mechanism requires.
+	Reservation float64
+	// DowntimeMs is the application-visible pause for a reference 4 GB
+	// busy VM.
+	DowntimeMs float64
+	// TransferredMB is the network cost for that VM.
+	TransferredMB float64
+	// DynamicHosts is the space dynamic consolidation provisions when
+	// the reservation shrinks to what the mechanism needs.
+	DynamicHosts int
+	// BeatsStochastic records whether that beats the stochastic plan.
+	BeatsStochastic bool
+}
+
+// ImprovedMigrationStudy quantifies the paper's closing argument
+// (Observation 7): with a lighter migration mechanism, the reservation
+// shrinks and dynamic consolidation starts winning space too. It compares
+// classical pre-copy against target-driven post-copy on a reference VM and
+// re-plans the workload at each mechanism's reservation.
+func ImprovedMigrationStudy(c *Context) ([]MechanismRow, error) {
+	const refMemMB, refDirty, refWorkingSet = 4096, 40, 1024
+
+	stoch, err := c.Run(core.Stochastic{})
+	if err != nil {
+		return nil, err
+	}
+
+	pre, err := migration.Simulate(refMemMB, refDirty, migration.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	post, err := migration.SimulatePostCopy(refMemMB, refWorkingSet, migration.DefaultPostCopyConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []MechanismRow{
+		{
+			Mechanism:     "pre-copy",
+			Reservation:   migration.ReservationFor(migration.DefaultConfig().SourceCPUOverhead),
+			DowntimeMs:    float64(pre.Downtime.Milliseconds()),
+			TransferredMB: pre.TransferredMB,
+		},
+		{
+			Mechanism:     "post-copy (target-driven)",
+			Reservation:   migration.ReservationFor(migration.DefaultPostCopyConfig().SourceCPUOverhead),
+			DowntimeMs:    float64(post.Downtime.Milliseconds()),
+			TransferredMB: post.TransferredMB,
+		},
+	}
+	for i := range rows {
+		in := c.Input()
+		in.Bound = 1 - rows[i].Reservation
+		plan, err := (core.Dynamic{}).Plan(in)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: improved migration %s: %w", rows[i].Mechanism, err)
+		}
+		rows[i].DynamicHosts = plan.Provisioned
+		rows[i].BeatsStochastic = plan.Provisioned < stoch.Plan.Provisioned
+	}
+	return rows, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import "testing"
+
+func TestIntervalStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner runs")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	points, err := IntervalStudy(c, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Shorter intervals must not migrate less: they re-plan more often.
+	if points[0].Migrations <= points[2].Migrations {
+		t.Errorf("1h interval migrated %d times, 4h %d: shorter intervals should migrate more",
+			points[0].Migrations, points[2].Migrations)
+	}
+	// And they track demand at least as closely on power.
+	if points[0].AvgPowerW > points[2].AvgPowerW*1.1 {
+		t.Errorf("1h power %v should not exceed 4h power %v by >10%%",
+			points[0].AvgPowerW, points[2].AvgPowerW)
+	}
+	if _, err := IntervalStudy(c, []int{0}); err == nil {
+		t.Error("expected error for invalid interval")
+	}
+}
+
+func TestPredictorStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner runs")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	points, err := PredictorStudy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("got %d predictor points", len(points))
+	}
+	byName := make(map[string]PredictorPoint, len(points))
+	for _, p := range points {
+		byName[p.Predictor] = p
+		if p.Provisioned <= 0 {
+			t.Errorf("%s provisioned nothing", p.Predictor)
+		}
+	}
+	// The reactive one-interval predictor under-provisions and contends
+	// more than the weekly-envelope default.
+	reactive, combined := byName["recent-peak-1"], byName["combined"]
+	if reactive.ContentionHrs < combined.ContentionHrs {
+		t.Errorf("reactive predictor contention %d should be >= combined %d",
+			reactive.ContentionHrs, combined.ContentionHrs)
+	}
+	if reactive.Provisioned > combined.Provisioned {
+		t.Errorf("reactive predictor provisioned %d should be <= combined %d",
+			reactive.Provisioned, combined.Provisioned)
+	}
+}
+
+func TestImprovedMigrationStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner runs")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	rows, err := ImprovedMigrationStudy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d mechanisms", len(rows))
+	}
+	pre, post := rows[0], rows[1]
+	if post.Reservation >= pre.Reservation {
+		t.Errorf("post-copy reservation %v should undercut pre-copy %v", post.Reservation, pre.Reservation)
+	}
+	if post.DynamicHosts > pre.DynamicHosts {
+		t.Errorf("lighter reservation should not need more hosts: %d vs %d", post.DynamicHosts, pre.DynamicHosts)
+	}
+	// Observation 7: at the post-copy reservation, dynamic consolidation
+	// overtakes stochastic consolidation on Banking.
+	if !post.BeatsStochastic {
+		t.Error("post-copy reservation should push Banking dynamic below stochastic (Figure 13)")
+	}
+	if pre.BeatsStochastic {
+		t.Error("at the 20%+ pre-copy reservation dynamic must not beat stochastic (Observation 5)")
+	}
+	if post.TransferredMB >= pre.TransferredMB {
+		t.Error("post-copy must move less data for a busy VM")
+	}
+}
+
+func TestExecutionStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner runs")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	rows, err := ExecutionStudy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d mechanisms", len(rows))
+	}
+	pre, post := rows[0], rows[1]
+	if pre.AvgMoves <= 0 {
+		t.Error("dynamic plan should migrate every interval on Banking")
+	}
+	// Post-copy moves memory exactly once: less data, shorter waves.
+	if post.TotalDataGB >= pre.TotalDataGB {
+		t.Errorf("post-copy data %v GB should undercut pre-copy %v GB", post.TotalDataGB, pre.TotalDataGB)
+	}
+	if post.P95 > pre.P95 {
+		t.Errorf("post-copy p95 %v should not exceed pre-copy %v", post.P95, pre.P95)
+	}
+	// The execution must be realizable at all: durations positive, and
+	// the infeasible fraction is a meaningful statistic in [0, 1].
+	if pre.P50 <= 0 || pre.Max < pre.P95 || pre.P95 < pre.P50 {
+		t.Errorf("nonsensical duration distribution: %+v", pre)
+	}
+	if pre.InfeasibleFrac < 0 || pre.InfeasibleFrac > 1 {
+		t.Errorf("infeasible fraction out of range: %v", pre.InfeasibleFrac)
+	}
+}
+
+func TestBladeStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner runs")
+	}
+	c := byName(t, sharedContexts(t), "A")
+	rows, err := BladeStudy(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d blades", len(rows))
+	}
+	elite, standard := rows[0], rows[1]
+	// Observation 3's contrast: without the memory extension the estate
+	// is memory-bound far more often, and every planner needs more (or
+	// equal) hosts.
+	if standard.MemoryBoundFrac <= elite.MemoryBoundFrac {
+		t.Errorf("standard blade memory-bound %.2f should exceed extended blade %.2f",
+			standard.MemoryBoundFrac, elite.MemoryBoundFrac)
+	}
+	if standard.VanillaHosts < elite.VanillaHosts ||
+		standard.StochasticHosts < elite.StochasticHosts ||
+		standard.DynamicHosts < elite.DynamicHosts {
+		t.Errorf("standard blade should not need fewer hosts: %+v vs %+v", standard, elite)
+	}
+	if elite.RatioPerGB != 160 || standard.RatioPerGB != 320 {
+		t.Errorf("ratios = %v / %v", elite.RatioPerGB, standard.RatioPerGB)
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/core"
+	"vmwild/internal/emulator"
+	"vmwild/internal/migration"
+	"vmwild/internal/workload"
+)
+
+// OlioPoint is one throughput level of the Section 4.1 Olio micro-study.
+type OlioPoint struct {
+	TputOpsSec float64
+	CPUCores   float64
+	MemMB      float64
+}
+
+// OlioResult is the micro-study outcome: the resource demand curve and the
+// end-to-end multipliers the paper reports (7.9x CPU, 3x memory for 6x
+// throughput).
+type OlioResult struct {
+	Points        []OlioPoint
+	CPUMultiplier float64
+	MemMultiplier float64
+}
+
+// OlioStudy sweeps the Olio model from 10 to 60 operations per second.
+func OlioStudy() (OlioResult, error) {
+	m := workload.DefaultOlio()
+	var res OlioResult
+	for tput := 10.0; tput <= 60; tput += 10 {
+		cpu, err := m.CPUCores(tput)
+		if err != nil {
+			return OlioResult{}, err
+		}
+		mem, err := m.MemMB(tput)
+		if err != nil {
+			return OlioResult{}, err
+		}
+		res.Points = append(res.Points, OlioPoint{TputOpsSec: tput, CPUCores: cpu, MemMB: mem})
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	res.CPUMultiplier = last.CPUCores / first.CPUCores
+	res.MemMultiplier = last.MemMB / first.MemMB
+	return res, nil
+}
+
+// MigrationPoint is one cell of the Section 4.3 migration study.
+type MigrationPoint struct {
+	MemGB     float64
+	DirtyMBps float64
+	Result    migration.Result
+}
+
+// MigrationStudy sweeps VM memory sizes and dirty rates through the
+// pre-copy model, reproducing the published magnitudes (tens of seconds of
+// migration, sub-second downtime when converging) and the divergence regime
+// that motivates reserving host resources for migration.
+func MigrationStudy() ([]MigrationPoint, error) {
+	cfg := migration.DefaultConfig()
+	var out []MigrationPoint
+	for _, memGB := range []float64{1, 2, 4, 8, 16, 32} {
+		for _, dirty := range []float64{1, 20, 40, 80, 105} {
+			res, err := migration.Simulate(memGB*1024, dirty, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, MigrationPoint{MemGB: memGB, DirtyMBps: dirty, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// VerificationResult is one row of the Section 5.2 emulator accuracy study.
+type VerificationResult struct {
+	Workload string
+	P99Error float64
+	// Bound is the paper's published error bound for this workload.
+	Bound float64
+}
+
+// EmulatorVerification replays the context's vanilla semi-static placement
+// against the noisy testbed model with the RUBiS- and daxpy-like noise
+// profiles, reproducing the paper's accuracy bounds (99th-percentile error
+// at most 5% and 2% respectively).
+func EmulatorVerification(c *Context) ([]VerificationResult, error) {
+	run, err := c.Run(core.SemiStatic{})
+	if err != nil {
+		return nil, err
+	}
+	profiles := []struct {
+		noise emulator.NoiseProfile
+		bound float64
+	}{
+		{noise: emulator.RUBiSNoise, bound: 0.05},
+		{noise: emulator.DaxpyNoise, bound: 0.02},
+	}
+	var out []VerificationResult
+	for _, p := range profiles {
+		p99, err := emulator.VerifyAccuracy(c.Evaluation, run.Plan.Schedule, c.Evaluation.Servers[0].Series.Len(), c.EmulatorConfig(), p.noise, c.Config.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: verify %s: %w", p.noise.Name, err)
+		}
+		out = append(out, VerificationResult{Workload: p.noise.Name, P99Error: p99, Bound: p.bound})
+	}
+	return out, nil
+}
+
+// Table3 returns the baseline experimental settings, checking they match
+// the paper's Table 3.
+type Setting struct {
+	Metric string
+	Value  string
+}
+
+// Table3 lists the baseline settings.
+func Table3() []Setting {
+	return []Setting{
+		{Metric: "Experiment Duration", Value: "14 days"},
+		{Metric: "Dynamic Consolidation Interval", Value: "2 hours"},
+		{Metric: "Number of Intervals", Value: "168"},
+		{Metric: "CPU reserved for VMotion", Value: "20%"},
+		{Metric: "Memory reserved for VMotion", Value: "20%"},
+	}
+}
+
+// CheckTable3 validates the code constants against Table 3.
+func CheckTable3() error {
+	if workload.EvaluationHours/core.DefaultIntervalHours != 168 {
+		return errors.New("experiments: interval count drifted from Table 3's 168")
+	}
+	if core.DefaultBound != 0.8 {
+		return errors.New("experiments: migration reservation drifted from Table 3's 20%")
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package migration
+
+import "testing"
+
+func BenchmarkSimulate(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(4096, 40, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateCost(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateCost(4096, 0.5, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

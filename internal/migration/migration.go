@@ -1,0 +1,199 @@
+// Package migration models live VM migration (Section 4.3): the iterative
+// pre-copy algorithm every mainstream hypervisor implements [6, 18], the
+// resources it consumes, and the reliability envelope within which a
+// migration can be expected to complete.
+//
+// During pre-copy, the VM's memory is copied to the target while it keeps
+// running; pages dirtied during a round are re-sent in the next round. The
+// pre-copy converges when few dirty pages remain (short stop-and-copy
+// downtime) and diverges when the dirty rate approaches the link bandwidth.
+// The model reproduces the published magnitudes: tens of seconds of total
+// migration time and sub-second downtime for typical VMs on gigabit links,
+// and the 20-30% host resource reservation required for reliable migration
+// (Observation 4).
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Config parameterizes the pre-copy model.
+type Config struct {
+	// LinkMBps is the usable migration bandwidth in MB/s (a dedicated
+	// gigabit link sustains roughly 110 MB/s).
+	LinkMBps float64
+	// StopCopyMB is the dirty-set size below which the hypervisor stops
+	// the VM and copies the remainder.
+	StopCopyMB float64
+	// MaxRounds bounds pre-copy iterations before forcing stop-and-copy.
+	MaxRounds int
+	// MinProgress is the minimum per-round shrink factor; if a round
+	// leaves more than MinProgress of the previous dirty set, the
+	// hypervisor gives up converging and stops the VM (the "dirty pages
+	// do not reduce between rounds" condition of Section 4.3).
+	MinProgress float64
+	// SourceCPUOverhead is the fraction of one host's CPU consumed on
+	// the source while a migration is in flight; Clark et al. report
+	// roughly 10-30% worth of interference (we default to 0.2, and the
+	// paper's Observation 4 reserves 20% for it).
+	SourceCPUOverhead float64
+}
+
+// DefaultConfig returns a configuration calibrated to the published
+// numbers: Clark et al. [6] report ~62 s migrations with 210 ms downtime
+// for a busy web server over gigabit Ethernet.
+func DefaultConfig() Config {
+	return Config{
+		LinkMBps:          110,
+		StopCopyMB:        24,
+		MaxRounds:         30,
+		MinProgress:       0.95,
+		SourceCPUOverhead: 0.20,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.LinkMBps <= 0:
+		return errors.New("migration: link bandwidth must be positive")
+	case c.StopCopyMB <= 0:
+		return errors.New("migration: stop-copy threshold must be positive")
+	case c.MaxRounds < 1:
+		return errors.New("migration: need at least one pre-copy round")
+	case c.MinProgress <= 0 || c.MinProgress > 1:
+		return errors.New("migration: MinProgress must be in (0, 1]")
+	}
+	return nil
+}
+
+// Result summarizes one simulated migration.
+type Result struct {
+	// Duration is total wall-clock migration time.
+	Duration time.Duration
+	// Downtime is the stop-and-copy pause visible to the application.
+	Downtime time.Duration
+	// Rounds is the number of pre-copy iterations performed.
+	Rounds int
+	// TransferredMB is the total data sent, including re-sent dirty
+	// pages; the network cost of the migration.
+	TransferredMB float64
+	// Converged reports whether pre-copy shrank the dirty set below the
+	// stop-copy threshold (false means the hypervisor forced
+	// stop-and-copy on a large remainder).
+	Converged bool
+}
+
+// Simulate runs the pre-copy model for a VM with the given active memory
+// (MB) and page dirty rate (MB/s).
+func Simulate(memMB, dirtyMBps float64, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if memMB <= 0 {
+		return Result{}, errors.New("migration: VM memory must be positive")
+	}
+	if dirtyMBps < 0 {
+		return Result{}, errors.New("migration: dirty rate must be non-negative")
+	}
+
+	var (
+		remaining   = memMB // data to send this round
+		transferred float64
+		elapsed     float64 // seconds
+		rounds      int
+		converged   bool
+	)
+	for rounds = 1; rounds <= cfg.MaxRounds; rounds++ {
+		roundTime := remaining / cfg.LinkMBps
+		transferred += remaining
+		elapsed += roundTime
+		dirtied := dirtyMBps * roundTime
+		if dirtied > memMB {
+			dirtied = memMB
+		}
+		if dirtied <= cfg.StopCopyMB {
+			remaining = dirtied
+			converged = true
+			break
+		}
+		if dirtied > remaining*cfg.MinProgress {
+			// Not converging: dirty set is not shrinking.
+			remaining = dirtied
+			break
+		}
+		remaining = dirtied
+	}
+
+	downtime := remaining / cfg.LinkMBps
+	transferred += remaining
+	elapsed += downtime
+	return Result{
+		Duration:      time.Duration(elapsed * float64(time.Second)),
+		Downtime:      time.Duration(downtime * float64(time.Second)),
+		Rounds:        rounds,
+		TransferredMB: transferred,
+		Converged:     converged,
+	}, nil
+}
+
+// Reliability thresholds (Section 4.3): with ESXi 4.1 the authors observed
+// reliable live migration while host CPU utilization stays below 80% and
+// committed memory below 85%.
+const (
+	MaxReliableCPUUtil = 0.80
+	MaxReliableMemUtil = 0.85
+)
+
+// Reliable reports whether a host at the given CPU and memory utilization
+// can run live migrations dependably.
+func Reliable(cpuUtil, memUtil float64) bool {
+	return cpuUtil < MaxReliableCPUUtil && memUtil < MaxReliableMemUtil
+}
+
+// DefaultReservation is the fraction of host CPU and memory the paper's
+// experiments set aside for live migration (Table 3): a pragmatic 20%,
+// below VMware's official 30% guidance [13, 18] but enough for dependable
+// migrations per Observation 4.
+const DefaultReservation = 0.20
+
+// Cost is the planner-facing cost of migrating a VM, proportional to the
+// data that must cross the network.
+type Cost struct {
+	// DataMB is the expected transfer volume.
+	DataMB float64
+	// Duration is the expected migration time.
+	Duration time.Duration
+}
+
+// EstimateCost predicts the cost of migrating a VM with the given active
+// memory, assuming a moderate dirty rate proportional to its CPU activity
+// (busier VMs dirty more pages).
+func EstimateCost(memMB, cpuUtil float64, cfg Config) (Cost, error) {
+	if memMB <= 0 {
+		return Cost{}, errors.New("migration: VM memory must be positive")
+	}
+	// Dirty rate model: an idle VM dirties ~1 MB/s; a fully busy one
+	// tens of MB/s. Capped below the link bandwidth so estimates stay
+	// finite.
+	dirty := 1 + 40*clamp01(cpuUtil)
+	if dirty > 0.8*cfg.LinkMBps {
+		dirty = 0.8 * cfg.LinkMBps
+	}
+	res, err := Simulate(memMB, dirty, cfg)
+	if err != nil {
+		return Cost{}, fmt.Errorf("estimate cost: %w", err)
+	}
+	return Cost{DataMB: res.TransferredMB, Duration: res.Duration}, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

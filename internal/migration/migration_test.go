@@ -1,0 +1,155 @@
+package migration
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimulateClarkScale(t *testing.T) {
+	// A busy 2 GB web server over gigabit Ethernet should land in the
+	// published magnitude range: tens of seconds of migration, sub-second
+	// downtime (Clark et al. report 62 s / 210 ms for SPECweb).
+	res, err := Simulate(2048, 40, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < 15*time.Second || res.Duration > 120*time.Second {
+		t.Errorf("duration = %v, want tens of seconds", res.Duration)
+	}
+	if res.Downtime > time.Second {
+		t.Errorf("downtime = %v, want sub-second", res.Downtime)
+	}
+	if !res.Converged {
+		t.Error("a 40 MB/s dirty rate on a 110 MB/s link should converge")
+	}
+	if res.TransferredMB < 2048 {
+		t.Errorf("transferred %v MB, must at least copy full memory", res.TransferredMB)
+	}
+}
+
+func TestSimulateIdleVM(t *testing.T) {
+	// An idle VM converges in one round with negligible downtime.
+	res, err := Simulate(1024, 0.5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1 for idle VM", res.Rounds)
+	}
+	if res.Downtime > 100*time.Millisecond {
+		t.Errorf("downtime = %v, want near zero", res.Downtime)
+	}
+}
+
+func TestSimulateNonConverging(t *testing.T) {
+	// Dirty rate at the link bandwidth cannot converge: expect a forced
+	// stop-and-copy with a large downtime.
+	cfg := DefaultConfig()
+	res, err := Simulate(4096, cfg.LinkMBps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("dirty rate at link speed must not converge")
+	}
+	if res.Downtime < 5*time.Second {
+		t.Errorf("downtime = %v, want large for non-converging migration", res.Downtime)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Simulate(0, 1, cfg); err == nil {
+		t.Error("expected error for zero memory")
+	}
+	if _, err := Simulate(100, -1, cfg); err == nil {
+		t.Error("expected error for negative dirty rate")
+	}
+	bad := cfg
+	bad.LinkMBps = 0
+	if _, err := Simulate(100, 1, bad); err == nil {
+		t.Error("expected error for zero bandwidth")
+	}
+	bad = cfg
+	bad.MaxRounds = 0
+	if _, err := Simulate(100, 1, bad); err == nil {
+		t.Error("expected error for zero rounds")
+	}
+	bad = cfg
+	bad.StopCopyMB = 0
+	if _, err := Simulate(100, 1, bad); err == nil {
+		t.Error("expected error for zero stop-copy threshold")
+	}
+	bad = cfg
+	bad.MinProgress = 0
+	if _, err := Simulate(100, 1, bad); err == nil {
+		t.Error("expected error for zero MinProgress")
+	}
+}
+
+func TestReliable(t *testing.T) {
+	tests := []struct {
+		cpu, mem float64
+		want     bool
+	}{
+		{0.5, 0.5, true},
+		{0.79, 0.84, true},
+		{0.80, 0.5, false},
+		{0.5, 0.85, false},
+		{0.9, 0.9, false},
+	}
+	for _, tt := range tests {
+		if got := Reliable(tt.cpu, tt.mem); got != tt.want {
+			t.Errorf("Reliable(%v, %v) = %v, want %v", tt.cpu, tt.mem, got, tt.want)
+		}
+	}
+}
+
+func TestEstimateCost(t *testing.T) {
+	cfg := DefaultConfig()
+	idle, err := EstimateCost(2048, 0.05, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := EstimateCost(2048, 0.9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.DataMB <= idle.DataMB {
+		t.Errorf("busy VM should cost more: busy %v MB vs idle %v MB", busy.DataMB, idle.DataMB)
+	}
+	if busy.Duration <= idle.Duration {
+		t.Errorf("busy VM should take longer: %v vs %v", busy.Duration, idle.Duration)
+	}
+	if _, err := EstimateCost(0, 0.5, cfg); err == nil {
+		t.Error("expected error for zero memory")
+	}
+}
+
+// Property: more memory never migrates faster, and transfers never shrink.
+func TestQuickMonotoneInMemory(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(memRaw, dirtyRaw uint16) bool {
+		mem := float64(memRaw%32768) + 64
+		dirty := float64(dirtyRaw % 80)
+		small, err := Simulate(mem, dirty, cfg)
+		if err != nil {
+			return false
+		}
+		big, err := Simulate(mem*2, dirty, cfg)
+		if err != nil {
+			return false
+		}
+		return big.TransferredMB >= small.TransferredMB && big.Duration >= small.Duration
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservationConstant(t *testing.T) {
+	if DefaultReservation != 0.20 {
+		t.Errorf("DefaultReservation = %v, paper's Table 3 uses 0.20", DefaultReservation)
+	}
+}

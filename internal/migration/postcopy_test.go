@@ -1,0 +1,94 @@
+package migration
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatePostCopy(t *testing.T) {
+	cfg := DefaultPostCopyConfig()
+	res, err := SimulatePostCopy(2048, 512, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downtime is the fixed switch, independent of memory size.
+	if res.Downtime != 60*time.Millisecond {
+		t.Errorf("downtime = %v, want 60ms", res.Downtime)
+	}
+	// 512 MB working set at 110 MB/s: ~4.65s degraded.
+	if res.DegradedWindow < 4*time.Second || res.DegradedWindow > 6*time.Second {
+		t.Errorf("degraded window = %v, want ~4.7s", res.DegradedWindow)
+	}
+	if res.TransferredMB != 2048 {
+		t.Errorf("transferred = %v, post-copy moves memory exactly once", res.TransferredMB)
+	}
+	if res.Duration <= res.DegradedWindow {
+		t.Error("total duration must exceed the degraded window")
+	}
+}
+
+func TestPostCopyVsPreCopy(t *testing.T) {
+	// For a busy VM, post-copy transfers less data (no dirty re-sends)
+	// and has constant downtime.
+	pre, err := Simulate(4096, 60, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := SimulatePostCopy(4096, 1024, DefaultPostCopyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.TransferredMB >= pre.TransferredMB {
+		t.Errorf("post-copy transferred %v MB, pre-copy %v MB: post must be smaller for busy VMs",
+			post.TransferredMB, pre.TransferredMB)
+	}
+	// Bigger memory never reduces post-copy downtime variance: it is
+	// constant by construction.
+	post2, err := SimulatePostCopy(32768, 1024, DefaultPostCopyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post2.Downtime != post.Downtime {
+		t.Error("post-copy downtime must not depend on memory size")
+	}
+}
+
+func TestSimulatePostCopyErrors(t *testing.T) {
+	cfg := DefaultPostCopyConfig()
+	if _, err := SimulatePostCopy(0, 0, cfg); err == nil {
+		t.Error("expected error for zero memory")
+	}
+	if _, err := SimulatePostCopy(100, -1, cfg); err == nil {
+		t.Error("expected error for negative working set")
+	}
+	if _, err := SimulatePostCopy(100, 200, cfg); err == nil {
+		t.Error("expected error for working set above memory")
+	}
+	bad := cfg
+	bad.LinkMBps = 0
+	if _, err := SimulatePostCopy(100, 10, bad); err == nil {
+		t.Error("expected error for zero bandwidth")
+	}
+	bad = cfg
+	bad.SwitchMs = -1
+	if _, err := SimulatePostCopy(100, 10, bad); err == nil {
+		t.Error("expected error for negative switch time")
+	}
+}
+
+func TestReservationFor(t *testing.T) {
+	pre := ReservationFor(DefaultConfig().SourceCPUOverhead)
+	post := ReservationFor(DefaultPostCopyConfig().SourceCPUOverhead)
+	if pre < 0.2 || pre > 0.3 {
+		t.Errorf("pre-copy reservation = %v, want the paper's ~20-30%% band", pre)
+	}
+	if post >= 0.15 {
+		t.Errorf("post-copy reservation = %v, want below the 15%% crossover of Figure 13", post)
+	}
+	if ReservationFor(-1) != 0.05 {
+		t.Error("reservation floor broken")
+	}
+	if ReservationFor(10) != 0.5 {
+		t.Error("reservation ceiling broken")
+	}
+}

@@ -1,0 +1,119 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Agent is the per-server collector: it polls its Source on the collection
+// interval and streams JSON-line samples to the warehouse, reconnecting
+// with backoff when the connection drops.
+type Agent struct {
+	// Source supplies the samples.
+	Source Source
+	// Addr is the warehouse TCP address.
+	Addr string
+	// Interval is the collection period (the paper's agents collect
+	// every minute).
+	Interval time.Duration
+	// Now abstracts the clock so replayed traces can run on compressed
+	// time; nil uses time.Now.
+	Now func() time.Time
+	// Backoff is the reconnect delay (default 100ms).
+	Backoff time.Duration
+}
+
+// Run collects and ships samples until the context is canceled. It returns
+// nil on cancellation and an error only for unrecoverable configuration
+// problems.
+func (a *Agent) Run(ctx context.Context) error {
+	if a.Source == nil {
+		return errors.New("monitor: agent has no source")
+	}
+	if a.Addr == "" {
+		return errors.New("monitor: agent has no warehouse address")
+	}
+	if a.Interval <= 0 {
+		return errors.New("monitor: agent interval must be positive")
+	}
+	now := a.Now
+	if now == nil {
+		now = time.Now
+	}
+	backoff := a.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+
+	ticker := time.NewTicker(a.Interval)
+	defer ticker.Stop()
+
+	var (
+		conn net.Conn
+		enc  *json.Encoder
+	)
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		sample, err := a.Source.Collect(now())
+		if err != nil {
+			// Sources run dry when their trace ends; stop cleanly.
+			return nil
+		}
+		for attempt := 0; attempt < 2; attempt++ {
+			if conn == nil {
+				c, err := (&net.Dialer{}).DialContext(ctx, "tcp", a.Addr)
+				if err != nil {
+					select {
+					case <-ctx.Done():
+						return nil
+					case <-time.After(backoff):
+					}
+					continue
+				}
+				conn = c
+				enc = json.NewEncoder(conn)
+			}
+			if err := enc.Encode(sample); err != nil {
+				conn.Close()
+				conn, enc = nil, nil
+				continue
+			}
+			break
+		}
+	}
+}
+
+// SendBatch dials the warehouse once and ships the given samples — the bulk
+// path used to backfill history or run deterministic tests without timers.
+func SendBatch(ctx context.Context, addr string, samples []Sample) error {
+	conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("monitor: dial warehouse: %w", err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for _, s := range samples {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("monitor: send sample: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("monitor: flush: %w", err)
+	}
+	return nil
+}

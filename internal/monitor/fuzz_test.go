@@ -1,0 +1,28 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRestore hardens the snapshot loader: arbitrary bytes must never
+// panic the warehouse, and whatever is ingested must keep it queryable.
+func FuzzRestore(f *testing.F) {
+	f.Add(`{"server":"a","ts":"2012-06-04T00:00:00Z","cpuTotalPct":10,"memMB":100}` + "\n")
+	f.Add("{}\n{}\n")
+	f.Add("not json at all")
+	f.Fuzz(func(t *testing.T, input string) {
+		w := NewWarehouse(0)
+		_, _ = w.Restore(strings.NewReader(input))
+		// The warehouse must stay consistent regardless.
+		stat := w.Stats()
+		if stat.Samples < 0 || stat.Servers < 0 {
+			t.Fatalf("negative stats: %+v", stat)
+		}
+		for _, id := range w.Servers() {
+			if w.SampleCount(id) <= 0 {
+				t.Fatalf("listed server %s has no samples", id)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+// Package monitor implements the Monitoring step of the consolidation flow
+// (Sections 2.1 and 3.1): per-server agents collect the Table 1 metric set
+// every minute and stream it over TCP (JSON lines) to a central warehouse,
+// which retains raw samples under a retention policy and aggregates them to
+// the hourly averages consolidation planning consumes.
+package monitor
+
+import (
+	"errors"
+	"time"
+
+	"vmwild/internal/trace"
+)
+
+// Sample is one monitoring observation: the Table 1 metric set.
+type Sample struct {
+	Server    trace.ServerID `json:"server"`
+	Timestamp time.Time      `json:"ts"`
+
+	// CPU metrics.
+	TotalProcessorPct float64 `json:"cpuTotalPct"` // % Total Processor Time
+	PrivilegedPct     float64 `json:"cpuPrivPct"`  // % time in system mode
+	UserPct           float64 `json:"cpuUserPct"`  // % time in user mode
+	ProcQueueLength   float64 `json:"procQueue"`   // processor queue length
+
+	// Memory metrics.
+	PagesPerSec     float64 `json:"pagesPerSec"` // pages in per second
+	MemCommittedMB  float64 `json:"memMB"`       // committed bytes (MB)
+	MemCommittedPct float64 `json:"memPct"`      // % of committed used
+
+	// Disk and network metrics.
+	DASDFreePct float64 `json:"dasdFreePct"` // % time DAS device is free
+	TCPConns    float64 `json:"tcpConns"`    // TCP/IP packets transferred
+	TCPConnsV6  float64 `json:"tcpConnsV6"`  // IPv6 packets transferred
+}
+
+// Validate rejects structurally impossible samples at the warehouse door.
+func (s Sample) Validate() error {
+	switch {
+	case s.Server == "":
+		return errors.New("monitor: sample without server id")
+	case s.Timestamp.IsZero():
+		return errors.New("monitor: sample without timestamp")
+	case s.TotalProcessorPct < 0 || s.TotalProcessorPct > 100:
+		return errors.New("monitor: processor time outside [0, 100]")
+	case s.MemCommittedMB < 0:
+		return errors.New("monitor: negative committed memory")
+	}
+	return nil
+}
+
+// Source produces samples for one server; the agent polls it on its
+// collection interval.
+type Source interface {
+	// Collect returns the sample observed at time t.
+	Collect(t time.Time) (Sample, error)
+}

@@ -1,0 +1,277 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vmwild/internal/trace"
+)
+
+// The query protocol is how consolidation planning pulls data out of the
+// warehouse (Section 3.1: "We get monitored data for consolidation planning
+// from the data warehouse hosted by the central server"). It is JSON
+// lines over TCP: one request object per line, one response object back.
+//
+// Operations:
+//
+//	{"op":"servers"}                        -> {"ok":true,"servers":[...]}
+//	{"op":"stats"}                          -> {"ok":true,"stats":{...}}
+//	{"op":"series","server":"x",
+//	 "cpuRPE2":2000,"memMB":16384,
+//	 "epoch":"2012-06-04T00:00:00Z"}        -> {"ok":true,"samples":[...]}
+//
+// Errors come back as {"ok":false,"error":"..."} and keep the connection
+// usable for further requests.
+
+// queryRequest is the wire format of one request.
+type queryRequest struct {
+	Op      string         `json:"op"`
+	Server  trace.ServerID `json:"server,omitempty"`
+	CPURPE2 float64        `json:"cpuRPE2,omitempty"`
+	MemMB   float64        `json:"memMB,omitempty"`
+	Epoch   time.Time      `json:"epoch,omitempty"`
+}
+
+// querySample is one hourly aggregate on the wire.
+type querySample struct {
+	CPU float64 `json:"cpu"`
+	Mem float64 `json:"mem"`
+}
+
+// queryResponse is the wire format of one response.
+type queryResponse struct {
+	OK      bool             `json:"ok"`
+	Error   string           `json:"error,omitempty"`
+	Servers []trace.ServerID `json:"servers,omitempty"`
+	Stats   *Stat            `json:"stats,omitempty"`
+	Samples []querySample    `json:"samples,omitempty"`
+}
+
+// QueryServer exposes a warehouse over the query protocol.
+type QueryServer struct {
+	warehouse *Warehouse
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+}
+
+// NewQueryServer wraps a warehouse.
+func NewQueryServer(w *Warehouse) *QueryServer {
+	return &QueryServer{
+		warehouse: w,
+		conns:     make(map[net.Conn]struct{}),
+		shutdown:  make(chan struct{}),
+	}
+}
+
+// Listen starts serving queries on addr and returns the bound address.
+func (qs *QueryServer) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: query listen: %w", err)
+	}
+	qs.mu.Lock()
+	qs.lis = lis
+	qs.mu.Unlock()
+	qs.wg.Add(1)
+	go qs.acceptLoop(lis)
+	return lis.Addr().String(), nil
+}
+
+func (qs *QueryServer) acceptLoop(lis net.Listener) {
+	defer qs.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-qs.shutdown:
+				return
+			default:
+				continue
+			}
+		}
+		qs.mu.Lock()
+		qs.conns[conn] = struct{}{}
+		qs.mu.Unlock()
+		qs.wg.Add(1)
+		go qs.serveConn(conn)
+	}
+}
+
+func (qs *QueryServer) serveConn(conn net.Conn) {
+	defer qs.wg.Done()
+	defer func() {
+		conn.Close()
+		qs.mu.Lock()
+		delete(qs.conns, conn)
+		qs.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req queryRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := qs.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (qs *QueryServer) handle(req queryRequest) queryResponse {
+	switch req.Op {
+	case "servers":
+		return queryResponse{OK: true, Servers: qs.warehouse.Servers()}
+	case "stats":
+		s := qs.warehouse.Stats()
+		return queryResponse{OK: true, Stats: &s}
+	case "series":
+		if req.Server == "" {
+			return queryResponse{Error: "series: missing server"}
+		}
+		series, err := qs.warehouse.HourlySeries(req.Server, trace.Spec{CPURPE2: req.CPURPE2, MemMB: req.MemMB}, req.Epoch)
+		if err != nil {
+			return queryResponse{Error: err.Error()}
+		}
+		samples := make([]querySample, series.Len())
+		for i, u := range series.Samples {
+			samples[i] = querySample{CPU: u.CPU, Mem: u.Mem}
+		}
+		return queryResponse{OK: true, Samples: samples}
+	default:
+		return queryResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Close stops the query listener, severs live client connections and waits
+// for the handlers to drain.
+func (qs *QueryServer) Close() error {
+	close(qs.shutdown)
+	qs.mu.Lock()
+	lis := qs.lis
+	for conn := range qs.conns {
+		conn.Close()
+	}
+	qs.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	qs.wg.Wait()
+	return err
+}
+
+// QueryClient is the planner-side client of the query protocol. It holds
+// one connection and is safe for sequential use; create one per goroutine.
+type QueryClient struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// DialQuery connects to a query server.
+func DialQuery(ctx context.Context, addr string) (*QueryClient, error) {
+	conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: dial query server: %w", err)
+	}
+	return &QueryClient{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close releases the connection.
+func (c *QueryClient) Close() error { return c.conn.Close() }
+
+func (c *QueryClient) roundTrip(req queryRequest) (queryResponse, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return queryResponse{}, fmt.Errorf("monitor: send query: %w", err)
+	}
+	var resp queryResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return queryResponse{}, fmt.Errorf("monitor: read response: %w", err)
+	}
+	if !resp.OK {
+		return queryResponse{}, fmt.Errorf("monitor: query failed: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Servers lists the monitored servers.
+func (c *QueryClient) Servers() ([]trace.ServerID, error) {
+	resp, err := c.roundTrip(queryRequest{Op: "servers"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Servers, nil
+}
+
+// Stats fetches warehouse totals.
+func (c *QueryClient) Stats() (Stat, error) {
+	resp, err := c.roundTrip(queryRequest{Op: "stats"})
+	if err != nil {
+		return Stat{}, err
+	}
+	if resp.Stats == nil {
+		return Stat{}, errors.New("monitor: stats response without payload")
+	}
+	return *resp.Stats, nil
+}
+
+// HourlySeries fetches one server's aggregated demand series.
+func (c *QueryClient) HourlySeries(id trace.ServerID, spec trace.Spec, epoch time.Time) (*trace.Series, error) {
+	resp, err := c.roundTrip(queryRequest{
+		Op:      "series",
+		Server:  id,
+		CPURPE2: spec.CPURPE2,
+		MemMB:   spec.MemMB,
+		Epoch:   epoch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]trace.Usage, len(resp.Samples))
+	for i, s := range resp.Samples {
+		samples[i] = trace.Usage{CPU: s.CPU, Mem: s.Mem}
+	}
+	return trace.NewSeries(time.Hour, samples)
+}
+
+// FetchSet pulls every monitored server into a trace set, given each
+// server's hardware spec — the remote analogue of Warehouse.CollectSet and
+// the input to consolidation planning.
+func (c *QueryClient) FetchSet(name string, specs map[trace.ServerID]trace.Spec, epoch time.Time) (*trace.Set, error) {
+	ids, err := c.Servers()
+	if err != nil {
+		return nil, err
+	}
+	set := &trace.Set{Name: name}
+	for _, id := range ids {
+		spec, ok := specs[id]
+		if !ok {
+			return nil, fmt.Errorf("monitor: no spec for server %s", id)
+		}
+		series, err := c.HourlySeries(id, spec, epoch)
+		if err != nil {
+			return nil, err
+		}
+		set.Servers = append(set.Servers, &trace.ServerTrace{ID: id, Spec: spec, Series: series})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

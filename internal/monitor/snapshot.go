@@ -1,0 +1,60 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"vmwild/internal/trace"
+)
+
+// Snapshot writes every retained sample as JSON lines, ordered by server
+// and timestamp — the warehouse's durability path, so a restarted central
+// server does not lose its 30-day planning history.
+func (w *Warehouse) Snapshot(out io.Writer) error {
+	w.mu.Lock()
+	ids := make([]string, 0, len(w.byID))
+	for id := range w.byID {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	// Copy under the lock; encode outside it.
+	var samples []Sample
+	for _, id := range ids {
+		samples = append(samples, w.byID[trace.ServerID(id)]...)
+	}
+	w.mu.Unlock()
+
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	for _, s := range samples {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("monitor: snapshot: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("monitor: snapshot flush: %w", err)
+	}
+	return nil
+}
+
+// Restore ingests a snapshot previously written by Snapshot, applying the
+// warehouse's usual validation and retention. It returns the number of
+// samples read.
+func (w *Warehouse) Restore(in io.Reader) (int, error) {
+	dec := json.NewDecoder(bufio.NewReader(in))
+	n := 0
+	for {
+		var s Sample
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, fmt.Errorf("monitor: restore sample %d: %w", n+1, err)
+		}
+		w.Ingest(s)
+		n++
+	}
+}

@@ -1,0 +1,82 @@
+package monitor
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// TraceSource replays a demand trace as monitoring samples: the per-minute
+// observations jitter around the trace's hourly averages the way an
+// OS-level collector would, and derived metrics (queue length, paging,
+// network counters) are synthesized consistently with the load level.
+type TraceSource struct {
+	// ServerTrace supplies identity, capacity and the hourly series.
+	ServerTrace *trace.ServerTrace
+	// Epoch is the wall-clock time of the first trace sample.
+	Epoch time.Time
+	// JitterSigma is the relative sigma of per-minute noise around the
+	// hourly average (default 0.05).
+	JitterSigma float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewTraceSource builds a source over the given trace with a deterministic
+// jitter stream.
+func NewTraceSource(st *trace.ServerTrace, epoch time.Time, seed int64) (*TraceSource, error) {
+	if st == nil {
+		return nil, errors.New("monitor: nil server trace")
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return &TraceSource{
+		ServerTrace: st,
+		Epoch:       epoch,
+		JitterSigma: 0.05,
+		rng:         rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Collect implements Source.
+func (s *TraceSource) Collect(t time.Time) (Sample, error) {
+	if t.Before(s.Epoch) {
+		return Sample{}, errors.New("monitor: collection before trace epoch")
+	}
+	idx := int(t.Sub(s.Epoch) / s.ServerTrace.Series.Step)
+	if idx >= s.ServerTrace.Series.Len() {
+		return Sample{}, errors.New("monitor: collection beyond trace horizon")
+	}
+	u := s.ServerTrace.Series.Samples[idx]
+
+	s.mu.Lock()
+	jc := stats.LogNormal(s.rng, 0, s.JitterSigma)
+	jm := stats.LogNormal(s.rng, 0, s.JitterSigma/4)
+	queueNoise := s.rng.Float64()
+	netNoise := s.rng.Float64()
+	s.mu.Unlock()
+
+	cpuPct := stats.Clamp(u.CPU/s.ServerTrace.Spec.CPURPE2*100*jc, 0, 100)
+	memMB := stats.Clamp(u.Mem*jm, 0, s.ServerTrace.Spec.MemMB)
+	memPct := memMB / s.ServerTrace.Spec.MemMB * 100
+	return Sample{
+		Server:            s.ServerTrace.ID,
+		Timestamp:         t,
+		TotalProcessorPct: cpuPct,
+		PrivilegedPct:     cpuPct * 0.25,
+		UserPct:           cpuPct * 0.75,
+		ProcQueueLength:   cpuPct / 25 * (0.5 + queueNoise),
+		PagesPerSec:       memPct * 2 * queueNoise,
+		MemCommittedMB:    memMB,
+		MemCommittedPct:   memPct,
+		DASDFreePct:       stats.Clamp(100-cpuPct/2, 0, 100),
+		TCPConns:          cpuPct * 40 * (0.5 + netNoise),
+		TCPConnsV6:        cpuPct * 4 * netNoise,
+	}, nil
+}

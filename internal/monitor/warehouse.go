@@ -1,0 +1,270 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"vmwild/internal/trace"
+)
+
+// Warehouse is the central monitoring store: it accepts JSON-line samples
+// over TCP, retains them under a retention policy, and aggregates them into
+// the hourly-average series consolidation planning consumes.
+type Warehouse struct {
+	// Retention drops samples older than this relative to the newest
+	// sample of the same server (0 keeps everything). The paper's
+	// planners use the most recent 30 days.
+	Retention time.Duration
+
+	mu      sync.Mutex
+	byID    map[trace.ServerID][]Sample
+	dropped int
+
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+}
+
+// NewWarehouse creates an empty warehouse.
+func NewWarehouse(retention time.Duration) *Warehouse {
+	return &Warehouse{
+		Retention: retention,
+		byID:      make(map[trace.ServerID][]Sample),
+		conns:     make(map[net.Conn]struct{}),
+		shutdown:  make(chan struct{}),
+	}
+}
+
+// Listen starts accepting agents on addr (use "127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (w *Warehouse) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: listen: %w", err)
+	}
+	w.lis = lis
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+func (w *Warehouse) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.lis.Accept()
+		if err != nil {
+			select {
+			case <-w.shutdown:
+				return
+			default:
+				// Transient accept error; keep serving.
+				continue
+			}
+		}
+		w.mu.Lock()
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go w.serveConn(conn)
+	}
+}
+
+func (w *Warehouse) serveConn(conn net.Conn) {
+	defer w.wg.Done()
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var s Sample
+		if err := dec.Decode(&s); err != nil {
+			return
+		}
+		w.Ingest(s)
+	}
+}
+
+// Close stops the listener, severs live agent connections (agents
+// reconnect with backoff) and waits for the handlers to drain.
+func (w *Warehouse) Close() error {
+	close(w.shutdown)
+	var err error
+	if w.lis != nil {
+		err = w.lis.Close()
+	}
+	w.mu.Lock()
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+// Ingest stores one sample, applying validation and retention. It is safe
+// for concurrent use and is also the in-process ingestion path.
+func (w *Warehouse) Ingest(s Sample) {
+	if s.Validate() != nil {
+		w.mu.Lock()
+		w.dropped++
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	samples := append(w.byID[s.Server], s)
+	// Keep samples ordered by timestamp; agents usually send in order,
+	// so this is almost always a no-op.
+	for i := len(samples) - 1; i > 0 && samples[i].Timestamp.Before(samples[i-1].Timestamp); i-- {
+		samples[i], samples[i-1] = samples[i-1], samples[i]
+	}
+	if w.Retention > 0 {
+		cutoff := samples[len(samples)-1].Timestamp.Add(-w.Retention)
+		drop := 0
+		for drop < len(samples) && samples[drop].Timestamp.Before(cutoff) {
+			drop++
+		}
+		w.dropped += drop
+		samples = samples[drop:]
+	}
+	w.byID[s.Server] = samples
+}
+
+// Dropped reports how many samples were rejected or expired.
+func (w *Warehouse) Dropped() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Servers lists the monitored server IDs in sorted order.
+func (w *Warehouse) Servers() []trace.ServerID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]trace.ServerID, 0, len(w.byID))
+	for id := range w.byID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SampleCount reports how many samples are retained for a server.
+func (w *Warehouse) SampleCount(id trace.ServerID) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.byID[id])
+}
+
+// HourlySeries aggregates a server's retained samples into hourly averages
+// of CPU demand (converted to RPE2 with the given spec) and committed
+// memory — the warehouse view the planners consume. epoch anchors hour
+// zero.
+func (w *Warehouse) HourlySeries(id trace.ServerID, spec trace.Spec, epoch time.Time) (*trace.Series, error) {
+	w.mu.Lock()
+	samples := append([]Sample(nil), w.byID[id]...)
+	w.mu.Unlock()
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("monitor: no samples for %s", id)
+	}
+	if spec.CPURPE2 <= 0 {
+		return nil, errors.New("monitor: spec has no CPU rating")
+	}
+
+	first := int(samples[0].Timestamp.Sub(epoch) / time.Hour)
+	last := int(samples[len(samples)-1].Timestamp.Sub(epoch) / time.Hour)
+	if first < 0 {
+		return nil, errors.New("monitor: samples precede epoch")
+	}
+	type bucket struct {
+		cpu, mem float64
+		n        int
+	}
+	buckets := make([]bucket, last-first+1)
+	for _, s := range samples {
+		i := int(s.Timestamp.Sub(epoch)/time.Hour) - first
+		buckets[i].cpu += s.TotalProcessorPct / 100 * spec.CPURPE2
+		buckets[i].mem += s.MemCommittedMB
+		buckets[i].n++
+	}
+	out := make([]trace.Usage, len(buckets))
+	for i, b := range buckets {
+		if b.n > 0 {
+			out[i] = trace.Usage{CPU: b.cpu / float64(b.n), Mem: b.mem / float64(b.n)}
+		}
+	}
+	return trace.NewSeries(time.Hour, out)
+}
+
+// CollectSet aggregates every monitored server into a trace set, given each
+// server's hardware spec.
+func (w *Warehouse) CollectSet(name string, specs map[trace.ServerID]trace.Spec, epoch time.Time) (*trace.Set, error) {
+	set := &trace.Set{Name: name}
+	for _, id := range w.Servers() {
+		spec, ok := specs[id]
+		if !ok {
+			return nil, fmt.Errorf("monitor: no spec for server %s", id)
+		}
+		series, err := w.HourlySeries(id, spec, epoch)
+		if err != nil {
+			return nil, err
+		}
+		set.Servers = append(set.Servers, &trace.ServerTrace{ID: id, Spec: spec, Series: series})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Stat summarizes warehouse state for operational visibility.
+type Stat struct {
+	Servers int
+	Samples int
+	Dropped int
+}
+
+// Stats returns current totals.
+func (w *Warehouse) Stats() Stat {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := 0
+	for _, s := range w.byID {
+		total += len(s)
+	}
+	return Stat{Servers: len(w.byID), Samples: total, Dropped: w.dropped}
+}
+
+// WaitForSamples blocks until every listed server has at least n samples or
+// the context expires — a convenience for tests and demos that stream over
+// real sockets.
+func (w *Warehouse) WaitForSamples(ctx context.Context, ids []trace.ServerID, n int) error {
+	for {
+		ready := true
+		for _, id := range ids {
+			if w.SampleCount(id) < n {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

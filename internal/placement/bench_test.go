@@ -1,0 +1,47 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+)
+
+func benchItems(n int, withTails bool) []Item {
+	r := rand.New(rand.NewSource(1))
+	items := make([]Item, n)
+	for i := range items {
+		body := sizing.Demand{CPU: 50 + r.Float64()*300, Mem: 500 + r.Float64()*4000}
+		it := Item{ID: trace.ServerID(fmt.Sprintf("vm%04d", i)), Demand: body}
+		if withTails {
+			it.Tail = sizing.Demand{CPU: body.CPU * (1 + 2*r.Float64()), Mem: body.Mem * 1.2}
+		}
+		items[i] = it
+	}
+	return items
+}
+
+var benchSpec = trace.Spec{CPURPE2: 20480, MemMB: 131072}
+
+func BenchmarkFFDPack1000(b *testing.B) {
+	items := benchItems(1000, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (FFD{HostSpec: benchSpec, Bound: 0.8, RackSize: 14}).Pack(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCPPack1000(b *testing.B) {
+	items := benchItems(1000, true)
+	corr := func(a, c trace.ServerID) float64 { return 0.3 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (PCP{HostSpec: benchSpec, Bound: 1, RackSize: 14, Corr: corr}).Pack(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

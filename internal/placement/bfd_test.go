@@ -1,0 +1,103 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"vmwild/internal/constraints"
+	"vmwild/internal/trace"
+)
+
+func TestBFDPacksTighterOnGapFillCase(t *testing.T) {
+	// Items: 600, 500, 400, 300, 200. FFD puts 500 with 400 (first fit
+	// after 600 rejects 500), BFD picks the snuggest host each time.
+	items := []Item{
+		item("a", 600, 10), item("b", 500, 10), item("c", 400, 10),
+		item("d", 300, 10), item("e", 200, 10),
+	}
+	bfd := BFD{HostSpec: testSpec, Bound: 1, RackSize: 10}
+	p, err := bfd.Pack(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumVMs() != 5 {
+		t.Fatalf("placed %d VMs", p.NumVMs())
+	}
+	// 2000 total demand fits in 2 hosts at best; BFD must achieve it:
+	// h0: 600+400 -> 1000, h1: 500+300+200 -> 1000.
+	if p.NumHosts() != 2 {
+		t.Errorf("BFD used %d hosts, want 2", p.NumHosts())
+	}
+	for _, h := range p.Hosts() {
+		u := p.Used(h.ID)
+		if u.CPU > 1000+1e-9 {
+			t.Errorf("host %s over capacity: %+v", h.ID, u)
+		}
+	}
+}
+
+func TestBFDOversized(t *testing.T) {
+	bfd := BFD{HostSpec: testSpec, Bound: 0.5, RackSize: 10}
+	if _, err := bfd.Pack([]Item{item("big", 800, 10)}); err == nil {
+		t.Error("oversized item must be rejected")
+	}
+}
+
+func TestBFDConstraints(t *testing.T) {
+	bfd := BFD{
+		HostSpec: testSpec, Bound: 1, RackSize: 10,
+		Constraints: constraints.Set{constraints.AntiAffinity{Group: []trace.ServerID{"a", "b"}}},
+	}
+	p, err := bfd.Pack([]Item{item("a", 100, 100), item("b", 100, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := p.HostOf("a")
+	hb, _ := p.HostOf("b")
+	if ha == hb {
+		t.Error("anti-affine VMs share a host")
+	}
+	bad := BFD{
+		HostSpec: testSpec, Bound: 1, RackSize: 10,
+		Constraints: constraints.Set{constraints.PinHost{VM: "a", Host: "h9999"}},
+	}
+	if _, err := bad.Pack([]Item{item("a", 1, 1)}); err == nil {
+		t.Error("unsatisfiable pin should surface an error")
+	}
+}
+
+// Property: BFD is feasible and never uses more hosts than FFD + 1 (both
+// are 2-approximations; in practice BFD <= FFD on these inputs).
+func TestQuickBFDNeverWorseThanFFDPlusOne(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 || len(seeds) > 50 {
+			return true
+		}
+		items := make([]Item, len(seeds))
+		for i, s := range seeds {
+			items[i] = item(fmt.Sprintf("vm%d", i), float64(s%900)+1, float64((s/3)%900)+1)
+		}
+		ffd, err := (FFD{HostSpec: testSpec, Bound: 1, RackSize: 8}).Pack(items)
+		if err != nil {
+			return false
+		}
+		bfd, err := (BFD{HostSpec: testSpec, Bound: 1, RackSize: 8}).Pack(items)
+		if err != nil {
+			return false
+		}
+		if bfd.NumVMs() != len(items) {
+			return false
+		}
+		for _, h := range bfd.Hosts() {
+			u := bfd.Used(h.ID)
+			if u.CPU > 1000+1e-6 || u.Mem > 1000+1e-6 {
+				return false
+			}
+		}
+		return bfd.NumHosts() <= ffd.NumHosts()+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package placement
+
+import (
+	"fmt"
+
+	"vmwild/internal/constraints"
+	"vmwild/internal/trace"
+)
+
+// FFD is the two-dimensional First-Fit-Decreasing packer used by static and
+// vanilla semi-static consolidation: VMs are sorted by dominant normalized
+// demand and dropped into the first host with room, opening new hosts as
+// needed.
+type FFD struct {
+	// HostSpec is the raw capacity of the (identical) target hosts.
+	HostSpec trace.Spec
+	// Bound is the usable fraction of each host in (0, 1]; dynamic
+	// consolidation sets it to 1 minus the live-migration reservation.
+	Bound float64
+	// RackSize is the number of hosts per rack.
+	RackSize int
+	// Constraints veto candidate assignments.
+	Constraints constraints.Set
+}
+
+// Pack places all items and returns the resulting placement.
+func (f FFD) Pack(items []Item) (*Placement, error) {
+	p, err := NewPlacement(f.HostSpec, f.Bound, f.RackSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range sortDecreasing(items, f.HostSpec) {
+		if err := f.place(p, it); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// place puts one item on the first permissible host with room.
+func (f FFD) place(p *Placement, it Item) error {
+	cap := p.Capacity()
+	if it.Demand.CPU > cap.CPU+1e-9 || it.Demand.Mem > cap.Mem+1e-9 {
+		return fmt.Errorf("placement: %s demand (%.0f RPE2, %.0f MB) exceeds host capacity (%.0f RPE2, %.0f MB)",
+			it.ID, it.Demand.CPU, it.Demand.Mem, cap.CPU, cap.Mem)
+	}
+	for _, h := range p.Hosts() {
+		if !p.Fits(h.ID, it.Demand) {
+			continue
+		}
+		if f.Constraints.Permits(it.ID, h.ID, p) != nil {
+			continue
+		}
+		return p.Assign(it, h.ID)
+	}
+	// No existing host works; open fresh hosts until constraints allow
+	// the assignment (pinning constraints may reject arbitrary hosts, so
+	// bound the retries).
+	for attempts := 0; attempts < 1+len(f.Constraints); attempts++ {
+		h := p.OpenHost()
+		if err := f.Constraints.Permits(it.ID, h.ID, p); err != nil {
+			continue
+		}
+		return p.Assign(it, h.ID)
+	}
+	return fmt.Errorf("placement: constraints leave no feasible host for %s", it.ID)
+}

@@ -1,0 +1,162 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vmwild/internal/constraints"
+	"vmwild/internal/trace"
+)
+
+// CorrFunc returns the Pearson correlation of CPU demand between two
+// servers, in [-1, 1].
+type CorrFunc func(a, b trace.ServerID) float64
+
+// PCP is the correlation-aware stochastic packer modeled on [27]. Each VM's
+// body (90th-percentile demand) is reserved outright. Tail buffers
+// (max - body) are pooled per host: the pooled reservation interpolates
+// between root-sum-square pooling (independent peaks) and plain summation
+// (fully correlated peaks) according to the strongest positive pairwise
+// correlation among the co-located VMs:
+//
+//	tailTerm = rho * sum(tails) + (1-rho) * sqrt(sum(tails^2))
+//
+// Using the strongest (not average) correlation keeps the sizing safe: one
+// pair of co-moving workloads is enough to make their peaks coincide, and a
+// production planner must reserve for that. Negatively or un-correlated
+// workloads share their peak headroom, while placing positively correlated
+// workloads together buys nothing — the property that keeps semi-static
+// consolidation honest for workloads whose bursts coincide (Observation 5).
+type PCP struct {
+	// HostSpec is the raw capacity of the target hosts.
+	HostSpec trace.Spec
+	// Bound is the usable fraction of each host in (0, 1].
+	Bound float64
+	// RackSize is the number of hosts per rack.
+	RackSize int
+	// Constraints veto candidate assignments.
+	Constraints constraints.Set
+	// Corr supplies pairwise CPU-demand correlations; nil treats all
+	// pairs as uncorrelated.
+	Corr CorrFunc
+	// MaxAvgCorr, when positive, additionally vetoes hosts whose average
+	// correlation with the candidate would exceed the threshold, forcing
+	// strongly co-moving workloads apart.
+	MaxAvgCorr float64
+}
+
+// hostPool accumulates the per-host tail statistics PCP admission needs.
+type hostPool struct {
+	tailSumCPU, tailSqCPU float64
+	tailSumMem, tailSqMem float64
+	maxCorr               float64
+}
+
+// Pack places all items and returns the resulting placement.
+func (s PCP) Pack(items []Item) (*Placement, error) {
+	p, err := NewPlacement(s.HostSpec, s.Bound, s.RackSize)
+	if err != nil {
+		return nil, err
+	}
+	pools := make(map[string]*hostPool)
+
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	key := func(it Item) float64 {
+		cpu := math.Max(it.Demand.CPU, it.Tail.CPU)
+		mem := math.Max(it.Demand.Mem, it.Tail.Mem)
+		return math.Max(cpu/s.HostSpec.CPURPE2, mem/s.HostSpec.MemMB)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		ki, kj := key(sorted[i]), key(sorted[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+
+	for _, it := range sorted {
+		if err := s.place(p, pools, it); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (s PCP) place(p *Placement, pools map[string]*hostPool, it Item) error {
+	cap := p.Capacity()
+	if it.Tail.CPU > cap.CPU+1e-9 || it.Tail.Mem > cap.Mem+1e-9 || it.Demand.CPU > cap.CPU+1e-9 || it.Demand.Mem > cap.Mem+1e-9 {
+		return fmt.Errorf("placement: %s envelope exceeds host capacity", it.ID)
+	}
+	for _, h := range p.Hosts() {
+		pool := pools[h.ID]
+		ok, corrMax := s.admits(p, pool, h.ID, it)
+		if !ok {
+			continue
+		}
+		if s.Constraints.Permits(it.ID, h.ID, p) != nil {
+			continue
+		}
+		s.commit(p, pools, h.ID, it, corrMax)
+		return p.Assign(it, h.ID)
+	}
+	for attempts := 0; attempts < 1+len(s.Constraints); attempts++ {
+		h := p.OpenHost()
+		pools[h.ID] = &hostPool{}
+		if err := s.Constraints.Permits(it.ID, h.ID, p); err != nil {
+			continue
+		}
+		s.commit(p, pools, h.ID, it, 0)
+		return p.Assign(it, h.ID)
+	}
+	return fmt.Errorf("placement: constraints leave no feasible host for %s", it.ID)
+}
+
+// admits evaluates the PCP envelope test for adding it to host. It returns
+// the candidate's strongest positive correlation against residents so
+// commit can reuse it.
+func (s PCP) admits(p *Placement, pool *hostPool, host string, it Item) (bool, float64) {
+	if pool == nil {
+		return false, 0
+	}
+	residents := p.VMsOn(host)
+	var corrSum, corrMax float64
+	if s.Corr != nil {
+		for _, r := range residents {
+			c := math.Max(0, s.Corr(it.ID, r))
+			corrSum += c
+			corrMax = math.Max(corrMax, c)
+		}
+	}
+	if s.MaxAvgCorr > 0 && len(residents) > 0 {
+		if corrSum/float64(len(residents)) > s.MaxAvgCorr {
+			return false, corrMax
+		}
+	}
+	rho := math.Max(pool.maxCorr, corrMax)
+
+	tail := it.tailBuffer()
+	used := p.Used(host)
+	cap := p.Capacity()
+
+	cpuTerm := rho*(pool.tailSumCPU+tail.CPU) + (1-rho)*math.Sqrt(pool.tailSqCPU+tail.CPU*tail.CPU)
+	if used.CPU+it.Demand.CPU+cpuTerm > cap.CPU+1e-9 {
+		return false, corrSum
+	}
+	memTerm := rho*(pool.tailSumMem+tail.Mem) + (1-rho)*math.Sqrt(pool.tailSqMem+tail.Mem*tail.Mem)
+	if used.Mem+it.Demand.Mem+memTerm > cap.Mem+1e-9 {
+		return false, corrMax
+	}
+	return true, corrMax
+}
+
+func (s PCP) commit(p *Placement, pools map[string]*hostPool, host string, it Item, corrMax float64) {
+	pool := pools[host]
+	tail := it.tailBuffer()
+	pool.maxCorr = math.Max(pool.maxCorr, corrMax)
+	pool.tailSumCPU += tail.CPU
+	pool.tailSqCPU += tail.CPU * tail.CPU
+	pool.tailSumMem += tail.Mem
+	pool.tailSqMem += tail.Mem * tail.Mem
+}

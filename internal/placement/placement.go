@@ -1,0 +1,309 @@
+// Package placement implements the Placement step of the consolidation flow
+// (Section 2.1): assigning sized virtual machines to physical hosts.
+//
+// Two packers are provided. FFD is the two-dimensional First-Fit-Decreasing
+// bin packing used by static and vanilla semi-static consolidation [26].
+// PCP is the correlation-aware stochastic packer modeled on the PCP
+// algorithm of [27]: each VM reserves its body (90th percentile) fully,
+// while tail buffers are shared across co-located VMs in proportion to how
+// correlated their demands are — uncorrelated tails pool (root-sum-square),
+// perfectly correlated tails add up.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"vmwild/internal/constraints"
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+)
+
+// Item is one VM to place: identity plus sized demand. For PCP packing,
+// Tail carries the envelope maximum; for plain FFD it is zero and ignored.
+type Item struct {
+	ID     trace.ServerID
+	Demand sizing.Demand // fully reserved (body) demand
+	Tail   sizing.Demand // envelope maximum; zero value means "no tail"
+}
+
+// tailBuffer returns the slack above the body, never negative.
+func (it Item) tailBuffer() sizing.Demand {
+	return sizing.Demand{
+		CPU: math.Max(0, it.Tail.CPU-it.Demand.CPU),
+		Mem: math.Max(0, it.Tail.Mem-it.Demand.Mem),
+	}
+}
+
+// Host is one physical machine in a placement.
+type Host struct {
+	// ID is unique within the placement ("h0000", "h0001", ...).
+	ID string
+	// Rack groups hosts for rack-affinity constraints.
+	Rack string
+}
+
+// Placement is a mutable assignment of VMs to hosts drawn from an unbounded
+// supply of identical machines. It satisfies constraints.View.
+type Placement struct {
+	// Spec is the raw per-host capacity.
+	Spec trace.Spec
+	// Bound is the usable fraction of each host (1 - migration
+	// reservation).
+	Bound float64
+
+	hosts    []*Host
+	byHost   map[string][]trace.ServerID
+	byVM     map[trace.ServerID]string
+	items    map[trace.ServerID]Item
+	used     map[string]sizing.Demand
+	rackSize int
+}
+
+var _ constraints.View = (*Placement)(nil)
+
+// NewPlacement creates an empty placement over hosts of the given spec.
+// bound is the usable capacity fraction in (0, 1]; rackSize is the number
+// of hosts per rack (minimum 1).
+func NewPlacement(spec trace.Spec, bound float64, rackSize int) (*Placement, error) {
+	if spec.CPURPE2 <= 0 || spec.MemMB <= 0 {
+		return nil, errors.New("placement: host spec must have positive capacities")
+	}
+	if bound <= 0 || bound > 1 {
+		return nil, fmt.Errorf("placement: bound %v outside (0, 1]", bound)
+	}
+	if rackSize < 1 {
+		rackSize = 1
+	}
+	return &Placement{
+		Spec:     spec,
+		Bound:    bound,
+		byHost:   make(map[string][]trace.ServerID),
+		byVM:     make(map[trace.ServerID]string),
+		items:    make(map[trace.ServerID]Item),
+		used:     make(map[string]sizing.Demand),
+		rackSize: rackSize,
+	}, nil
+}
+
+// Hosts returns the opened hosts in creation order. The slice is shared;
+// callers must not modify it.
+func (p *Placement) Hosts() []*Host { return p.hosts }
+
+// NumHosts returns how many hosts are open.
+func (p *Placement) NumHosts() int { return len(p.hosts) }
+
+// NumVMs returns how many VMs are assigned.
+func (p *Placement) NumVMs() int { return len(p.byVM) }
+
+// VMsOn implements constraints.View. The returned slice is shared.
+func (p *Placement) VMsOn(host string) []trace.ServerID { return p.byHost[host] }
+
+// HostOf implements constraints.View.
+func (p *Placement) HostOf(vm trace.ServerID) (string, bool) {
+	h, ok := p.byVM[vm]
+	return h, ok
+}
+
+// RackOf implements constraints.View.
+func (p *Placement) RackOf(host string) string {
+	for _, h := range p.hosts {
+		if h.ID == host {
+			return h.Rack
+		}
+	}
+	return ""
+}
+
+// Item returns the sized demand recorded for a VM.
+func (p *Placement) Item(vm trace.ServerID) (Item, bool) {
+	it, ok := p.items[vm]
+	return it, ok
+}
+
+// Used returns the summed body demand on a host.
+func (p *Placement) Used(host string) sizing.Demand { return p.used[host] }
+
+// Capacity returns the usable per-host capacity (spec scaled by bound).
+func (p *Placement) Capacity() sizing.Demand {
+	return sizing.Demand{CPU: p.Spec.CPURPE2 * p.Bound, Mem: p.Spec.MemMB * p.Bound}
+}
+
+// OpenHost appends a fresh host and returns it.
+func (p *Placement) OpenHost() *Host {
+	idx := len(p.hosts)
+	h := &Host{
+		ID:   "h" + pad(idx),
+		Rack: "r" + pad(idx/p.rackSize),
+	}
+	p.hosts = append(p.hosts, h)
+	return h
+}
+
+// EnsureHost registers a host with the given ID if it is not already part
+// of the placement (the executor replays moves whose targets were opened by
+// a later planning state). The rack is derived from the host's position.
+func (p *Placement) EnsureHost(id string) *Host {
+	for _, h := range p.hosts {
+		if h.ID == id {
+			return h
+		}
+	}
+	h := &Host{ID: id, Rack: "r" + pad(len(p.hosts)/p.rackSize)}
+	p.hosts = append(p.hosts, h)
+	return h
+}
+
+// Fits reports whether adding demand to the host keeps it within the bound.
+func (p *Placement) Fits(host string, d sizing.Demand) bool {
+	u := p.used[host]
+	c := p.Capacity()
+	return u.CPU+d.CPU <= c.CPU+1e-9 && u.Mem+d.Mem <= c.Mem+1e-9
+}
+
+// Assign places the item on the host. It fails if the VM is already placed
+// or the host does not exist.
+func (p *Placement) Assign(it Item, host string) error {
+	if _, dup := p.byVM[it.ID]; dup {
+		return fmt.Errorf("placement: %s already assigned", it.ID)
+	}
+	if _, ok := p.byHost[host]; !ok {
+		found := false
+		for _, h := range p.hosts {
+			if h.ID == host {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("placement: unknown host %s", host)
+		}
+	}
+	p.byHost[host] = append(p.byHost[host], it.ID)
+	p.byVM[it.ID] = host
+	p.items[it.ID] = it
+	u := p.used[host]
+	p.used[host] = sizing.Demand{CPU: u.CPU + it.Demand.CPU, Mem: u.Mem + it.Demand.Mem}
+	return nil
+}
+
+// Remove unassigns a VM and returns its item.
+func (p *Placement) Remove(vm trace.ServerID) (Item, error) {
+	host, ok := p.byVM[vm]
+	if !ok {
+		return Item{}, fmt.Errorf("placement: %s is not assigned", vm)
+	}
+	it := p.items[vm]
+	delete(p.byVM, vm)
+	delete(p.items, vm)
+	vms := p.byHost[host]
+	for i, id := range vms {
+		if id == vm {
+			p.byHost[host] = append(vms[:i], vms[i+1:]...)
+			break
+		}
+	}
+	u := p.used[host]
+	p.used[host] = sizing.Demand{CPU: u.CPU - it.Demand.CPU, Mem: u.Mem - it.Demand.Mem}
+	return it, nil
+}
+
+// UpdateDemand changes the recorded body demand of an assigned VM (dynamic
+// consolidation resizes VMs at every interval) and adjusts host accounting.
+func (p *Placement) UpdateDemand(vm trace.ServerID, d sizing.Demand) error {
+	host, ok := p.byVM[vm]
+	if !ok {
+		return fmt.Errorf("placement: %s is not assigned", vm)
+	}
+	it := p.items[vm]
+	u := p.used[host]
+	p.used[host] = sizing.Demand{
+		CPU: u.CPU - it.Demand.CPU + d.CPU,
+		Mem: u.Mem - it.Demand.Mem + d.Mem,
+	}
+	it.Demand = d
+	p.items[vm] = it
+	return nil
+}
+
+// Overloaded returns the IDs of hosts whose body demand exceeds the usable
+// capacity, sorted by ID.
+func (p *Placement) Overloaded() []string {
+	c := p.Capacity()
+	var out []string
+	for _, h := range p.hosts {
+		u := p.used[h.ID]
+		if u.CPU > c.CPU+1e-9 || u.Mem > c.Mem+1e-9 {
+			out = append(out, h.ID)
+		}
+	}
+	return out
+}
+
+// ActiveHosts returns how many hosts have at least one VM.
+func (p *Placement) ActiveHosts() int {
+	n := 0
+	for _, h := range p.hosts {
+		if len(p.byHost[h.ID]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy sharing no mutable state.
+func (p *Placement) Clone() *Placement {
+	c := &Placement{
+		Spec:     p.Spec,
+		Bound:    p.Bound,
+		hosts:    make([]*Host, len(p.hosts)),
+		byHost:   make(map[string][]trace.ServerID, len(p.byHost)),
+		byVM:     make(map[trace.ServerID]string, len(p.byVM)),
+		items:    make(map[trace.ServerID]Item, len(p.items)),
+		used:     make(map[string]sizing.Demand, len(p.used)),
+		rackSize: p.rackSize,
+	}
+	copy(c.hosts, p.hosts)
+	for h, vms := range p.byHost {
+		c.byHost[h] = append([]trace.ServerID(nil), vms...)
+	}
+	for vm, h := range p.byVM {
+		c.byVM[vm] = h
+	}
+	for vm, it := range p.items {
+		c.items[vm] = it
+	}
+	for h, u := range p.used {
+		c.used[h] = u
+	}
+	return c
+}
+
+func pad(i int) string {
+	s := strconv.Itoa(i)
+	for len(s) < 4 {
+		s = "0" + s
+	}
+	return s
+}
+
+// sortDecreasing orders items by their dominant normalized demand, largest
+// first (the "decreasing" in FFD), tie-broken by ID for determinism.
+func sortDecreasing(items []Item, spec trace.Spec) []Item {
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	key := func(it Item) float64 {
+		return math.Max(it.Demand.CPU/spec.CPURPE2, it.Demand.Mem/spec.MemMB)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		ki, kj := key(sorted[i]), key(sorted[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	return sorted
+}

@@ -1,0 +1,336 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"vmwild/internal/constraints"
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+)
+
+var testSpec = trace.Spec{CPURPE2: 1000, MemMB: 1000}
+
+func item(id string, cpu, mem float64) Item {
+	return Item{ID: trace.ServerID(id), Demand: sizing.Demand{CPU: cpu, Mem: mem}}
+}
+
+func TestNewPlacementValidation(t *testing.T) {
+	if _, err := NewPlacement(trace.Spec{}, 1, 1); err == nil {
+		t.Error("expected error for empty spec")
+	}
+	if _, err := NewPlacement(testSpec, 0, 1); err == nil {
+		t.Error("expected error for zero bound")
+	}
+	if _, err := NewPlacement(testSpec, 1.5, 1); err == nil {
+		t.Error("expected error for bound > 1")
+	}
+}
+
+func TestPlacementAssignRemove(t *testing.T) {
+	p, err := NewPlacement(testSpec, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.OpenHost()
+	if h.ID != "h0000" || h.Rack != "r0000" {
+		t.Errorf("host = %+v", h)
+	}
+	it := item("a", 100, 200)
+	if err := p.Assign(it, h.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Assign(it, h.ID); err == nil {
+		t.Error("double assignment should fail")
+	}
+	if err := p.Assign(item("b", 1, 1), "nope"); err == nil {
+		t.Error("unknown host should fail")
+	}
+	if got := p.Used(h.ID); got.CPU != 100 || got.Mem != 200 {
+		t.Errorf("Used = %+v", got)
+	}
+	if host, ok := p.HostOf("a"); !ok || host != h.ID {
+		t.Errorf("HostOf = %v %v", host, ok)
+	}
+	if p.ActiveHosts() != 1 || p.NumVMs() != 1 {
+		t.Error("active host / VM accounting wrong")
+	}
+	removed, err := p.Remove("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.ID != "a" {
+		t.Errorf("removed %v", removed.ID)
+	}
+	if got := p.Used(h.ID); got.CPU != 0 || got.Mem != 0 {
+		t.Errorf("Used after remove = %+v", got)
+	}
+	if _, err := p.Remove("a"); err == nil {
+		t.Error("removing unassigned VM should fail")
+	}
+	if p.ActiveHosts() != 0 {
+		t.Error("host should be inactive after removal")
+	}
+}
+
+func TestPlacementRacks(t *testing.T) {
+	p, err := NewPlacement(testSpec, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hosts []*Host
+	for i := 0; i < 4; i++ {
+		hosts = append(hosts, p.OpenHost())
+	}
+	if p.RackOf(hosts[0].ID) != p.RackOf(hosts[1].ID) {
+		t.Error("first two hosts should share a rack")
+	}
+	if p.RackOf(hosts[0].ID) == p.RackOf(hosts[2].ID) {
+		t.Error("third host should start a new rack")
+	}
+	if p.RackOf("unknown") != "" {
+		t.Error("unknown host should have empty rack")
+	}
+}
+
+func TestPlacementClone(t *testing.T) {
+	p, err := NewPlacement(testSpec, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.OpenHost()
+	if err := p.Assign(item("a", 10, 10), h.ID); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if _, err := c.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.HostOf("a"); !ok {
+		t.Error("clone mutation leaked into original")
+	}
+	if _, ok := c.HostOf("a"); ok {
+		t.Error("clone did not mutate")
+	}
+}
+
+func TestFFDPack(t *testing.T) {
+	f := FFD{HostSpec: testSpec, Bound: 1, RackSize: 10}
+	// Three 600-CPU items cannot pair: 3 hosts. Two 400s fill the gaps.
+	items := []Item{
+		item("a", 600, 100), item("b", 600, 100), item("c", 600, 100),
+		item("d", 400, 100), item("e", 400, 100),
+	}
+	p, err := f.Pack(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHosts() != 3 {
+		t.Errorf("hosts = %d, want 3 (FFD fills gaps)", p.NumHosts())
+	}
+	if p.NumVMs() != 5 {
+		t.Errorf("placed %d VMs, want 5", p.NumVMs())
+	}
+	// Every host must respect capacity.
+	for _, h := range p.Hosts() {
+		u := p.Used(h.ID)
+		if u.CPU > 1000 || u.Mem > 1000 {
+			t.Errorf("host %s over capacity: %+v", h.ID, u)
+		}
+	}
+}
+
+func TestFFDOversizedItem(t *testing.T) {
+	f := FFD{HostSpec: testSpec, Bound: 0.8, RackSize: 10}
+	if _, err := f.Pack([]Item{item("big", 900, 100)}); err == nil {
+		t.Error("item above the bound must be rejected")
+	}
+}
+
+func TestFFDBound(t *testing.T) {
+	f := FFD{HostSpec: testSpec, Bound: 0.5, RackSize: 10}
+	// Each host only holds 500 CPU: four 300-CPU items need 4 hosts.
+	items := []Item{item("a", 300, 10), item("b", 300, 10), item("c", 300, 10), item("d", 300, 10)}
+	p, err := f.Pack(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHosts() != 4 {
+		t.Errorf("hosts = %d, want 4 under bound 0.5", p.NumHosts())
+	}
+}
+
+func TestFFDMemoryDimension(t *testing.T) {
+	f := FFD{HostSpec: testSpec, Bound: 1, RackSize: 10}
+	// CPU-tiny but memory-heavy items: memory must drive host count.
+	items := []Item{item("a", 10, 700), item("b", 10, 700), item("c", 10, 700)}
+	p, err := f.Pack(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHosts() != 3 {
+		t.Errorf("hosts = %d, want 3 (memory-bound)", p.NumHosts())
+	}
+}
+
+func TestFFDConstraints(t *testing.T) {
+	f := FFD{
+		HostSpec: testSpec, Bound: 1, RackSize: 10,
+		Constraints: constraints.Set{constraints.AntiAffinity{Group: []trace.ServerID{"a", "b"}}},
+	}
+	p, err := f.Pack([]Item{item("a", 100, 100), item("b", 100, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := p.HostOf("a")
+	hb, _ := p.HostOf("b")
+	if ha == hb {
+		t.Error("anti-affine VMs ended up on the same host")
+	}
+}
+
+func TestFFDInfeasibleConstraints(t *testing.T) {
+	f := FFD{
+		HostSpec: testSpec, Bound: 1, RackSize: 10,
+		Constraints: constraints.Set{
+			constraints.PinHost{VM: "a", Host: "h9999"},
+		},
+	}
+	if _, err := f.Pack([]Item{item("a", 1, 1)}); err == nil {
+		t.Error("unsatisfiable pin should surface an error")
+	}
+}
+
+func TestPCPUncorrelatedTailsPool(t *testing.T) {
+	// Four VMs: body 100, tail 500 (buffer 400). Uncorrelated pooling:
+	// bodies 400 + sqrt(4*400^2)=800 -> 1200 > 1000 means 4 don't fit;
+	// three fit: 300 + sqrt(3)*400 = 992.8 <= 1000.
+	mk := func(id string) Item {
+		return Item{
+			ID:     trace.ServerID(id),
+			Demand: sizing.Demand{CPU: 100, Mem: 10},
+			Tail:   sizing.Demand{CPU: 500, Mem: 10},
+		}
+	}
+	s := PCP{HostSpec: testSpec, Bound: 1, RackSize: 10}
+	p, err := s.Pack([]Item{mk("a"), mk("b"), mk("c"), mk("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHosts() != 2 {
+		t.Errorf("hosts = %d, want 2 (3+1 split with pooled tails)", p.NumHosts())
+	}
+	// Fully correlated: every host degenerates to sum of tails like FFD
+	// at max sizing: 100+400 each -> 2 per host.
+	s.Corr = func(a, b trace.ServerID) float64 { return 1 }
+	p, err = s.Pack([]Item{mk("a"), mk("b"), mk("c"), mk("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHosts() != 2 {
+		t.Errorf("hosts = %d, want 2 under full correlation", p.NumHosts())
+	}
+	// And in between the correlated packing must never beat uncorrelated.
+}
+
+func TestPCPMaxAvgCorrVeto(t *testing.T) {
+	mk := func(id string) Item {
+		return Item{
+			ID:     trace.ServerID(id),
+			Demand: sizing.Demand{CPU: 100, Mem: 10},
+			Tail:   sizing.Demand{CPU: 150, Mem: 10},
+		}
+	}
+	s := PCP{
+		HostSpec: testSpec, Bound: 1, RackSize: 10,
+		Corr:       func(a, b trace.ServerID) float64 { return 0.9 },
+		MaxAvgCorr: 0.5,
+	}
+	p, err := s.Pack([]Item{mk("a"), mk("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHosts() != 2 {
+		t.Errorf("hosts = %d, want 2 (correlation veto separates them)", p.NumHosts())
+	}
+}
+
+func TestPCPOversized(t *testing.T) {
+	s := PCP{HostSpec: testSpec, Bound: 0.5, RackSize: 10}
+	over := Item{ID: "big", Demand: sizing.Demand{CPU: 100, Mem: 10}, Tail: sizing.Demand{CPU: 600, Mem: 10}}
+	if _, err := s.Pack([]Item{over}); err == nil {
+		t.Error("envelope above bound must be rejected")
+	}
+}
+
+// Property: FFD never exceeds host capacity and never uses more hosts than
+// items.
+func TestQuickFFDInvariants(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 || len(seeds) > 60 {
+			return true
+		}
+		items := make([]Item, len(seeds))
+		for i, s := range seeds {
+			items[i] = item(
+				fmt.Sprintf("vm%d", i),
+				float64(s%900)+1,
+				float64((s/7)%900)+1,
+			)
+		}
+		p, err := FFD{HostSpec: testSpec, Bound: 1, RackSize: 8}.Pack(items)
+		if err != nil {
+			return false
+		}
+		if p.NumHosts() > len(items) || p.NumVMs() != len(items) {
+			return false
+		}
+		for _, h := range p.Hosts() {
+			u := p.Used(h.ID)
+			if u.CPU > 1000+1e-6 || u.Mem > 1000+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PCP with zero tails equals plain FFD feasibility (bodies only),
+// and host count is within items count.
+func TestQuickPCPInvariants(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 || len(seeds) > 40 {
+			return true
+		}
+		items := make([]Item, len(seeds))
+		for i, s := range seeds {
+			body := float64(s%500) + 1
+			items[i] = Item{
+				ID:     trace.ServerID(fmt.Sprintf("vm%d", i)),
+				Demand: sizing.Demand{CPU: body, Mem: 50},
+				Tail:   sizing.Demand{CPU: body + float64(s%300), Mem: 50},
+			}
+		}
+		p, err := PCP{HostSpec: testSpec, Bound: 1, RackSize: 8}.Pack(items)
+		if err != nil {
+			return false
+		}
+		if p.NumVMs() != len(items) || p.NumHosts() > len(items) {
+			return false
+		}
+		// Bodies alone must always fit the bound.
+		for _, h := range p.Hosts() {
+			if u := p.Used(h.ID); u.CPU > 1000+1e-6 || u.Mem > 1000+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

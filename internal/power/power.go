@@ -1,0 +1,77 @@
+// Package power implements the cost models of Section 5.3: a linear
+// utilization-proportional host power model, and a facilities model that
+// prices servers, racks and raised-floor space.
+package power
+
+import (
+	"errors"
+	"math"
+)
+
+// HostModel is the linear power model of one server: idle draw plus a
+// utilization-proportional component up to peak draw.
+type HostModel struct {
+	IdleWatts float64
+	PeakWatts float64
+}
+
+// Watts returns the draw at the given CPU utilization in [0, 1]; a powered
+// off host draws nothing (use Off).
+func (m HostModel) Watts(util float64) float64 {
+	u := math.Max(0, math.Min(1, util))
+	return m.IdleWatts + (m.PeakWatts-m.IdleWatts)*u
+}
+
+// Off is the draw of a powered-off host.
+func (m HostModel) Off() float64 { return 0 }
+
+// Validate checks the model is physically sensible.
+func (m HostModel) Validate() error {
+	if m.IdleWatts <= 0 || m.PeakWatts <= m.IdleWatts {
+		return errors.New("power: need 0 < idle < peak watts")
+	}
+	return nil
+}
+
+// Facilities prices the space-and-hardware side of a data center: the
+// paper's "most important cost parameter", derived from server count, rack
+// occupancy and raised-floor footprint.
+type Facilities struct {
+	// ServerCost is the hardware cost of one server (normalized units).
+	ServerCost float64
+	// RackCost is the cost of one rack (enclosure, switching, PDU).
+	RackCost float64
+	// FloorCostPerRack is the raised-floor cost attributable to one
+	// rack position.
+	FloorCostPerRack float64
+	// ServersPerRack is the rack density of the chosen server model.
+	ServersPerRack int
+}
+
+// DefaultFacilities returns the facilities model used in the experiments,
+// sized for HS23-class blades (14 per chassis/rack unit).
+func DefaultFacilities() Facilities {
+	return Facilities{ServerCost: 1, RackCost: 4, FloorCostPerRack: 2, ServersPerRack: 14}
+}
+
+// SpaceCost returns the facilities cost of provisioning n servers.
+func (f Facilities) SpaceCost(n int) (float64, error) {
+	if n < 0 {
+		return 0, errors.New("power: negative server count")
+	}
+	if f.ServersPerRack < 1 {
+		return 0, errors.New("power: need at least one server per rack")
+	}
+	racks := (n + f.ServersPerRack - 1) / f.ServersPerRack
+	return float64(n)*f.ServerCost + float64(racks)*(f.RackCost+f.FloorCostPerRack), nil
+}
+
+// EnergyKWh converts a sequence of hourly aggregate power samples (watts)
+// into energy.
+func EnergyKWh(hourlyWatts []float64) float64 {
+	var total float64
+	for _, w := range hourlyWatts {
+		total += w
+	}
+	return total / 1000
+}

@@ -1,0 +1,90 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHostModelWatts(t *testing.T) {
+	m := HostModel{IdleWatts: 100, PeakWatts: 300}
+	tests := []struct {
+		util, want float64
+	}{
+		{0, 100},
+		{0.5, 200},
+		{1, 300},
+		{-0.5, 100}, // clamped
+		{1.5, 300},  // clamped
+	}
+	for _, tt := range tests {
+		if got := m.Watts(tt.util); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Watts(%v) = %v, want %v", tt.util, got, tt.want)
+		}
+	}
+	if m.Off() != 0 {
+		t.Error("powered-off host must draw nothing")
+	}
+}
+
+func TestHostModelValidate(t *testing.T) {
+	if err := (HostModel{IdleWatts: 100, PeakWatts: 300}).Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	for _, m := range []HostModel{{}, {IdleWatts: 100, PeakWatts: 100}, {IdleWatts: -1, PeakWatts: 10}} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("invalid model %+v accepted", m)
+		}
+	}
+}
+
+func TestSpaceCost(t *testing.T) {
+	f := Facilities{ServerCost: 1, RackCost: 4, FloorCostPerRack: 2, ServersPerRack: 10}
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0},
+		{1, 1 + 6},    // one server, one rack
+		{10, 10 + 6},  // exactly one rack
+		{11, 11 + 12}, // spills into a second rack
+	}
+	for _, tt := range tests {
+		got, err := f.SpaceCost(tt.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("SpaceCost(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+	if _, err := f.SpaceCost(-1); err == nil {
+		t.Error("expected error for negative count")
+	}
+	if _, err := (Facilities{}).SpaceCost(1); err == nil {
+		t.Error("expected error for zero rack density")
+	}
+}
+
+func TestSpaceCostMonotone(t *testing.T) {
+	f := DefaultFacilities()
+	prev := -1.0
+	for n := 0; n <= 100; n++ {
+		got, err := f.SpaceCost(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Fatalf("SpaceCost(%d) = %v decreased from %v", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEnergyKWh(t *testing.T) {
+	if got := EnergyKWh([]float64{1000, 1000, 500}); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("EnergyKWh = %v, want 2.5", got)
+	}
+	if EnergyKWh(nil) != 0 {
+		t.Error("no samples means no energy")
+	}
+}

@@ -1,0 +1,258 @@
+// Package predict implements the Prediction step of the consolidation flow
+// (Section 2.1): estimating a server's peak demand over the next
+// consolidation interval from its monitored history.
+//
+// Dynamic consolidation sizes each VM at the "estimated peak demand in the
+// consolidation window" (Section 5.1); the estimate has to come from
+// history, and the gap between estimate and realized demand is exactly what
+// produces the resource contention the paper reports for bursty workloads
+// (Figures 8, 9 and 11).
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/stats"
+)
+
+// Predictor estimates the peak demand of the next interval samples given
+// the full demand history up to now.
+type Predictor interface {
+	// PredictPeak returns the estimated peak over the next interval
+	// samples. history holds all samples before the interval being
+	// predicted, oldest first.
+	PredictPeak(history []float64, interval int) (float64, error)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// RecentPeak predicts the next interval's peak as the maximum over the most
+// recent Windows intervals.
+type RecentPeak struct {
+	// Windows is how many trailing intervals to consider; at least 1.
+	Windows int
+}
+
+// PredictPeak implements Predictor.
+func (p RecentPeak) PredictPeak(history []float64, interval int) (float64, error) {
+	if err := check(history, interval); err != nil {
+		return 0, err
+	}
+	w := p.Windows
+	if w < 1 {
+		w = 1
+	}
+	n := w * interval
+	if n > len(history) {
+		n = len(history)
+	}
+	return stats.Max(history[len(history)-n:]), nil
+}
+
+// Name implements Predictor.
+func (p RecentPeak) Name() string { return fmt.Sprintf("recent-peak-%d", p.Windows) }
+
+// Periodic predicts the next interval's peak from the same time window on
+// previous days: the maximum across the last Days occurrences of the
+// interval at the same daily offset.
+type Periodic struct {
+	// Days is how many previous days to consider; at least 1.
+	Days int
+	// SamplesPerDay is the number of samples in one day (24 for hourly).
+	SamplesPerDay int
+}
+
+// PredictPeak implements Predictor.
+func (p Periodic) PredictPeak(history []float64, interval int) (float64, error) {
+	if err := check(history, interval); err != nil {
+		return 0, err
+	}
+	spd := p.SamplesPerDay
+	if spd <= 0 {
+		spd = 24
+	}
+	days := p.Days
+	if days < 1 {
+		days = 1
+	}
+	var peak float64
+	found := false
+	for d := 1; d <= days; d++ {
+		start := len(history) - d*spd
+		if start < 0 {
+			break
+		}
+		end := start + interval
+		if end > len(history) {
+			end = len(history)
+		}
+		peak = max(peak, stats.Max(history[start:end]))
+		found = true
+	}
+	if !found {
+		// Not a full day of history yet; fall back to the global max.
+		return stats.Max(history), nil
+	}
+	return peak, nil
+}
+
+// Name implements Predictor.
+func (p Periodic) Name() string { return fmt.Sprintf("periodic-%dd", p.Days) }
+
+// Combined predicts the maximum of several predictors, scaled by a safety
+// headroom factor — the pragmatic estimator our dynamic planner uses: the
+// larger of "what just happened" and "what happens at this time of day".
+type Combined struct {
+	// Predictors are consulted in order; all must succeed.
+	Predictors []Predictor
+	// Headroom scales the estimate (1.0 = none).
+	Headroom float64
+}
+
+// PredictPeak implements Predictor.
+func (c Combined) PredictPeak(history []float64, interval int) (float64, error) {
+	if len(c.Predictors) == 0 {
+		return 0, errors.New("predict: combined predictor needs at least one component")
+	}
+	var peak float64
+	for _, p := range c.Predictors {
+		v, err := p.PredictPeak(history, interval)
+		if err != nil {
+			return 0, fmt.Errorf("predict: %s: %w", p.Name(), err)
+		}
+		peak = max(peak, v)
+	}
+	h := c.Headroom
+	if h <= 0 {
+		h = 1
+	}
+	return peak * h, nil
+}
+
+// Name implements Predictor.
+func (c Combined) Name() string { return "combined" }
+
+// EWMA predicts the next interval's peak as an exponentially weighted
+// moving average of past interval peaks — smoother but slower to react than
+// RecentPeak.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]; larger reacts faster.
+	Alpha float64
+	// Intervals bounds how much history to fold in (0 = all).
+	Intervals int
+}
+
+// PredictPeak implements Predictor.
+func (e EWMA) PredictPeak(history []float64, interval int) (float64, error) {
+	if err := check(history, interval); err != nil {
+		return 0, err
+	}
+	alpha := e.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	// Walk interval peaks oldest to newest.
+	start := 0
+	if e.Intervals > 0 {
+		if s := len(history) - e.Intervals*interval; s > 0 {
+			start = s
+		}
+	}
+	var (
+		est    float64
+		seeded bool
+	)
+	for i := start; i < len(history); i += interval {
+		end := i + interval
+		if end > len(history) {
+			end = len(history)
+		}
+		peak := stats.Max(history[i:end])
+		if !seeded {
+			est, seeded = peak, true
+			continue
+		}
+		est = alpha*peak + (1-alpha)*est
+	}
+	return est, nil
+}
+
+// Name implements Predictor.
+func (e EWMA) Name() string { return fmt.Sprintf("ewma-%.2f", e.Alpha) }
+
+// Oracle "predicts" using the actual future demand. It is the upper bound
+// used to isolate prediction error from packing effects in ablations.
+type Oracle struct {
+	// Future holds the actual samples that follow the history, oldest
+	// first.
+	Future []float64
+}
+
+// PredictPeak implements Predictor. The history argument selects no data;
+// the oracle reads the true next interval from Future.
+func (o Oracle) PredictPeak(history []float64, interval int) (float64, error) {
+	if interval < 1 {
+		return 0, errors.New("predict: interval must be at least 1")
+	}
+	if len(o.Future) == 0 {
+		return 0, errors.New("predict: oracle has no future samples")
+	}
+	n := interval
+	if n > len(o.Future) {
+		n = len(o.Future)
+	}
+	return stats.Max(o.Future[:n]), nil
+}
+
+// Name implements Predictor.
+func (o Oracle) Name() string { return "oracle" }
+
+func check(history []float64, interval int) error {
+	if interval < 1 {
+		return errors.New("predict: interval must be at least 1")
+	}
+	if len(history) == 0 {
+		return errors.New("predict: empty history")
+	}
+	return nil
+}
+
+// Error quantifies a predictor on a held-out series: it walks the series
+// interval by interval and returns the mean relative under-prediction of
+// interval peaks (0 = never under-predicts), the quantity that drives
+// contention risk.
+func Error(p Predictor, series []float64, warmup, interval int) (float64, error) {
+	if interval < 1 {
+		return 0, errors.New("predict: interval must be at least 1")
+	}
+	if warmup < interval || warmup >= len(series) {
+		return 0, errors.New("predict: warmup must cover at least one interval and leave samples to score")
+	}
+	var (
+		total float64
+		n     int
+	)
+	for start := warmup; start < len(series); start += interval {
+		end := start + interval
+		if end > len(series) {
+			end = len(series)
+		}
+		actual := stats.Max(series[start:end])
+		if actual <= 0 {
+			continue
+		}
+		est, err := p.PredictPeak(series[:start], interval)
+		if err != nil {
+			return 0, err
+		}
+		if under := (actual - est) / actual; under > 0 {
+			total += under
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("predict: no intervals scored")
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,160 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecentPeak(t *testing.T) {
+	history := []float64{1, 2, 9, 1, 1, 3}
+	tests := []struct {
+		name    string
+		windows int
+		want    float64
+	}{
+		{name: "one window sees last 2 samples", windows: 1, want: 3},
+		{name: "two windows see the spike in the last 4", windows: 2, want: 9},
+		{name: "three windows see the spike", windows: 3, want: 9},
+		{name: "zero windows coerced to 1", windows: 0, want: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := RecentPeak{Windows: tt.windows}.PredictPeak(history, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("PredictPeak = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRecentPeakErrors(t *testing.T) {
+	if _, err := (RecentPeak{Windows: 1}).PredictPeak(nil, 2); err == nil {
+		t.Error("expected error for empty history")
+	}
+	if _, err := (RecentPeak{Windows: 1}).PredictPeak([]float64{1}, 0); err == nil {
+		t.Error("expected error for zero interval")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	// Two days of 4-sample "days": day 0 = {1,5,1,1}, day 1 = {1,8,1,1}.
+	history := []float64{1, 5, 1, 1, 1, 8, 1, 1}
+	// Predicting the interval that starts now (daily offset 0): looks at
+	// offset 0 of previous days.
+	p := Periodic{Days: 2, SamplesPerDay: 4}
+	got, err := p.PredictPeak(history, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last day window [4,6) = {1,8}, two days ago [0,2) = {1,5} -> 8.
+	if got != 8 {
+		t.Errorf("PredictPeak = %v, want 8", got)
+	}
+	// With less than one day of history it falls back to the global max.
+	got, err = p.PredictPeak([]float64{2, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("fallback PredictPeak = %v, want 7", got)
+	}
+}
+
+func TestCombined(t *testing.T) {
+	history := []float64{1, 2, 9, 1, 1, 3}
+	c := Combined{
+		Predictors: []Predictor{RecentPeak{Windows: 1}, RecentPeak{Windows: 3}},
+		Headroom:   1.1,
+	}
+	got, err := c.PredictPeak(history, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-9.9) > 1e-9 {
+		t.Errorf("PredictPeak = %v, want 9.9", got)
+	}
+	if _, err := (Combined{}).PredictPeak(history, 2); err == nil {
+		t.Error("expected error for empty combined predictor")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	// Interval peaks: 4, 8. With alpha 0.5: est = 0.5*8 + 0.5*4 = 6.
+	history := []float64{1, 4, 8, 2}
+	got, err := (EWMA{Alpha: 0.5}).PredictPeak(history, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-6) > 1e-9 {
+		t.Errorf("PredictPeak = %v, want 6", got)
+	}
+	// Invalid alpha falls back to 0.5.
+	got2, err := (EWMA{Alpha: -1}).PredictPeak(history, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != got {
+		t.Errorf("fallback alpha mismatch: %v vs %v", got2, got)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := Oracle{Future: []float64{3, 7, 100}}
+	got, err := o.PredictPeak(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("oracle peak = %v, want 7 (only next interval)", got)
+	}
+	if _, err := (Oracle{}).PredictPeak(nil, 2); err == nil {
+		t.Error("expected error for oracle without future")
+	}
+}
+
+func TestError(t *testing.T) {
+	// Constant series: RecentPeak predicts perfectly.
+	flat := make([]float64, 48)
+	for i := range flat {
+		flat[i] = 5
+	}
+	got, err := Error(RecentPeak{Windows: 1}, flat, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("under-prediction on flat series = %v, want 0", got)
+	}
+
+	// A series with a surprise spike must show under-prediction.
+	spiky := make([]float64, 48)
+	for i := range spiky {
+		spiky[i] = 1
+	}
+	spiky[40] = 10
+	got, err = Error(RecentPeak{Windows: 1}, spiky, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Errorf("under-prediction with surprise spike = %v, want positive", got)
+	}
+
+	if _, err := Error(RecentPeak{Windows: 1}, flat, 0, 0); err == nil {
+		t.Error("expected error for zero interval")
+	}
+	if _, err := Error(RecentPeak{Windows: 1}, flat, 100, 2); err == nil {
+		t.Error("expected error for warmup beyond series")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Predictor{RecentPeak{Windows: 3}, Periodic{Days: 7}, Combined{}, EWMA{Alpha: 0.3}, Oracle{}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package report renders experiment results as aligned text tables and
+// CDF tabulations for the CLI tools and the benchmark harness.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vmwild/internal/stats"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are stringified with %v, floats with 3
+// significant decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return formatFloat(v)
+	case float32:
+		return formatFloat(float64(v))
+	case int:
+		return strconv.Itoa(v)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a != 0 && a < 0.01:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	case a < 100:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+}
+
+// CDFTable tabulates one or more named CDFs at the given cumulative
+// probabilities — the text rendering of the paper's CDF figures.
+func CDFTable(title string, quantiles []float64, curves map[string]*stats.CDF, order []string) (*Table, error) {
+	if len(curves) == 0 {
+		return nil, errors.New("report: no curves")
+	}
+	cols := make([]string, 0, len(quantiles)+1)
+	cols = append(cols, "series")
+	for _, q := range quantiles {
+		cols = append(cols, fmt.Sprintf("p%g", q*100))
+	}
+	t := NewTable(title, cols...)
+	names := order
+	if len(names) == 0 {
+		for name := range curves {
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		c, ok := curves[name]
+		if !ok {
+			return nil, fmt.Errorf("report: unknown curve %q", name)
+		}
+		cells := make([]any, 0, len(quantiles)+1)
+		cells = append(cells, name)
+		for _, q := range quantiles {
+			cells = append(cells, c.Quantile(q))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// DefaultQuantiles are the tabulation points used for CDF figures.
+var DefaultQuantiles = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 1.0}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vmwild/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("beta", 2.5)
+	tbl.AddRow("gamma", "text")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "name", "value", "alpha", "2.500", "text", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title + header + separator + 3 rows
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRenderNoColumns(t *testing.T) {
+	if err := (&Table{}).Render(&strings.Builder{}); err == nil {
+		t.Error("expected error for table without columns")
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	tests := []struct {
+		give any
+		want string
+	}{
+		{give: "s", want: "s"},
+		{give: 42, want: "42"},
+		{give: 1.5, want: "1.500"},
+		{give: 12345.6, want: "12346"},
+		{give: 0.0001234, want: "0.000123"},
+		{give: float32(2), want: "2.000"},
+		{give: true, want: "true"},
+		{give: 0.0, want: "0.000"},
+	}
+	for _, tt := range tests {
+		if got := formatCell(tt.give); got != tt.want {
+			t.Errorf("formatCell(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestCDFTable(t *testing.T) {
+	c1, err := stats.NewCDF([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := stats.NewCDF([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := CDFTable("curves", []float64{0.5, 1}, map[string]*stats.CDF{"a": c1, "b": c2}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"p50", "p100", "3.000", "20.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Order must follow the order argument.
+	if strings.Index(out, "a") > strings.Index(out, "b ") {
+		t.Error("curve order not respected")
+	}
+	if _, err := CDFTable("x", nil, nil, nil); err == nil {
+		t.Error("expected error for empty curves")
+	}
+	if _, err := CDFTable("x", nil, map[string]*stats.CDF{"a": c1}, []string{"missing"}); err == nil {
+		t.Error("expected error for unknown curve name")
+	}
+}

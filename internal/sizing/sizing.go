@@ -1,0 +1,130 @@
+// Package sizing implements the Size Estimation step of the consolidation
+// flow (Section 2.1): turning a window of predicted or monitored demand
+// samples into a single scalar reservation per resource.
+//
+// The paper's variants map onto these sizers: static and vanilla semi-static
+// consolidation use Max; the stochastic PCP algorithm sizes the body of the
+// distribution at the 90th percentile and the tail at the maximum; dynamic
+// consolidation applies Max over the (much shorter) consolidation interval.
+package sizing
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// Sizer reduces a demand history to a single reservation value.
+type Sizer interface {
+	// Size returns the reservation for the given samples.
+	Size(samples []float64) (float64, error)
+	// Name identifies the sizer in reports.
+	Name() string
+}
+
+// Max sizes at the peak of the window — the conservative default.
+type Max struct{}
+
+// Size implements Sizer.
+func (Max) Size(samples []float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("sizing: empty window")
+	}
+	return stats.Max(samples), nil
+}
+
+// Name implements Sizer.
+func (Max) Name() string { return "max" }
+
+// Mean sizes at the average of the window — the most aggressive sizing,
+// usable only with workload multiplexing guarantees.
+type Mean struct{}
+
+// Size implements Sizer.
+func (Mean) Size(samples []float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("sizing: empty window")
+	}
+	return stats.Mean(samples), nil
+}
+
+// Name implements Sizer.
+func (Mean) Name() string { return "mean" }
+
+// Percentile sizes at the p-th percentile of the window, the body sizing
+// used by stochastic consolidation.
+type Percentile struct {
+	// P is the percentile in (0, 100].
+	P float64
+}
+
+// Size implements Sizer.
+func (p Percentile) Size(samples []float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("sizing: empty window")
+	}
+	v, err := stats.Percentile(samples, p.P)
+	if err != nil {
+		return 0, fmt.Errorf("sizing: %w", err)
+	}
+	return v, nil
+}
+
+// Name implements Sizer.
+func (p Percentile) Name() string { return fmt.Sprintf("p%g", p.P) }
+
+// Demand is a sized two-resource reservation for one VM.
+type Demand struct {
+	// CPU is the reserved CPU in RPE2 units.
+	CPU float64
+	// Mem is the reserved memory in MB.
+	Mem float64
+}
+
+// Scale multiplies both components by k.
+func (d Demand) Scale(k float64) Demand {
+	return Demand{CPU: d.CPU * k, Mem: d.Mem * k}
+}
+
+// SizeServer applies the sizer to both resources of one server trace.
+func SizeServer(st *trace.ServerTrace, s Sizer) (Demand, error) {
+	cpu, err := s.Size(st.Series.Values(trace.CPU))
+	if err != nil {
+		return Demand{}, fmt.Errorf("server %s cpu: %w", st.ID, err)
+	}
+	mem, err := s.Size(st.Series.Values(trace.Mem))
+	if err != nil {
+		return Demand{}, fmt.Errorf("server %s mem: %w", st.ID, err)
+	}
+	return Demand{CPU: cpu, Mem: mem}, nil
+}
+
+// Envelope is the PCP-style two-level reservation: a Body sized at a
+// percentile of the distribution plus a Tail reaching to the maximum. The
+// body is always reserved; the tail is shared across co-located workloads
+// whose peaks do not coincide (Section 2.2.2, [27]).
+type Envelope struct {
+	Body Demand
+	Tail Demand // Tail >= Body component-wise; the buffer is Tail - Body
+}
+
+// TailBuffer returns the per-resource slack between tail and body.
+func (e Envelope) TailBuffer() Demand {
+	return Demand{CPU: e.Tail.CPU - e.Body.CPU, Mem: e.Tail.Mem - e.Body.Mem}
+}
+
+// SizeEnvelope computes a PCP envelope for one server: body at the given
+// percentile, tail at the maximum.
+func SizeEnvelope(st *trace.ServerTrace, bodyPercentile float64) (Envelope, error) {
+	body, err := SizeServer(st, Percentile{P: bodyPercentile})
+	if err != nil {
+		return Envelope{}, err
+	}
+	tail, err := SizeServer(st, Max{})
+	if err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{Body: body, Tail: tail}, nil
+}

@@ -1,0 +1,102 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vmwild/internal/trace"
+)
+
+func testTrace(cpu, mem []float64) *trace.ServerTrace {
+	samples := make([]trace.Usage, len(cpu))
+	for i := range cpu {
+		samples[i] = trace.Usage{CPU: cpu[i], Mem: mem[i]}
+	}
+	s, err := trace.NewSeries(time.Hour, samples)
+	if err != nil {
+		panic(err)
+	}
+	return &trace.ServerTrace{ID: "t", Spec: trace.Spec{CPURPE2: 1000, MemMB: 8192}, Series: s}
+}
+
+func TestSizers(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 10}
+	tests := []struct {
+		sizer Sizer
+		want  float64
+		name  string
+	}{
+		{sizer: Max{}, want: 10, name: "max"},
+		{sizer: Mean{}, want: 4, name: "mean"},
+		{sizer: Percentile{P: 50}, want: 3, name: "p50"},
+		{sizer: Percentile{P: 100}, want: 10, name: "p100"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.sizer.Size(samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("%s.Size = %v, want %v", tt.sizer.Name(), got, tt.want)
+			}
+			if tt.sizer.Name() != tt.name {
+				t.Errorf("Name = %q, want %q", tt.sizer.Name(), tt.name)
+			}
+		})
+	}
+}
+
+func TestSizersEmptyWindow(t *testing.T) {
+	for _, s := range []Sizer{Max{}, Mean{}, Percentile{P: 90}} {
+		if _, err := s.Size(nil); err == nil {
+			t.Errorf("%s accepted empty window", s.Name())
+		}
+	}
+	if _, err := (Percentile{P: 150}).Size([]float64{1}); err == nil {
+		t.Error("expected error for out-of-range percentile")
+	}
+}
+
+func TestSizeServer(t *testing.T) {
+	st := testTrace([]float64{10, 50, 20}, []float64{1000, 1200, 1100})
+	d, err := SizeServer(st, Max{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CPU != 50 || d.Mem != 1200 {
+		t.Errorf("SizeServer = %+v, want {50 1200}", d)
+	}
+	scaled := d.Scale(0.5)
+	if scaled.CPU != 25 || scaled.Mem != 600 {
+		t.Errorf("Scale = %+v", scaled)
+	}
+}
+
+func TestSizeEnvelope(t *testing.T) {
+	cpu := make([]float64, 100)
+	mem := make([]float64, 100)
+	for i := range cpu {
+		cpu[i] = float64(i + 1) // 1..100
+		mem[i] = 1000
+	}
+	st := testTrace(cpu, mem)
+	env, err := SizeEnvelope(st, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Tail.CPU != 100 {
+		t.Errorf("tail CPU = %v, want 100", env.Tail.CPU)
+	}
+	if math.Abs(env.Body.CPU-90.1) > 0.5 {
+		t.Errorf("body CPU = %v, want ~90", env.Body.CPU)
+	}
+	buf := env.TailBuffer()
+	if buf.CPU <= 0 {
+		t.Errorf("tail buffer CPU = %v, want positive", buf.CPU)
+	}
+	if buf.Mem != 0 {
+		t.Errorf("tail buffer Mem = %v, want 0 for flat memory", buf.Mem)
+	}
+}

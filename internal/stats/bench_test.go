@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSample(n int) []float64 {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	return xs
+}
+
+func BenchmarkPercentile720(b *testing.B) {
+	xs := benchSample(720)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Percentile(xs, 90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrelation720(b *testing.B) {
+	xs, ys := benchSample(720), benchSample(720)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Correlation(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDF(b *testing.B) {
+	xs := benchSample(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCDF(xs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = c.Quantile(0.9)
+	}
+}

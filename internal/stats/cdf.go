@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function over a finite sample.
+// The zero value is not usable; build one with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs. The input is copied.
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x): the fraction of the sample at or below x.
+func (c *CDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// advance past equal elements to make the CDF right-continuous.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// FractionAbove returns P(X > x), the complement of At.
+func (c *CDF) FractionAbove(x float64) float64 { return 1 - c.At(x) }
+
+// Quantile returns the value at cumulative probability q in [0, 1], using
+// linear interpolation between closest ranks.
+func (c *CDF) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Median returns the 50th percentile of the sample.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Points returns n evenly spaced (value, cumulative probability) points
+// suitable for plotting or tabulating the CDF. n must be at least 2.
+func (c *CDF) Points(n int) ([]Point, error) {
+	if n < 2 {
+		return nil, errors.New("stats: CDF.Points requires n >= 2")
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		pts[i] = Point{X: c.Quantile(q), P: q}
+	}
+	return pts, nil
+}
+
+// Point is a single (value, cumulative probability) point on a CDF.
+type Point struct {
+	X float64 // sample value
+	P float64 // cumulative probability in [0, 1]
+}
+
+// Histogram counts samples into uniform-width bins over [lo, hi). Samples
+// below lo land in the first bin, samples at or above hi in the last.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins uniform bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: histogram range must be non-empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(bins))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bins {
+		i = bins - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of samples in bin i, or 0 when empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Error("expected error for empty sample")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		{name: "below all", x: 0, want: 0},
+		{name: "at min", x: 1, want: 0.25},
+		{name: "at duplicate", x: 2, want: 0.75},
+		{name: "between", x: 2.5, want: 0.75},
+		{name: "at max", x: 3, want: 1},
+		{name: "above all", x: 10, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.At(tt.x); got != tt.want {
+				t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCDFFractionAbove(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FractionAbove(2); got != 0.5 {
+		t.Errorf("FractionAbove(2) = %v, want 0.5", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c, err := NewCDF([]float64{10, 20, 30, 40, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want 50", got)
+	}
+	if got := c.Median(); got != 30 {
+		t.Errorf("Median = %v, want 30", got)
+	}
+	// Out-of-range q is clamped.
+	if got := c.Quantile(-0.5); got != 10 {
+		t.Errorf("Quantile(-0.5) = %v, want 10", got)
+	}
+	if got := c.Quantile(1.5); got != 50 {
+		t.Errorf("Quantile(1.5) = %v, want 50", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Points(1); err == nil {
+		t.Error("expected error for n < 2")
+	}
+	pts, err := c.Points(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	if pts[0].X != 1 || pts[0].P != 0 {
+		t.Errorf("first point = %+v, want {1 0}", pts[0])
+	}
+	if pts[2].X != 3 || pts[2].P != 1 {
+		t.Errorf("last point = %+v, want {3 1}", pts[2])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.5, 5, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	// -1, 0, 1.5 fall in bin 0; 5 in bin 2; 9.99, 10, 100 in bin 4.
+	if h.Counts[0] != 3 {
+		t.Errorf("bin 0 count = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[2] != 1 {
+		t.Errorf("bin 2 count = %d, want 1", h.Counts[2])
+	}
+	if h.Counts[4] != 3 {
+		t.Errorf("bin 4 count = %d, want 3", h.Counts[4])
+	}
+	if got := h.Fraction(0); got != 3.0/7.0 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("expected error for empty range")
+	}
+}
+
+// Property: CDF.At is monotone non-decreasing and bounded in [0,1].
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64, n uint8, a, b float64) bool {
+		m := int(n%100) + 1
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := c.At(a), c.At(b)
+		return pa <= pb && pa >= 0 && pb <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and At are approximately inverse.
+func TestQuickCDFQuantileRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8, qRaw uint8) bool {
+		m := int(n%100) + 2
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		q := float64(qRaw%101) / 100
+		v := c.Quantile(q)
+		// At(v) must be at least q minus one sample's worth of slack.
+		return c.At(v) >= q-1.0/float64(m)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionHelpers(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if v := LogNormal(r, 0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive value %v", v)
+		}
+		if v := Pareto(r, 2, 1.5); v < 2 {
+			t.Fatalf("Pareto produced value %v below scale 2", v)
+		}
+	}
+	// Bernoulli(1) is always true, Bernoulli(0) always false.
+	if !Bernoulli(r, 1) {
+		t.Error("Bernoulli(1) should be true")
+	}
+	if Bernoulli(r, 0) {
+		t.Error("Bernoulli(0) should be false")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		x, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}

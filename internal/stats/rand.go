@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Distribution helpers used by the synthetic workload generator. All take an
+// explicit *rand.Rand so experiments stay deterministic under a fixed seed.
+
+// LogNormal draws from a log-normal distribution with the given parameters of
+// the underlying normal (mu, sigma). Sigma must be non-negative.
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// Pareto draws from a Pareto (type I) distribution with scale xm > 0 and
+// shape alpha > 0. Smaller alpha means a heavier tail; alpha <= 1 has
+// infinite mean.
+func Pareto(r *rand.Rand, xm, alpha float64) float64 {
+	u := r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	return r.Float64() < p
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

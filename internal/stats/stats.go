@@ -1,0 +1,160 @@
+// Package stats provides the numeric substrate for the vmwild library:
+// summary statistics, percentiles, empirical CDFs, histograms and Pearson
+// correlation over float64 samples.
+//
+// All functions are pure and allocate only when they must copy their input
+// (percentile computations sort a copy; callers' slices are never reordered).
+// NaN handling: functions return an error or a defined zero result for empty
+// input rather than propagating NaN silently.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot produce a meaningful result
+// for an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or 0 if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1).
+// It returns 0 for samples with fewer than two elements.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoV returns the coefficient of variability (standard deviation divided by
+// mean) of xs. The paper uses CoV >= 1 as the heavy-tail indicator. A zero or
+// negative mean yields CoV 0, since the ratio is meaningless for demand data
+// that should be non-negative.
+func CoV(xs []float64) float64 {
+	mu := Mean(xs)
+	if mu <= 0 {
+		return 0
+	}
+	return StdDev(xs) / mu
+}
+
+// PeakToAverage returns the ratio of the maximum to the mean of xs. A zero or
+// negative mean yields 0 (an all-idle server has no meaningful burstiness).
+func PeakToAverage(xs []float64) float64 {
+	mu := Mean(xs)
+	if mu <= 0 {
+		return 0
+	}
+	return Max(xs) / mu
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It copies xs before sorting.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// percentileSorted computes the percentile of an already-sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and ys.
+// It returns an error if the slices differ in length or have fewer than two
+// elements, and 0 if either series is constant (zero variance).
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: correlation inputs differ in length")
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSum(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{3.5}, want: 3.5},
+		{name: "mixed signs", give: []float64{1, -2, 3}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Sum(tt.give); got != tt.want {
+				t.Errorf("Sum(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "constant", give: []float64{4, 4, 4}, want: 4},
+		{name: "simple", give: []float64{1, 2, 3, 4}, want: 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); got != tt.want {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("Max/Min of empty slice should be 0")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	// Population variance of {2,4,4,4,5,5,7,9} is 4 (classic example).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if Variance([]float64{42}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "constant series has zero CoV", give: []float64{5, 5, 5}, want: 0},
+		{name: "zero mean yields zero", give: []float64{0, 0}, want: 0},
+		{name: "classic", give: []float64{2, 4, 4, 4, 5, 5, 7, 9}, want: 2.0 / 5.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CoV(tt.give); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("CoV(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPeakToAverage(t *testing.T) {
+	if got := PeakToAverage([]float64{1, 1, 1, 5}); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("PeakToAverage = %v, want 2.5", got)
+	}
+	if PeakToAverage([]float64{0, 0}) != 0 {
+		t.Error("PeakToAverage of idle series should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		name string
+		p    float64
+		want float64
+	}{
+		{name: "p0 is min", p: 0, want: 15},
+		{name: "p100 is max", p: 100, want: 50},
+		{name: "p50 is median", p: 50, want: 35},
+		{name: "p25 interpolates", p: 25, want: 20},
+		{name: "p90 interpolates", p: 90, want: 46},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Percentile(xs, tt.p)
+			if err != nil {
+				t.Fatalf("Percentile returned error: %v", err)
+			}
+			if !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("expected error for p < 0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("expected error for p > 100")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	tests := []struct {
+		name    string
+		xs, ys  []float64
+		want    float64
+		wantErr bool
+	}{
+		{name: "perfect positive", xs: []float64{1, 2, 3}, ys: []float64{2, 4, 6}, want: 1},
+		{name: "perfect negative", xs: []float64{1, 2, 3}, ys: []float64{6, 4, 2}, want: -1},
+		{name: "constant series", xs: []float64{1, 2, 3}, ys: []float64{5, 5, 5}, want: 0},
+		{name: "length mismatch", xs: []float64{1, 2}, ys: []float64{1}, wantErr: true},
+		{name: "too short", xs: []float64{1}, ys: []float64{1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Correlation(tt.xs, tt.ys)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Correlation = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: for any non-empty sample, Min <= Mean <= Max.
+func TestQuickMeanBetweenMinAndMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		xs = sanitize(xs)
+		if len(xs) == 0 {
+			return true
+		}
+		mu := Mean(xs)
+		return Min(xs) <= mu+1e-9 && mu <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone non-decreasing in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		xs = sanitize(xs)
+		if len(xs) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, err := Percentile(xs, pa)
+		if err != nil {
+			return false
+		}
+		vb, err := Percentile(xs, pb)
+		if err != nil {
+			return false
+		}
+		return va <= vb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: correlation is symmetric and bounded in [-1, 1].
+func TestQuickCorrelationSymmetricBounded(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		m := int(n%50) + 2
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		cxy, err := Correlation(xs, ys)
+		if err != nil {
+			return false
+		}
+		cyx, err := Correlation(ys, xs)
+		if err != nil {
+			return false
+		}
+		return almostEqual(cxy, cyx, 1e-9) && cxy >= -1-1e-9 && cxy <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation invariant.
+func TestQuickVarianceTranslationInvariant(t *testing.T) {
+	f := func(xs []float64, shift float64) bool {
+		xs = sanitize(xs)
+		if len(xs) < 2 || math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		v1, v2 := Variance(xs), Variance(shifted)
+		scale := math.Max(1, math.Max(v1, v2))
+		return almostEqual(v1/scale, v2/scale, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize drops NaN/Inf and extreme magnitudes that make float comparisons
+// meaningless in property tests.
+func sanitize(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package trace
+
+import "errors"
+
+// ServerID names a monitored server (a physical source server that becomes a
+// VM candidate, or an already-virtual machine).
+type ServerID string
+
+// Spec is the resource capacity of a machine: CPU rating in RPE2 units and
+// memory in MB.
+type Spec struct {
+	CPURPE2 float64
+	MemMB   float64
+}
+
+// RatioPerGB returns the machine's CPU-to-memory capacity ratio in RPE2 per
+// GB of RAM, the unit the paper uses when comparing aggregate demand against
+// the HS23 reference blade (ratio 160).
+func (s Spec) RatioPerGB() float64 {
+	if s.MemMB <= 0 {
+		return 0
+	}
+	return s.CPURPE2 / (s.MemMB / 1024)
+}
+
+// ServerTrace binds a server's identity, capacity and demand history. It is
+// the unit of input to analysis and consolidation planning.
+type ServerTrace struct {
+	ID ServerID
+	// Spec is the capacity of the source machine the trace was recorded
+	// on; sizing never exceeds it.
+	Spec Spec
+	// App labels the application the server belongs to; servers of the
+	// same application inherit the application's class.
+	App string
+	// Class is "web" or "batch" per the paper's loose two-way labeling.
+	Class string
+	// Series is the demand history.
+	Series *Series
+}
+
+// Validate reports whether the server trace is internally consistent.
+func (st *ServerTrace) Validate() error {
+	switch {
+	case st.ID == "":
+		return errors.New("trace: server has empty ID")
+	case st.Spec.CPURPE2 <= 0 || st.Spec.MemMB <= 0:
+		return errors.New("trace: server spec must have positive capacities")
+	case st.Series == nil || st.Series.Len() == 0:
+		return errors.New("trace: server has no samples")
+	}
+	return nil
+}
+
+// Set is a collection of server traces sharing one sampling step — one data
+// center's worth of monitored data.
+type Set struct {
+	// Name identifies the data center (for example "A" or "Banking").
+	Name string
+	// Servers holds one trace per monitored server.
+	Servers []*ServerTrace
+}
+
+// Validate checks every member trace and that steps agree.
+func (s *Set) Validate() error {
+	if len(s.Servers) == 0 {
+		return errors.New("trace: empty set")
+	}
+	step := s.Servers[0].Series.Step
+	for _, st := range s.Servers {
+		if err := st.Validate(); err != nil {
+			return err
+		}
+		if st.Series.Step != step {
+			return errors.New("trace: mixed sampling steps in set")
+		}
+	}
+	return nil
+}
+
+// SeriesList extracts the demand series of every server, in order.
+func (s *Set) SeriesList() []*Series {
+	out := make([]*Series, len(s.Servers))
+	for i, st := range s.Servers {
+		out[i] = st.Series
+	}
+	return out
+}
+
+// SliceAll returns a copy of the set whose series are restricted to sample
+// indices [from, to) — used to separate the monitoring horizon from the
+// evaluation horizon.
+func (s *Set) SliceAll(from, to int) (*Set, error) {
+	out := &Set{Name: s.Name, Servers: make([]*ServerTrace, len(s.Servers))}
+	for i, st := range s.Servers {
+		sliced, err := st.Series.Slice(from, to)
+		if err != nil {
+			return nil, err
+		}
+		out.Servers[i] = &ServerTrace{ID: st.ID, Spec: st.Spec, App: st.App, Class: st.Class, Series: sliced}
+	}
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the CSV loader against arbitrary input: it must never
+// panic, and anything it accepts must round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("server,app,class,cpu_rpe2_capacity,mem_mb_capacity,hour,cpu_rpe2,mem_mb\ns1,a,web,100,100,0,1,1\n")
+	f.Add("server,app,class,cpu_rpe2_capacity,mem_mb_capacity,hour,cpu_rpe2,mem_mb\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := Read(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, set); err != nil {
+			t.Fatalf("accepted set failed to serialize: %v", err)
+		}
+		if _, err := Read(&buf, "fuzz2"); err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p := workload.Beverage()
+	p.Servers = 8
+	set, err := workload.Generate(p, 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, set.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Servers) != len(set.Servers) {
+		t.Fatalf("round trip lost servers: %d vs %d", len(got.Servers), len(set.Servers))
+	}
+	byID := make(map[trace.ServerID]*trace.ServerTrace)
+	for _, st := range got.Servers {
+		byID[st.ID] = st
+	}
+	for _, want := range set.Servers {
+		st, ok := byID[want.ID]
+		if !ok {
+			t.Fatalf("server %s missing after round trip", want.ID)
+		}
+		if st.App != want.App || st.Class != want.Class {
+			t.Errorf("%s labels changed: %q/%q vs %q/%q", want.ID, st.App, st.Class, want.App, want.Class)
+		}
+		if st.Spec != want.Spec {
+			t.Errorf("%s spec changed: %+v vs %+v", want.ID, st.Spec, want.Spec)
+		}
+		if st.Series.Len() != want.Series.Len() {
+			t.Fatalf("%s length changed", want.ID)
+		}
+		for h, u := range want.Series.Samples {
+			g := st.Series.Samples[h]
+			// CSV rounds to 3 decimals.
+			if diff := g.CPU - u.CPU; diff > 0.001 || diff < -0.001 {
+				t.Fatalf("%s hour %d CPU %v vs %v", want.ID, h, g.CPU, u.CPU)
+			}
+			if diff := g.Mem - u.Mem; diff > 0.001 || diff < -0.001 {
+				t.Fatalf("%s hour %d mem %v vs %v", want.ID, h, g.Mem, u.Mem)
+			}
+		}
+	}
+}
+
+func TestWriteRejectsInvalidSet(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, &trace.Set{}); err == nil {
+		t.Error("expected error for empty set")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	const header = "server,app,class,cpu_rpe2_capacity,mem_mb_capacity,hour,cpu_rpe2,mem_mb\n"
+	tests := []struct {
+		name string
+		csv  string
+	}{
+		{name: "empty input", csv: ""},
+		{name: "wrong header", csv: "a,b,c,d,e,f,g,h\n"},
+		{name: "no rows", csv: header},
+		{name: "empty server id", csv: header + ",app,web,100,100,0,1,1\n"},
+		{name: "bad capacity", csv: header + "s1,app,web,abc,100,0,1,1\n"},
+		{name: "negative capacity", csv: header + "s1,app,web,-5,100,0,1,1\n"},
+		{name: "bad hour", csv: header + "s1,app,web,100,100,x,1,1\n"},
+		{name: "negative hour", csv: header + "s1,app,web,100,100,-1,1,1\n"},
+		{name: "bad cpu", csv: header + "s1,app,web,100,100,0,?,1\n"},
+		{name: "bad mem", csv: header + "s1,app,web,100,100,0,1,?\n"},
+		{name: "duplicate hour", csv: header + "s1,app,web,100,100,0,1,1\ns1,app,web,100,100,0,2,2\n"},
+		{name: "hour gap", csv: header + "s1,app,web,100,100,0,1,1\ns1,app,web,100,100,2,1,1\n"},
+		{name: "short row", csv: header + "s1,app,web\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.csv), "x"); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadUnorderedRows(t *testing.T) {
+	const csv = "server,app,class,cpu_rpe2_capacity,mem_mb_capacity,hour,cpu_rpe2,mem_mb\n" +
+		"s2,app,web,100,200,1,4,40\n" +
+		"s1,app,web,100,200,0,1,10\n" +
+		"s2,app,web,100,200,0,3,30\n" +
+		"s1,app,web,100,200,1,2,20\n"
+	set, err := Read(strings.NewReader(csv), "unordered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Servers) != 2 {
+		t.Fatalf("got %d servers", len(set.Servers))
+	}
+	// Servers come back sorted by ID.
+	if set.Servers[0].ID != "s1" || set.Servers[1].ID != "s2" {
+		t.Errorf("order = %s, %s", set.Servers[0].ID, set.Servers[1].ID)
+	}
+	if set.Servers[1].Series.Samples[0].CPU != 3 || set.Servers[1].Series.Samples[1].CPU != 4 {
+		t.Error("hours not reassembled in order")
+	}
+}

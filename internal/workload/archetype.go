@@ -1,0 +1,204 @@
+// Package workload synthesizes enterprise server demand traces with the
+// statistical profile of the four production data centers studied in the
+// paper (Table 2): Banking (A), Airlines (B), Natural Resources (C) and
+// Beverage (D).
+//
+// The real traces are proprietary; this generator is the substitution. Every
+// result in the paper is a functional of trace distributions — burstiness
+// (peak-to-average ratio and CoV of CPU and memory), aggregate CPU/memory
+// resource ratios, diurnal/weekly structure and cross-server correlation —
+// so the generator is built from archetypes whose parameters are calibrated
+// until those published distributions hold (see calibration_test.go).
+package workload
+
+// MemCoupling selects how a server's memory demand follows its CPU activity.
+type MemCoupling int
+
+const (
+	// CoupleSqrt models typical services: memory grows with the square
+	// root of relative CPU activity (caches and session state saturate).
+	// This is the regime behind the paper's Olio observation that a 6x
+	// throughput increase costs 7.9x CPU but only 3x memory.
+	CoupleSqrt MemCoupling = iota + 1
+	// CoupleLinear models in-memory batch and cache-heavy jobs whose
+	// memory tracks load directly.
+	CoupleLinear
+	// CoupleSuper models heap-heavy application servers whose memory
+	// balloons super-linearly under load (session caches, JVM heaps);
+	// these are the minority of servers with heavy-tailed memory demand
+	// in Figure 5.
+	CoupleSuper
+)
+
+// Archetype parameterizes one class of server behaviour. CPU utilization is
+// produced as
+//
+//	util(t) = clamp(base * diurnal(t) * weekly(t) * lognormal-noise + burst(t), 0, cap)
+//
+// where burst(t) is a heavy-tailed ON/OFF spike process (web flash crowds)
+// or a scheduled job (batch windows). Memory demand is absolute (MB): a
+// service's committed memory is a property of the application, not of the
+// box it happens to run on:
+//
+//	mem(t) = clamp(memBaseMB * drift(t) + memActivityMB * couple(util(t)/base) + noise, floor, ram)
+type Archetype struct {
+	// Name identifies the archetype in labels and reports.
+	Name string
+	// Class is the paper's two-way application label: "web" or "batch".
+	Class string
+
+	// CPUBase is the baseline CPU utilization (fraction of the source
+	// machine's RPE2 rating).
+	CPUBase float64
+	// DiurnalAmp is the relative amplitude of the day/night cycle in
+	// [0, 1); web workloads have pronounced daytime peaks.
+	DiurnalAmp float64
+	// WeekendDrop is the relative reduction of the base on weekends.
+	WeekendDrop float64
+	// NoiseSigma is the sigma of multiplicative log-normal noise.
+	NoiseSigma float64
+
+	// BurstRate is the per-hour probability that a demand burst starts.
+	BurstRate float64
+	// BurstScale sets the burst magnitude as a multiple of CPUBase.
+	BurstScale float64
+	// BurstAlpha is the Pareto tail index of burst magnitudes; values
+	// near 1 give the heavy tails seen in the Banking workload.
+	BurstAlpha float64
+	// BurstMaxHours bounds burst duration. Longer bursts make
+	// peak-to-average ratios less sensitive to the consolidation
+	// interval length (the Beverage signature in Figure 2).
+	BurstMaxHours int
+	// EventParticipation scales how strongly this archetype reacts to
+	// data-center-wide demand events (market opens, promotions, flash
+	// crowds). Correlated events are what keep the aggregate peak close
+	// to the sum of individual peaks for web-heavy data centers — the
+	// reason dynamic consolidation cannot multiplex bursts away
+	// (Observation 5 and the stability of correlation noted in [27]).
+	EventParticipation float64
+
+	// Application-scoped flash crowds: rarer, larger surges that hit all
+	// servers of one application together but are independent across
+	// applications. These are what overload individual hosts under
+	// dynamic consolidation (the scattered contention of Figures 8-9)
+	// without moving the data-center-wide aggregate much.
+	AppEventRate     float64
+	AppEventMag      float64
+	AppEventAlpha    float64
+	AppEventCap      float64
+	AppEventMaxHours int
+
+	// NightJob, when positive, adds a scheduled batch window of this
+	// utilization starting at JobStartHour for JobHours every day.
+	NightJob     float64
+	JobStartHour int
+	JobHours     int
+	// MonthEndJob, when positive, adds a payroll-style burst on the
+	// first and last day of each 30-day month.
+	MonthEndJob float64
+
+	// MemBaseMB is the baseline committed memory in MB.
+	MemBaseMB float64
+	// MemActivityMB is the additional memory (MB) coupled to CPU
+	// activity through Coupling.
+	MemActivityMB float64
+	// MemNoiseMB is the sigma of small additive Gaussian memory noise
+	// in MB.
+	MemNoiseMB float64
+	// MemDriftStep is the per-hour probability of a committed-memory
+	// step change (deploy, restart, slow leak being reclaimed).
+	MemDriftStep float64
+	// Coupling selects the CPU-to-memory coupling shape.
+	Coupling MemCoupling
+}
+
+// Built-in archetypes. The parameter values are the product of the
+// calibration loop in calibration_test.go; change them only together with
+// the bands asserted there.
+var (
+	// WebHot is a heavy-tailed customer-facing web/app server: low
+	// baseline, strong diurnal cycle, full participation in
+	// data-center-wide demand events.
+	WebHot = Archetype{
+		Name: "web-hot", Class: "web",
+		CPUBase: 0.034, DiurnalAmp: 0.55, WeekendDrop: 0.35, NoiseSigma: 0.46,
+		BurstRate: 0.010, BurstScale: 3, BurstAlpha: 2.2, BurstMaxHours: 2,
+		EventParticipation: 1.0,
+		AppEventRate:       0.0022, AppEventMag: 0.09, AppEventAlpha: 1.7, AppEventCap: 0.32, AppEventMaxHours: 2,
+		MemBaseMB: 400, MemActivityMB: 100, MemNoiseMB: 4, MemDriftStep: 0.002,
+		Coupling: CoupleSqrt,
+	}
+	// WebMild is a steadier intranet/web-tier server.
+	WebMild = Archetype{
+		Name: "web-mild", Class: "web",
+		CPUBase: 0.040, DiurnalAmp: 0.45, WeekendDrop: 0.30, NoiseSigma: 0.25,
+		BurstRate: 0.006, BurstScale: 2.5, BurstAlpha: 2.4, BurstMaxHours: 2,
+		EventParticipation: 0.75,
+		AppEventRate:       0.0015, AppEventMag: 0.08, AppEventAlpha: 1.8, AppEventCap: 0.35, AppEventMaxHours: 2,
+		MemBaseMB: 500, MemActivityMB: 100, MemNoiseMB: 4, MemDriftStep: 0.002,
+		Coupling: CoupleSqrt,
+	}
+	// WebCache is the cache/app-server minority whose memory tracks load
+	// linearly; source of the heavy-tailed memory CoV population.
+	WebCache = Archetype{
+		Name: "web-cache", Class: "web",
+		CPUBase: 0.032, DiurnalAmp: 0.50, WeekendDrop: 0.35, NoiseSigma: 0.46,
+		BurstRate: 0.010, BurstScale: 3, BurstAlpha: 2.2, BurstMaxHours: 2,
+		EventParticipation: 1.0,
+		AppEventRate:       0.0022, AppEventMag: 0.09, AppEventAlpha: 1.7, AppEventCap: 0.32, AppEventMaxHours: 2,
+		MemBaseMB: 150, MemActivityMB: 800, MemNoiseMB: 4, MemDriftStep: 0.002,
+		Coupling: CoupleSuper,
+	}
+	// Database is a steady database tier: higher base, mild cycles,
+	// large stable buffer-pool memory.
+	Database = Archetype{
+		Name: "database", Class: "web",
+		CPUBase: 0.06, DiurnalAmp: 0.30, WeekendDrop: 0.20, NoiseSigma: 0.20,
+		BurstRate: 0.005, BurstScale: 2.5, BurstAlpha: 2.5, BurstMaxHours: 2,
+		EventParticipation: 0.4,
+		MemBaseMB:          4500, MemActivityMB: 800, MemNoiseMB: 30, MemDriftStep: 0.001,
+		Coupling: CoupleSqrt,
+	}
+	// BatchNightly runs a nightly processing window on top of a quiet
+	// baseline.
+	BatchNightly = Archetype{
+		Name: "batch-nightly", Class: "batch",
+		CPUBase: 0.04, DiurnalAmp: 0.10, WeekendDrop: 0.10, NoiseSigma: 0.25,
+		BurstRate: 0.003, BurstScale: 2.5, BurstAlpha: 2.5, BurstMaxHours: 3,
+		NightJob: 0.30, JobStartHour: 1, JobHours: 4,
+		EventParticipation: 0.1,
+		MemBaseMB:          2200, MemActivityMB: 600, MemNoiseMB: 40, MemDriftStep: 0.001,
+		Coupling: CoupleSqrt,
+	}
+	// BatchCompute is a long-running computational job server (the
+	// Natural Resources signature): high sustained utilization.
+	BatchCompute = Archetype{
+		Name: "batch-compute", Class: "batch",
+		CPUBase: 0.17, DiurnalAmp: 0.15, WeekendDrop: 0.05, NoiseSigma: 0.22,
+		BurstRate: 0.006, BurstScale: 1.5, BurstAlpha: 2.6, BurstMaxHours: 6,
+		EventParticipation: 0.05,
+		MemBaseMB:          5000, MemActivityMB: 1800, MemNoiseMB: 40, MemDriftStep: 0.001,
+		Coupling: CoupleLinear,
+	}
+	// BatchPayroll adds month-boundary processing (first and last day of
+	// the month), the intra-month variation semi-static consolidation
+	// exploits.
+	BatchPayroll = Archetype{
+		Name: "batch-payroll", Class: "batch",
+		CPUBase: 0.04, DiurnalAmp: 0.10, WeekendDrop: 0.10, NoiseSigma: 0.25,
+		NightJob: 0.15, JobStartHour: 2, JobHours: 3, MonthEndJob: 0.45,
+		EventParticipation: 0.05,
+		MemBaseMB:          2600, MemActivityMB: 800, MemNoiseMB: 40, MemDriftStep: 0.001,
+		Coupling: CoupleSqrt,
+	}
+	// FileInfra is a quiet infrastructure server (file/print/AD) with
+	// stable moderate memory.
+	FileInfra = Archetype{
+		Name: "file-infra", Class: "batch",
+		CPUBase: 0.015, DiurnalAmp: 0.25, WeekendDrop: 0.20, NoiseSigma: 0.20,
+		BurstRate: 0.003, BurstScale: 3, BurstAlpha: 2.5, BurstMaxHours: 1,
+		EventParticipation: 0.15,
+		MemBaseMB:          1500, MemActivityMB: 200, MemNoiseMB: 30, MemDriftStep: 0.001,
+		Coupling: CoupleSqrt,
+	}
+)

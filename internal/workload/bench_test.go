@@ -1,0 +1,26 @@
+package workload
+
+import "testing"
+
+// BenchmarkGenerateBanking measures synthesizing the full Banking estate
+// over the complete 44-day horizon.
+func BenchmarkGenerateBanking(b *testing.B) {
+	p := Banking()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p, HorizonHours, DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	p := Airlines()
+	p.Servers = 50
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p, 24*7, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// Horizon constants. The paper plans from the most recent 30 days of hourly
+// warehouse data and evaluates planners over the following 14 days
+// (Table 3); generation covers both back to back.
+const (
+	HoursPerDay     = 24
+	MonitoringDays  = 30
+	EvaluationDays  = 14
+	MonitoringHours = MonitoringDays * HoursPerDay // 720
+	EvaluationHours = EvaluationDays * HoursPerDay // 336
+	HorizonHours    = MonitoringHours + EvaluationHours
+)
+
+// DefaultSeed seeds all experiments; the value is the Middleware '14
+// conference start date (8 December 2014).
+const DefaultSeed int64 = 20141208
+
+// relActivityCap bounds the CPU-relative activity fed into the memory
+// coupling, so memory bursts stay within physical bounds. Linear coupling is
+// capped harder: even cache-heavy servers rarely exceed an order of
+// magnitude of their baseline footprint (memory peak-to-average ratios above
+// 10 are essentially absent in Figure 4).
+const (
+	relActivityCap       = 15.0
+	relActivityCapLinear = 10.0
+	coupleCapSuper       = 12.0
+)
+
+// Generate synthesizes hours of hourly demand samples for every server of
+// the profile. The same (profile, hours, seed) triple always produces the
+// identical trace set.
+func Generate(p *Profile, hours int, seed int64) (*trace.Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if hours < 1 {
+		return nil, fmt.Errorf("workload: horizon must be at least one hour, got %d", hours)
+	}
+
+	set := &trace.Set{Name: p.Name, Servers: make([]*trace.ServerTrace, 0, p.Servers)}
+	events := eventTimeline(p.Events, hours, seed)
+	counts := shareCounts(p)
+	serverIdx := 0
+	for shareIdx, share := range p.Mix {
+		n := counts[shareIdx]
+		appIdx := 0
+		for placed := 0; placed < n; {
+			// Servers arrive in application groups of 1-5 machines
+			// sharing a diurnal phase; constraint experiments and
+			// correlation structure both depend on this grouping.
+			appRNG := rand.New(rand.NewSource(mix(seed, int64(shareIdx)*1_000_003+int64(appIdx))))
+			appSize := 1 + appRNG.Intn(5)
+			if placed+appSize > n {
+				appSize = n - placed
+			}
+			appPhase := appRNG.NormFloat64() * 1.5
+			appName := fmt.Sprintf("%s-%s-%03d", p.Name, share.Archetype.Name, appIdx)
+			appEvents := appEventTimeline(share.Archetype, hours, appRNG)
+			for k := 0; k < appSize; k++ {
+				r := rand.New(rand.NewSource(mix(seed, int64(serverIdx)+77_777)))
+				model := pickModel(r, share.Models).Model
+				st := synthesize(r, share.Archetype, model.Spec, hours, appPhase, events, appEvents)
+				st.ID = trace.ServerID(fmt.Sprintf("%s-%04d", p.Name, serverIdx))
+				st.App = appName
+				st.Class = share.Archetype.Class
+				set.Servers = append(set.Servers, st)
+				serverIdx++
+				placed++
+			}
+			appIdx++
+		}
+	}
+	return set, nil
+}
+
+// shareCounts apportions p.Servers across the mix by weight, assigning
+// rounding remainders to the largest shares first.
+func shareCounts(p *Profile) []int {
+	counts := make([]int, len(p.Mix))
+	assigned := 0
+	largest, largestIdx := -1.0, 0
+	for i, s := range p.Mix {
+		counts[i] = int(math.Floor(s.Weight * float64(p.Servers)))
+		assigned += counts[i]
+		if s.Weight > largest {
+			largest, largestIdx = s.Weight, i
+		}
+	}
+	counts[largestIdx] += p.Servers - assigned
+	return counts
+}
+
+func pickModel(r *rand.Rand, models []ModelShare) ModelShare {
+	var total float64
+	for _, m := range models {
+		total += m.Weight
+	}
+	x := r.Float64() * total
+	for _, m := range models {
+		x -= m.Weight
+		if x <= 0 {
+			return m
+		}
+	}
+	return models[len(models)-1]
+}
+
+// eventTimeline draws the data-center-wide demand-surge process: added CPU
+// utilization per hour, shared by every participating server.
+func eventTimeline(e Events, hours int, seed int64) []float64 {
+	events := make([]float64, hours)
+	if e.Rate <= 0 {
+		return events
+	}
+	r := rand.New(rand.NewSource(mix(seed, 424_242)))
+	var (
+		left int
+		mag  float64
+	)
+	for t := 0; t < hours; t++ {
+		if left > 0 {
+			events[t] = mag
+			mag *= 0.8
+			left--
+			continue
+		}
+		day := t / HoursPerDay
+		hod := t % HoursPerDay
+		if e.DayOnly && (day%7 >= 5 || hod < 9 || hod > 22) {
+			continue
+		}
+		if stats.Bernoulli(r, e.Rate) {
+			left = 1 + r.Intn(maxInt(e.MaxHours, 1))
+			mag = stats.Clamp(e.Magnitude*stats.Pareto(r, 1, e.Alpha), 0, e.Cap)
+			events[t] = mag
+			left--
+			mag *= 0.8
+		}
+	}
+	return events
+}
+
+// appEventTimeline draws one application's private flash-crowd process.
+func appEventTimeline(a Archetype, hours int, r *rand.Rand) []float64 {
+	if a.AppEventRate <= 0 {
+		return nil
+	}
+	return eventTimeline(Events{
+		Rate:      a.AppEventRate,
+		Magnitude: a.AppEventMag,
+		Alpha:     max(a.AppEventAlpha, 1.1),
+		Cap:       a.AppEventCap,
+		MaxHours:  maxInt(a.AppEventMaxHours, 1),
+		DayOnly:   true,
+	}, hours, r.Int63())
+}
+
+// synthesize produces one server's demand series. Hour zero is a Monday
+// midnight; a "month" is 30 days.
+func synthesize(r *rand.Rand, a Archetype, spec trace.Spec, hours int, appPhase float64, events, appEvents []float64) *trace.ServerTrace {
+	// Per-server heterogeneity: the population spread behind the CDFs.
+	base := a.CPUBase * stats.LogNormal(r, 0, 0.35)
+	memBase := a.MemBaseMB * (0.75 + 0.5*r.Float64())
+	memAct := a.MemActivityMB * (0.75 + 0.5*r.Float64())
+	burstRate := a.BurstRate * stats.LogNormal(r, 0, 0.5)
+	eventSens := stats.Clamp(stats.LogNormal(r, -0.2, 0.4), 0.2, 1.8) * a.EventParticipation
+	phase := appPhase + r.NormFloat64()*0.5
+
+	samples := make([]trace.Usage, hours)
+	var (
+		burstLeft int
+		burstMag  float64
+		drift     = 1.0
+	)
+	for t := 0; t < hours; t++ {
+		day := t / HoursPerDay
+		hod := t % HoursPerDay
+		dow := day % 7
+		dom := day % 30
+
+		diurnal := 1 + a.DiurnalAmp*math.Cos(2*math.Pi*(float64(hod)-14-phase)/24)
+		weekly := 1.0
+		if dow >= 5 {
+			weekly = 1 - a.WeekendDrop
+		}
+		noise := stats.LogNormal(r, -a.NoiseSigma*a.NoiseSigma/2, a.NoiseSigma)
+		util := base * diurnal * weekly * noise
+
+		// Heavy-tailed burst process.
+		if burstLeft > 0 {
+			util += burstMag
+			burstLeft--
+			burstMag *= 0.75 // bursts decay as caches warm and retries drain
+		} else if a.BurstRate > 0 && stats.Bernoulli(r, burstRate) {
+			burstLeft = 1 + r.Intn(maxInt(a.BurstMaxHours, 1))
+			burstMag = stats.Clamp(base*a.BurstScale*stats.Pareto(r, 1, a.BurstAlpha), 0, 0.92)
+			util += burstMag
+			burstLeft--
+		}
+
+		// Data-center-wide correlated demand surge.
+		if events[t] > 0 && eventSens > 0 {
+			util += eventSens * events[t]
+		}
+
+		// Application-scoped flash crowd shared by the app group.
+		if appEvents != nil && appEvents[t] > 0 {
+			util += appEvents[t] * (0.85 + 0.3*r.Float64())
+		}
+
+		// Scheduled batch windows.
+		if a.NightJob > 0 && inWindow(hod, a.JobStartHour, a.JobHours) {
+			util += a.NightJob * (0.8 + 0.4*r.Float64())
+		}
+		if a.MonthEndJob > 0 && (dom == 0 || dom == 29) && inWindow(hod, a.JobStartHour, a.JobHours*3) {
+			util += a.MonthEndJob * (0.8 + 0.4*r.Float64())
+		}
+
+		util = stats.Clamp(util, 0.002, 0.95)
+
+		// Memory: slow committed-memory drift plus activity coupling.
+		if stats.Bernoulli(r, a.MemDriftStep) {
+			drift = stats.Clamp(drift*(0.85+0.3*r.Float64()), 0.7, 1.3)
+		}
+		rel := util / base
+		var couple float64
+		switch a.Coupling {
+		case CoupleLinear:
+			couple = math.Min(rel, relActivityCapLinear)
+		case CoupleSuper:
+			couple = math.Min(math.Pow(rel, 1.5), coupleCapSuper)
+		default:
+			couple = math.Sqrt(math.Min(rel, relActivityCap))
+		}
+		mem := memBase*drift + memAct*couple + r.NormFloat64()*a.MemNoiseMB
+		mem = stats.Clamp(mem, 64, 0.95*spec.MemMB)
+
+		samples[t] = trace.Usage{CPU: util * spec.CPURPE2, Mem: mem}
+	}
+
+	series, err := trace.NewSeries(time.Hour, samples)
+	if err != nil {
+		// time.Hour is always a valid step; this is unreachable.
+		panic(err)
+	}
+	return &trace.ServerTrace{Spec: spec, Series: series}
+}
+
+func inWindow(hod, start, length int) bool {
+	if length <= 0 {
+		return false
+	}
+	end := start + length
+	if end <= HoursPerDay {
+		return hod >= start && hod < end
+	}
+	return hod >= start || hod < end-HoursPerDay
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mix combines a seed with a stream index into an independent-looking
+// sub-seed (splitmix64 finalizer).
+func mix(seed, idx int64) int64 {
+	z := uint64(seed) + uint64(idx)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
+}

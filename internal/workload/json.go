@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vmwild/internal/catalog"
+)
+
+// Profiles are serializable so consolidation engagements can describe a
+// custom estate as data and run every planner and experiment on it. The
+// JSON form references hardware models by catalog name.
+
+// profileJSON is the wire form of a Profile.
+type profileJSON struct {
+	Name          string      `json:"name"`
+	Industry      string      `json:"industry"`
+	Servers       int         `json:"servers"`
+	TargetCPUUtil float64     `json:"targetCpuUtil"`
+	Events        Events      `json:"events"`
+	Mix           []shareJSON `json:"mix"`
+}
+
+type shareJSON struct {
+	Archetype Archetype        `json:"archetype"`
+	Weight    float64          `json:"weight"`
+	Models    []modelShareJSON `json:"models"`
+}
+
+type modelShareJSON struct {
+	Model  string  `json:"model"`
+	Weight float64 `json:"weight"`
+}
+
+// WriteProfileJSON serializes a profile.
+func WriteProfileJSON(w io.Writer, p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	out := profileJSON{
+		Name:          p.Name,
+		Industry:      p.Industry,
+		Servers:       p.Servers,
+		TargetCPUUtil: p.TargetCPUUtil,
+		Events:        p.Events,
+	}
+	for _, s := range p.Mix {
+		sj := shareJSON{Archetype: s.Archetype, Weight: s.Weight}
+		for _, m := range s.Models {
+			sj.Models = append(sj.Models, modelShareJSON{Model: m.Model.Name, Weight: m.Weight})
+		}
+		out.Mix = append(out.Mix, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadProfileJSON deserializes a profile, resolving hardware models against
+// the catalog.
+func ReadProfileJSON(r io.Reader, cat *catalog.Catalog) (*Profile, error) {
+	if cat == nil {
+		cat = catalog.Default()
+	}
+	var in profileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decode profile: %w", err)
+	}
+	p := &Profile{
+		Name:          in.Name,
+		Industry:      in.Industry,
+		Servers:       in.Servers,
+		TargetCPUUtil: in.TargetCPUUtil,
+		Events:        in.Events,
+	}
+	for _, sj := range in.Mix {
+		share := Share{Archetype: sj.Archetype, Weight: sj.Weight}
+		for _, mj := range sj.Models {
+			model, err := cat.Lookup(mj.Model)
+			if err != nil {
+				return nil, fmt.Errorf("workload: share %q: %w", sj.Archetype.Name, err)
+			}
+			share.Models = append(share.Models, ModelShare{Model: model, Weight: mj.Weight})
+		}
+		p.Mix = append(p.Mix, share)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return p, nil
+}

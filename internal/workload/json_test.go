@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmwild/internal/catalog"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, p := range Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteProfileJSON(&buf, p); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadProfileJSON(&buf, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Name != p.Name || got.Servers != p.Servers || got.Industry != p.Industry {
+				t.Errorf("identity changed: %+v", got)
+			}
+			if len(got.Mix) != len(p.Mix) {
+				t.Fatalf("mix length changed: %d vs %d", len(got.Mix), len(p.Mix))
+			}
+			for i := range got.Mix {
+				if got.Mix[i].Archetype != p.Mix[i].Archetype {
+					t.Errorf("share %d archetype changed", i)
+				}
+				if got.Mix[i].Weight != p.Mix[i].Weight {
+					t.Errorf("share %d weight changed", i)
+				}
+				if len(got.Mix[i].Models) != len(p.Mix[i].Models) {
+					t.Fatalf("share %d model count changed", i)
+				}
+				for j := range got.Mix[i].Models {
+					if got.Mix[i].Models[j].Model.Name != p.Mix[i].Models[j].Model.Name {
+						t.Errorf("share %d model %d changed", i, j)
+					}
+				}
+			}
+			if got.Events != p.Events {
+				t.Errorf("events changed: %+v vs %+v", got.Events, p.Events)
+			}
+
+			// The round-tripped profile generates identical traces.
+			a, err := Generate(p, 24, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Generate(got, 24, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Servers {
+				for h := range a.Servers[i].Series.Samples {
+					if a.Servers[i].Series.Samples[h] != b.Servers[i].Series.Samples[h] {
+						t.Fatalf("traces diverge after JSON round trip (server %d hour %d)", i, h)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestReadProfileJSONErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		json string
+	}{
+		{name: "malformed", json: "{nope"},
+		{name: "unknown field", json: `{"name":"X","bogus":1}`},
+		{name: "unknown model", json: `{"name":"X","servers":2,"mix":[{"archetype":{"Name":"w","CPUBase":0.1},"weight":1,"models":[{"model":"not-a-model","weight":1}]}]}`},
+		{name: "invalid profile", json: `{"name":"X","servers":0,"mix":[]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadProfileJSON(strings.NewReader(tt.json), catalog.Default()); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestWriteProfileJSONRejectsInvalid(t *testing.T) {
+	if err := WriteProfileJSON(&bytes.Buffer{}, &Profile{}); err == nil {
+		t.Error("expected error for invalid profile")
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"errors"
+	"math"
+)
+
+// OlioModel reproduces the paper's Olio web-benchmark micro-study
+// (Section 4.1): on a dual-core Xeon, scaling throughput from 10 to 60
+// operations per second raised CPU demand from 0.18 to 1.42 cores (a 7.9x
+// increase) while memory demand grew only 3x.
+//
+// The model is a pair of power laws fitted to those two endpoints:
+//
+//	cpu(tput) = CPUAtRef * (tput/RefTput)^log6(7.9)
+//	mem(tput) = MemAtRef * (tput/RefTput)^log6(3.0)
+//
+// It backs the generator's sub-linear memory coupling and the
+// BenchmarkOlioScaling experiment.
+type OlioModel struct {
+	// RefTput is the reference throughput in operations per second.
+	RefTput float64
+	// CPUAtRef is CPU demand (cores) at the reference throughput.
+	CPUAtRef float64
+	// MemAtRefMB is memory demand (MB) at the reference throughput.
+	MemAtRefMB float64
+}
+
+// DefaultOlio returns the model calibrated to the paper's measurements.
+func DefaultOlio() OlioModel {
+	return OlioModel{RefTput: 10, CPUAtRef: 0.18, MemAtRefMB: 600}
+}
+
+// Exponents of the fitted power laws: 6^cpuExp = 7.9 and 6^memExp = 3.
+var (
+	olioCPUExp = math.Log(7.9) / math.Log(6)
+	olioMemExp = math.Log(3.0) / math.Log(6)
+)
+
+// CPUCores returns the CPU demand in cores at the given throughput.
+func (m OlioModel) CPUCores(tput float64) (float64, error) {
+	if tput <= 0 || m.RefTput <= 0 {
+		return 0, errors.New("workload: olio throughput must be positive")
+	}
+	return m.CPUAtRef * math.Pow(tput/m.RefTput, olioCPUExp), nil
+}
+
+// MemMB returns the memory demand in MB at the given throughput.
+func (m OlioModel) MemMB(tput float64) (float64, error) {
+	if tput <= 0 || m.RefTput <= 0 {
+		return 0, errors.New("workload: olio throughput must be positive")
+	}
+	return m.MemAtRefMB * math.Pow(tput/m.RefTput, olioMemExp), nil
+}

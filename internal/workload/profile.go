@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/catalog"
+)
+
+// Share assigns a fraction of a data center's servers to one archetype
+// running on one hardware model mix.
+type Share struct {
+	// Archetype is copied by value so profiles may tweak fields (for
+	// example burst duration) without affecting the package defaults.
+	Archetype Archetype
+	// Weight is the fraction of servers with this behaviour; weights in
+	// a profile must sum to 1 within rounding.
+	Weight float64
+	// Models is the hardware mix for this share.
+	Models []ModelShare
+}
+
+// ModelShare weights one hardware model inside a Share.
+type ModelShare struct {
+	Model  catalog.Model
+	Weight float64
+}
+
+// Events parameterizes the data-center-wide correlated demand surges
+// (market opens, fare sales, promotions). Because the surge hits every
+// participating server in the same hours, per-server peaks coincide — the
+// aggregate peak stays close to the sum of individual peaks, which is why
+// dynamic consolidation cannot simply multiplex burstiness away.
+type Events struct {
+	// Rate is the per-candidate-hour probability that a surge starts.
+	Rate float64
+	// Magnitude scales surge strength (added CPU utilization before the
+	// Pareto draw and per-server sensitivity).
+	Magnitude float64
+	// Alpha is the Pareto tail index of surge strength.
+	Alpha float64
+	// Cap bounds the added utilization of a single surge.
+	Cap float64
+	// MaxHours bounds surge duration.
+	MaxHours int
+	// DayOnly restricts surge starts to business hours (9-22) on
+	// weekdays.
+	DayOnly bool
+}
+
+// Profile describes one data center from Table 2 of the paper.
+type Profile struct {
+	// Name is the paper's single-letter workload name: A, B, C or D.
+	Name string
+	// Industry is the descriptive industry label.
+	Industry string
+	// Servers is the number of monitored servers.
+	Servers int
+	// TargetCPUUtil is the data-center-wide average CPU utilization the
+	// profile is calibrated to (Table 2).
+	TargetCPUUtil float64
+	// Events is the shared demand-surge process.
+	Events Events
+	// Mix is the archetype composition.
+	Mix []Share
+}
+
+// Validate checks structural consistency of the profile.
+func (p *Profile) Validate() error {
+	if p.Servers <= 0 {
+		return errors.New("workload: profile needs at least one server")
+	}
+	if len(p.Mix) == 0 {
+		return errors.New("workload: profile has no archetype mix")
+	}
+	var total float64
+	for _, s := range p.Mix {
+		if s.Weight < 0 {
+			return fmt.Errorf("workload: negative weight for %q", s.Archetype.Name)
+		}
+		if len(s.Models) == 0 {
+			return fmt.Errorf("workload: share %q has no hardware models", s.Archetype.Name)
+		}
+		total += s.Weight
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("workload: archetype weights sum to %v, want 1", total)
+	}
+	return nil
+}
+
+// WebFraction returns the fraction of servers labeled "web", the paper's
+// proxy for expected burstiness.
+func (p *Profile) WebFraction() float64 {
+	var web float64
+	for _, s := range p.Mix {
+		if s.Archetype.Class == "web" {
+			web += s.Weight
+		}
+	}
+	return web
+}
+
+// Hardware model mixes. Banking runs on larger boxes (CPU-hungry trading and
+// channel apps), the others mostly on mid-size rack servers.
+func xlargeHeavy() []ModelShare {
+	return []ModelShare{
+		{Model: catalog.LegacyXLarge, Weight: 0.5},
+		{Model: catalog.LegacyLarge, Weight: 0.5},
+	}
+}
+
+func largeHeavy() []ModelShare {
+	return []ModelShare{
+		{Model: catalog.LegacyLarge, Weight: 0.7},
+		{Model: catalog.LegacyMedium, Weight: 0.3},
+	}
+}
+
+func mediumHeavy() []ModelShare {
+	return []ModelShare{
+		{Model: catalog.LegacyMedium, Weight: 0.7},
+		{Model: catalog.LegacyLarge, Weight: 0.2},
+		{Model: catalog.LegacySmall, Weight: 0.1},
+	}
+}
+
+func mediumOnly() []ModelShare {
+	return []ModelShare{{Model: catalog.LegacyMedium, Weight: 1}}
+}
+
+// Banking returns workload A: a Fortune-100 bank's production data center —
+// 816 servers, ~5% average CPU utilization, the highest web fraction and by
+// far the burstiest CPU demand, with strong market-hour demand surges that
+// hit all customer-facing tiers simultaneously. It is the only workload that
+// is CPU-intensive in a majority of consolidation intervals (Figure 6a).
+func Banking() *Profile {
+	web := WebHot
+	web.DiurnalAmp = 0.35
+	web.WeekendDrop = 0.25
+	webMild := WebMild
+	webMild.DiurnalAmp = 0.30
+	cache := WebCache
+	cache.DiurnalAmp = 0.35
+	db := Database
+	db.MemBaseMB = 3500
+	db.MemActivityMB = 600
+	nightly := BatchNightly
+	nightly.NightJob = 0.35
+	nightly.MemBaseMB = 1600
+	nightly.MemActivityMB = 400
+	infra := FileInfra
+	infra.MemBaseMB = 1000
+	infra.MemActivityMB = 150
+	return &Profile{
+		Name: "A", Industry: "Banking", Servers: 816, TargetCPUUtil: 0.05,
+		Events: Events{Rate: 0.07, Magnitude: 0.07, Alpha: 1.5, Cap: 0.34, MaxHours: 2, DayOnly: true},
+		Mix: []Share{
+			{Archetype: web, Weight: 0.40, Models: largeHeavy()},
+			{Archetype: webMild, Weight: 0.17, Models: largeHeavy()},
+			{Archetype: cache, Weight: 0.18, Models: largeHeavy()},
+			{Archetype: db, Weight: 0.05, Models: largeHeavy()},
+			{Archetype: nightly, Weight: 0.12, Models: largeHeavy()},
+			{Archetype: infra, Weight: 0.08, Models: mediumHeavy()},
+		},
+	}
+}
+
+// Airlines returns workload B: an airline data center — 445 servers, ~1%
+// average CPU utilization, strongly memory-bound (aggregate CPU/memory ratio
+// below 50 RPE2/GB throughout) with stable memory demand that dips mildly at
+// night as caches drain.
+func Airlines() *Profile {
+	// The airline's reservation databases are labeled batch: they back
+	// offline ticketing pipelines, not interactive web applications.
+	reservations := Database
+	reservations.Class = "batch"
+	reservations.CPUBase = 0.015
+	reservations.DiurnalAmp = 0.20
+	reservations.NoiseSigma = 0.15
+	reservations.BurstRate = 0.002
+	reservations.MemBaseMB = 7000
+	reservations.MemActivityMB = 2500
+	quietWeb := WebMild
+	quietWeb.CPUBase = 0.008
+	quietWeb.AppEventRate = 0
+	quietWeb.DiurnalAmp = 0.25
+	quietWeb.NoiseSigma = 0.15
+	quietWeb.BurstRate = 0.002
+	quietWeb.MemBaseMB = 3800
+	quietWeb.MemActivityMB = 700
+	spikyWeb := WebHot
+	spikyWeb.CPUBase = 0.007
+	spikyWeb.NoiseSigma = 0.30
+	spikyWeb.AppEventRate = 0.0008
+	spikyWeb.AppEventMag = 0.03
+	spikyWeb.AppEventCap = 0.08
+	spikyWeb.BurstRate = 0.015
+	spikyWeb.BurstScale = 4
+	spikyWeb.BurstAlpha = 2.2
+	spikyWeb.MemBaseMB = 3200
+	spikyWeb.MemActivityMB = 500
+	infra := FileInfra
+	infra.CPUBase = 0.008
+	infra.NoiseSigma = 0.15
+	infra.BurstRate = 0.001
+	infra.MemBaseMB = 1800
+	return &Profile{
+		Name: "B", Industry: "Airlines", Servers: 445, TargetCPUUtil: 0.01,
+		Events: Events{Rate: 0.02, Magnitude: 0.008, Alpha: 2.2, Cap: 0.03, MaxHours: 2, DayOnly: true},
+		Mix: []Share{
+			{Archetype: spikyWeb, Weight: 0.30, Models: mediumOnly()},
+			{Archetype: quietWeb, Weight: 0.25, Models: mediumOnly()},
+			{Archetype: reservations, Weight: 0.25, Models: mediumHeavy()},
+			{Archetype: infra, Weight: 0.20, Models: mediumOnly()},
+		},
+	}
+}
+
+// NaturalResources returns workload C: a mining and minerals company's
+// primary data center — 1390 servers, ~12% average CPU utilization, the
+// highest fraction of custom batch applications and hence the lowest
+// burstiness, memory-bound in nearly all consolidation intervals.
+func NaturalResources() *Profile {
+	steadyWeb := WebMild
+	steadyWeb.AppEventRate = 0.0005
+	steadyWeb.AppEventMag = 0.05
+	steadyWeb.AppEventCap = 0.15
+	nightly := BatchNightly
+	nightly.CPUBase = 0.06
+	nightly.NightJob = 0.26
+	nightly.MemActivityMB = 1200
+	payroll := BatchPayroll
+	payroll.CPUBase = 0.07
+	payroll.MonthEndJob = 0.35
+	return &Profile{
+		Name: "C", Industry: "Natural Resources", Servers: 1390, TargetCPUUtil: 0.12,
+		Events: Events{Rate: 0.01, Magnitude: 0.02, Alpha: 2.4, Cap: 0.06, MaxHours: 2, DayOnly: true},
+		Mix: []Share{
+			{Archetype: BatchCompute, Weight: 0.38, Models: mediumHeavy()},
+			{Archetype: nightly, Weight: 0.22, Models: mediumOnly()},
+			{Archetype: payroll, Weight: 0.10, Models: mediumOnly()},
+			{Archetype: steadyWeb, Weight: 0.15, Models: mediumOnly()},
+			{Archetype: Database, Weight: 0.10, Models: mediumHeavy()},
+			{Archetype: FileInfra, Weight: 0.05, Models: mediumOnly()},
+		},
+	}
+}
+
+// Beverage returns workload D: a global beverage company — 722 servers, ~6%
+// average CPU utilization, bursty like Banking but with longer-lived
+// promotion-driven surges (burstiness less sensitive to the consolidation
+// interval) and higher absolute memory demand, leaving it memory-dominated
+// in over 90% of intervals.
+func Beverage() *Profile {
+	bevWeb := []ModelShare{
+		{Model: catalog.LegacyXLarge, Weight: 0.3},
+		{Model: catalog.LegacyLarge, Weight: 0.7},
+	}
+	longWebHot := WebHot
+	longWebHot.CPUBase = 0.040
+	longWebHot.BurstMaxHours = 4
+	longWebHot.MemBaseMB = 2400
+	longWebHot.MemActivityMB = 400
+	longWebCache := WebCache
+	longWebCache.BurstMaxHours = 4
+	longWebCache.MemBaseMB = 800
+	longWebCache.MemActivityMB = 800
+	return &Profile{
+		Name: "D", Industry: "Beverage", Servers: 722, TargetCPUUtil: 0.06,
+		Events: Events{Rate: 0.04, Magnitude: 0.10, Alpha: 1.7, Cap: 0.32, MaxHours: 4, DayOnly: true},
+		Mix: []Share{
+			{Archetype: longWebHot, Weight: 0.38, Models: bevWeb},
+			{Archetype: WebMild, Weight: 0.15, Models: bevWeb},
+			{Archetype: longWebCache, Weight: 0.09, Models: bevWeb},
+			{Archetype: Database, Weight: 0.10, Models: mediumHeavy()},
+			{Archetype: BatchNightly, Weight: 0.18, Models: mediumOnly()},
+			{Archetype: FileInfra, Weight: 0.10, Models: mediumOnly()},
+		},
+	}
+}
+
+// Profiles returns the four study data centers in Table 2 order.
+func Profiles() []*Profile {
+	return []*Profile{Banking(), Airlines(), NaturalResources(), Beverage()}
+}

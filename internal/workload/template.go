@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/catalog"
+)
+
+// Template describes a custom estate in engagement-level terms, for users
+// who want a what-if data center without hand-tuning archetypes. The four
+// paper profiles remain the calibrated reference points; templates
+// interpolate the same building blocks.
+type Template struct {
+	// Name identifies the estate.
+	Name string
+	// Servers is the estate size.
+	Servers int
+	// WebFraction in [0, 1] sets the share of interactive web/app
+	// servers; the rest are batch and infrastructure machines.
+	WebFraction float64
+	// Burstiness in [0, 1] scales the data-center-wide demand surges
+	// from Natural-Resources-calm (0) to Banking-wild (1).
+	Burstiness float64
+	// MemoryFootprintMB is the target average committed memory per
+	// server; it shifts the estate between CPU-bound and memory-bound
+	// regimes (Figure 6). Zero selects 2048.
+	MemoryFootprintMB float64
+	// Hardware selects the source-server model: "small", "medium",
+	// "large" or "xlarge" (default "medium").
+	Hardware string
+}
+
+// FromTemplate expands a template into a full profile.
+func FromTemplate(t Template) (*Profile, error) {
+	if t.Name == "" {
+		return nil, errors.New("workload: template needs a name")
+	}
+	if t.Servers < 1 {
+		return nil, errors.New("workload: template needs at least one server")
+	}
+	if t.WebFraction < 0 || t.WebFraction > 1 {
+		return nil, fmt.Errorf("workload: web fraction %v outside [0, 1]", t.WebFraction)
+	}
+	if t.Burstiness < 0 || t.Burstiness > 1 {
+		return nil, fmt.Errorf("workload: burstiness %v outside [0, 1]", t.Burstiness)
+	}
+	mem := t.MemoryFootprintMB
+	if mem == 0 {
+		mem = 2048
+	}
+	if mem < 64 {
+		return nil, fmt.Errorf("workload: memory footprint %v MB below the 64 MB floor", mem)
+	}
+
+	var model catalog.Model
+	switch t.Hardware {
+	case "", "medium":
+		model = catalog.LegacyMedium
+	case "small":
+		model = catalog.LegacySmall
+	case "large":
+		model = catalog.LegacyLarge
+	case "xlarge":
+		model = catalog.LegacyXLarge
+	default:
+		return nil, fmt.Errorf("workload: unknown hardware class %q", t.Hardware)
+	}
+	if mem > 0.9*model.Spec.MemMB {
+		return nil, fmt.Errorf("workload: footprint %v MB exceeds %s capacity", mem, model.Name)
+	}
+	models := []ModelShare{{Model: model, Weight: 1}}
+
+	// Scale the archetype memory so the estate's average footprint lands
+	// near the target (the built-in archetypes average ~2.2 GB in the
+	// mixes below).
+	memScale := mem / 2200
+
+	scaleMem := func(a Archetype) Archetype {
+		a.MemBaseMB *= memScale
+		a.MemActivityMB *= memScale
+		return a
+	}
+	web := scaleMem(WebHot)
+	webMild := scaleMem(WebMild)
+	cache := scaleMem(WebCache)
+	db := scaleMem(Database)
+	// Databases in the batch share back office pipelines, not web apps.
+	db.Class = "batch"
+	nightly := scaleMem(BatchNightly)
+	compute := scaleMem(BatchCompute)
+	infra := scaleMem(FileInfra)
+
+	wf, bf := t.WebFraction, 1-t.WebFraction
+	p := &Profile{
+		Name:     t.Name,
+		Industry: "custom",
+		Servers:  t.Servers,
+		Events: Events{
+			Rate:      0.01 + 0.06*t.Burstiness,
+			Magnitude: 0.02 + 0.06*t.Burstiness,
+			Alpha:     2.2 - 0.7*t.Burstiness,
+			Cap:       0.06 + 0.28*t.Burstiness,
+			MaxHours:  2,
+			DayOnly:   true,
+		},
+		Mix: []Share{
+			{Archetype: web, Weight: wf * 0.5, Models: models},
+			{Archetype: webMild, Weight: wf * 0.3, Models: models},
+			{Archetype: cache, Weight: wf * 0.2, Models: models},
+			{Archetype: db, Weight: bf * 0.2, Models: models},
+			{Archetype: nightly, Weight: bf * 0.3, Models: models},
+			{Archetype: compute, Weight: bf * 0.3, Models: models},
+			{Archetype: infra, Weight: bf * 0.2, Models: models},
+		},
+	}
+	// Drop zero-weight shares (all-web or all-batch templates).
+	mix := p.Mix[:0]
+	for _, s := range p.Mix {
+		if s.Weight > 0 {
+			mix = append(mix, s)
+		}
+	}
+	p.Mix = mix
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: template expansion: %w", err)
+	}
+	return p, nil
+}

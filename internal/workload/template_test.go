@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"vmwild/internal/analysis"
+	"vmwild/internal/trace"
+)
+
+func TestFromTemplateValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		tpl  Template
+	}{
+		{name: "no name", tpl: Template{Servers: 10}},
+		{name: "no servers", tpl: Template{Name: "x"}},
+		{name: "bad web fraction", tpl: Template{Name: "x", Servers: 1, WebFraction: 1.5}},
+		{name: "bad burstiness", tpl: Template{Name: "x", Servers: 1, Burstiness: -1}},
+		{name: "tiny memory", tpl: Template{Name: "x", Servers: 1, MemoryFootprintMB: 1}},
+		{name: "unknown hardware", tpl: Template{Name: "x", Servers: 1, Hardware: "mainframe"}},
+		{name: "memory above hardware", tpl: Template{Name: "x", Servers: 1, Hardware: "small", MemoryFootprintMB: 5000}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FromTemplate(tt.tpl); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestFromTemplateExpansion(t *testing.T) {
+	p, err := FromTemplate(Template{Name: "custom", Servers: 60, WebFraction: 0.7, Burstiness: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("expanded profile invalid: %v", err)
+	}
+	if got := p.WebFraction(); got < 0.65 || got > 0.75 {
+		t.Errorf("web fraction = %v, want ~0.7", got)
+	}
+	// All-web and all-batch templates drop the empty shares.
+	allWeb, err := FromTemplate(Template{Name: "web", Servers: 10, WebFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := allWeb.WebFraction(); got != 1 {
+		t.Errorf("all-web template web fraction = %v", got)
+	}
+	allBatch, err := FromTemplate(Template{Name: "batch", Servers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := allBatch.WebFraction(); got != 0 {
+		t.Errorf("all-batch template web fraction = %v", got)
+	}
+}
+
+func TestFromTemplateKnobsShapeTheEstate(t *testing.T) {
+	generateStats := func(tpl Template) (burstFrac, avgMemMB float64) {
+		t.Helper()
+		p, err := FromTemplate(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := Generate(p, MonitoringHours, DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov, err := analysis.CoVCDF(set, trace.CPU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mem float64
+		for _, st := range set.Servers {
+			var sum float64
+			for _, u := range st.Series.Samples {
+				sum += u.Mem
+			}
+			mem += sum / float64(st.Series.Len())
+		}
+		return cov.FractionAbove(1), mem / float64(len(set.Servers))
+	}
+
+	calm, _ := generateStats(Template{Name: "calm", Servers: 60, WebFraction: 0.6, Burstiness: 0})
+	wild, _ := generateStats(Template{Name: "wild", Servers: 60, WebFraction: 0.6, Burstiness: 1})
+	if wild <= calm {
+		t.Errorf("burstiness knob inert: heavy-tail fraction calm=%.2f wild=%.2f", calm, wild)
+	}
+
+	_, lean := generateStats(Template{Name: "lean", Servers: 60, WebFraction: 0.6, Burstiness: 0.5, MemoryFootprintMB: 1024})
+	_, heavy := generateStats(Template{Name: "heavy", Servers: 60, WebFraction: 0.6, Burstiness: 0.5, MemoryFootprintMB: 8192})
+	if heavy <= lean*2 {
+		t.Errorf("memory knob inert: lean=%.0f MB heavy=%.0f MB", lean, heavy)
+	}
+	// The footprint lands in the target's neighbourhood.
+	if lean < 400 || lean > 2500 {
+		t.Errorf("lean footprint = %.0f MB, want near 1024", lean)
+	}
+}

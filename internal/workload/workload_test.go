@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vmwild/internal/trace"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			if err := p.Validate(); err != nil {
+				t.Errorf("profile %s invalid: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+func TestProfileValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		p    *Profile
+	}{
+		{name: "no servers", p: &Profile{Mix: Banking().Mix}},
+		{name: "no mix", p: &Profile{Servers: 10}},
+		{name: "bad weights", p: &Profile{Servers: 10, Mix: []Share{{Archetype: WebHot, Weight: 0.5, Models: mediumOnly()}}}},
+		{name: "no models", p: &Profile{Servers: 10, Mix: []Share{{Archetype: WebHot, Weight: 1}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestWebFractionOrdering(t *testing.T) {
+	// The paper orders web fraction A > D > B > C (Section 3.2).
+	a, b, c, d := Banking().WebFraction(), Airlines().WebFraction(), NaturalResources().WebFraction(), Beverage().WebFraction()
+	if !(a > d && d > b && b > c) {
+		t.Errorf("web fractions A=%.2f D=%.2f B=%.2f C=%.2f violate A > D > B > C", a, d, b, c)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Banking()
+	p.Servers = 8
+	s1, err := Generate(p, 48, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Generate(p, 48, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.Servers {
+		a, b := s1.Servers[i], s2.Servers[i]
+		if a.ID != b.ID || a.App != b.App {
+			t.Fatalf("server %d identity differs", i)
+		}
+		for j := range a.Series.Samples {
+			if a.Series.Samples[j] != b.Series.Samples[j] {
+				t.Fatalf("server %d sample %d differs: %+v vs %+v", i, j, a.Series.Samples[j], b.Series.Samples[j])
+			}
+		}
+	}
+	s3, err := Generate(p, 48, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j, u := range s1.Servers[0].Series.Samples {
+		if s3.Servers[0].Series.Samples[j] != u {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := Beverage()
+	p.Servers = 20
+	set, err := Generate(p, 72, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatalf("generated set invalid: %v", err)
+	}
+	if len(set.Servers) != 20 {
+		t.Fatalf("got %d servers, want 20", len(set.Servers))
+	}
+	for _, st := range set.Servers {
+		if st.Series.Len() != 72 {
+			t.Fatalf("server %s has %d samples, want 72", st.ID, st.Series.Len())
+		}
+		for _, u := range st.Series.Samples {
+			if u.CPU < 0 || u.CPU > st.Spec.CPURPE2 {
+				t.Fatalf("CPU demand %v outside [0, %v]", u.CPU, st.Spec.CPURPE2)
+			}
+			if u.Mem < 0 || u.Mem > st.Spec.MemMB {
+				t.Fatalf("memory demand %v outside [0, %v]", u.Mem, st.Spec.MemMB)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(&Profile{}, 24, 1); err == nil {
+		t.Error("expected error for invalid profile")
+	}
+	if _, err := Generate(Banking(), 0, 1); err == nil {
+		t.Error("expected error for zero horizon")
+	}
+}
+
+func TestShareCountsSumToServers(t *testing.T) {
+	for _, p := range Profiles() {
+		counts := shareCounts(p)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != p.Servers {
+			t.Errorf("profile %s: counts sum to %d, want %d", p.Name, total, p.Servers)
+		}
+	}
+}
+
+func TestInWindow(t *testing.T) {
+	tests := []struct {
+		hod, start, length int
+		want               bool
+	}{
+		{2, 1, 4, true},
+		{0, 1, 4, false},
+		{5, 1, 4, false},
+		{23, 22, 4, true}, // wraps midnight
+		{1, 22, 4, true},  // wrapped portion
+		{2, 22, 4, false}, // past wrapped end
+		{3, 2, 0, false},  // empty window
+	}
+	for _, tt := range tests {
+		if got := inWindow(tt.hod, tt.start, tt.length); got != tt.want {
+			t.Errorf("inWindow(%d,%d,%d) = %v, want %v", tt.hod, tt.start, tt.length, got, tt.want)
+		}
+	}
+}
+
+func TestOlioModel(t *testing.T) {
+	m := DefaultOlio()
+	cpu10, err := m.CPUCores(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu60, err := m.CPUCores(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem10, err := m.MemMB(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem60, err := m.MemMB(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cpu10-0.18) > 1e-9 {
+		t.Errorf("CPU at 10 ops/s = %v, want 0.18", cpu10)
+	}
+	if math.Abs(cpu60/cpu10-7.9) > 0.01 {
+		t.Errorf("CPU scaling = %vx, want 7.9x", cpu60/cpu10)
+	}
+	if math.Abs(mem60/mem10-3.0) > 0.01 {
+		t.Errorf("memory scaling = %vx, want 3x", mem60/mem10)
+	}
+	if math.Abs(cpu60-1.42) > 0.01 {
+		t.Errorf("CPU at 60 ops/s = %v, want 1.42", cpu60)
+	}
+	if _, err := m.CPUCores(0); err == nil {
+		t.Error("expected error for zero throughput")
+	}
+	if _, err := m.MemMB(-1); err == nil {
+		t.Error("expected error for negative throughput")
+	}
+}
+
+func TestHorizonConstants(t *testing.T) {
+	if MonitoringHours != 720 || EvaluationHours != 336 || HorizonHours != 1056 {
+		t.Error("horizon constants drifted from the paper's 30+14 day design")
+	}
+}
+
+func TestSpecRatioSanity(t *testing.T) {
+	// Generated servers must carry positive specs usable downstream.
+	p := Airlines()
+	p.Servers = 5
+	set, err := Generate(p, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range set.Servers {
+		if st.Spec == (trace.Spec{}) {
+			t.Fatalf("server %s has empty spec", st.ID)
+		}
+	}
+}

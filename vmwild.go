@@ -1,0 +1,349 @@
+package vmwild
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"vmwild/internal/advisor"
+	"vmwild/internal/analysis"
+	"vmwild/internal/catalog"
+	"vmwild/internal/constraints"
+	"vmwild/internal/controller"
+	"vmwild/internal/core"
+	"vmwild/internal/emulator"
+	"vmwild/internal/executor"
+	"vmwild/internal/experiments"
+	"vmwild/internal/migration"
+	"vmwild/internal/monitor"
+	"vmwild/internal/placement"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+	"vmwild/internal/traceio"
+	"vmwild/internal/workload"
+)
+
+// Horizon constants (Table 3 of the paper).
+const (
+	// DefaultSeed makes every experiment reproducible; it is the
+	// Middleware '14 conference date.
+	DefaultSeed = workload.DefaultSeed
+	// MonitoringHours is the planning window: 30 days of hourly data.
+	MonitoringHours = workload.MonitoringHours
+	// EvaluationHours is the replay window: 14 days.
+	EvaluationHours = workload.EvaluationHours
+	// HorizonHours is the full generated horizon.
+	HorizonHours = workload.HorizonHours
+	// DefaultIntervalHours is the dynamic consolidation interval.
+	DefaultIntervalHours = core.DefaultIntervalHours
+	// DefaultReservation is the live-migration resource reservation.
+	DefaultReservation = migration.DefaultReservation
+)
+
+// Core data types, re-exported from the implementation packages.
+type (
+	// Usage is one demand sample (CPU in RPE2 units, memory in MB).
+	Usage = trace.Usage
+	// Series is a fixed-step demand time series.
+	Series = trace.Series
+	// Spec is a machine's capacity.
+	Spec = trace.Spec
+	// ServerID names a monitored server.
+	ServerID = trace.ServerID
+	// ServerTrace binds a server's identity, capacity and history.
+	ServerTrace = trace.ServerTrace
+	// TraceSet is one data center's monitored servers.
+	TraceSet = trace.Set
+	// Profile describes a data center's workload composition.
+	Profile = workload.Profile
+	// HostModel is a hardware model (capacity, power, rack density).
+	HostModel = catalog.Model
+	// Planner produces consolidation plans.
+	Planner = core.Planner
+	// Plan is a planner's output.
+	Plan = core.Plan
+	// PlanInput is the planner input.
+	PlanInput = core.Input
+	// ReplayResult is the emulator's replay outcome.
+	ReplayResult = emulator.Result
+	// Placement is a mutable assignment of VMs to hosts.
+	Placement = placement.Placement
+	// CDF is an empirical distribution.
+	CDF = stats.CDF
+	// ServerBurstiness summarizes one server's demand variability.
+	ServerBurstiness = analysis.ServerBurstiness
+
+	// Experiment result types (one per paper artifact).
+	CostRow            = experiments.CostRow
+	ContentionRow      = experiments.ContentionRow
+	UtilizationCurves  = experiments.UtilizationCurves
+	SensitivityResult  = experiments.SensitivityResult
+	IntervalCurve      = experiments.IntervalCurve
+	RatioResult        = experiments.RatioResult
+	WorkloadSummary    = experiments.WorkloadSummary
+	OlioResult         = experiments.OlioResult
+	MigrationPoint     = experiments.MigrationPoint
+	VerificationResult = experiments.VerificationResult
+	IntervalPoint      = experiments.IntervalPoint
+	PredictorPoint     = experiments.PredictorPoint
+	MechanismRow       = experiments.MechanismRow
+	ExecutionRow       = experiments.ExecutionRow
+	BladeRow           = experiments.BladeRow
+)
+
+// The four study data centers (Table 2).
+func Banking() *Profile          { return workload.Banking() }
+func Airlines() *Profile         { return workload.Airlines() }
+func NaturalResources() *Profile { return workload.NaturalResources() }
+func Beverage() *Profile         { return workload.Beverage() }
+
+// Profiles returns all four study profiles in Table 2 order.
+func Profiles() []*Profile { return workload.Profiles() }
+
+// HS23Elite is the reference consolidation target blade (2 sockets, 128 GB,
+// 160 RPE2/GB).
+func HS23Elite() HostModel { return catalog.HS23Elite }
+
+// HS23Standard is the same blade without the memory extension (64 GB,
+// 320 RPE2/GB) — the Observation 3 contrast.
+func HS23Standard() HostModel { return catalog.HS23Standard }
+
+// Generate synthesizes hourly demand traces for a profile. The same
+// (profile, hours, seed) triple always produces identical traces.
+func Generate(p *Profile, hours int, seed int64) (*TraceSet, error) {
+	return workload.Generate(p, hours, seed)
+}
+
+// ProfileTemplate describes a custom estate in engagement-level terms.
+type ProfileTemplate = workload.Template
+
+// ProfileFromTemplate expands a template into a full workload profile.
+func ProfileFromTemplate(t ProfileTemplate) (*Profile, error) { return workload.FromTemplate(t) }
+
+// WriteProfileJSON serializes a workload profile (custom estates as data).
+func WriteProfileJSON(w io.Writer, p *Profile) error { return workload.WriteProfileJSON(w, p) }
+
+// ReadProfileJSON loads a workload profile, resolving hardware models
+// against the default catalog.
+func ReadProfileJSON(r io.Reader) (*Profile, error) {
+	return workload.ReadProfileJSON(r, catalog.Default())
+}
+
+// WriteTraceCSV persists a trace set as CSV (the cmd/tracegen layout); use
+// it to exchange traces with external tools.
+func WriteTraceCSV(w io.Writer, set *TraceSet) error { return traceio.Write(w, set) }
+
+// ReadTraceCSV loads a trace set from CSV in the same layout — the entry
+// point for running the planners on real monitoring exports.
+func ReadTraceCSV(r io.Reader, name string) (*TraceSet, error) { return traceio.Read(r, name) }
+
+// Planners.
+
+// SemiStatic returns the vanilla semi-static planner (peak sizing + FFD).
+func SemiStatic() Planner { return core.SemiStatic{} }
+
+// Static returns the classical one-time consolidation planner.
+func Static() Planner { return core.Static{} }
+
+// Stochastic returns the correlation-aware PCP-style planner.
+func Stochastic() Planner { return core.Stochastic{} }
+
+// Dynamic returns the dynamic consolidation planner (2-hour intervals, live
+// migration with a 20% reservation).
+func Dynamic() Planner { return core.Dynamic{} }
+
+// Deployment constraints (Section 2.2.4 of the paper).
+type (
+	// Constraint vetoes candidate VM-to-host assignments.
+	Constraint = constraints.Constraint
+	// ConstraintSet is an ordered set of constraints, all of which must
+	// permit an assignment.
+	ConstraintSet = constraints.Set
+)
+
+// SameHost binds the given VMs to one physical host.
+func SameHost(vms ...ServerID) Constraint { return constraints.SameHost{Group: vms} }
+
+// AntiAffinity forbids any two of the given VMs from sharing a host.
+func AntiAffinity(vms ...ServerID) Constraint { return constraints.AntiAffinity{Group: vms} }
+
+// PinHost pins one VM to one host.
+func PinHost(vm ServerID, host string) Constraint {
+	return constraints.PinHost{VM: vm, Host: host}
+}
+
+// AvoidHost excludes one VM from one host.
+func AvoidHost(vm ServerID, host string) Constraint {
+	return constraints.AvoidHost{VM: vm, Host: host}
+}
+
+// SameRack binds the given VMs to one rack (the paper's subnet affinity).
+func SameRack(vms ...ServerID) Constraint { return constraints.SameRack{Group: vms} }
+
+// Live migration model (Section 4.3 of the paper).
+type (
+	// MigrationConfig parameterizes the pre-copy model.
+	MigrationConfig = migration.Config
+	// MigrationResult is one simulated migration's outcome.
+	MigrationResult = migration.Result
+	// MigrationCost is a planner-facing migration cost estimate.
+	MigrationCost = migration.Cost
+)
+
+// DefaultMigrationConfig returns the pre-copy model calibrated to published
+// gigabit-Ethernet measurements.
+func DefaultMigrationConfig() MigrationConfig { return migration.DefaultConfig() }
+
+// SimulateMigration runs the iterative pre-copy model for a VM with the
+// given active memory (MB) and page dirty rate (MB/s).
+func SimulateMigration(memMB, dirtyMBps float64, cfg MigrationConfig) (MigrationResult, error) {
+	return migration.Simulate(memMB, dirtyMBps, cfg)
+}
+
+// MigrationReliable reports whether a host at the given CPU and memory
+// utilization can run live migrations dependably (CPU < 80%, memory < 85%).
+func MigrationReliable(cpuUtil, memUtil float64) bool {
+	return migration.Reliable(cpuUtil, memUtil)
+}
+
+// EstimateMigrationCost predicts the transfer volume and duration of
+// migrating a VM with the given active memory and CPU activity.
+func EstimateMigrationCost(memMB, cpuUtil float64, cfg MigrationConfig) (MigrationCost, error) {
+	return migration.EstimateCost(memMB, cpuUtil, cfg)
+}
+
+// Consolidation advisor (the paper's Section 8 conclusion: analyze before
+// consolidating).
+type (
+	// Recommendation is the advisor's output: a mode plus the measured
+	// workload attributes and the reasoning.
+	Recommendation = advisor.Recommendation
+	// AdvisorConfig tunes the advisor's decision thresholds.
+	AdvisorConfig = advisor.Config
+	// WorkloadAttributes are the advisor's decision inputs.
+	WorkloadAttributes = advisor.Attributes
+	// Mode is a recommended consolidation mode.
+	Mode = advisor.Mode
+)
+
+// Recommendation modes.
+const (
+	ModeSemiStatic = advisor.ModeSemiStatic
+	ModeStochastic = advisor.ModeStochastic
+	ModeDynamic    = advisor.ModeDynamic
+)
+
+// Advise analyzes a monitoring window and recommends a consolidation mode,
+// encoding the paper's decision logic: memory-bound estates get semi-static
+// consolidation, bursty predictable CPU-bound estates get dynamic.
+func Advise(set *TraceSet, cfg AdvisorConfig) (Recommendation, error) {
+	return advisor.Advise(set, cfg)
+}
+
+// MeasureWorkload computes the advisor's decision attributes without
+// deciding.
+func MeasureWorkload(set *TraceSet, cfg AdvisorConfig) (WorkloadAttributes, error) {
+	return advisor.Measure(set, cfg)
+}
+
+// Execution step (Section 2.1): turning placement changes into feasible
+// live-migration schedules.
+type (
+	// MigrationMove is one VM relocation.
+	MigrationMove = executor.Move
+	// MigrationSchedule is a feasible wave-by-wave execution plan.
+	MigrationSchedule = executor.Plan
+	// ExecutorConfig tunes migration-wave scheduling.
+	ExecutorConfig = executor.Config
+)
+
+// DefaultExecutorConfig returns the baseline execution settings (one
+// migration per host, eight per fabric, gigabit pre-copy).
+func DefaultExecutorConfig() ExecutorConfig { return executor.DefaultConfig() }
+
+// ScheduleTransition plans the migrations that turn one placement into
+// another, respecting capacity at every intermediate state.
+func ScheduleTransition(from, to *Placement, cfg ExecutorConfig) (*MigrationSchedule, []MigrationMove, error) {
+	return executor.ScheduleTransition(from, to, cfg)
+}
+
+// DrainHost plans the evacuation of one host for maintenance — the live
+// migration use case real data centers do adopt (Section 1.2).
+func DrainHost(p *Placement, host string, cfg ExecutorConfig) (*MigrationSchedule, []MigrationMove, error) {
+	return executor.Drain(p, host, cfg)
+}
+
+// Monitoring substrate (Sections 2.1 and 3.1 of the paper): per-server
+// agents stream the Table 1 metric set over TCP to a central warehouse that
+// aggregates it into the hourly series the planners consume.
+type (
+	// MonitorSample is one Table 1 observation.
+	MonitorSample = monitor.Sample
+	// MonitorSource produces samples for one server.
+	MonitorSource = monitor.Source
+	// MonitorAgent is the per-server collector.
+	MonitorAgent = monitor.Agent
+	// Warehouse is the central monitoring store.
+	Warehouse = monitor.Warehouse
+)
+
+// NewWarehouse creates a monitoring warehouse with the given retention.
+func NewWarehouse(retention time.Duration) *Warehouse {
+	return monitor.NewWarehouse(retention)
+}
+
+// NewTraceSource replays a demand trace as per-minute monitoring samples.
+func NewTraceSource(st *ServerTrace, epoch time.Time, seed int64) (MonitorSource, error) {
+	return monitor.NewTraceSource(st, epoch, seed)
+}
+
+// SendMonitorBatch ships samples to a warehouse over one TCP connection.
+func SendMonitorBatch(ctx context.Context, addr string, samples []MonitorSample) error {
+	return monitor.SendBatch(ctx, addr, samples)
+}
+
+// Runtime controller: the live dynamic-consolidation loop of the paper's
+// deployed systems [25, 28].
+type (
+	// Controller runs the consolidation loop (fetch -> predict -> adapt
+	// -> schedule) one interval at a time.
+	Controller = controller.Controller
+	// ControllerConfig assembles a controller.
+	ControllerConfig = controller.Config
+	// ControllerTick reports one completed interval.
+	ControllerTick = controller.Tick
+	// FetchFunc supplies monitoring history to the controller.
+	FetchFunc = controller.FetchFunc
+)
+
+// ErrInsufficientHistory is returned by the controller during warm-up.
+var ErrInsufficientHistory = controller.ErrInsufficientHistory
+
+// NewController builds a runtime consolidation controller.
+func NewController(cfg ControllerConfig) (*Controller, error) { return controller.New(cfg) }
+
+// Warehouse query protocol: how remote planners pull aggregated series.
+type (
+	// QueryServer exposes a warehouse over the TCP query protocol.
+	QueryServer = monitor.QueryServer
+	// QueryClient is the planner-side client of the query protocol.
+	QueryClient = monitor.QueryClient
+)
+
+// NewQueryServer wraps a warehouse in a query server.
+func NewQueryServer(w *Warehouse) *QueryServer { return monitor.NewQueryServer(w) }
+
+// DialQuery connects to a warehouse query server.
+func DialQuery(ctx context.Context, addr string) (*QueryClient, error) {
+	return monitor.DialQuery(ctx, addr)
+}
+
+// WriteReport renders the complete reproduction — every table and figure of
+// the paper — using the baseline configuration with the given seed.
+func WriteReport(w io.Writer, seed int64) error {
+	cfg := experiments.DefaultConfig()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return experiments.WriteAll(w, cfg)
+}
