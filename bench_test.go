@@ -12,6 +12,9 @@ package vmwild_test
 // study set; the first use pays the generation cost.
 
 import (
+	"context"
+	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -352,6 +355,30 @@ func BenchmarkFig13to16Sensitivity(b *testing.B) {
 				b.ReportMetric(float64(sens.StochasticHosts), name+"_stochastic")
 			}
 		}
+	}
+}
+
+// BenchmarkWriteAll measures the full report end to end — every cell of the
+// experiment grid regenerated from scratch — sequentially and fanned out
+// across GOMAXPROCS workers. The emitted bytes are identical either way;
+// the parallel/sequential ratio is the sweep engine's speedup.
+func BenchmarkWriteAll(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{name: "sequential", workers: 1},
+		{name: "parallel", workers: runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			opts := vmwild.ReportOptions{Workers: bench.workers}
+			for i := 0; i < b.N; i++ {
+				err := vmwild.WriteReportWith(context.Background(), io.Discard, vmwild.DefaultSeed, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

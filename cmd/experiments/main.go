@@ -3,21 +3,57 @@
 // EXPERIMENTS.md:
 //
 //	go run ./cmd/experiments > experiments.txt
+//
+// The experiment grid fans out across -parallel workers (default:
+// GOMAXPROCS); the report is byte-identical at every worker count for the
+// same -seed, so parallelism only buys wall-clock time. Progress lines go
+// to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"vmwild"
 )
 
 func main() {
 	seed := flag.Int64("seed", vmwild.DefaultSeed, "workload generator seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment grid workers (1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
 	flag.Parse()
-	if err := vmwild.WriteReport(os.Stdout, *seed); err != nil {
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := vmwild.ReportOptions{Workers: *parallel}
+	if !*quiet {
+		opts.Progress = func(ev vmwild.ReportProgress) {
+			status := ""
+			if ev.Err != nil {
+				status = "  FAILED: " + ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-32s %6.1fs%s\n",
+				ev.Done, ev.Total, ev.Label, ev.Elapsed.Seconds(), status)
+		}
+	}
+
+	start := time.Now()
+	if err := vmwild.WriteReportWith(ctx, os.Stdout, *seed, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "report complete in %.1fs (%d workers)\n",
+			time.Since(start).Seconds(), *parallel)
 	}
 }

@@ -288,7 +288,16 @@ func consolidate(p *placement.Placement, in Input) (int, float64) {
 		if !ok {
 			continue
 		}
-		for vm, target := range plan {
+		// Apply in sorted order, not map order: assignment order fixes
+		// the VM order on each host, which downstream float summation
+		// (emulator replay) must see deterministically.
+		moved := make([]trace.ServerID, 0, len(plan))
+		for vm := range plan {
+			moved = append(moved, vm)
+		}
+		sort.Slice(moved, func(i, j int) bool { return moved[i] < moved[j] })
+		for _, vm := range moved {
+			target := plan[vm]
 			it, _ := p.Item(vm)
 			if _, err := p.Remove(vm); err != nil {
 				continue
@@ -398,14 +407,17 @@ func (v overlayView) VMsOn(host string) []trace.ServerID {
 		}
 		out = append(out, vm)
 	}
+	var incoming []trace.ServerID
 	for vm, t := range v.moved {
 		if t == host {
 			if cur, ok := v.base.HostOf(vm); !ok || cur != host {
-				out = append(out, vm)
+				incoming = append(incoming, vm)
 			}
 		}
 	}
-	return out
+	// Sorted, not map order, so constraint checks see a stable view.
+	sort.Slice(incoming, func(i, j int) bool { return incoming[i] < incoming[j] })
+	return append(out, incoming...)
 }
 
 func (v overlayView) RackOf(host string) string { return v.base.RackOf(host) }

@@ -9,6 +9,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"vmwild/internal/catalog"
 	"vmwild/internal/core"
@@ -40,14 +41,25 @@ func DefaultConfig() Config {
 }
 
 // Context holds one data center's generated traces, split into the
-// monitoring and evaluation horizons, plus a cache of planner runs.
+// monitoring and evaluation horizons, plus a cache of planner runs. The run
+// cache is concurrency-safe: grid cells sharing a context compute each
+// planner's baseline run exactly once, with concurrent callers blocking on
+// the first computation instead of repeating it.
 type Context struct {
 	Config     Config
 	Profile    *workload.Profile
 	Monitoring *trace.Set
 	Evaluation *trace.Set
 
-	runs map[string]*Run
+	mu   sync.Mutex
+	runs map[string]*runEntry
+}
+
+// runEntry is one memoized planner run; once guards the single computation.
+type runEntry struct {
+	once sync.Once
+	run  *Run
+	err  error
 }
 
 // Run is a planner execution: the plan plus the emulator replay of its
@@ -79,7 +91,7 @@ func NewContext(p *workload.Profile, cfg Config) (*Context, error) {
 		Profile:    p,
 		Monitoring: mon,
 		Evaluation: eval,
-		runs:       make(map[string]*Run),
+		runs:       make(map[string]*runEntry),
 	}, nil
 }
 
@@ -112,7 +124,7 @@ func NewContextFromTraces(name string, mon, eval *trace.Set, cfg Config) (*Conte
 		Profile:    profile,
 		Monitoring: mon,
 		Evaluation: eval,
-		runs:       make(map[string]*Run),
+		runs:       make(map[string]*runEntry),
 	}, nil
 }
 
@@ -128,6 +140,45 @@ func Contexts(cfg Config) ([]*Context, error) {
 		out = append(out, c)
 	}
 	return out, nil
+}
+
+// ContextCache memoizes per-datacenter Contexts behind a concurrency-safe
+// once-cache. Trace generation is the grid's most expensive shared artifact;
+// the cache guarantees each datacenter is generated exactly once no matter
+// how many parallel cells ask for it, with later callers blocking on the
+// first build.
+type ContextCache struct {
+	cfg     Config
+	mu      sync.Mutex
+	entries map[string]*contextEntry
+}
+
+// contextEntry is one memoized datacenter build.
+type contextEntry struct {
+	once sync.Once
+	c    *Context
+	err  error
+}
+
+// NewContextCache creates an empty cache at the given configuration.
+func NewContextCache(cfg Config) *ContextCache {
+	return &ContextCache{cfg: cfg, entries: make(map[string]*contextEntry)}
+}
+
+// Get returns the profile's context, building it on first use.
+func (cc *ContextCache) Get(p *workload.Profile) (*Context, error) {
+	if p == nil {
+		return nil, errors.New("experiments: nil profile")
+	}
+	cc.mu.Lock()
+	e, ok := cc.entries[p.Name]
+	if !ok {
+		e = &contextEntry{}
+		cc.entries[p.Name] = e
+	}
+	cc.mu.Unlock()
+	e.once.Do(func() { e.c, e.err = NewContext(p, cc.cfg) })
+	return e.c, e.err
 }
 
 // EmulatorConfig returns the replay configuration for this context.
@@ -158,17 +209,18 @@ func (c *Context) Input() core.Input {
 }
 
 // Run plans with the given planner at the baseline settings and replays the
-// schedule, caching by planner name.
+// schedule, caching by planner name. Safe for concurrent use: the first
+// caller computes, later callers (and concurrent ones) share the result.
 func (c *Context) Run(planner core.Planner) (*Run, error) {
-	if r, ok := c.runs[planner.Name()]; ok {
-		return r, nil
+	c.mu.Lock()
+	e, ok := c.runs[planner.Name()]
+	if !ok {
+		e = &runEntry{}
+		c.runs[planner.Name()] = e
 	}
-	r, err := c.RunWith(planner, c.Input())
-	if err != nil {
-		return nil, err
-	}
-	c.runs[planner.Name()] = r
-	return r, nil
+	c.mu.Unlock()
+	e.once.Do(func() { e.run, e.err = c.RunWith(planner, c.Input()) })
+	return e.run, e.err
 }
 
 // RunWith plans with explicit input (for sensitivity sweeps) and replays

@@ -222,13 +222,23 @@ func Sensitivity(c *Context, bounds []float64) (SensitivityResult, error) {
 		StochasticHosts: stoch.Plan.Provisioned,
 	}
 	for _, b := range bounds {
-		in := c.Input()
-		in.Bound = b
-		plan, err := (core.Dynamic{}).Plan(in)
+		pt, err := SensitivityPointAt(c, b)
 		if err != nil {
-			return SensitivityResult{}, fmt.Errorf("experiments: sensitivity %s bound %v: %w", c.Profile.Name, b, err)
+			return SensitivityResult{}, err
 		}
-		res.Points = append(res.Points, SensitivityPoint{Bound: b, DynamicHosts: plan.Provisioned})
+		res.Points = append(res.Points, pt)
 	}
 	return res, nil
+}
+
+// SensitivityPointAt plans dynamic consolidation at one utilization bound —
+// a single (datacenter, knob) cell of the Figures 13-16 sweep.
+func SensitivityPointAt(c *Context, bound float64) (SensitivityPoint, error) {
+	in := c.Input()
+	in.Bound = bound
+	plan, err := (core.Dynamic{}).Plan(in)
+	if err != nil {
+		return SensitivityPoint{}, fmt.Errorf("experiments: sensitivity %s bound %v: %w", c.Profile.Name, bound, err)
+	}
+	return SensitivityPoint{Bound: bound, DynamicHosts: plan.Provisioned}, nil
 }

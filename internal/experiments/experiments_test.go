@@ -17,6 +17,20 @@ var (
 	ctxErr  error
 )
 
+// skipHeavy gates the full-scale tests: they are numeric hot loops over
+// thousands of servers that slow 5-10x under the race detector, so they run
+// only in regular builds. The reduced-grid determinism tests in
+// golden_test.go keep the parallel machinery covered under -race.
+func skipHeavy(t *testing.T, why string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip(why)
+	}
+	if raceEnabled {
+		t.Skipf("%s: skipped under the race detector (see race_off.go)", why)
+	}
+}
+
 func sharedContexts(t *testing.T) []*Context {
 	t.Helper()
 	ctxOnce.Do(func() {
@@ -56,9 +70,7 @@ func costRows(t *testing.T, c *Context) map[string]CostRow {
 // semi-static consolidation on space for any workload, while stochastic
 // improves on vanilla semi-static.
 func TestObservation5Space(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full planner comparison")
-	}
+	skipHeavy(t, "full planner comparison")
 	dynamicBeatsVanilla := 0
 	for _, c := range sharedContexts(t) {
 		rows := costRows(t, c)
@@ -93,9 +105,7 @@ func TestObservation5Space(t *testing.T) {
 // the bursty CPU-intensive workloads (Banking, Beverage) and much less for
 // the memory-bound ones (Airlines, Natural Resources).
 func TestObservation6Power(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full planner comparison")
-	}
+	skipHeavy(t, "full planner comparison")
 	saving := make(map[string]float64)
 	for _, c := range sharedContexts(t) {
 		rows := costRows(t, c)
@@ -127,9 +137,7 @@ func TestObservation6Power(t *testing.T) {
 // a 15% reservation and reaching ~18% fewer hosts with no reservation,
 // while a 30% reservation makes it worse than vanilla.
 func TestObservation7Sensitivity(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sensitivity sweep")
-	}
+	skipHeavy(t, "sensitivity sweep")
 	c := byName(t, sharedContexts(t), "A")
 	sens, err := Sensitivity(c, nil)
 	if err != nil {
@@ -164,9 +172,7 @@ func TestObservation7Sensitivity(t *testing.T) {
 // TestContentionShape: contention concentrates in the bursty workloads
 // under dynamic consolidation (Figures 8, 9, 11); Airlines never contends.
 func TestContentionShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full planner comparison")
-	}
+	skipHeavy(t, "full planner comparison")
 	ctxs := sharedContexts(t)
 	frac := make(map[string]map[string]float64)
 	for _, c := range ctxs {
@@ -219,9 +225,7 @@ func TestContentionShape(t *testing.T) {
 // utilization than vanilla for the bursty workloads; Banking-dynamic has
 // the largest population of hosts whose peak crosses 100%.
 func TestUtilizationShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full planner comparison")
-	}
+	skipHeavy(t, "full planner comparison")
 	ctxs := sharedContexts(t)
 	curves := make(map[string]map[string]UtilizationCurves)
 	for _, c := range ctxs {
@@ -263,9 +267,7 @@ func TestUtilizationShape(t *testing.T) {
 // server fractions in quiet intervals; the minimum active fraction drops
 // well below 50% for Banking.
 func TestActiveServersShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full planner comparison")
-	}
+	skipHeavy(t, "full planner comparison")
 	ctxs := sharedContexts(t)
 	for _, tt := range []struct {
 		workload string
@@ -298,9 +300,7 @@ func TestActiveServersShape(t *testing.T) {
 // TestMigrationVolume: Section 6.3 cites that more than 25% of VMs may need
 // migration in each consolidation interval for dynamic consolidation.
 func TestMigrationVolume(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full planner comparison")
-	}
+	skipHeavy(t, "full planner comparison")
 	c := byName(t, sharedContexts(t), "A")
 	run, err := c.Run(core.Dynamic{})
 	if err != nil {
@@ -318,9 +318,7 @@ func TestMigrationVolume(t *testing.T) {
 }
 
 func TestEmulatorVerificationBounds(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full planner comparison")
-	}
+	skipHeavy(t, "full planner comparison")
 	c := byName(t, sharedContexts(t), "A")
 	results, err := EmulatorVerification(c)
 	if err != nil {
@@ -374,9 +372,7 @@ func TestMigrationStudy(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
-	if testing.Short() {
-		t.Skip("needs generated traces")
-	}
+	skipHeavy(t, "needs generated traces")
 	sums, err := Table2(sharedContexts(t))
 	if err != nil {
 		t.Fatal(err)
@@ -399,9 +395,7 @@ func TestCheckTable3(t *testing.T) {
 }
 
 func TestFig1Burstiness(t *testing.T) {
-	if testing.Short() {
-		t.Skip("needs generated traces")
-	}
+	skipHeavy(t, "needs generated traces")
 	c := byName(t, sharedContexts(t), "A")
 	servers, err := Fig1Burstiness(c, 2)
 	if err != nil {
@@ -425,9 +419,7 @@ func TestFig1Burstiness(t *testing.T) {
 }
 
 func TestWriteAllSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full report")
-	}
+	skipHeavy(t, "full report")
 	var sb strings.Builder
 	if err := WriteAll(&sb, DefaultConfig()); err != nil {
 		t.Fatal(err)

@@ -23,34 +23,48 @@ type IntervalPoint struct {
 	ContentionHrs int
 }
 
+// DefaultIntervals is the consolidation-interval sweep of the Section 7
+// "shorter intervals" study.
+var DefaultIntervals = []int{1, 2, 4, 8}
+
 // IntervalStudy sweeps the dynamic consolidation interval. Shorter
 // intervals track demand more closely (fewer hosts, less power) at the cost
 // of more migrations — the trade the paper expects better networks to
 // shift.
 func IntervalStudy(c *Context, intervals []int) ([]IntervalPoint, error) {
 	if len(intervals) == 0 {
-		intervals = []int{1, 2, 4, 8}
+		intervals = DefaultIntervals
 	}
 	out := make([]IntervalPoint, 0, len(intervals))
 	for _, h := range intervals {
-		if h < 1 {
-			return nil, fmt.Errorf("experiments: interval %d hours is invalid", h)
-		}
-		in := c.Input()
-		in.IntervalHours = h
-		run, err := c.RunWith(core.Dynamic{}, in)
+		pt, err := IntervalPointAt(c, h)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: interval study @%dh: %w", h, err)
+			return nil, err
 		}
-		out = append(out, IntervalPoint{
-			IntervalHours: h,
-			Provisioned:   run.Plan.Provisioned,
-			AvgPowerW:     run.Result.AvgPowerWatts(),
-			Migrations:    run.Plan.Migrations,
-			ContentionHrs: run.Result.ContentionHours,
-		})
+		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// IntervalPointAt runs dynamic consolidation at one interval length — a
+// single (datacenter, knob) cell of the interval sweep.
+func IntervalPointAt(c *Context, hours int) (IntervalPoint, error) {
+	if hours < 1 {
+		return IntervalPoint{}, fmt.Errorf("experiments: interval %d hours is invalid", hours)
+	}
+	in := c.Input()
+	in.IntervalHours = hours
+	run, err := c.RunWith(core.Dynamic{}, in)
+	if err != nil {
+		return IntervalPoint{}, fmt.Errorf("experiments: interval study @%dh: %w", hours, err)
+	}
+	return IntervalPoint{
+		IntervalHours: hours,
+		Provisioned:   run.Plan.Provisioned,
+		AvgPowerW:     run.Result.AvgPowerWatts(),
+		Migrations:    run.Plan.Migrations,
+		ContentionHrs: run.Result.ContentionHours,
+	}, nil
 }
 
 // PredictorPoint is one predictor's outcome in the sizing-estimator
@@ -63,34 +77,50 @@ type PredictorPoint struct {
 	Migrations    int
 }
 
-// PredictorStudy runs the dynamic planner with different interval-peak
-// predictors, isolating how the Prediction step trades provisioning
-// against contention (the paper's Figures 8/9/11 risk).
-func PredictorStudy(c *Context) ([]PredictorPoint, error) {
-	predictors := []predict.Predictor{
+// ReportPredictors lists the sizing predictors the ablation compares, in
+// report order.
+func ReportPredictors() []predict.Predictor {
+	return []predict.Predictor{
 		predict.RecentPeak{Windows: 1},
 		predict.RecentPeak{Windows: 12},
 		predict.EWMA{Alpha: 0.4, Intervals: 48},
 		predict.Periodic{Days: 7, SamplesPerDay: 24},
 		core.DefaultCPUPredictor(),
 	}
+}
+
+// PredictorStudy runs the dynamic planner with different interval-peak
+// predictors, isolating how the Prediction step trades provisioning
+// against contention (the paper's Figures 8/9/11 risk).
+func PredictorStudy(c *Context) ([]PredictorPoint, error) {
+	predictors := ReportPredictors()
 	out := make([]PredictorPoint, 0, len(predictors))
 	for _, p := range predictors {
-		in := c.Input()
-		in.CPUPredictor = p
-		run, err := c.RunWith(core.Dynamic{}, in)
+		pt, err := PredictorPointAt(c, p)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: predictor study %s: %w", p.Name(), err)
+			return nil, err
 		}
-		out = append(out, PredictorPoint{
-			Predictor:     p.Name(),
-			Provisioned:   run.Plan.Provisioned,
-			AvgPowerW:     run.Result.AvgPowerWatts(),
-			ContentionHrs: run.Result.ContentionHours,
-			Migrations:    run.Plan.Migrations,
-		})
+		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// PredictorPointAt runs dynamic consolidation under one sizing predictor —
+// a single (datacenter, knob) cell of the predictor ablation.
+func PredictorPointAt(c *Context, p predict.Predictor) (PredictorPoint, error) {
+	in := c.Input()
+	in.CPUPredictor = p
+	run, err := c.RunWith(core.Dynamic{}, in)
+	if err != nil {
+		return PredictorPoint{}, fmt.Errorf("experiments: predictor study %s: %w", p.Name(), err)
+	}
+	return PredictorPoint{
+		Predictor:     p.Name(),
+		Provisioned:   run.Plan.Provisioned,
+		AvgPowerW:     run.Result.AvgPowerWatts(),
+		ContentionHrs: run.Result.ContentionHours,
+		Migrations:    run.Plan.Migrations,
+	}, nil
 }
 
 // MechanismRow compares one migration mechanism in the Section 7

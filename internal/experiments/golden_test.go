@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vmwild/internal/workload"
+)
+
+// The golden-report wall. testdata/report.golden is the full report at the
+// default seed, committed so that any drift in the reproduced numbers —
+// silent or not — fails the build. The same bytes must come out of the
+// sequential path and the parallel sweep at any worker count; regenerate
+// with
+//
+//	go test ./internal/experiments -run TestGoldenReport -update
+
+var update = flag.Bool("update", false, "rewrite testdata/report.golden from the current code")
+
+const goldenPath = "testdata/report.golden"
+
+// reportRun caches one full-grid collection per worker count, shared by the
+// golden and parallel tests so the package does not repeat 25s collections.
+type reportRun struct {
+	once sync.Once
+	res  *Results
+	out  []byte
+	err  error
+}
+
+var (
+	seqRun reportRun // workers = 1
+	parRun reportRun // workers = 8
+)
+
+func (r *reportRun) collect(t *testing.T, workers int) (*Results, []byte) {
+	t.Helper()
+	r.once.Do(func() {
+		res, err := Collect(context.Background(), DefaultConfig(), Options{Workers: workers})
+		if err != nil {
+			r.err = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := Render(&buf, res); err != nil {
+			r.err = err
+			return
+		}
+		r.res, r.out = res, buf.Bytes()
+	})
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return r.res, r.out
+}
+
+// TestGoldenReport: WriteAll reproduces the committed report byte for byte
+// at the default seed.
+func TestGoldenReport(t *testing.T) {
+	skipHeavy(t, "full report collection")
+	_, out := seqRun.collect(t, 1)
+	if *update {
+		if err := os.WriteFile(goldenPath, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(out))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	diffBytes(t, "sequential report", want, out)
+
+	// WriteAll is the public sequential entry point; it must emit the very
+	// bytes the cached collection rendered.
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	diffBytes(t, "WriteAll", want, buf.Bytes())
+}
+
+// TestParallelReportMatchesGolden: the sweep engine at 8 workers emits the
+// identical bytes — the parallel==sequential guarantee, end to end.
+func TestParallelReportMatchesGolden(t *testing.T) {
+	skipHeavy(t, "full report collection")
+	_, out := parRun.collect(t, 8)
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	diffBytes(t, "parallel report (8 workers)", want, out)
+}
+
+// TestFullGridDeterminism: the typed results of the full grid agree cell by
+// cell between the sequential and the 8-worker collection.
+func TestFullGridDeterminism(t *testing.T) {
+	skipHeavy(t, "full report collection")
+	seq, _ := seqRun.collect(t, 1)
+	par, _ := parRun.collect(t, 8)
+	assertResultsEqual(t, "workers 1 vs 8 (full grid)", seq, par)
+}
+
+// TestSweepDeterminism: the regression net for shared-RNG leaks. A reduced
+// grid (the Airlines datacenter) is collected from scratch at worker counts
+// 1, 4 and 8; every typed cell must be identical. This test runs under the
+// race detector, where it doubles as the concurrency check for the whole
+// collect machinery (once-caches, run memoization, slot writes).
+func TestSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reduced-grid collection")
+	}
+	grid := func(workers int) *Results {
+		t.Helper()
+		res, err := collect(context.Background(), DefaultConfig(), Options{Workers: workers},
+			[]*workload.Profile{workload.Airlines()})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := grid(1)
+	for _, workers := range []int{4, 8} {
+		assertResultsEqual(t, fmt.Sprintf("workers 1 vs %d", workers), base, grid(workers))
+	}
+}
+
+// TestCollectCancellation: a canceled context aborts the grid promptly with
+// the context error instead of running (or deadlocking on) the remaining
+// cells.
+func TestCollectCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Collect(ctx, DefaultConfig(), Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Collect on canceled context = %v, want context.Canceled", err)
+	}
+}
+
+// assertResultsEqual compares two collections field by field so a
+// determinism regression names the drifted artifact.
+func assertResultsEqual(t *testing.T, tag string, a, b *Results) {
+	t.Helper()
+	va, vb := reflect.ValueOf(*a), reflect.ValueOf(*b)
+	tp := reflect.TypeOf(*a)
+	for i := 0; i < tp.NumField(); i++ {
+		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+			t.Errorf("%s: artifact %s differs between runs", tag, tp.Field(i).Name)
+		}
+	}
+}
+
+// diffBytes fails with the first differing line, so a golden mismatch
+// points at the drifted table instead of dumping 14 KB.
+func diffBytes(t *testing.T, tag string, want, got []byte) {
+	t.Helper()
+	if bytes.Equal(want, got) {
+		return
+	}
+	wantLines, gotLines := bytes.Split(want, []byte("\n")), bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wantLines) && i < len(gotLines); i++ {
+		if !bytes.Equal(wantLines[i], gotLines[i]) {
+			t.Fatalf("%s: line %d differs\n  want: %s\n  got:  %s", tag, i+1, wantLines[i], gotLines[i])
+		}
+	}
+	t.Fatalf("%s: length differs: want %d lines, got %d", tag, len(wantLines), len(gotLines))
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"vmwild/internal/analysis"
+	"vmwild/internal/core"
+	"vmwild/internal/stats"
+	"vmwild/internal/sweep"
+	"vmwild/internal/workload"
+)
+
+// The report is an experiment grid: every table and figure decomposes into
+// independent (datacenter × planner × knob) cells, each a pure function of
+// the configuration. Collect submits the cells to the sweep engine and
+// gathers them into a typed Results; Render then writes the report in fixed
+// paper order. Because cells never share a random stream (all randomness is
+// derived from the seed by identity — stats.Derive per server during
+// generation, the config seed for emulator verification), the parallel
+// report is byte-identical to the sequential one.
+
+// Options control how the experiment grid executes.
+type Options struct {
+	// Workers bounds concurrently executing grid cells. One runs the grid
+	// strictly sequentially in submission order; zero or negative means
+	// GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, observes every finished cell. Calls are
+	// serialized by the sweep engine.
+	Progress func(sweep.Event)
+}
+
+// Results holds every typed artifact of the report — one field per paper
+// table or figure. Per-datacenter slices are indexed in Table 2 order
+// (Workloads names the datacenters). Section 7 studies cover the first
+// datacenter (Banking), as in the paper.
+type Results struct {
+	// Workloads is the datacenter name per index, Table 2 order.
+	Workloads []string
+
+	Summaries    []WorkloadSummary           // Table 2
+	Fig1         []analysis.ServerBurstiness // Figure 1 (Banking)
+	PeakAvgCPU   [][]IntervalCurve           // Figure 2, per datacenter
+	CoVCPU       []*stats.CDF                // Figure 3, per datacenter
+	PeakAvgMem   [][]IntervalCurve           // Figure 4, per datacenter
+	CoVMem       []*stats.CDF                // Figure 5, per datacenter
+	Ratios       []RatioResult               // Figure 6, per datacenter
+	Olio         OlioResult                  // Section 4.1 micro-study
+	Migration    []MigrationPoint            // Section 4.3 pre-copy study
+	Verification []VerificationResult        // Section 5.2 accuracy study
+	Costs        [][]CostRow                 // Figure 7, per datacenter
+	Contention   [][]ContentionRow           // Figure 8, per datacenter
+	Magnitude    []*stats.CDF                // Figure 9 (nil: no line)
+	Utilization  [][]UtilizationCurves       // Figures 10-11, per datacenter
+	Active       []*stats.CDF                // Figure 12, per datacenter
+	Sensitivity  []SensitivityResult         // Figures 13-16, per datacenter
+	Intervals    []IntervalPoint             // Section 7: interval sweep
+	Predictors   []PredictorPoint            // Section 7: predictor ablation
+	Mechanisms   []MechanismRow              // Section 7: improved migration
+	Blades       []BladeRow                  // blade study
+	Execution    []ExecutionRow              // execution study
+}
+
+// Collect runs the full experiment grid at the given configuration and
+// returns the typed results. The grid fans out across opts.Workers workers;
+// at the same configuration the results are identical for every worker
+// count, because each cell's computation is independent of execution order.
+func Collect(ctx context.Context, cfg Config, opts Options) (*Results, error) {
+	return collect(ctx, cfg, opts, workload.Profiles())
+}
+
+// collect is Collect over an explicit datacenter list; the Section 7
+// studies attach to profiles[0].
+func collect(ctx context.Context, cfg Config, opts Options, profiles []*workload.Profile) (*Results, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("experiments: no profiles to collect")
+	}
+	cache := NewContextCache(cfg)
+	res := &Results{
+		Workloads:   make([]string, len(profiles)),
+		PeakAvgCPU:  make([][]IntervalCurve, len(profiles)),
+		CoVCPU:      make([]*stats.CDF, len(profiles)),
+		PeakAvgMem:  make([][]IntervalCurve, len(profiles)),
+		CoVMem:      make([]*stats.CDF, len(profiles)),
+		Ratios:      make([]RatioResult, len(profiles)),
+		Costs:       make([][]CostRow, len(profiles)),
+		Contention:  make([][]ContentionRow, len(profiles)),
+		Magnitude:   make([]*stats.CDF, len(profiles)),
+		Utilization: make([][]UtilizationCurves, len(profiles)),
+		Active:      make([]*stats.CDF, len(profiles)),
+		Sensitivity: make([]SensitivityResult, len(profiles)),
+		Intervals:   make([]IntervalPoint, len(DefaultIntervals)),
+		Predictors:  make([]PredictorPoint, len(ReportPredictors())),
+	}
+	for i, p := range profiles {
+		res.Workloads[i] = p.Name
+		res.Sensitivity[i] = SensitivityResult{
+			Workload: p.Name,
+			Points:   make([]SensitivityPoint, len(DefaultBounds)),
+		}
+	}
+
+	var tasks []sweep.Task[struct{}]
+	cell := func(label string, run func(context.Context) error) {
+		tasks = append(tasks, sweep.Task[struct{}]{
+			Label: label,
+			Run: func(ctx context.Context) (struct{}, error) {
+				return struct{}{}, run(ctx)
+			},
+		})
+	}
+	// ctxCell is a cell that needs its datacenter's context; the once-cache
+	// builds each datacenter exactly once across all cells.
+	ctxCell := func(label string, p *workload.Profile, run func(*Context) error) {
+		cell(label, func(context.Context) error {
+			c, err := cache.Get(p)
+			if err != nil {
+				return err
+			}
+			return run(c)
+		})
+	}
+	contexts := func() ([]*Context, error) {
+		out := make([]*Context, len(profiles))
+		for i, p := range profiles {
+			c, err := cache.Get(p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	}
+
+	// Trace generation first, so a parallel pool builds the datacenters
+	// concurrently instead of serializing behind whichever cell asks first.
+	for _, p := range profiles {
+		ctxCell("generate/"+p.Name, p, func(*Context) error { return nil })
+	}
+
+	// Section 4: workload characterization.
+	cell("table2", func(context.Context) error {
+		ctxs, err := contexts()
+		if err != nil {
+			return err
+		}
+		res.Summaries, err = Table2(ctxs)
+		return err
+	})
+	banking := profiles[0]
+	ctxCell(banking.Name+"/fig1", banking, func(c *Context) error {
+		var err error
+		res.Fig1, err = Fig1Burstiness(c, 2)
+		return err
+	})
+	for i, p := range profiles {
+		ctxCell(p.Name+"/fig2-peak-avg-cpu", p, func(c *Context) error {
+			var err error
+			res.PeakAvgCPU[i], err = Fig2PeakAvgCPU(c)
+			return err
+		})
+		ctxCell(p.Name+"/fig3-cov-cpu", p, func(c *Context) error {
+			var err error
+			res.CoVCPU[i], err = Fig3CoVCPU(c)
+			return err
+		})
+		ctxCell(p.Name+"/fig4-peak-avg-mem", p, func(c *Context) error {
+			var err error
+			res.PeakAvgMem[i], err = Fig4PeakAvgMem(c)
+			return err
+		})
+		ctxCell(p.Name+"/fig5-cov-mem", p, func(c *Context) error {
+			var err error
+			res.CoVMem[i], err = Fig5CoVMem(c)
+			return err
+		})
+		ctxCell(p.Name+"/fig6-resource-ratio", p, func(c *Context) error {
+			var err error
+			res.Ratios[i], err = Fig6ResourceRatio(c)
+			return err
+		})
+	}
+
+	// Micro-studies (no generated traces needed).
+	cell("olio", func(context.Context) error {
+		var err error
+		res.Olio, err = OlioStudy()
+		return err
+	})
+	cell("migration-model", func(context.Context) error {
+		var err error
+		res.Migration, err = MigrationStudy()
+		return err
+	})
+	ctxCell(banking.Name+"/verify-emulator", banking, func(c *Context) error {
+		var err error
+		res.Verification, err = EmulatorVerification(c)
+		return err
+	})
+
+	// Section 5: baseline planner runs, one cell per (datacenter, planner).
+	// These warm the per-context run cache so the figure cells behind them
+	// read memoized results instead of serializing on the first figure.
+	for _, p := range profiles {
+		for _, planner := range Planners() {
+			ctxCell(p.Name+"/run/"+planner.Name(), p, func(c *Context) error {
+				_, err := c.Run(planner)
+				return err
+			})
+		}
+	}
+	for i, p := range profiles {
+		ctxCell(p.Name+"/fig7-costs", p, func(c *Context) error {
+			var err error
+			res.Costs[i], err = Fig7Costs(c)
+			return err
+		})
+		ctxCell(p.Name+"/fig8-contention", p, func(c *Context) error {
+			var err error
+			res.Contention[i], err = Fig8Contention(c)
+			return err
+		})
+		ctxCell(p.Name+"/fig9-magnitude", p, func(c *Context) error {
+			var err error
+			res.Magnitude[i], err = Fig9ContentionMagnitude(c)
+			return err
+		})
+		ctxCell(p.Name+"/fig10-11-utilization", p, func(c *Context) error {
+			var err error
+			res.Utilization[i], err = Fig10and11Utilization(c)
+			return err
+		})
+		ctxCell(p.Name+"/fig12-active", p, func(c *Context) error {
+			var err error
+			res.Active[i], err = Fig12ActiveServers(c)
+			return err
+		})
+	}
+
+	// Figures 13-16: one cell per (datacenter, bound) knob.
+	for i, p := range profiles {
+		ctxCell(p.Name+"/sensitivity/baselines", p, func(c *Context) error {
+			vanilla, err := c.Run(core.SemiStatic{})
+			if err != nil {
+				return err
+			}
+			stoch, err := c.Run(core.Stochastic{})
+			if err != nil {
+				return err
+			}
+			res.Sensitivity[i].VanillaHosts = vanilla.Plan.Provisioned
+			res.Sensitivity[i].StochasticHosts = stoch.Plan.Provisioned
+			return nil
+		})
+		for j, b := range DefaultBounds {
+			ctxCell(fmt.Sprintf("%s/sensitivity/bound=%.2f", p.Name, b), p, func(c *Context) error {
+				var err error
+				res.Sensitivity[i].Points[j], err = SensitivityPointAt(c, b)
+				return err
+			})
+		}
+	}
+
+	// Section 7 extension studies on the first datacenter.
+	for j, h := range DefaultIntervals {
+		ctxCell(fmt.Sprintf("%s/interval/%dh", banking.Name, h), banking, func(c *Context) error {
+			var err error
+			res.Intervals[j], err = IntervalPointAt(c, h)
+			return err
+		})
+	}
+	for j, pr := range ReportPredictors() {
+		ctxCell(banking.Name+"/predictor/"+pr.Name(), banking, func(c *Context) error {
+			var err error
+			res.Predictors[j], err = PredictorPointAt(c, pr)
+			return err
+		})
+	}
+	ctxCell(banking.Name+"/improved-migration", banking, func(c *Context) error {
+		var err error
+		res.Mechanisms, err = ImprovedMigrationStudy(c)
+		return err
+	})
+	ctxCell(banking.Name+"/blades", banking, func(c *Context) error {
+		var err error
+		res.Blades, err = BladeStudy(c, nil)
+		return err
+	})
+	ctxCell(banking.Name+"/execution", banking, func(c *Context) error {
+		var err error
+		res.Execution, err = ExecutionStudy(c)
+		return err
+	})
+
+	if _, err := sweep.Run(ctx, tasks, sweep.Options{Workers: opts.Workers, Progress: opts.Progress}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

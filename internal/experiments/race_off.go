@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// full-scale grid tests (five complete report collections) are numeric
+// hot loops that slow 5-10x under the detector; they skip there, while the
+// reduced-grid determinism tests keep exercising the parallel machinery
+// under race.
+const raceEnabled = false

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -9,20 +10,32 @@ import (
 )
 
 // WriteAll runs every experiment at the given configuration and renders the
-// full table-and-figure report — the source of EXPERIMENTS.md.
+// full table-and-figure report — the source of EXPERIMENTS.md. It executes
+// the grid strictly sequentially; WriteAllWith fans it out across workers
+// and produces byte-identical output.
 func WriteAll(w io.Writer, cfg Config) error {
-	ctxs, err := Contexts(cfg)
-	if err != nil {
-		return err
-	}
+	return WriteAllWith(context.Background(), w, cfg, Options{Workers: 1})
+}
 
-	// Table 2.
-	summaries, err := Table2(ctxs)
+// WriteAllWith collects the experiment grid under ctx with the given
+// execution options and renders the report. At the same configuration the
+// output is byte-identical for every worker count: cells are collected in
+// typed form and rendered in fixed paper order, never in completion order.
+func WriteAllWith(ctx context.Context, w io.Writer, cfg Config, opts Options) error {
+	res, err := Collect(ctx, cfg, opts)
 	if err != nil {
 		return err
 	}
+	return Render(w, res)
+}
+
+// Render writes the collected results as the full report, in the paper's
+// order: Tables 2-3, Figures 1-6, the micro-studies, the emulator
+// verification, Figures 7-16, and the Section 7 extension studies.
+func Render(w io.Writer, res *Results) error {
+	// Table 2.
 	t := report.NewTable("Table 2: workload summary", "name", "industry", "servers", "cpu util", "web frac")
-	for _, s := range summaries {
+	for _, s := range res.Summaries {
 		t.AddRow(s.Name, s.Industry, s.Servers, s.MeanCPUUtil, s.WebFraction)
 	}
 	if err := t.Render(w); err != nil {
@@ -44,11 +57,7 @@ func WriteAll(w io.Writer, cfg Config) error {
 	// Figure 1.
 	t = report.NewTable("\nFigure 1: burstiness of sample servers (Banking)",
 		"server", "avg util", "peak util", "peak/avg", "CoV")
-	fig1, err := Fig1Burstiness(ctxs[0], 2)
-	if err != nil {
-		return err
-	}
-	for _, b := range fig1 {
+	for _, b := range res.Fig1 {
 		t.AddRow(string(b.ID), b.AvgUtil, b.PeakUtil, b.PeakToAvg, b.CoV)
 	}
 	if err := t.Render(w); err != nil {
@@ -56,18 +65,14 @@ func WriteAll(w io.Writer, cfg Config) error {
 	}
 
 	// Figures 2-5.
-	if err := writeBurstiness(w, ctxs); err != nil {
+	if err := renderBurstiness(w, res); err != nil {
 		return err
 	}
 
 	// Figure 6.
 	t = report.NewTable("\nFigure 6: aggregate CPU/memory demand ratio (RPE2 per GB, blade ratio 160)",
 		"workload", "p10", "p50", "p90", "mem-bound frac")
-	for _, c := range ctxs {
-		r, err := Fig6ResourceRatio(c)
-		if err != nil {
-			return err
-		}
+	for _, r := range res.Ratios {
 		t.AddRow(r.Workload, r.CDF.Quantile(0.10), r.CDF.Median(), r.CDF.Quantile(0.90), r.MemoryBoundFrac)
 	}
 	if err := t.Render(w); err != nil {
@@ -75,13 +80,9 @@ func WriteAll(w io.Writer, cfg Config) error {
 	}
 
 	// Olio micro-study.
-	olio, err := OlioStudy()
-	if err != nil {
-		return err
-	}
 	t = report.NewTable(fmt.Sprintf("\nOlio scaling study (CPU x%.1f, memory x%.1f for 6x throughput)",
-		olio.CPUMultiplier, olio.MemMultiplier), "ops/s", "cpu cores", "mem MB")
-	for _, p := range olio.Points {
+		res.Olio.CPUMultiplier, res.Olio.MemMultiplier), "ops/s", "cpu cores", "mem MB")
+	for _, p := range res.Olio.Points {
 		t.AddRow(p.TputOpsSec, p.CPUCores, p.MemMB)
 	}
 	if err := t.Render(w); err != nil {
@@ -89,12 +90,8 @@ func WriteAll(w io.Writer, cfg Config) error {
 	}
 
 	// Migration study.
-	migs, err := MigrationStudy()
-	if err != nil {
-		return err
-	}
 	t = report.NewTable("\nLive migration pre-copy study", "mem GB", "dirty MB/s", "duration", "downtime", "rounds", "converged")
-	for _, m := range migs {
+	for _, m := range res.Migration {
 		t.AddRow(m.MemGB, m.DirtyMBps, m.Result.Duration.Round(1e8).String(), m.Result.Downtime.Round(1e6).String(), m.Result.Rounds, m.Result.Converged)
 	}
 	if err := t.Render(w); err != nil {
@@ -103,11 +100,7 @@ func WriteAll(w io.Writer, cfg Config) error {
 
 	// Emulator verification.
 	t = report.NewTable("\nEmulator verification (99th-percentile error)", "workload", "p99 error", "paper bound")
-	ver, err := EmulatorVerification(ctxs[0])
-	if err != nil {
-		return err
-	}
-	for _, v := range ver {
+	for _, v := range res.Verification {
 		t.AddRow(v.Workload, v.P99Error, v.Bound)
 	}
 	if err := t.Render(w); err != nil {
@@ -115,20 +108,16 @@ func WriteAll(w io.Writer, cfg Config) error {
 	}
 
 	// Figures 7-12.
-	for _, c := range ctxs {
-		if err := writePlannerComparison(w, c); err != nil {
+	for i := range res.Workloads {
+		if err := renderPlannerComparison(w, res, i); err != nil {
 			return err
 		}
 	}
 
 	// Figures 13-16.
-	for _, c := range ctxs {
-		sens, err := Sensitivity(c, nil)
-		if err != nil {
-			return err
-		}
+	for _, sens := range res.Sensitivity {
 		t = report.NewTable(fmt.Sprintf("\nFigure 13-16 (%s): dynamic hosts vs utilization bound (vanilla=%d stochastic=%d)",
-			c.Profile.Name, sens.VanillaHosts, sens.StochasticHosts), "bound", "dynamic hosts")
+			sens.Workload, sens.VanillaHosts, sens.StochasticHosts), "bound", "dynamic hosts")
 		for _, pt := range sens.Points {
 			t.AddRow(pt.Bound, pt.DynamicHosts)
 		}
@@ -138,89 +127,64 @@ func WriteAll(w io.Writer, cfg Config) error {
 	}
 
 	// Section 7 extension studies (Banking).
-	banking := ctxs[0]
-	ivals, err := IntervalStudy(banking, nil)
-	if err != nil {
-		return err
-	}
 	t = report.NewTable("\nSection 7 study (A): dynamic consolidation interval sweep",
 		"interval h", "hosts", "power W", "migrations", "contention hrs")
-	for _, p := range ivals {
+	for _, p := range res.Intervals {
 		t.AddRow(p.IntervalHours, p.Provisioned, p.AvgPowerW, p.Migrations, p.ContentionHrs)
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
 
-	preds, err := PredictorStudy(banking)
-	if err != nil {
-		return err
-	}
 	t = report.NewTable("\nSection 7 study (A): sizing predictor ablation",
 		"predictor", "hosts", "power W", "contention hrs", "migrations")
-	for _, p := range preds {
+	for _, p := range res.Predictors {
 		t.AddRow(p.Predictor, p.Provisioned, p.AvgPowerW, p.ContentionHrs, p.Migrations)
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
 
-	mechs, err := ImprovedMigrationStudy(banking)
-	if err != nil {
-		return err
-	}
 	t = report.NewTable("\nSection 7 study (A): improved live migration (Observation 7)",
 		"mechanism", "reservation", "downtime ms", "transfer MB", "dynamic hosts", "beats stochastic")
-	for _, m := range mechs {
+	for _, m := range res.Mechanisms {
 		t.AddRow(m.Mechanism, m.Reservation, m.DowntimeMs, m.TransferredMB, m.DynamicHosts, m.BeatsStochastic)
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
 
-	blades, err := BladeStudy(banking, nil)
-	if err != nil {
-		return err
-	}
 	t = report.NewTable("\nBlade study (A): the memory extension behind Observation 3",
 		"blade", "RPE2/GB", "mem-bound frac", "vanilla", "stochastic", "dynamic")
-	for _, b := range blades {
+	for _, b := range res.Blades {
 		t.AddRow(b.Model, b.RatioPerGB, b.MemoryBoundFrac, b.VanillaHosts, b.StochasticHosts, b.DynamicHosts)
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
 
-	execRows, err := ExecutionStudy(banking)
-	if err != nil {
-		return err
-	}
 	t = report.NewTable("\nExecution study (A): do the migration waves fit the 2h interval?",
 		"mechanism", "p50", "p95", "max", "infeasible frac", "avg moves", "data GB", "bounced")
-	for _, r := range execRows {
+	for _, r := range res.Execution {
 		t.AddRow(r.Mechanism, r.P50.Round(1e9).String(), r.P95.Round(1e9).String(), r.Max.Round(1e9).String(),
 			r.InfeasibleFrac, r.AvgMoves, r.TotalDataGB, r.Bounced)
 	}
 	return t.Render(w)
 }
 
-func writeBurstiness(w io.Writer, ctxs []*Context) error {
+func renderBurstiness(w io.Writer, res *Results) error {
 	for _, fig := range []struct {
-		title string
-		curve func(*Context) ([]IntervalCurve, error)
+		title  string
+		curves [][]IntervalCurve
 	}{
-		{title: "\nFigure 2: CDF of CPU peak-to-average ratio", curve: Fig2PeakAvgCPU},
-		{title: "\nFigure 4: CDF of memory peak-to-average ratio", curve: Fig4PeakAvgMem},
+		{title: "\nFigure 2: CDF of CPU peak-to-average ratio", curves: res.PeakAvgCPU},
+		{title: "\nFigure 4: CDF of memory peak-to-average ratio", curves: res.PeakAvgMem},
 	} {
 		curves := make(map[string]*stats.CDF)
 		var order []string
-		for _, c := range ctxs {
-			ics, err := fig.curve(c)
-			if err != nil {
-				return err
-			}
+		for i, ics := range fig.curves {
 			for _, ic := range ics {
-				name := fmt.Sprintf("%s @%dh", c.Profile.Name, ic.IntervalHours)
+				name := fmt.Sprintf("%s @%dh", res.Workloads[i], ic.IntervalHours)
 				curves[name] = ic.CDF
 				order = append(order, name)
 			}
@@ -236,20 +200,16 @@ func writeBurstiness(w io.Writer, ctxs []*Context) error {
 
 	for _, fig := range []struct {
 		title string
-		curve func(*Context) (*stats.CDF, error)
+		cdfs  []*stats.CDF
 	}{
-		{title: "\nFigure 3: CDF of CPU coefficient of variability", curve: Fig3CoVCPU},
-		{title: "\nFigure 5: CDF of memory coefficient of variability", curve: Fig5CoVMem},
+		{title: "\nFigure 3: CDF of CPU coefficient of variability", cdfs: res.CoVCPU},
+		{title: "\nFigure 5: CDF of memory coefficient of variability", cdfs: res.CoVMem},
 	} {
 		curves := make(map[string]*stats.CDF)
 		var order []string
-		for _, c := range ctxs {
-			cdf, err := fig.curve(c)
-			if err != nil {
-				return err
-			}
-			curves[c.Profile.Name] = cdf
-			order = append(order, c.Profile.Name)
+		for i, cdf := range fig.cdfs {
+			curves[res.Workloads[i]] = cdf
+			order = append(order, res.Workloads[i])
 		}
 		t, err := report.CDFTable(fig.title, report.DefaultQuantiles, curves, order)
 		if err != nil {
@@ -262,41 +222,30 @@ func writeBurstiness(w io.Writer, ctxs []*Context) error {
 	return nil
 }
 
-func writePlannerComparison(w io.Writer, c *Context) error {
-	rows, err := Fig7Costs(c)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable(fmt.Sprintf("\nFigure 7 (%s): infrastructure cost comparison", c.Profile.Name),
+func renderPlannerComparison(w io.Writer, res *Results, i int) error {
+	name := res.Workloads[i]
+	t := report.NewTable(fmt.Sprintf("\nFigure 7 (%s): infrastructure cost comparison", name),
 		"planner", "hosts", "space (norm)", "power W", "power (norm)", "migrations", "migr GB")
-	for _, r := range rows {
+	for _, r := range res.Costs[i] {
 		t.AddRow(r.Planner, r.Hosts, r.NormSpace, r.AvgPowerW, r.NormPower, r.Migrations, r.MigrationDataGB)
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
 
-	cont, err := Fig8Contention(c)
-	if err != nil {
-		return err
-	}
-	t = report.NewTable(fmt.Sprintf("\nFigure 8 (%s): contention time", c.Profile.Name),
+	t = report.NewTable(fmt.Sprintf("\nFigure 8 (%s): contention time", name),
 		"planner", "hours", "fraction")
-	for _, r := range cont {
+	for _, r := range res.Contention[i] {
 		t.AddRow(r.Planner, r.Hours, r.Fraction)
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
 
-	mag, err := Fig9ContentionMagnitude(c)
-	if err != nil {
-		return err
-	}
-	if mag == nil {
-		fmt.Fprintf(w, "\nFigure 9 (%s): no contention under dynamic consolidation\n", c.Profile.Name)
+	if mag := res.Magnitude[i]; mag == nil {
+		fmt.Fprintf(w, "\nFigure 9 (%s): no contention under dynamic consolidation\n", name)
 	} else {
-		t, err := report.CDFTable(fmt.Sprintf("\nFigure 9 (%s): CPU contention magnitude under dynamic", c.Profile.Name),
+		t, err := report.CDFTable(fmt.Sprintf("\nFigure 9 (%s): CPU contention magnitude under dynamic", name),
 			report.DefaultQuantiles, map[string]*stats.CDF{"contention": mag}, []string{"contention"})
 		if err != nil {
 			return err
@@ -306,24 +255,17 @@ func writePlannerComparison(w io.Writer, c *Context) error {
 		}
 	}
 
-	utils, err := Fig10and11Utilization(c)
-	if err != nil {
-		return err
-	}
-	t = report.NewTable(fmt.Sprintf("\nFigures 10-11 (%s): host CPU utilization", c.Profile.Name),
+	t = report.NewTable(fmt.Sprintf("\nFigures 10-11 (%s): host CPU utilization", name),
 		"planner", "avg p50", "avg p90", "peak p50", "peak p90", "peak>100%")
-	for _, u := range utils {
+	for _, u := range res.Utilization[i] {
 		t.AddRow(u.Planner, u.Avg.Median(), u.Avg.Quantile(0.90), u.Peak.Median(), u.Peak.Quantile(0.90), u.FracPeakOver1)
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
 
-	active, err := Fig12ActiveServers(c)
-	if err != nil {
-		return err
-	}
-	t, err = report.CDFTable(fmt.Sprintf("\nFigure 12 (%s): active-server fraction under dynamic", c.Profile.Name),
+	active := res.Active[i]
+	t, err := report.CDFTable(fmt.Sprintf("\nFigure 12 (%s): active-server fraction under dynamic", name),
 		report.DefaultQuantiles, map[string]*stats.CDF{"active frac": active}, []string{"active frac"})
 	if err != nil {
 		return err

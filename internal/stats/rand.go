@@ -30,6 +30,43 @@ func Bernoulli(r *rand.Rand, p float64) bool {
 	return r.Float64() < p
 }
 
+// Seed derivation. Everything random in the system flows from one root seed;
+// concurrent work must never share a stream (results would depend on
+// scheduling order), so sub-streams are derived by hashing the root with a
+// stable identity — a numeric index (Derive) or a label path (Split).
+
+// Derive mixes a root seed with a numeric stream index into an
+// independent-looking sub-seed (splitmix64 finalizer). The same (seed, idx)
+// pair always yields the same sub-seed, regardless of call order.
+func Derive(seed, idx int64) int64 {
+	z := uint64(seed) + uint64(idx)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
+}
+
+// Split derives a sub-seed from a root seed and a label path, e.g.
+// Split(root, "B", "dynamic", "bound=0.85") for one experiment cell. Labels
+// are hashed FNV-1a style with a terminator per label, so ("ab", "c") and
+// ("a", "bc") derive different seeds; the digest is then finalized through
+// Derive. Splitting by identity instead of drawing from a shared stream is
+// what keeps parallel sweeps byte-identical to sequential ones.
+func Split(seed int64, labels ...string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, label := range labels {
+		for i := 0; i < len(label); i++ {
+			h = (h ^ uint64(label[i])) * prime64
+		}
+		h = (h ^ 0x1F) * prime64 // label terminator: path, not concatenation
+	}
+	return Derive(seed, int64(h))
+}
+
 // Clamp limits x to the closed interval [lo, hi].
 func Clamp(x, lo, hi float64) float64 {
 	if x < lo {

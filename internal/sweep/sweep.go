@@ -1,0 +1,166 @@
+// Package sweep is the parallel experiment-grid execution engine. A sweep
+// fans a list of independent cells (datacenter × planner × knob) out across
+// a bounded worker pool and collects their typed results in submission
+// order, so rendering stays deterministic no matter how execution
+// interleaves.
+//
+// Three properties make a parallel sweep reproduce the sequential one
+// byte for byte:
+//
+//   - results are index-aligned with tasks, never completion-ordered;
+//   - each cell derives its randomness from (root seed, cell labels) via
+//     stats.Split instead of drawing from a shared stream, so no cell's
+//     numbers depend on which cells ran before it;
+//   - a panicking or failing cell surfaces as that cell's error without
+//     taking down the pool or deadlocking the collector.
+//
+// Cancellation is prompt: once the context is done, no further cells are
+// dispatched, and cells that never started report the context error.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"vmwild/internal/stats"
+)
+
+// Task is one independent cell of an experiment grid.
+type Task[T any] struct {
+	// Label identifies the cell in progress and error reporting, e.g.
+	// "B/dynamic/bound=0.85".
+	Label string
+	// Run computes the cell. It receives the sweep's context and should
+	// honor cancellation in long computations.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Event reports one finished cell to a progress observer.
+type Event struct {
+	// Label is the finished cell's label.
+	Label string
+	// Done counts cells finished so far, including this one; Total is the
+	// grid size.
+	Done, Total int
+	// Err is the cell's error, if any.
+	Err error
+	// Elapsed is the cell's wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Options tune a sweep run.
+type Options struct {
+	// Workers bounds concurrently executing cells. Zero or negative means
+	// GOMAXPROCS; one degenerates to strict sequential execution in task
+	// order.
+	Workers int
+	// Progress, when non-nil, observes every finished cell. Calls are
+	// serialized — the observer never runs concurrently with itself.
+	Progress func(Event)
+}
+
+// Seed derives the deterministic per-cell seed for a labelled cell from the
+// root seed. Cells must use it (rather than sharing a stream) so that their
+// randomness is a pure function of identity, not of execution order.
+func Seed(root int64, labels ...string) int64 {
+	return stats.Split(root, labels...)
+}
+
+// Run executes every task across the worker pool and returns the results
+// index-aligned with tasks. The returned error joins every cell error in
+// task order (deterministic), plus the context error when the sweep was
+// canceled before all cells ran; results of successful cells are valid
+// either way.
+func Run[T any](ctx context.Context, tasks []Task[T], opts Options) ([]T, error) {
+	results := make([]T, len(tasks))
+	errs := make([]error, len(tasks))
+	if len(tasks) == 0 {
+		return results, ctx.Err()
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var (
+		mu       sync.Mutex
+		finished int
+	)
+	observe := func(i int, err error, elapsed time.Duration) {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		finished++
+		opts.Progress(Event{
+			Label:   tasks[i].Label,
+			Done:    finished,
+			Total:   len(tasks),
+			Err:     err,
+			Elapsed: elapsed,
+		})
+	}
+
+	// Dispatch indexes, not tasks, so workers write results and errors to
+	// disjoint slots — no post-hoc reordering, no result channel to drain.
+	started := make([]bool, len(tasks))
+	indexes := make(chan int)
+	go func() {
+		defer close(indexes)
+		for i := range tasks {
+			select {
+			case indexes <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				started[i] = true
+				begin := time.Now()
+				results[i], errs[i] = runCell(ctx, tasks[i])
+				observe(i, errs[i], time.Since(begin))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range tasks {
+			if !started[i] {
+				errs[i] = fmt.Errorf("sweep: cell %s not run: %w", tasks[i].Label, err)
+			}
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runCell executes one task, converting a panic into that cell's error so a
+// single bad cell cannot deadlock the pool.
+func runCell[T any](ctx context.Context, t Task[T]) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: cell %s panicked: %v\n%s", t.Label, r, debug.Stack())
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("sweep: cell %s not run: %w", t.Label, err)
+	}
+	return t.Run(ctx)
+}

@@ -1,0 +1,264 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func squareTasks(n int, ran *atomic.Int64) []Task[int] {
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Label: fmt.Sprintf("cell-%d", i),
+			Run: func(context.Context) (int, error) {
+				if ran != nil {
+					ran.Add(1)
+				}
+				return i * i, nil
+			},
+		}
+	}
+	return tasks
+}
+
+// TestRunOrdering: results are index-aligned with tasks for every worker
+// count, including pools larger than the grid.
+func TestRunOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := Run(context.Background(), squareTasks(37, nil), Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+// TestRunEmpty: an empty grid completes immediately.
+func TestRunEmpty(t *testing.T) {
+	got, err := Run(context.Background(), []Task[int](nil), Options{Workers: 4})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Run(nil) = %v, %v", got, err)
+	}
+}
+
+// TestRunCellError: a failing cell surfaces in the joined error with its
+// label, while other cells still deliver results.
+func TestRunCellError(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := squareTasks(8, nil)
+	tasks[3].Run = func(context.Context) (int, error) { return 0, fmt.Errorf("cell-3: %w", boom) }
+	got, err := Run(context.Background(), tasks, Options{Workers: 4})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got[7] != 49 {
+		t.Fatalf("healthy cells must still complete, got %v", got)
+	}
+}
+
+// TestRunPanicRecovery: a panicking cell becomes that cell's error — pool
+// alive, no deadlock, stack attached.
+func TestRunPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			tasks := squareTasks(16, nil)
+			tasks[5].Run = func(context.Context) (int, error) { panic("kaboom") }
+			done := make(chan struct{})
+			var (
+				got []int
+				err error
+			)
+			go func() {
+				defer close(done)
+				got, err = Run(context.Background(), tasks, Options{Workers: workers})
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("sweep deadlocked after a cell panic")
+			}
+			if err == nil || !strings.Contains(err.Error(), "cell-5 panicked: kaboom") {
+				t.Fatalf("err = %v, want cell-5 panic with label", err)
+			}
+			if got[15] != 225 {
+				t.Fatalf("cells after the panic must still run, got %v", got)
+			}
+		})
+	}
+}
+
+// TestRunCancellation: canceling the context stops dispatching promptly;
+// cells that never started report the context error, and Run returns without
+// deadlocking even while cells are blocked.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n, workers = 64, 4
+
+	release := make(chan struct{})
+	var startedCells atomic.Int64
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Label: fmt.Sprintf("cell-%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				startedCells.Add(1)
+				select {
+				case <-release:
+					return i, nil
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
+			},
+		}
+	}
+
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Run(ctx, tasks, Options{Workers: workers})
+	}()
+
+	// Let the pool fill, then cancel while every worker is blocked.
+	for startedCells.Load() < workers {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep did not return after cancellation")
+	}
+	close(release)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Prompt stop: at most the in-flight cells plus one dispatched-but-
+	// unchecked index per worker may have started.
+	if got := startedCells.Load(); got > 2*workers {
+		t.Fatalf("%d cells started after cancellation, want <= %d", got, 2*workers)
+	}
+	if !strings.Contains(err.Error(), "not run") {
+		t.Fatalf("unstarted cells should report 'not run', got %v", err)
+	}
+}
+
+// TestRunProgress: one serialized event per cell, Done strictly increasing
+// to Total.
+func TestRunProgress(t *testing.T) {
+	var events []Event
+	_, err := Run(context.Background(), squareTasks(20, nil), Options{
+		Workers:  4,
+		Progress: func(ev Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 20 {
+		t.Fatalf("got %d events, want 20", len(events))
+	}
+	seen := make(map[string]bool)
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != 20 {
+			t.Fatalf("event %d = %d/%d, want %d/20", i, ev.Done, ev.Total, i+1)
+		}
+		if seen[ev.Label] {
+			t.Fatalf("label %s reported twice", ev.Label)
+		}
+		seen[ev.Label] = true
+	}
+}
+
+// TestRunWorkerCountsAgree: the same grid yields identical results at every
+// worker count — the engine-level half of the determinism guarantee.
+func TestRunWorkerCountsAgree(t *testing.T) {
+	build := func() []Task[int64] {
+		tasks := make([]Task[int64], 50)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task[int64]{
+				Label: fmt.Sprintf("dc-%d/planner-%d", i%4, i%3),
+				Run: func(context.Context) (int64, error) {
+					return Seed(20141208, fmt.Sprintf("dc-%d", i%4), fmt.Sprintf("cell-%d", i)), nil
+				},
+			}
+		}
+		return tasks
+	}
+	base, err := Run(context.Background(), build(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		got, err := Run(context.Background(), build(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestSeed: per-cell seeds are stable, label-sensitive, and path-aware.
+func TestSeed(t *testing.T) {
+	root := int64(20141208)
+	if Seed(root, "A", "dynamic") != Seed(root, "A", "dynamic") {
+		t.Error("Seed must be deterministic")
+	}
+	distinct := map[int64][]string{}
+	for _, labels := range [][]string{
+		{"A", "dynamic"}, {"A", "stochastic"}, {"B", "dynamic"},
+		{"Ad", "ynamic"}, {"A", "dynamic", "bound=0.85"}, {"Adynamic"}, {},
+	} {
+		s := Seed(root, labels...)
+		if prev, dup := distinct[s]; dup {
+			t.Errorf("Seed collision between %v and %v", prev, labels)
+		}
+		distinct[s] = labels
+	}
+	if Seed(root, "A") == Seed(root+1, "A") {
+		t.Error("different roots must derive different seeds")
+	}
+}
+
+// TestRunConcurrentSweeps: independent sweeps may run concurrently (the
+// golden tests run grids side by side).
+func TestRunConcurrentSweeps(t *testing.T) {
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Run(context.Background(), squareTasks(25, nil), Options{Workers: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Errorf("result[%d] = %d", i, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

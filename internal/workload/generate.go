@@ -59,7 +59,7 @@ func Generate(p *Profile, hours int, seed int64) (*trace.Set, error) {
 			// Servers arrive in application groups of 1-5 machines
 			// sharing a diurnal phase; constraint experiments and
 			// correlation structure both depend on this grouping.
-			appRNG := rand.New(rand.NewSource(mix(seed, int64(shareIdx)*1_000_003+int64(appIdx))))
+			appRNG := rand.New(rand.NewSource(stats.Derive(seed, int64(shareIdx)*1_000_003+int64(appIdx))))
 			appSize := 1 + appRNG.Intn(5)
 			if placed+appSize > n {
 				appSize = n - placed
@@ -68,7 +68,7 @@ func Generate(p *Profile, hours int, seed int64) (*trace.Set, error) {
 			appName := fmt.Sprintf("%s-%s-%03d", p.Name, share.Archetype.Name, appIdx)
 			appEvents := appEventTimeline(share.Archetype, hours, appRNG)
 			for k := 0; k < appSize; k++ {
-				r := rand.New(rand.NewSource(mix(seed, int64(serverIdx)+77_777)))
+				r := rand.New(rand.NewSource(stats.Derive(seed, int64(serverIdx)+77_777)))
 				model := pickModel(r, share.Models).Model
 				st := synthesize(r, share.Archetype, model.Spec, hours, appPhase, events, appEvents)
 				st.ID = trace.ServerID(fmt.Sprintf("%s-%04d", p.Name, serverIdx))
@@ -123,7 +123,7 @@ func eventTimeline(e Events, hours int, seed int64) []float64 {
 	if e.Rate <= 0 {
 		return events
 	}
-	r := rand.New(rand.NewSource(mix(seed, 424_242)))
+	r := rand.New(rand.NewSource(stats.Derive(seed, 424_242)))
 	var (
 		left int
 		mag  float64
@@ -273,14 +273,4 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-// mix combines a seed with a stream index into an independent-looking
-// sub-seed (splitmix64 finalizer).
-func mix(seed, idx int64) int64 {
-	z := uint64(seed) + uint64(idx)*0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z & math.MaxInt64)
 }

@@ -18,6 +18,7 @@ import (
 	"vmwild/internal/monitor"
 	"vmwild/internal/placement"
 	"vmwild/internal/stats"
+	"vmwild/internal/sweep"
 	"vmwild/internal/trace"
 	"vmwild/internal/traceio"
 	"vmwild/internal/workload"
@@ -339,11 +340,38 @@ func DialQuery(ctx context.Context, addr string) (*QueryClient, error) {
 }
 
 // WriteReport renders the complete reproduction — every table and figure of
-// the paper — using the baseline configuration with the given seed.
+// the paper — using the baseline configuration with the given seed. It runs
+// the experiment grid strictly sequentially; use WriteReportWith to fan it
+// out across workers with byte-identical output.
 func WriteReport(w io.Writer, seed int64) error {
+	return WriteReportWith(context.Background(), w, seed, ReportOptions{Workers: 1})
+}
+
+// ReportProgress is one finished experiment-grid cell, delivered to a
+// progress observer.
+type ReportProgress = sweep.Event
+
+// ReportOptions tune how the report's experiment grid executes.
+type ReportOptions struct {
+	// Workers bounds concurrently executing grid cells; one is strictly
+	// sequential, zero or negative means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, observes every finished cell (serialized).
+	Progress func(ReportProgress)
+}
+
+// WriteReportWith renders the complete reproduction with the experiment
+// grid fanned out across opts.Workers workers. Each cell derives its
+// randomness from the seed by identity rather than from a shared stream, so
+// the report is byte-identical to the sequential one at the same seed —
+// only faster. Canceling ctx aborts the run promptly.
+func WriteReportWith(ctx context.Context, w io.Writer, seed int64, opts ReportOptions) error {
 	cfg := experiments.DefaultConfig()
 	if seed != 0 {
 		cfg.Seed = seed
 	}
-	return experiments.WriteAll(w, cfg)
+	return experiments.WriteAllWith(ctx, w, cfg, experiments.Options{
+		Workers:  opts.Workers,
+		Progress: opts.Progress,
+	})
 }
