@@ -13,10 +13,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -32,35 +35,56 @@ func main() {
 
 func run() error {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:7700", "agent ingestion address")
-		queryListen = flag.String("query-listen", "127.0.0.1:7701", "query protocol address")
-		interval    = flag.Duration("interval", 2*time.Hour, "consolidation interval")
-		retention   = flag.Duration("retention", 30*24*time.Hour, "sample retention")
-		snapshot    = flag.String("snapshot", "", "restore this snapshot file at startup and rewrite it on shutdown")
-		simulate    = flag.String("simulate", "", "run a self-contained simulation of workload A, B, C or D instead of serving")
-		servers     = flag.Int("servers", 40, "simulated fleet size")
-		ticks       = flag.Int("ticks", 12, "simulated consolidation intervals")
-		seed        = flag.Int64("seed", vmwild.DefaultSeed, "simulation seed")
+		listen       = flag.String("listen", "127.0.0.1:7700", "agent ingestion address")
+		queryListen  = flag.String("query-listen", "127.0.0.1:7701", "query protocol address")
+		interval     = flag.Duration("interval", 2*time.Hour, "consolidation interval")
+		retention    = flag.Duration("retention", 30*24*time.Hour, "sample retention")
+		snapshot     = flag.String("snapshot", "", "restore this snapshot file at startup and rewrite it on shutdown")
+		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "sever ingestion/query connections silent longer than this (0 disables)")
+		maxLineBytes = flag.Int("max-line-bytes", 0, "per-connection line size bound (0 = 1 MiB default)")
+		simulate     = flag.String("simulate", "", "run a self-contained simulation of workload A, B, C or D instead of serving")
+		servers      = flag.Int("servers", 40, "simulated fleet size")
+		ticks        = flag.Int("ticks", 12, "simulated consolidation intervals")
+		seed         = flag.Int64("seed", vmwild.DefaultSeed, "simulation seed")
+		failRate     = flag.Float64("fail-rate", 0, "simulated per-attempt migration failure probability")
+		stallRate    = flag.Float64("stall-rate", 0, "simulated per-attempt migration stall probability")
+		dropRate     = flag.Float64("drop-rate", 0, "simulated per-sample agent dropout probability")
+		retryBudget  = flag.Int("retry-budget", 0, "migration attempts per VM before aborting (0 = default 3)")
 	)
 	flag.Parse()
 
 	if *simulate != "" {
-		return simulateRun(*simulate, *servers, *ticks, *seed)
+		return simulateRun(*simulate, *servers, *ticks, *seed, simFaults{
+			failRate:    *failRate,
+			stallRate:   *stallRate,
+			dropRate:    *dropRate,
+			retryBudget: *retryBudget,
+		})
 	}
-	return serve(*listen, *queryListen, *interval, *retention, *snapshot)
+	return serve(*listen, *queryListen, *interval, *retention, *snapshot, *readTimeout, *maxLineBytes)
 }
 
 // serve runs the daemon against real agents until SIGINT/SIGTERM.
-func serve(listen, queryListen string, interval, retention time.Duration, snapshotPath string) error {
+func serve(listen, queryListen string, interval, retention time.Duration, snapshotPath string, readTimeout time.Duration, maxLineBytes int) error {
 	warehouse := vmwild.NewWarehouse(retention)
+	warehouse.ReadTimeout = readTimeout
+	warehouse.MaxLineBytes = maxLineBytes
 	if snapshotPath != "" {
-		if f, err := os.Open(snapshotPath); err == nil {
+		f, err := os.Open(snapshotPath)
+		switch {
+		case err == nil:
 			n, err := warehouse.Restore(f)
 			f.Close()
 			if err != nil {
 				return fmt.Errorf("restore snapshot: %w", err)
 			}
 			fmt.Printf("restored %d samples from %s\n", n, snapshotPath)
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: nothing to restore yet.
+		default:
+			// A present-but-unreadable snapshot (permissions, I/O) must
+			// abort startup, not silently run on an empty warehouse.
+			return fmt.Errorf("open snapshot: %w", err)
 		}
 	}
 	addr, err := warehouse.Listen(listen)
@@ -69,6 +93,8 @@ func serve(listen, queryListen string, interval, retention time.Duration, snapsh
 	}
 	defer warehouse.Close()
 	qs := vmwild.NewQueryServer(warehouse)
+	qs.ReadTimeout = readTimeout
+	qs.MaxLineBytes = maxLineBytes
 	qaddr, err := qs.Listen(queryListen)
 	if err != nil {
 		return err
@@ -81,12 +107,7 @@ func serve(listen, queryListen string, interval, retention time.Duration, snapsh
 	<-stop
 
 	if snapshotPath != "" {
-		f, err := os.Create(snapshotPath)
-		if err != nil {
-			return fmt.Errorf("write snapshot: %w", err)
-		}
-		defer f.Close()
-		if err := warehouse.Snapshot(f); err != nil {
+		if err := writeSnapshot(warehouse, snapshotPath); err != nil {
 			return err
 		}
 		fmt.Printf("snapshot written to %s\n", snapshotPath)
@@ -94,8 +115,43 @@ func serve(listen, queryListen string, interval, retention time.Duration, snapsh
 	return nil
 }
 
+// writeSnapshot persists the warehouse atomically: the snapshot streams
+// into a temp file in the target directory and replaces the old file only
+// by rename, so a crash mid-write can never truncate the previous good
+// snapshot.
+func writeSnapshot(warehouse *vmwild.Warehouse, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	if err := warehouse.Snapshot(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	return nil
+}
+
+// simFaults carries the simulation's fault-injection knobs.
+type simFaults struct {
+	failRate, stallRate, dropRate float64
+	retryBudget                   int
+}
+
+func (s simFaults) enabled() bool {
+	return s.failRate > 0 || s.stallRate > 0 || s.dropRate > 0
+}
+
 // simulateRun exercises the full daemon loop on compressed time.
-func simulateRun(workload string, servers, ticks int, seed int64) error {
+func simulateRun(workload string, servers, ticks int, seed int64, faults simFaults) error {
 	var profile *vmwild.Profile
 	for _, p := range vmwild.Profiles() {
 		if p.Name == workload {
@@ -126,14 +182,32 @@ func simulateRun(workload string, servers, ticks int, seed int64) error {
 		}
 		sources[i] = src
 	}
+	var injector *vmwild.FaultInjector
+	if faults.enabled() {
+		injector, err = vmwild.NewFaultInjector(vmwild.FaultConfig{
+			Seed:             seed,
+			MigrationFailure: faults.failRate,
+			MigrationStall:   faults.stallRate,
+			AgentDropout:     faults.dropRate,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	streamed := 0
 	streamUpTo := func(hour int) error {
 		for ; streamed < hour*4; streamed++ {
 			ts := epoch.Add(time.Duration(streamed*15) * time.Minute)
-			for _, src := range sources {
+			for i, src := range sources {
 				s, err := src.Collect(ts)
 				if err != nil {
 					return err
+				}
+				// A dropped-out agent simply misses this observation;
+				// the warehouse aggregates whatever arrived.
+				if injector.AgentDrops(fleet.Servers[i].ID, streamed) {
+					continue
 				}
 				warehouse.Ingest(s)
 			}
@@ -141,11 +215,19 @@ func simulateRun(workload string, servers, ticks int, seed int64) error {
 		return nil
 	}
 
+	execCfg := vmwild.DefaultExecutorConfig()
+	if injector != nil {
+		execCfg.Fault = injector
+	}
+	if faults.retryBudget > 0 {
+		execCfg.RetryBudget = faults.retryBudget
+	}
 	ctrl, err := vmwild.NewController(vmwild.ControllerConfig{
 		Fetch: func() (*vmwild.TraceSet, error) {
 			return warehouse.CollectSet(profile.Name, specs, epoch)
 		},
-		Planner: vmwild.PlanInput{Host: vmwild.HS23Elite()},
+		Planner:  vmwild.PlanInput{Host: vmwild.HS23Elite()},
+		Executor: execCfg,
 	})
 	if err != nil {
 		return err
@@ -153,7 +235,7 @@ func simulateRun(workload string, servers, ticks int, seed int64) error {
 
 	fmt.Printf("simulating workload %s: %d servers, %d intervals after a %dh warm-up\n\n",
 		profile.Name, servers, ticks, warmup)
-	fmt.Println("interval | hosts | migrations | wave | feasible")
+	fmt.Println("interval | hosts | migrations | attempted | ok | aborted | wave | feasible")
 	for k := 0; k < ticks; k++ {
 		hour := warmup + 2*k
 		if err := streamUpTo(hour); err != nil {
@@ -167,8 +249,14 @@ func simulateRun(workload string, servers, ticks int, seed int64) error {
 		if tick.Execution != nil {
 			wave = tick.Execution.Total.Round(time.Second).String()
 		}
-		fmt.Printf("%8d | %5d | %10d | %6s | %v\n",
-			tick.Interval, tick.Step.ActiveHosts, tick.Step.Migrations, wave, tick.Feasible)
+		degraded := ""
+		if tick.Degraded {
+			degraded = " (degraded)"
+		}
+		fmt.Printf("%8d | %5d | %10d | %9d | %2d | %7d | %6s | %v%s\n",
+			tick.Interval, tick.Step.ActiveHosts, tick.Step.Migrations,
+			tick.Moves.Attempted, tick.Moves.Succeeded, tick.Moves.Aborted,
+			wave, tick.Feasible, degraded)
 	}
 	return nil
 }

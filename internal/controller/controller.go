@@ -43,6 +43,24 @@ type Config struct {
 	MinHistoryHours int
 }
 
+// MoveStats summarizes the fate of one interval's migrations.
+type MoveStats struct {
+	// Attempted counts migration attempts, retries and bounce hops
+	// included.
+	Attempted int
+	// Succeeded counts logical moves whose VM reached its target.
+	Succeeded int
+	// Aborted counts logical moves abandoned after the retry budget ran
+	// out; their VMs stay where they were and the next interval re-plans
+	// around them.
+	Aborted int
+	// Failed counts individual failed attempts (a move that failed once
+	// and then succeeded contributes to both Failed and Succeeded).
+	Failed int
+	// Stalled counts attempts that committed at degraded bandwidth.
+	Stalled int
+}
+
 // Tick reports one completed consolidation interval.
 type Tick struct {
 	// Interval is the 0-based interval index.
@@ -51,9 +69,16 @@ type Tick struct {
 	HistoryHours int
 	// Step is the adaptation outcome.
 	Step core.StepResult
-	// Execution is the migration-wave schedule realizing the step (nil
-	// when nothing moved).
+	// Execution is the migration-wave schedule as actually executed,
+	// failed and retried attempts included (nil when nothing moved).
 	Execution *executor.Plan
+	// Moves is the attempted/succeeded/aborted accounting of the
+	// interval's migrations.
+	Moves MoveStats
+	// Degraded reports that at least one move was aborted: the interval
+	// committed only the moves that completed, and the next interval
+	// re-plans from the realized placement.
+	Degraded bool
 	// Feasible reports whether the waves fit inside the interval.
 	Feasible bool
 }
@@ -145,12 +170,31 @@ func (c *Controller) RunInterval() (Tick, error) {
 		return Tick{}, err
 	}
 	if c.prev != nil && step.Migrations > 0 {
-		plan, _, err := executor.ScheduleTransition(c.prev, cur, c.cfg.Executor)
+		exec, _, err := executor.ExecuteTransition(c.prev, cur, c.cfg.Executor)
 		if err != nil {
 			return Tick{}, fmt.Errorf("controller: schedule execution: %w", err)
 		}
-		tick.Execution = plan
-		tick.Feasible = plan.Total <= time.Duration(interval)*time.Hour
+		tick.Execution = exec.Plan
+		tick.Feasible = exec.Plan.Total <= time.Duration(interval)*time.Hour
+		tick.Moves = MoveStats{
+			Attempted: exec.Attempts,
+			Succeeded: len(exec.Completed),
+			Aborted:   len(exec.Aborted),
+			Failed:    exec.Failures,
+			Stalled:   exec.Stalls,
+		}
+		if exec.Degraded() {
+			// Graceful degradation: commit only what completed. The
+			// realized placement — completed moves applied, aborted ones
+			// left in place — becomes the ground truth the next interval
+			// re-plans from; the carried-forward moves re-emerge there
+			// if they are still worth making.
+			tick.Degraded = true
+			cur = exec.Final
+			if err := c.adapter.Restore(cur); err != nil {
+				return Tick{}, fmt.Errorf("controller: restore degraded placement: %w", err)
+			}
+		}
 	}
 	c.prev = cur
 	c.ticks = append(c.ticks, tick)

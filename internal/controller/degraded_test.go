@@ -1,0 +1,260 @@
+package controller
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/core"
+	"vmwild/internal/executor"
+	"vmwild/internal/fault"
+	"vmwild/internal/placement"
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+// countingModel is a scripted executor.FaultModel: it fails a chosen subset
+// of attempt draws, counted globally, so tests can force exact partial
+// failures without seed hunting. The controller calls it from one goroutine;
+// the mutex keeps it safe for the -race loop test too.
+type countingModel struct {
+	mu    sync.Mutex
+	calls int
+	// fail decides the outcome of the n-th draw (1-based); attempt is the
+	// VM's own 1-based attempt counter within the execution.
+	fail func(n, attempt int) bool
+}
+
+func (m *countingModel) MigrationOutcome(vm trace.ServerID, attempt int) fault.Outcome {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	if m.fail != nil && m.fail(m.calls, attempt) {
+		return fault.Failed
+	}
+	return fault.OK
+}
+
+func (m *countingModel) StallFactor() float64      { return 1 }
+func (m *countingModel) HostDown(string, int) bool { return false }
+
+// faultController builds a controller over a synthetic Banking fleet with
+// the given fault model and retry budget.
+func faultController(t *testing.T, servers int, model executor.FaultModel, budget int) *Controller {
+	t.Helper()
+	p := workload.Banking()
+	p.Servers = servers
+	full, err := workload.Generate(p, 24*12, workload.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &growingFetch{full: full, hours: 8 * 24, step: 2}
+	execCfg := executor.DefaultConfig()
+	execCfg.Fault = model
+	execCfg.RetryBudget = budget
+	c, err := New(Config{
+		Fetch:    g.fetch,
+		Planner:  core.Input{Host: catalog.HS23Elite},
+		Executor: execCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// hostChanges counts VMs whose host differs between two placements.
+func hostChanges(t *testing.T, prev, cur *placement.Placement) int {
+	t.Helper()
+	changed := 0
+	for _, h := range cur.Hosts() {
+		for _, vm := range cur.VMsOn(h.ID) {
+			if src, ok := prev.HostOf(vm); ok && src != h.ID {
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+func TestDegradedIntervals(t *testing.T) {
+	tests := []struct {
+		name   string
+		fail   func(n, attempt int) bool
+		budget int
+		check  func(t *testing.T, ticks []Tick, degraded int)
+	}{
+		{
+			name:   "no faults",
+			fail:   nil,
+			budget: 3,
+			check: func(t *testing.T, ticks []Tick, degraded int) {
+				if degraded != 0 {
+					t.Errorf("%d degraded intervals without faults", degraded)
+				}
+				for _, tk := range ticks {
+					if tk.Moves.Attempted != tk.Moves.Succeeded {
+						t.Errorf("interval %d: attempted %d != succeeded %d",
+							tk.Interval, tk.Moves.Attempted, tk.Moves.Succeeded)
+					}
+				}
+			},
+		},
+		{
+			name:   "every attempt fails",
+			fail:   func(int, int) bool { return true },
+			budget: 2,
+			check: func(t *testing.T, ticks []Tick, degraded int) {
+				if degraded == 0 {
+					t.Fatal("no interval degraded although every migration fails")
+				}
+				for _, tk := range ticks {
+					if tk.Moves.Succeeded != 0 {
+						t.Errorf("interval %d: %d moves succeeded under a fail-all model",
+							tk.Interval, tk.Moves.Succeeded)
+					}
+					if tk.Step.Migrations > 0 && !tk.Degraded {
+						t.Errorf("interval %d ordered migrations but is not degraded", tk.Interval)
+					}
+				}
+			},
+		},
+		{
+			name:   "first attempt of each move fails, retry succeeds",
+			fail:   func(_, attempt int) bool { return attempt == 1 },
+			budget: 3,
+			check: func(t *testing.T, ticks []Tick, degraded int) {
+				if degraded != 0 {
+					t.Errorf("%d degraded intervals although the retry budget covers every failure", degraded)
+				}
+				failed := 0
+				for _, tk := range ticks {
+					failed += tk.Moves.Failed
+					if tk.Moves.Aborted != 0 {
+						t.Errorf("interval %d aborted %d moves", tk.Interval, tk.Moves.Aborted)
+					}
+				}
+				if failed == 0 {
+					t.Error("model never failed an attempt; scenario is inert")
+				}
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var model executor.FaultModel
+			if tt.fail != nil {
+				model = &countingModel{fail: tt.fail}
+			}
+			c := faultController(t, 40, model, tt.budget)
+			var ticks []Tick
+			degraded := 0
+			for i := 0; i < 16; i++ {
+				prev := c.Placement()
+				tick, err := c.RunInterval()
+				if err != nil {
+					t.Fatalf("interval %d: %v", i, err)
+				}
+				ticks = append(ticks, tick)
+				if tick.Degraded {
+					degraded++
+				}
+				// The committed placement must reflect exactly the moves
+				// that succeeded: aborted VMs stay put.
+				if prev != nil {
+					if got := hostChanges(t, prev, c.Placement()); got != tick.Moves.Succeeded {
+						t.Errorf("interval %d: %d VMs changed host, %d moves succeeded",
+							i, got, tick.Moves.Succeeded)
+					}
+				}
+			}
+			tt.check(t, ticks, degraded)
+		})
+	}
+}
+
+// TestDegradedReplanConverges forces a fully failed wave and then lifts the
+// faults: the next interval must re-plan from the realized (unchanged)
+// placement and the backlog must clear within the retry budget.
+func TestDegradedReplanConverges(t *testing.T) {
+	model := &countingModel{}
+	failing := true
+	model.fail = func(int, int) bool { return failing }
+	c := faultController(t, 40, model, 1)
+
+	var degradedAt = -1
+	for i := 0; i < 16; i++ {
+		prev := c.Placement()
+		tick, err := c.RunInterval()
+		if err != nil {
+			t.Fatalf("interval %d: %v", i, err)
+		}
+		if degradedAt < 0 && tick.Degraded {
+			degradedAt = i
+			// Nothing may have moved in the fully failed wave.
+			if got := hostChanges(t, prev, c.Placement()); got != 0 {
+				t.Fatalf("fully failed wave moved %d VMs", got)
+			}
+			// Lift the faults; from here every migration commits.
+			failing = false
+		}
+	}
+	if degradedAt < 0 {
+		t.Fatal("the fleet never ordered a migration; scenario is inert")
+	}
+
+	// With faults lifted, later intervals re-plan from the realized
+	// placement and execute cleanly.
+	clean := 0
+	for i := 0; i < 4; i++ {
+		tick, err := c.RunInterval()
+		if err != nil {
+			t.Fatalf("post-recovery interval %d: %v", i, err)
+		}
+		if tick.Degraded || tick.Moves.Aborted != 0 {
+			t.Errorf("post-recovery interval %d still degraded: %+v", i, tick.Moves)
+		}
+		if tick.Moves.Attempted == tick.Moves.Succeeded {
+			clean++
+		}
+	}
+	if clean == 0 {
+		t.Error("no clean interval after recovery")
+	}
+}
+
+// TestDegradedLoopUnderRace drives the ticker loop with a failing model
+// while concurrently reading controller state — the -race coverage of the
+// degraded path.
+func TestDegradedLoopUnderRace(t *testing.T) {
+	model := &countingModel{fail: func(n, _ int) bool { return n%3 == 0 }}
+	c := faultController(t, 20, model, 2)
+	tick := make(chan time.Time)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx, tick, func(error) {})
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			c.Placement()
+			c.Ticks()
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		tick <- time.Now()
+	}
+	wg.Wait()
+	cancel()
+	<-done
+	if len(c.Ticks()) == 0 {
+		t.Error("loop completed no intervals")
+	}
+}

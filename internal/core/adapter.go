@@ -45,6 +45,11 @@ type StepResult struct {
 	MigrationDataMB float64
 	// ActiveHosts is the number of powered-on hosts afterwards.
 	ActiveHosts int
+	// OverloadedHosts is how many hosts exceeded their usable capacity
+	// after the in-place resize, before repair — the capacity violations
+	// the interval opened with. Degraded executions that leave VMs on
+	// crowded hosts drive this up.
+	OverloadedHosts int
 }
 
 // Step adapts the placement to the given per-VM reservations. The first
@@ -88,6 +93,7 @@ func (a *Adapter) Step(items []placement.Item) (StepResult, error) {
 		}
 	}
 	var res StepResult
+	res.OverloadedHosts = len(a.cur.Overloaded())
 	moved, dataMB, err := repairOverloads(a.cur, a.In)
 	if err != nil {
 		return StepResult{}, err
@@ -109,6 +115,21 @@ func (a *Adapter) Snapshot() (*placement.Placement, error) {
 		return nil, errors.New("core: adapter has no placement yet")
 	}
 	return a.cur.Clone(), nil
+}
+
+// Restore replaces the adapter's placement with the given one — the
+// degraded-execution path: when live migrations fail, the realized
+// placement diverges from the intended one, and the next Step must re-plan
+// from where the VMs actually are, not where the plan wanted them.
+func (a *Adapter) Restore(p *placement.Placement) error {
+	if p == nil {
+		return errors.New("core: restore nil placement")
+	}
+	if a.cur != nil && a.cur.NumVMs() != p.NumVMs() {
+		return fmt.Errorf("core: restore placement has %d VMs, adapter tracks %d", p.NumVMs(), a.cur.NumVMs())
+	}
+	a.cur = p.Clone()
+	return nil
 }
 
 // PredictItems sizes every server for the next interval from its history —

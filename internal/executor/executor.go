@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"vmwild/internal/fault"
 	"vmwild/internal/migration"
 	"vmwild/internal/placement"
 	"vmwild/internal/sizing"
@@ -65,6 +66,21 @@ func Diff(from, to *placement.Placement) ([]Move, error) {
 	return moves, nil
 }
 
+// FaultModel decides the fate of individual migration attempts and the
+// availability of hosts per wave. *fault.Injector implements it; tests may
+// script exact scenarios. A nil model means every migration succeeds.
+type FaultModel interface {
+	// MigrationOutcome classifies the VM's attempt-th migration attempt
+	// (1-based across the whole execution, bounce hops included).
+	MigrationOutcome(vm trace.ServerID, attempt int) fault.Outcome
+	// StallFactor is the duration multiplier for stalled attempts.
+	StallFactor() float64
+	// HostDown reports a transient outage of host during the given wave.
+	HostDown(host string, wave int) bool
+}
+
+var _ FaultModel = (*fault.Injector)(nil)
+
 // Config tunes the migration scheduler.
 type Config struct {
 	// Migration parameterizes per-move durations (pre-copy model).
@@ -83,6 +99,20 @@ type Config struct {
 	// PostCopy costs moves with the target-driven post-copy model
 	// instead of iterative pre-copy (the Section 7 improvement).
 	PostCopy bool
+	// Fault injects migration failures, stalls and host outages into
+	// Execute. Schedule ignores it: a plan models the intended schedule,
+	// an execution models what actually happened.
+	Fault FaultModel
+	// RetryBudget is the maximum number of migration attempts per VM
+	// before Execute aborts the move and leaves the VM where it is
+	// (default 3).
+	RetryBudget int
+	// RetryBackoff is the wall-clock cost of one idle wave — a wave in
+	// which every remaining move is waiting out a retry backoff or a
+	// host outage (default 30s). Retries themselves back off
+	// exponentially in waves: a move that failed k times is not
+	// reattempted for 2^(k-1) waves.
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig returns the baseline execution settings.
@@ -91,6 +121,8 @@ func DefaultConfig() Config {
 		Migration:     migration.DefaultConfig(),
 		MaxPerHost:    1,
 		MaxConcurrent: 8,
+		RetryBudget:   3,
+		RetryBackoff:  30 * time.Second,
 	}
 }
 
@@ -103,6 +135,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Migration.LinkMBps <= 0 {
 		c.Migration = migration.DefaultConfig()
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 30 * time.Second
 	}
 	return c
 }
@@ -162,125 +200,288 @@ func ScheduleTransition(from, to *placement.Placement, cfg Config) (*Plan, []Mov
 // Schedule orders the moves into concurrent waves such that every
 // intermediate state respects host capacity. The from placement must
 // already carry execution-time reservations (see ScheduleTransition); it is
-// not modified.
+// not modified. Schedule models the intended schedule: every migration
+// succeeds and cfg.Fault is ignored — use Execute to simulate what happens
+// when they don't.
 func Schedule(from *placement.Placement, moves []Move, cfg Config) (*Plan, error) {
+	cfg.Fault = nil
+	exec, err := executeMoves(from, moves, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Plan, nil
+}
+
+// Execution reports what a migration schedule actually did under the fault
+// model: which logical moves committed, which were abandoned after
+// exhausting their retry budget, and what the realized placement is.
+type Execution struct {
+	// Plan is the wave-by-wave record of every attempt, including failed
+	// and stalled ones (their time and network volume are spent too).
+	Plan *Plan
+	// Completed lists the logical moves whose VM reached its target.
+	Completed []Move
+	// Aborted lists the logical moves that did not: the VM stayed on its
+	// source host (or, rarely, was stranded on a staging host) after the
+	// retry budget ran out or no feasible order remained.
+	Aborted []Move
+	// Attempts counts every migration attempt (bounce hops included).
+	Attempts int
+	// Failures counts attempts the fault model failed.
+	Failures int
+	// Stalls counts attempts that committed at degraded bandwidth.
+	Stalls int
+	// Final is the realized placement after all committed moves.
+	Final *placement.Placement
+}
+
+// Degraded reports whether any move was abandoned.
+func (e *Execution) Degraded() bool { return len(e.Aborted) > 0 }
+
+// Execute runs the moves through the wave scheduler under cfg.Fault:
+// failed attempts leave the VM on its source host and retry in a later
+// wave with exponential backoff, up to cfg.RetryBudget attempts per VM;
+// moves that exhaust the budget — or that no feasible order can realize
+// once other moves aborted — are abandoned rather than failing the whole
+// execution. With a nil fault model Execute commits every move and its
+// Plan equals Schedule's.
+func Execute(from *placement.Placement, moves []Move, cfg Config) (*Execution, error) {
+	return executeMoves(from, moves, cfg, false)
+}
+
+// ExecuteTransition is ScheduleTransition's runtime counterpart: it diffs
+// the placements, resizes in place, and executes the moves under the fault
+// model. The returned execution's Final placement is where re-planning must
+// start from when moves were aborted.
+func ExecuteTransition(from, to *placement.Placement, cfg Config) (*Execution, []Move, error) {
+	moves, err := Diff(from, to)
+	if err != nil {
+		return nil, nil, err
+	}
+	resized := from.Clone()
+	for _, h := range to.Hosts() {
+		for _, vm := range to.VMsOn(h.ID) {
+			it, _ := to.Item(vm)
+			if err := resized.UpdateDemand(vm, it.Demand); err != nil {
+				return nil, nil, fmt.Errorf("executor: resize %s: %w", vm, err)
+			}
+		}
+	}
+	exec, err := Execute(resized, moves, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exec, moves, nil
+}
+
+// waveKind tags each wave move with what it is, so failure handling knows
+// where the VM actually is.
+type waveKind int
+
+const (
+	kindDirect  waveKind = iota // pending move toward its real target
+	kindBounce                  // hop onto a spare staging host
+	kindUnstage                 // hop from the spare host to the real target
+)
+
+// executeMoves is the single scheduling loop behind Schedule and Execute.
+// strict preserves Schedule's historical contract: no fault model, and
+// ErrDeadlock instead of degraded aborts when no feasible order exists.
+func executeMoves(from *placement.Placement, moves []Move, cfg Config, strict bool) (*Execution, error) {
 	if from == nil {
 		return nil, errors.New("executor: nil source placement")
 	}
 	cfg = cfg.withDefaults()
-	plan := &Plan{}
+	inj := cfg.Fault
+	exec := &Execution{Plan: &Plan{}}
+	plan := exec.Plan
 	if len(moves) == 0 {
-		return plan, nil
+		exec.Final = from.Clone()
+		return exec, nil
 	}
 
 	state := from.Clone()
-	pending := append([]Move(nil), moves...)
+	type pendingMove struct {
+		Move
+		// eligible is the earliest wave index of the next attempt
+		// (exponential backoff after failures).
+		eligible int
+	}
+	pending := make([]pendingMove, len(moves))
 	// Targets opened by the planner's later state may not exist in the
 	// source placement yet; register them before scheduling.
-	for _, mv := range moves {
+	for i, mv := range moves {
 		state.EnsureHost(mv.To)
+		pending[i] = pendingMove{Move: mv}
 	}
 	var spares []string
 	// Moves staged on a spare host still owe their hop to the real
 	// target; spareOf records where each staged VM sits.
 	staged := make(map[trace.ServerID]Move)
 	spareOf := make(map[trace.ServerID]string)
+	stagedEligible := make(map[trace.ServerID]int)
+	attempts := make(map[trace.ServerID]int)
+
+	sortedStaged := func() []trace.ServerID {
+		ids := make([]trace.ServerID, 0, len(staged))
+		for vm := range staged {
+			ids = append(ids, vm)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+	// backoffWaves is how long the k-times-failed move waits: 2^(k-1)
+	// waves, capped so pathological budgets cannot freeze the schedule.
+	backoffWaves := func(k int) int {
+		if k > 6 {
+			k = 6
+		}
+		return 1 << (k - 1)
+	}
+
+	waveIdx := 0
+	idle := 0 // consecutive waves without a single attempt
+	maxIdle := 2*len(moves)*cfg.RetryBudget + 64
 
 	for len(pending) > 0 || len(staged) > 0 {
 		var (
 			wave     Wave
+			kinds    []waveKind
+			origs    []Move // the logical move behind each wave move
 			busy     = make(map[string]int)
 			selected []int
+			deferred bool // something is waiting out a backoff or outage
 		)
+		down := func(h string) bool {
+			return inj != nil && inj.HostDown(h, waveIdx)
+		}
 		// Staged VMs go home first when their target has room
 		// (sorted for determinism).
-		var stagedIDs []trace.ServerID
-		for vm := range staged {
-			stagedIDs = append(stagedIDs, vm)
-		}
-		sort.Slice(stagedIDs, func(i, j int) bool { return stagedIDs[i] < stagedIDs[j] })
-		for _, vm := range stagedIDs {
+		for _, vm := range sortedStaged() {
 			mv := staged[vm]
 			src := spareOf[vm]
 			if len(wave.Moves) >= cfg.MaxConcurrent {
 				break
+			}
+			if stagedEligible[vm] > waveIdx || down(src) || down(mv.To) {
+				deferred = true
+				continue
 			}
 			if !state.Fits(mv.To, mv.Demand) || busy[src] >= cfg.MaxPerHost || busy[mv.To] >= cfg.MaxPerHost {
 				continue
 			}
 			hop := Move{VM: vm, From: src, To: mv.To, Demand: mv.Demand}
 			wave.Moves = append(wave.Moves, hop)
+			kinds = append(kinds, kindUnstage)
+			origs = append(origs, mv)
 			busy[src]++
 			busy[mv.To]++
-			delete(staged, vm)
-			delete(spareOf, vm)
 		}
-		for i, mv := range pending {
+		for i, pm := range pending {
 			if len(wave.Moves) >= cfg.MaxConcurrent {
 				break
 			}
-			if busy[mv.From] >= cfg.MaxPerHost || busy[mv.To] >= cfg.MaxPerHost {
+			if pm.eligible > waveIdx || down(pm.From) || down(pm.To) {
+				deferred = true
 				continue
 			}
-			if !state.Fits(mv.To, mv.Demand) {
+			if busy[pm.From] >= cfg.MaxPerHost || busy[pm.To] >= cfg.MaxPerHost {
 				continue
 			}
-			wave.Moves = append(wave.Moves, mv)
-			busy[mv.From]++
-			busy[mv.To]++
+			if !state.Fits(pm.To, pm.Demand) {
+				continue
+			}
+			wave.Moves = append(wave.Moves, pm.Move)
+			kinds = append(kinds, kindDirect)
+			origs = append(origs, pm.Move)
+			busy[pm.From]++
+			busy[pm.To]++
 			selected = append(selected, i)
 		}
 
 		if len(wave.Moves) == 0 {
-			if len(pending) == 0 {
-				// Only staged VMs remain and none can go home yet;
-				// with no pending departures this cannot resolve.
-				return nil, ErrDeadlock
-			}
-			// Nothing fits: cyclic space dependency.
-			if !cfg.SpareHost {
-				return nil, ErrDeadlock
-			}
-			// Bounce the smallest pending VM through a spare host
-			// with room, opening another spare if all are full.
-			sort.Slice(pending, func(i, j int) bool {
-				if pending[i].Demand.Mem != pending[j].Demand.Mem {
-					return pending[i].Demand.Mem < pending[j].Demand.Mem
-				}
-				return pending[i].VM < pending[j].VM
-			})
-			mv := pending[0]
-			spare := ""
-			for _, s := range spares {
-				if state.Fits(s, mv.Demand) {
-					spare = s
+			if deferred {
+				// Every schedulable move is backing off or blocked by a
+				// transient outage: an idle wave passes.
+				waveIdx++
+				plan.Total += cfg.RetryBackoff
+				idle++
+				if idle > maxIdle {
+					// Pathological scenario (e.g. outage probability 1):
+					// give up on whatever is left.
+					for _, pm := range pending {
+						exec.Aborted = append(exec.Aborted, pm.Move)
+					}
+					pending = nil
+					for _, vm := range sortedStaged() {
+						exec.Aborted = append(exec.Aborted, staged[vm])
+					}
+					staged = map[trace.ServerID]Move{}
 					break
 				}
+				continue
 			}
-			if spare == "" {
-				spare = state.OpenHost().ID
-				spares = append(spares, spare)
+			if cfg.SpareHost && len(pending) > 0 {
+				// Bounce the smallest pending VM through a spare host
+				// with room, opening another spare if all are full.
+				sort.Slice(pending, func(i, j int) bool {
+					if pending[i].Demand.Mem != pending[j].Demand.Mem {
+						return pending[i].Demand.Mem < pending[j].Demand.Mem
+					}
+					return pending[i].VM < pending[j].VM
+				})
+				mv := pending[0].Move
+				spare := ""
+				for _, s := range spares {
+					if state.Fits(s, mv.Demand) {
+						spare = s
+						break
+					}
+				}
+				if spare == "" {
+					spare = state.OpenHost().ID
+					spares = append(spares, spare)
+				}
+				wave.Moves = append(wave.Moves, Move{VM: mv.VM, From: mv.From, To: spare, Demand: mv.Demand})
+				kinds = append(kinds, kindBounce)
+				origs = append(origs, mv)
+				staged[mv.VM] = mv
+				spareOf[mv.VM] = spare
+				selected = append(selected, 0)
+				plan.Bounced++
+			} else if strict {
+				// Nothing fits and no spare host: cyclic space
+				// dependency (or only staged VMs remain and none can go
+				// home, which no pending departure will resolve).
+				return nil, ErrDeadlock
+			} else {
+				// Degraded: no feasible order can realize the remaining
+				// moves — typically because earlier aborts kept their
+				// capacity occupied. Abandon them and keep what
+				// completed.
+				for _, pm := range pending {
+					exec.Aborted = append(exec.Aborted, pm.Move)
+				}
+				pending = nil
+				for _, vm := range sortedStaged() {
+					exec.Aborted = append(exec.Aborted, staged[vm])
+				}
+				staged = map[trace.ServerID]Move{}
+				break
 			}
-			wave.Moves = append(wave.Moves, Move{VM: mv.VM, From: mv.From, To: spare, Demand: mv.Demand})
-			staged[mv.VM] = mv
-			spareOf[mv.VM] = spare
-			selected = append(selected, 0)
-			plan.Bounced++
 		}
 
-		// Apply the wave to the state and cost it.
+		// Run the wave: draw each attempt's outcome, cost it, and commit
+		// the successful ones to the state.
+		idle = 0
 		var longest time.Duration
-		for _, mv := range wave.Moves {
-			it, ok := state.Item(mv.VM)
-			if !ok {
-				return nil, fmt.Errorf("executor: VM %s not in state", mv.VM)
-			}
-			if _, err := state.Remove(mv.VM); err != nil {
-				return nil, err
-			}
-			it.Demand = mv.Demand
-			if err := state.Assign(it, mv.To); err != nil {
-				return nil, fmt.Errorf("executor: apply move of %s: %w", mv.VM, err)
+		var retries []pendingMove
+		for k, mv := range wave.Moves {
+			attempts[mv.VM]++
+			exec.Attempts++
+			outcome := fault.OK
+			if inj != nil {
+				outcome = inj.MigrationOutcome(mv.VM, attempts[mv.VM])
 			}
 			memMB := max(mv.Demand.Mem, 64)
 			var (
@@ -302,31 +503,104 @@ func Schedule(from *placement.Placement, moves []Move, cfg Config) (*Plan, error
 				}
 				dataMB, duration = cost.DataMB, cost.Duration
 			}
+			if outcome == fault.Stalled {
+				// Same transfer over a degraded link: longer, not
+				// bigger.
+				duration = time.Duration(float64(duration) * inj.StallFactor())
+				exec.Stalls++
+			}
 			plan.DataMB += dataMB
 			if duration > longest {
 				longest = duration
+			}
+
+			if outcome == fault.Failed {
+				// The attempt's time and volume are spent, but the VM
+				// never left its source.
+				exec.Failures++
+				orig := origs[k]
+				switch kinds[k] {
+				case kindBounce:
+					// The VM never reached the spare; undo the staging
+					// registration and retry the whole move.
+					delete(staged, mv.VM)
+					delete(spareOf, mv.VM)
+					delete(stagedEligible, mv.VM)
+					plan.Bounced--
+					fallthrough
+				case kindDirect:
+					if attempts[mv.VM] >= cfg.RetryBudget {
+						exec.Aborted = append(exec.Aborted, orig)
+					} else {
+						retries = append(retries, pendingMove{
+							Move:     orig,
+							eligible: waveIdx + backoffWaves(attempts[mv.VM]),
+						})
+					}
+				case kindUnstage:
+					if attempts[mv.VM] >= cfg.RetryBudget {
+						// Out of budget with the VM stranded on its
+						// staging host; the next planning round starts
+						// from there.
+						exec.Aborted = append(exec.Aborted, orig)
+						delete(staged, mv.VM)
+						delete(spareOf, mv.VM)
+						delete(stagedEligible, mv.VM)
+					} else {
+						stagedEligible[mv.VM] = waveIdx + backoffWaves(attempts[mv.VM])
+					}
+				}
+				continue
+			}
+
+			// Commit.
+			it, ok := state.Item(mv.VM)
+			if !ok {
+				return nil, fmt.Errorf("executor: VM %s not in state", mv.VM)
+			}
+			if _, err := state.Remove(mv.VM); err != nil {
+				return nil, err
+			}
+			it.Demand = mv.Demand
+			if err := state.Assign(it, mv.To); err != nil {
+				return nil, fmt.Errorf("executor: apply move of %s: %w", mv.VM, err)
+			}
+			switch kinds[k] {
+			case kindDirect:
+				exec.Completed = append(exec.Completed, origs[k])
+			case kindUnstage:
+				exec.Completed = append(exec.Completed, origs[k])
+				delete(staged, mv.VM)
+				delete(spareOf, mv.VM)
+				delete(stagedEligible, mv.VM)
+			case kindBounce:
+				// On the spare now; the home hop is still owed.
 			}
 		}
 		wave.Duration = longest
 		plan.Total += longest
 		plan.Waves = append(plan.Waves, wave)
+		waveIdx++
 
-		// Drop executed moves from pending (indices shift; rebuild).
+		// Drop executed moves from pending (indices shift; rebuild), then
+		// queue the retries.
 		if len(selected) > 0 {
 			keep := pending[:0]
 			sel := make(map[int]bool, len(selected))
 			for _, i := range selected {
 				sel[i] = true
 			}
-			for i, mv := range pending {
+			for i, pm := range pending {
 				if !sel[i] {
-					keep = append(keep, mv)
+					keep = append(keep, pm)
 				}
 			}
 			pending = keep
 		}
+		pending = append(pending, retries...)
 	}
-	return plan, nil
+	exec.Final = state
+	return exec, nil
 }
 
 // vmUtil derives a busy-ness proxy for the dirty-rate model: the VM's CPU

@@ -1,0 +1,241 @@
+package executor
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"vmwild/internal/fault"
+	"vmwild/internal/placement"
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+)
+
+func demand(cpu, mem float64) sizing.Demand { return sizing.Demand{CPU: cpu, Mem: mem} }
+
+// scripted is a FaultModel with exact, test-authored outcomes, so failure
+// scenarios need no seed hunting.
+type scripted struct {
+	outcomes map[string]fault.Outcome // "vm/attempt" -> outcome
+	stall    float64
+	downs    map[string]bool // "host/wave" -> down
+}
+
+func (s *scripted) MigrationOutcome(vm trace.ServerID, attempt int) fault.Outcome {
+	return s.outcomes[fmt.Sprintf("%s/%d", vm, attempt)]
+}
+
+func (s *scripted) StallFactor() float64 {
+	if s.stall > 0 {
+		return s.stall
+	}
+	return 1
+}
+
+func (s *scripted) HostDown(host string, wave int) bool {
+	return s.downs[fmt.Sprintf("%s/%d", host, wave)]
+}
+
+// twoMoves is a simple scenario: two VMs leaving h0000 for hosts with room.
+func twoMoves(t *testing.T) (*placement.Placement, []Move) {
+	t.Helper()
+	from := build(t, 3, map[string]vmAt{
+		"a": {host: "h0000", cpu: 100, mem: 1000},
+		"b": {host: "h0000", cpu: 100, mem: 1000},
+	})
+	moves := []Move{
+		{VM: "a", From: "h0000", To: "h0001", Demand: demand(100, 1000)},
+		{VM: "b", From: "h0000", To: "h0002", Demand: demand(100, 1000)},
+	}
+	return from, moves
+}
+
+func TestExecuteNoFaultsMatchesSchedule(t *testing.T) {
+	from, moves := twoMoves(t)
+	cfg := DefaultConfig()
+	plan, err := Schedule(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, exec.Plan) {
+		t.Errorf("fault-free execution plan differs from schedule:\n%+v\n%+v", plan, exec.Plan)
+	}
+	if len(exec.Completed) != 2 || len(exec.Aborted) != 0 || exec.Degraded() {
+		t.Errorf("execution = %+v", exec)
+	}
+	if exec.Attempts != 2 || exec.Failures != 0 || exec.Stalls != 0 {
+		t.Errorf("attempts/failures/stalls = %d/%d/%d", exec.Attempts, exec.Failures, exec.Stalls)
+	}
+	if h, _ := exec.Final.HostOf("a"); h != "h0001" {
+		t.Errorf("a ended on %s, want h0001", h)
+	}
+}
+
+func TestExecuteRetryAfterFailure(t *testing.T) {
+	from, moves := twoMoves(t)
+	cfg := DefaultConfig()
+	cfg.Fault = &scripted{outcomes: map[string]fault.Outcome{"a/1": fault.Failed}}
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Completed) != 2 || exec.Degraded() {
+		t.Fatalf("execution = %+v", exec)
+	}
+	if exec.Attempts != 3 || exec.Failures != 1 {
+		t.Errorf("attempts=%d failures=%d, want 3/1", exec.Attempts, exec.Failures)
+	}
+	if h, _ := exec.Final.HostOf("a"); h != "h0001" {
+		t.Errorf("a ended on %s, want h0001 after retry", h)
+	}
+	// The failed attempt's time and data are spent: the plan must cost
+	// more than the clean schedule.
+	clean, err := Schedule(from, moves, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Plan.DataMB <= clean.DataMB {
+		t.Errorf("failed attempt cost no data: %v <= %v", exec.Plan.DataMB, clean.DataMB)
+	}
+}
+
+func TestExecuteAbortsAfterBudget(t *testing.T) {
+	from, moves := twoMoves(t)
+	cfg := DefaultConfig()
+	cfg.RetryBudget = 2
+	cfg.Fault = &scripted{outcomes: map[string]fault.Outcome{
+		"a/1": fault.Failed,
+		"a/2": fault.Failed,
+	}}
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Degraded() || len(exec.Aborted) != 1 || exec.Aborted[0].VM != "a" {
+		t.Fatalf("execution = %+v, want a aborted", exec)
+	}
+	if len(exec.Completed) != 1 || exec.Completed[0].VM != "b" {
+		t.Errorf("completed = %+v, want only b", exec.Completed)
+	}
+	if exec.Attempts != 3 || exec.Failures != 2 {
+		t.Errorf("attempts=%d failures=%d, want 3/2", exec.Attempts, exec.Failures)
+	}
+	// The aborted VM never left its source; the completed one committed.
+	if h, _ := exec.Final.HostOf("a"); h != "h0000" {
+		t.Errorf("aborted a ended on %s, want h0000", h)
+	}
+	if h, _ := exec.Final.HostOf("b"); h != "h0002" {
+		t.Errorf("b ended on %s, want h0002", h)
+	}
+}
+
+func TestExecuteStallSlowsButCommits(t *testing.T) {
+	from := build(t, 2, map[string]vmAt{"a": {host: "h0000", cpu: 100, mem: 1000}})
+	moves := []Move{{VM: "a", From: "h0000", To: "h0001", Demand: demand(100, 1000)}}
+	clean, err := Execute(from, moves, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Fault = &scripted{
+		outcomes: map[string]fault.Outcome{"a/1": fault.Stalled},
+		stall:    3,
+	}
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Stalls != 1 || len(exec.Completed) != 1 || exec.Degraded() {
+		t.Fatalf("execution = %+v", exec)
+	}
+	if exec.Plan.Total != 3*clean.Plan.Total {
+		t.Errorf("stalled total %v, want 3x %v", exec.Plan.Total, clean.Plan.Total)
+	}
+	// A stall stretches time, not volume.
+	if exec.Plan.DataMB != clean.Plan.DataMB {
+		t.Errorf("stalled data %v, want %v", exec.Plan.DataMB, clean.Plan.DataMB)
+	}
+}
+
+func TestExecuteHostOutageDefersWave(t *testing.T) {
+	from := build(t, 2, map[string]vmAt{"a": {host: "h0000", cpu: 100, mem: 1000}})
+	moves := []Move{{VM: "a", From: "h0000", To: "h0001", Demand: demand(100, 1000)}}
+	cfg := DefaultConfig()
+	cfg.RetryBackoff = time.Minute
+	cfg.Fault = &scripted{downs: map[string]bool{"h0001/0": true}}
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Completed) != 1 || exec.Degraded() {
+		t.Fatalf("execution = %+v", exec)
+	}
+	clean, err := Execute(from, moves, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wave 0 idles out the outage at the configured backoff cost; the
+	// move lands in the next wave.
+	if want := clean.Plan.Total + time.Minute; exec.Plan.Total != want {
+		t.Errorf("total %v, want %v (outage idle wave + migration)", exec.Plan.Total, want)
+	}
+}
+
+func TestExecuteDegradedInsteadOfDeadlock(t *testing.T) {
+	// a and b want to swap hosts that are both full: strict scheduling
+	// deadlocks without a spare host; execution degrades instead.
+	from := build(t, 2, map[string]vmAt{
+		"a": {host: "h0000", cpu: 900, mem: 9000},
+		"b": {host: "h0001", cpu: 900, mem: 9000},
+	})
+	moves := []Move{
+		{VM: "a", From: "h0000", To: "h0001", Demand: demand(900, 9000)},
+		{VM: "b", From: "h0001", To: "h0000", Demand: demand(900, 9000)},
+	}
+	cfg := DefaultConfig()
+	cfg.SpareHost = false
+	if _, err := Schedule(from, moves, cfg); err != ErrDeadlock {
+		t.Fatalf("Schedule err = %v, want ErrDeadlock", err)
+	}
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Degraded() || len(exec.Aborted) != 2 || len(exec.Completed) != 0 {
+		t.Errorf("execution = %+v, want both moves aborted", exec)
+	}
+	// Nothing moved: the realized placement is the starting one.
+	if h, _ := exec.Final.HostOf("a"); h != "h0000" {
+		t.Errorf("a ended on %s, want h0000", h)
+	}
+}
+
+func TestExecuteBudgetExhaustionIsDeterministic(t *testing.T) {
+	// The same seeded injector must reproduce the same execution exactly.
+	from, moves := twoMoves(t)
+	cfg := DefaultConfig()
+	mk := func() *Execution {
+		inj, err := fault.New(fault.Config{Seed: 7, MigrationFailure: 0.5, MigrationStall: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.Fault = inj
+		exec, err := Execute(from, moves, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exec
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a.Plan, b.Plan) ||
+		a.Attempts != b.Attempts || a.Failures != b.Failures || a.Stalls != b.Stalls ||
+		!reflect.DeepEqual(a.Completed, b.Completed) || !reflect.DeepEqual(a.Aborted, b.Aborted) {
+		t.Errorf("seeded executions differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmwild/internal/controller"
+	"vmwild/internal/executor"
+	"vmwild/internal/fault"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+// FailureRow summarizes one (failure rate, retry budget) cell of the
+// fault-tolerance study: how much consolidation quality survives when live
+// migrations fail and stall — the robustness face of the paper's Section
+// 1.2 adoption concern. Rates and budgets sweep over the runtime
+// controller, so the numbers include graceful degradation: aborted moves
+// stay in place and the next interval re-plans from the realized placement.
+type FailureRow struct {
+	// FailureRate is the per-attempt migration failure probability; the
+	// stall probability rides along at half this rate.
+	FailureRate float64
+	// RetryBudget is the per-move attempt budget before aborting.
+	RetryBudget int
+	// AvgHosts is the mean active host count across the study intervals —
+	// the consolidation quality that failures erode.
+	AvgHosts float64
+	// Violations totals the overloaded hosts each interval opened with
+	// (capacity violations before repair), across all intervals.
+	Violations int
+	// Attempted, Succeeded and Aborted total the migration accounting
+	// across all intervals; Aborted is the unexecuted-move backlog carried
+	// forward to later intervals.
+	Attempted, Succeeded, Aborted int
+	// DegradedIntervals counts intervals that committed only part of
+	// their plan.
+	DegradedIntervals int
+}
+
+// DefaultFailureRates is the sweep's failure-probability axis.
+var DefaultFailureRates = []float64{0, 0.15, 0.35}
+
+// DefaultRetryBudgets is the sweep's retry-budget axis.
+var DefaultRetryBudgets = []int{1, 3}
+
+// failureStudyIntervals is how many 2-hour consolidation intervals each
+// cell runs after the one-week warm-up.
+const failureStudyIntervals = 8
+
+// FailureStudy runs the controller over a small fleet under every
+// (failure rate, retry budget) combination and reports the surviving
+// consolidation quality. Every fault decision derives from the context
+// seed by identity, so two runs — at any sweep worker count — produce
+// identical rows.
+func FailureStudy(c *Context) ([]FailureRow, error) {
+	p := *c.Profile
+	p.Servers = 96
+	warmup := 7 * 24
+	horizon := warmup + 2*failureStudyIntervals
+	fleet, err := workload.Generate(&p, horizon, c.Config.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: failure study fleet: %w", err)
+	}
+
+	var rows []FailureRow
+	for _, rate := range DefaultFailureRates {
+		for _, budget := range DefaultRetryBudgets {
+			row, err := failureCell(c, fleet, warmup, rate, budget)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// failureCell drives the controller through the study window at one fault
+// configuration.
+func failureCell(c *Context, fleet *trace.Set, warmup int, rate float64, budget int) (FailureRow, error) {
+	execCfg := executor.DefaultConfig()
+	execCfg.RetryBudget = budget
+	if rate > 0 {
+		inj, err := fault.New(fault.Config{
+			Seed: stats.Split(c.Config.Seed, "failure",
+				fmt.Sprintf("rate=%.2f", rate), fmt.Sprintf("budget=%d", budget)),
+			MigrationFailure: rate,
+			MigrationStall:   rate / 2,
+		})
+		if err != nil {
+			return FailureRow{}, err
+		}
+		execCfg.Fault = inj
+	}
+
+	hour := warmup
+	ctrl, err := controller.New(controller.Config{
+		Fetch: func() (*trace.Set, error) {
+			return fleet.SliceAll(0, hour)
+		},
+		Planner:  c.Input(),
+		Executor: execCfg,
+	})
+	if err != nil {
+		return FailureRow{}, err
+	}
+
+	row := FailureRow{FailureRate: rate, RetryBudget: budget}
+	hosts := 0
+	for k := 0; k < failureStudyIntervals; k++ {
+		hour = warmup + 2*k
+		if hour > fleet.Servers[0].Series.Len() {
+			hour = fleet.Servers[0].Series.Len()
+		}
+		tick, err := ctrl.RunInterval()
+		if err != nil {
+			return FailureRow{}, fmt.Errorf("experiments: failure cell rate=%.2f budget=%d interval %d: %w",
+				rate, budget, k, err)
+		}
+		hosts += tick.Step.ActiveHosts
+		row.Violations += tick.Step.OverloadedHosts
+		row.Attempted += tick.Moves.Attempted
+		row.Succeeded += tick.Moves.Succeeded
+		row.Aborted += tick.Moves.Aborted
+		if tick.Degraded {
+			row.DegradedIntervals++
+		}
+	}
+	row.AvgHosts = float64(hosts) / float64(failureStudyIntervals)
+	return row, nil
+}

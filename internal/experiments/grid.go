@@ -60,6 +60,7 @@ type Results struct {
 	Mechanisms   []MechanismRow              // Section 7: improved migration
 	Blades       []BladeRow                  // blade study
 	Execution    []ExecutionRow              // execution study
+	Failure      []FailureRow                // fault-tolerance study
 }
 
 // Collect runs the full experiment grid at the given configuration and
@@ -290,6 +291,11 @@ func collect(ctx context.Context, cfg Config, opts Options, profiles []*workload
 	ctxCell(banking.Name+"/execution", banking, func(c *Context) error {
 		var err error
 		res.Execution, err = ExecutionStudy(c)
+		return err
+	})
+	ctxCell(banking.Name+"/failure", banking, func(c *Context) error {
+		var err error
+		res.Failure, err = FailureStudy(c)
 		return err
 	})
 

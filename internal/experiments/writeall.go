@@ -169,6 +169,16 @@ func Render(w io.Writer, res *Results) error {
 		t.AddRow(r.Mechanism, r.P50.Round(1e9).String(), r.P95.Round(1e9).String(), r.Max.Round(1e9).String(),
 			r.InfeasibleFrac, r.AvgMoves, r.TotalDataGB, r.Bounced)
 	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	t = report.NewTable("\nFailure study (A): consolidation quality under migration faults",
+		"fail rate", "retries", "avg hosts", "violations", "attempted", "succeeded", "aborted", "degraded ivals")
+	for _, r := range res.Failure {
+		t.AddRow(r.FailureRate, r.RetryBudget, r.AvgHosts, r.Violations,
+			r.Attempted, r.Succeeded, r.Aborted, r.DegradedIntervals)
+	}
 	return t.Render(w)
 }
 

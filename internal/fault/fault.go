@@ -1,0 +1,174 @@
+// Package fault is the deterministic fault model behind the runtime path's
+// robustness testing: seeded, identity-addressed probabilities for the
+// failure modes the paper blames for dynamic consolidation's poor adoption
+// — the "uncertainty in duration and impact" of live migration (Section
+// 1.2) — plus the monitoring-plane failures (agent dropouts, transient host
+// unavailability) any deployed controller must survive.
+//
+// Every fault decision is a pure function of (seed, identity): the model
+// never holds a mutable random stream, so concurrent executors, sweeps at
+// any worker count, and re-runs of the same scenario all observe the exact
+// same failures. This is the stats.Derive/Split seeding discipline applied
+// to misfortune.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// Outcome classifies one attempted live migration.
+type Outcome int
+
+const (
+	// OK: the migration commits normally.
+	OK Outcome = iota
+	// Stalled: the migration commits, but the transfer ran at degraded
+	// bandwidth (Config.StallFactor times slower) — the paper's
+	// "uncertainty in duration".
+	Stalled
+	// Failed: the migration aborts; the VM stays on its source host and
+	// the attempt's time and network volume are wasted.
+	Failed
+)
+
+// String renders the outcome for logs and reports.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Stalled:
+		return "stalled"
+	case Failed:
+		return "failed"
+	default:
+		return "outcome(" + strconv.Itoa(int(o)) + ")"
+	}
+}
+
+// Config parameterizes the fault model. The zero value injects nothing.
+type Config struct {
+	// Seed roots every fault decision; the same seed reproduces the same
+	// scenario exactly.
+	Seed int64
+	// MigrationFailure is the per-attempt probability that a live
+	// migration fails outright.
+	MigrationFailure float64
+	// MigrationStall is the per-attempt probability that a migration
+	// completes at degraded bandwidth.
+	MigrationStall float64
+	// StallFactor is the duration multiplier of a stalled migration
+	// (default 4 — a gigabit link degraded to fast-ethernet class).
+	StallFactor float64
+	// HostOutage is the per-(host, wave) probability that a host is
+	// transiently unreachable for migration traffic during one wave.
+	HostOutage float64
+	// AgentDropout is the per-sample probability that a monitoring agent
+	// fails to deliver an observation.
+	AgentDropout float64
+}
+
+// Enabled reports whether any fault has a nonzero probability.
+func (c Config) Enabled() bool {
+	return c.MigrationFailure > 0 || c.MigrationStall > 0 || c.HostOutage > 0 || c.AgentDropout > 0
+}
+
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"MigrationFailure", c.MigrationFailure},
+		{"MigrationStall", c.MigrationStall},
+		{"HostOutage", c.HostOutage},
+		{"AgentDropout", c.AgentDropout},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.MigrationFailure+c.MigrationStall > 1 {
+		return fmt.Errorf("fault: MigrationFailure+MigrationStall = %v exceeds 1",
+			c.MigrationFailure+c.MigrationStall)
+	}
+	if c.StallFactor < 0 {
+		return fmt.Errorf("fault: StallFactor %v must be non-negative", c.StallFactor)
+	}
+	return nil
+}
+
+// Injector answers fault questions deterministically. A nil *Injector is
+// valid and injects nothing, so callers thread it through unconditionally.
+type Injector struct {
+	cfg Config
+}
+
+// New validates the configuration and builds an injector.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StallFactor == 0 {
+		cfg.StallFactor = 4
+	}
+	return &Injector{cfg: cfg}, nil
+}
+
+// Config returns the injector's (defaulted) configuration.
+func (inj *Injector) Config() Config {
+	if inj == nil {
+		return Config{}
+	}
+	return inj.cfg
+}
+
+// uniform maps an identity path to a deterministic draw in [0, 1).
+func (inj *Injector) uniform(labels ...string) float64 {
+	return float64(stats.Split(inj.cfg.Seed, labels...)) / (1 << 63)
+}
+
+// MigrationOutcome decides the fate of one migration attempt. attempt is
+// the VM's 1-based attempt counter within the execution, so retries draw
+// fresh, independent outcomes.
+func (inj *Injector) MigrationOutcome(vm trace.ServerID, attempt int) Outcome {
+	if inj == nil {
+		return OK
+	}
+	u := inj.uniform("migration", string(vm), strconv.Itoa(attempt))
+	switch {
+	case u < inj.cfg.MigrationFailure:
+		return Failed
+	case u < inj.cfg.MigrationFailure+inj.cfg.MigrationStall:
+		return Stalled
+	default:
+		return OK
+	}
+}
+
+// StallFactor is the duration multiplier applied to stalled migrations.
+func (inj *Injector) StallFactor() float64 {
+	if inj == nil || inj.cfg.StallFactor <= 0 {
+		return 1
+	}
+	return inj.cfg.StallFactor
+}
+
+// HostDown reports whether a host is unreachable for migration traffic
+// during the given wave.
+func (inj *Injector) HostDown(host string, wave int) bool {
+	if inj == nil || inj.cfg.HostOutage <= 0 {
+		return false
+	}
+	return inj.uniform("host-outage", host, strconv.Itoa(wave)) < inj.cfg.HostOutage
+}
+
+// AgentDrops reports whether a monitoring agent loses its idx-th sample.
+func (inj *Injector) AgentDrops(server trace.ServerID, idx int) bool {
+	if inj == nil || inj.cfg.AgentDropout <= 0 {
+		return false
+	}
+	return inj.uniform("agent-dropout", string(server), strconv.Itoa(idx)) < inj.cfg.AgentDropout
+}

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"vmwild/internal/trace"
+)
+
+func vmID(i int) trace.ServerID { return trace.ServerID("vm" + strconv.Itoa(i)) }
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MigrationFailure: -0.1},
+		{MigrationFailure: 1.1},
+		{MigrationStall: 2},
+		{HostOutage: -1},
+		{AgentDropout: 1.5},
+		{MigrationFailure: 0.6, MigrationStall: 0.6},
+		{StallFactor: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+	inj, err := New(Config{Seed: 1, MigrationFailure: 0.3, MigrationStall: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Config().StallFactor; got != 4 {
+		t.Errorf("default StallFactor = %v, want 4", got)
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	for attempt := 1; attempt <= 100; attempt++ {
+		if o := inj.MigrationOutcome("vm", attempt); o != OK {
+			t.Fatalf("nil injector outcome = %v", o)
+		}
+	}
+	if inj.HostDown("h", 0) || inj.AgentDrops("s", 0) {
+		t.Error("nil injector reported a fault")
+	}
+	if inj.StallFactor() != 1 {
+		t.Errorf("nil injector StallFactor = %v, want 1", inj.StallFactor())
+	}
+}
+
+func TestDeterministicByIdentity(t *testing.T) {
+	mk := func() *Injector {
+		inj, err := New(Config{Seed: 42, MigrationFailure: 0.3, MigrationStall: 0.2, HostOutage: 0.1, AgentDropout: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	a, b := mk(), mk()
+	// Same identity, any call order: same answer. Query b in reverse.
+	const n = 200
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		outcomes[i] = a.MigrationOutcome(vmID(i%7), i/7+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if got := b.MigrationOutcome(vmID(i%7), i/7+1); got != outcomes[i] {
+			t.Fatalf("draw %d: %v then %v", i, outcomes[i], got)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		h := "h" + strconv.Itoa(i%5)
+		if a.HostDown(h, i) != b.HostDown(h, i) {
+			t.Fatalf("HostDown(%s, %d) not reproducible", h, i)
+		}
+		if a.AgentDrops("s", i) != b.AgentDrops("s", i) {
+			t.Fatalf("AgentDrops(s, %d) not reproducible", i)
+		}
+	}
+}
+
+func TestRatesRoughlyHold(t *testing.T) {
+	inj, err := New(Config{Seed: 9, MigrationFailure: 0.25, MigrationStall: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var failed, stalled int
+	for i := 0; i < n; i++ {
+		switch inj.MigrationOutcome(vmID(i), 1) {
+		case Failed:
+			failed++
+		case Stalled:
+			stalled++
+		}
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+	}{
+		{"failed", float64(failed) / n},
+		{"stalled", float64(stalled) / n},
+	} {
+		if math.Abs(c.got-0.25) > 0.02 {
+			t.Errorf("%s rate = %v, want ~0.25", c.name, c.got)
+		}
+	}
+	// Different seeds disagree on individual draws.
+	other, err := New(Config{Seed: 10, MigrationFailure: 0.25, MigrationStall: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if inj.MigrationOutcome(vmID(i), 1) == other.MigrationOutcome(vmID(i), 1) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("seeds 9 and 10 produced identical scenarios")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{OK: "ok", Stalled: "stalled", Failed: "failed", Outcome(9): "outcome(9)"} {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}

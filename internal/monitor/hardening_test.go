@@ -1,0 +1,134 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"vmwild/internal/trace"
+)
+
+// The hardening contract shared by the warehouse and query server: read
+// deadlines sever silent peers, oversized lines end the connection, and
+// malformed-but-bounded lines leave the connection usable.
+
+func dialT(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// expectClosed reads until the server severs the connection or the local
+// deadline expires.
+func expectClosed(t *testing.T, conn net.Conn, what string) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if err == io.EOF || strings.Contains(err.Error(), "reset") {
+				return
+			}
+			t.Fatalf("%s: expected server to close the connection, read failed locally: %v", what, err)
+		}
+	}
+}
+
+func TestWarehouseReadTimeoutSeversSilentConn(t *testing.T) {
+	w := NewWarehouse(0)
+	w.ReadTimeout = 50 * time.Millisecond
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	conn := dialT(t, addr)
+	// Say nothing; the warehouse must hang up rather than pin the handler.
+	expectClosed(t, conn, "silent ingestion conn")
+}
+
+func TestWarehouseOversizedLineClosesConn(t *testing.T) {
+	w := NewWarehouse(0)
+	w.MaxLineBytes = 256
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	conn := dialT(t, addr)
+	if _, err := conn.Write([]byte(strings.Repeat("x", 4096) + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn, "oversized line")
+}
+
+func TestWarehouseMalformedLineKeepsConnUsable(t *testing.T) {
+	w := NewWarehouse(0)
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	conn := dialT(t, addr)
+	good := Sample{Server: "s", Timestamp: epoch, TotalProcessorPct: 10, MemCommittedMB: 1}
+	payload, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage between two valid samples on the SAME connection: both
+	// samples land, the garbage counts as dropped.
+	lines := append(append(append([]byte(nil), payload...), []byte("\n{not json}\n")...), payload...)
+	lines = append(lines, '\n')
+	if _, err := conn.Write(lines); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.SampleCount(trace.ServerID("s")) < 1 || w.Dropped() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("samples=%d dropped=%d; want >=1 sample and >=1 dropped",
+				w.SampleCount(trace.ServerID("s")), w.Dropped())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueryReadTimeoutSeversSilentConn(t *testing.T) {
+	w := seedWarehouse(t)
+	qs := NewQueryServer(w)
+	qs.ReadTimeout = 50 * time.Millisecond
+	addr, err := qs.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { qs.Close() })
+
+	conn := dialT(t, addr)
+	expectClosed(t, conn, "silent query conn")
+}
+
+func TestQueryOversizedLineClosesConn(t *testing.T) {
+	w := seedWarehouse(t)
+	qs := NewQueryServer(w)
+	qs.MaxLineBytes = 128
+	addr, err := qs.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { qs.Close() })
+
+	conn := dialT(t, addr)
+	if _, err := conn.Write([]byte(strings.Repeat("y", 2048) + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn, "oversized query line")
+}

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -56,6 +57,15 @@ type queryResponse struct {
 // QueryServer exposes a warehouse over the query protocol.
 type QueryServer struct {
 	warehouse *Warehouse
+
+	// ReadTimeout severs a client connection that stays silent longer
+	// than this (0 disables) — a planner that hangs mid-protocol cannot
+	// pin a handler goroutine forever.
+	ReadTimeout time.Duration
+	// MaxLineBytes bounds one request line (default DefaultMaxLineBytes);
+	// a connection exceeding it is closed. Malformed requests within the
+	// bound get an error response and the connection stays usable.
+	MaxLineBytes int
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -115,14 +125,37 @@ func (qs *QueryServer) serveConn(conn net.Conn) {
 		delete(qs.conns, conn)
 		qs.mu.Unlock()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	maxLine := qs.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
+	// Line-based request reading mirrors the warehouse ingestion path: a
+	// malformed request line is answered with an error and the connection
+	// stays usable; an oversized or timed-out line ends the connection.
+	sc := bufio.NewScanner(conn)
+	// Scanner treats max(cap(buf), limit) as the token bound, so the
+	// initial buffer must not exceed the configured limit.
+	sc.Buffer(make([]byte, 0, min(4096, maxLine)), maxLine)
 	enc := json.NewEncoder(conn)
 	for {
-		var req queryRequest
-		if err := dec.Decode(&req); err != nil {
+		if qs.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(qs.ReadTimeout))
+		}
+		if !sc.Scan() {
+			// EOF, read timeout, or a line beyond MaxLineBytes.
 			return
 		}
-		resp := qs.handle(req)
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var resp queryResponse
+		var req queryRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = queryResponse{Error: fmt.Sprintf("malformed request: %v", err)}
+		} else {
+			resp = qs.handle(req)
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -175,6 +208,10 @@ func (qs *QueryServer) Close() error {
 // QueryClient is the planner-side client of the query protocol. It holds
 // one connection and is safe for sequential use; create one per goroutine.
 type QueryClient struct {
+	// Timeout bounds each request/response round trip (0 disables) so a
+	// hung server cannot stall the control loop indefinitely.
+	Timeout time.Duration
+
 	conn net.Conn
 	dec  *json.Decoder
 	enc  *json.Encoder
@@ -197,6 +234,9 @@ func DialQuery(ctx context.Context, addr string) (*QueryClient, error) {
 func (c *QueryClient) Close() error { return c.conn.Close() }
 
 func (c *QueryClient) roundTrip(req queryRequest) (queryResponse, error) {
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return queryResponse{}, fmt.Errorf("monitor: send query: %w", err)
 	}

@@ -145,7 +145,7 @@ func TestQueryUnknownOpAndMalformed(t *testing.T) {
 	}
 }
 
-func TestQueryMalformedJSONClosesConn(t *testing.T) {
+func TestQueryMalformedJSONKeepsConnUsable(t *testing.T) {
 	w := seedWarehouse(t)
 	addr, _ := startQueryServer(t, w)
 	conn, err := net.Dial("tcp", addr)
@@ -153,17 +153,28 @@ func TestQueryMalformedJSONClosesConn(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
 	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
 		t.Fatal(err)
 	}
-	// The server drops the connection; reads eventually fail.
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	buf := make([]byte, 64)
-	if _, err := conn.Read(buf); err == nil {
-		// One read may drain buffered data; the next must fail.
-		if _, err := conn.Read(buf); err == nil {
-			t.Error("expected connection to close after malformed input")
-		}
+	// The bounded malformed line is answered with an error response and
+	// the connection stays usable for well-formed requests.
+	dec := json.NewDecoder(conn)
+	var resp queryResponse
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Errorf("malformed request response = %+v", resp)
+	}
+	if err := json.NewEncoder(conn).Encode(map[string]string{"op": "servers"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Servers) != 2 {
+		t.Errorf("servers after malformed request = %+v", resp)
 	}
 }
 

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,12 @@ import (
 	"vmwild/internal/trace"
 )
 
+// DefaultMaxLineBytes bounds one JSON line on an ingestion or query
+// connection. An agent sample is a few hundred bytes; anything near this
+// limit is garbage or an attack, and the connection is dropped rather than
+// buffered without bound.
+const DefaultMaxLineBytes = 1 << 20
+
 // Warehouse is the central monitoring store: it accepts JSON-line samples
 // over TCP, retains them under a retention policy, and aggregates them into
 // the hourly-average series consolidation planning consumes.
@@ -22,6 +29,14 @@ type Warehouse struct {
 	// sample of the same server (0 keeps everything). The paper's
 	// planners use the most recent 30 days.
 	Retention time.Duration
+	// ReadTimeout severs an agent connection that stays silent longer
+	// than this (0 disables). Agents reconnect with backoff, so a hung
+	// peer costs a file descriptor for at most one timeout.
+	ReadTimeout time.Duration
+	// MaxLineBytes bounds one JSON line (default DefaultMaxLineBytes);
+	// a connection exceeding it is closed. Malformed lines within the
+	// bound are counted as dropped and the connection stays usable.
+	MaxLineBytes int
 
 	mu      sync.Mutex
 	byID    map[trace.ServerID][]Sample
@@ -85,11 +100,35 @@ func (w *Warehouse) serveConn(conn net.Conn) {
 		delete(w.conns, conn)
 		w.mu.Unlock()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	maxLine := w.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
+	// Line-based ingestion with a bounded buffer: one malformed line is
+	// one dropped sample, not a poisoned stream, and an oversized line
+	// ends the connection instead of growing the buffer without bound.
+	sc := bufio.NewScanner(conn)
+	// Scanner treats max(cap(buf), limit) as the token bound, so the
+	// initial buffer must not exceed the configured limit.
+	sc.Buffer(make([]byte, 0, min(4096, maxLine)), maxLine)
 	for {
-		var s Sample
-		if err := dec.Decode(&s); err != nil {
+		if w.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(w.ReadTimeout))
+		}
+		if !sc.Scan() {
+			// EOF, read timeout, or a line beyond MaxLineBytes.
 			return
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var s Sample
+		if err := json.Unmarshal(line, &s); err != nil {
+			w.mu.Lock()
+			w.dropped++
+			w.mu.Unlock()
+			continue
 		}
 		w.Ingest(s)
 	}

@@ -14,6 +14,7 @@ import (
 	"vmwild/internal/emulator"
 	"vmwild/internal/executor"
 	"vmwild/internal/experiments"
+	"vmwild/internal/fault"
 	"vmwild/internal/migration"
 	"vmwild/internal/monitor"
 	"vmwild/internal/placement"
@@ -90,6 +91,7 @@ type (
 	MechanismRow       = experiments.MechanismRow
 	ExecutionRow       = experiments.ExecutionRow
 	BladeRow           = experiments.BladeRow
+	FailureRow         = experiments.FailureRow
 )
 
 // The four study data centers (Table 2).
@@ -261,6 +263,42 @@ type (
 // DefaultExecutorConfig returns the baseline execution settings (one
 // migration per host, eight per fabric, gigabit pre-copy).
 func DefaultExecutorConfig() ExecutorConfig { return executor.DefaultConfig() }
+
+// Fault-tolerant execution: deterministic fault injection and the
+// degraded-execution path behind the paper's Section 1.2 adoption concern.
+type (
+	// FaultConfig parameterizes the deterministic fault model; the zero
+	// value injects nothing.
+	FaultConfig = fault.Config
+	// FaultInjector answers fault questions as a pure function of
+	// (seed, identity); a nil injector injects nothing.
+	FaultInjector = fault.Injector
+	// FaultOutcome classifies one attempted live migration.
+	FaultOutcome = fault.Outcome
+	// MigrationExecution reports what a schedule actually did under the
+	// fault model: completed moves, aborted moves, realized placement.
+	MigrationExecution = executor.Execution
+	// ControllerMoveStats is the per-interval migration accounting.
+	ControllerMoveStats = controller.MoveStats
+)
+
+// Fault outcomes.
+const (
+	MigrationOK      = fault.OK
+	MigrationStalled = fault.Stalled
+	MigrationFailed  = fault.Failed
+)
+
+// NewFaultInjector validates the configuration and builds an injector.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return fault.New(cfg) }
+
+// ExecuteTransition diffs two placements and executes the moves under the
+// executor config's fault model: failed attempts retry with exponential
+// backoff up to the retry budget, exhausted moves abort, and the returned
+// execution's Final placement is where re-planning must start from.
+func ExecuteTransition(from, to *Placement, cfg ExecutorConfig) (*MigrationExecution, []MigrationMove, error) {
+	return executor.ExecuteTransition(from, to, cfg)
+}
 
 // ScheduleTransition plans the migrations that turn one placement into
 // another, respecting capacity at every intermediate state.
