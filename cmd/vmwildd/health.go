@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// healthServer exposes the daemon's liveness and readiness over HTTP.
+// /healthz answers 200 as soon as the process is up — during WAL recovery
+// included — so orchestrators don't kill a daemon that is busy replaying a
+// large log. /readyz stays 503 until recovery finished and the ingestion
+// and query listeners accept traffic.
+type healthServer struct {
+	mu     sync.Mutex
+	ready  bool
+	detail map[string]any
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startHealth binds the health listener immediately; readiness is flipped
+// later via setReady.
+func startHealth(addr string) (*healthServer, error) {
+	h := &healthServer{detail: map[string]any{"phase": "recovering"}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/readyz", h.readyz)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h.ln = ln
+	h.srv = &http.Server{Handler: mux}
+	go h.srv.Serve(ln)
+	return h, nil
+}
+
+func (h *healthServer) Addr() string { return h.ln.Addr().String() }
+
+// setReady marks recovery as finished; detail is surfaced on /healthz
+// (recovery statistics, listen addresses).
+func (h *healthServer) setReady(detail map[string]any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ready = true
+	if detail != nil {
+		h.detail = detail
+	}
+}
+
+func (h *healthServer) healthz(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	body := map[string]any{"status": "ok", "ready": h.ready}
+	for k, v := range h.detail {
+		body[k] = v
+	}
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
+}
+
+func (h *healthServer) readyz(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	ready := h.ready
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "recovering"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"status": "ready"})
+}
+
+func (h *healthServer) Close() error { return h.srv.Close() }

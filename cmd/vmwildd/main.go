@@ -40,6 +40,10 @@ func run() error {
 		interval     = flag.Duration("interval", 2*time.Hour, "consolidation interval")
 		retention    = flag.Duration("retention", 30*24*time.Hour, "sample retention")
 		snapshot     = flag.String("snapshot", "", "restore this snapshot file at startup and rewrite it on shutdown")
+		walDir       = flag.String("wal-dir", "", "journal accepted samples to a write-ahead log in this directory and recover from it at startup")
+		fsync        = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "WAL appends between warehouse checkpoints (0 = default 4096)")
+		healthListen = flag.String("health-listen", "", "serve /healthz and /readyz on this address (empty disables)")
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "sever ingestion/query connections silent longer than this (0 disables)")
 		maxLineBytes = flag.Int("max-line-bytes", 0, "per-connection line size bound (0 = 1 MiB default)")
 		simulate     = flag.String("simulate", "", "run a self-contained simulation of workload A, B, C or D instead of serving")
@@ -61,16 +65,62 @@ func run() error {
 			retryBudget: *retryBudget,
 		})
 	}
-	return serve(*listen, *queryListen, *interval, *retention, *snapshot, *readTimeout, *maxLineBytes)
+	return serve(serveConfig{
+		listen:       *listen,
+		queryListen:  *queryListen,
+		interval:     *interval,
+		retention:    *retention,
+		snapshotPath: *snapshot,
+		walDir:       *walDir,
+		fsync:        *fsync,
+		ckptEvery:    *ckptEvery,
+		healthListen: *healthListen,
+		readTimeout:  *readTimeout,
+		maxLineBytes: *maxLineBytes,
+	})
+}
+
+// serveConfig carries the daemon-mode settings.
+type serveConfig struct {
+	listen, queryListen  string
+	interval, retention  time.Duration
+	snapshotPath         string
+	walDir, fsync        string
+	ckptEvery            int
+	healthListen         string
+	readTimeout          time.Duration
+	maxLineBytes         int
 }
 
 // serve runs the daemon against real agents until SIGINT/SIGTERM.
-func serve(listen, queryListen string, interval, retention time.Duration, snapshotPath string, readTimeout time.Duration, maxLineBytes int) error {
-	warehouse := vmwild.NewWarehouse(retention)
-	warehouse.ReadTimeout = readTimeout
-	warehouse.MaxLineBytes = maxLineBytes
-	if snapshotPath != "" {
-		f, err := os.Open(snapshotPath)
+func serve(cfg serveConfig) error {
+	if cfg.walDir != "" && cfg.snapshotPath != "" {
+		// The WAL checkpoints subsume shutdown snapshots; restoring both
+		// would double-count every sample the snapshot shares with the log.
+		return errors.New("-snapshot and -wal-dir are mutually exclusive")
+	}
+
+	// Liveness first: /healthz must answer while a large WAL is still
+	// replaying, /readyz flips only once recovery and the listeners are up.
+	var health *healthServer
+	if cfg.healthListen != "" {
+		h, err := startHealth(cfg.healthListen)
+		if err != nil {
+			return fmt.Errorf("health listener: %w", err)
+		}
+		health = h
+		defer health.Close()
+		fmt.Printf("health endpoints on %s\n", health.Addr())
+	}
+
+	warehouse := vmwild.NewWarehouse(cfg.retention)
+	warehouse.ReadTimeout = cfg.readTimeout
+	warehouse.MaxLineBytes = cfg.maxLineBytes
+	if cfg.snapshotPath != "" {
+		// A crash during a previous shutdown snapshot may have stranded
+		// temp files next to the target; sweep them before writing more.
+		cleanupStaleSnapshots(cfg.snapshotPath)
+		f, err := os.Open(cfg.snapshotPath)
 		switch {
 		case err == nil:
 			n, err := warehouse.Restore(f)
@@ -78,7 +128,7 @@ func serve(listen, queryListen string, interval, retention time.Duration, snapsh
 			if err != nil {
 				return fmt.Errorf("restore snapshot: %w", err)
 			}
-			fmt.Printf("restored %d samples from %s\n", n, snapshotPath)
+			fmt.Printf("restored %d samples from %s\n", n, cfg.snapshotPath)
 		case errors.Is(err, fs.ErrNotExist):
 			// First boot: nothing to restore yet.
 		default:
@@ -87,32 +137,85 @@ func serve(listen, queryListen string, interval, retention time.Duration, snapsh
 			return fmt.Errorf("open snapshot: %w", err)
 		}
 	}
-	addr, err := warehouse.Listen(listen)
+
+	detail := map[string]any{"phase": "serving"}
+	var wlog *vmwild.WarehouseLog
+	if cfg.walDir != "" {
+		policy, err := vmwild.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		wlog, err = vmwild.OpenWarehouseLog(warehouse, cfg.walDir, cfg.ckptEvery, vmwild.WALOptions{Sync: policy})
+		if err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		rec := wlog.Recovery()
+		fmt.Printf("wal recovery: %d samples from checkpoint, %d replayed", rec.Restored, rec.Replayed)
+		if rec.TornBytes > 0 {
+			fmt.Printf(", %d torn bytes discarded", rec.TornBytes)
+		}
+		fmt.Println()
+		detail["walRestored"] = rec.Restored
+		detail["walReplayed"] = rec.Replayed
+		detail["walTornBytes"] = rec.TornBytes
+	}
+
+	addr, err := warehouse.Listen(cfg.listen)
 	if err != nil {
 		return err
 	}
 	defer warehouse.Close()
 	qs := vmwild.NewQueryServer(warehouse)
-	qs.ReadTimeout = readTimeout
-	qs.MaxLineBytes = maxLineBytes
-	qaddr, err := qs.Listen(queryListen)
+	qs.ReadTimeout = cfg.readTimeout
+	qs.MaxLineBytes = cfg.maxLineBytes
+	qaddr, err := qs.Listen(cfg.queryListen)
 	if err != nil {
 		return err
 	}
 	defer qs.Close()
-	fmt.Printf("ingesting on %s, serving queries on %s, interval %v\n", addr, qaddr, interval)
+	fmt.Printf("ingesting on %s, serving queries on %s, interval %v\n", addr, qaddr, cfg.interval)
+	if health != nil {
+		detail["ingest"] = addr
+		detail["query"] = qaddr
+		health.setReady(detail)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
 
-	if snapshotPath != "" {
-		if err := writeSnapshot(warehouse, snapshotPath); err != nil {
+	if wlog != nil {
+		// Close takes a final checkpoint, so the next boot restores
+		// without replay.
+		if err := wlog.Close(); err != nil {
+			return fmt.Errorf("wal shutdown checkpoint: %w", err)
+		}
+		fmt.Printf("wal checkpointed in %s\n", cfg.walDir)
+	}
+	if cfg.snapshotPath != "" {
+		if err := writeSnapshot(warehouse, cfg.snapshotPath); err != nil {
 			return err
 		}
-		fmt.Printf("snapshot written to %s\n", snapshotPath)
+		fmt.Printf("snapshot written to %s\n", cfg.snapshotPath)
 	}
 	return nil
+}
+
+// cleanupStaleSnapshots removes temp files a crashed shutdown snapshot
+// left behind in the snapshot's directory, logging each one — silent
+// accumulation is how disks fill up.
+func cleanupStaleSnapshots(path string) {
+	stale, err := filepath.Glob(filepath.Join(filepath.Dir(path), ".snapshot-*"))
+	if err != nil {
+		return
+	}
+	for _, f := range stale {
+		if err := os.Remove(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vmwildd: stale snapshot %s: %v\n", f, err)
+			continue
+		}
+		fmt.Printf("removed stale snapshot temp file %s\n", f)
+	}
 }
 
 // writeSnapshot persists the warehouse atomically: the snapshot streams
@@ -124,18 +227,30 @@ func writeSnapshot(warehouse *vmwild.Warehouse, path string) error {
 	if err != nil {
 		return fmt.Errorf("write snapshot: %w", err)
 	}
-	if err := warehouse.Snapshot(tmp); err != nil {
+	// On any failure, remove the temp file and say so: a silently stranded
+	// temp both leaks disk and hides that the snapshot is missing.
+	fail := func(stage string, err error) error {
 		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("write snapshot: %w", err)
+		if rmErr := os.Remove(tmp.Name()); rmErr != nil {
+			fmt.Fprintf(os.Stderr, "vmwildd: snapshot %s failed and temp file %s could not be removed: %v\n",
+				stage, tmp.Name(), rmErr)
+		} else {
+			fmt.Fprintf(os.Stderr, "vmwildd: snapshot %s failed, temp file removed\n", stage)
+		}
+		return fmt.Errorf("write snapshot: %s: %w", stage, err)
+	}
+	if err := warehouse.Snapshot(tmp); err != nil {
+		return fail("stream", err)
+	}
+	// The rename only commits durable bytes.
+	if err := tmp.Sync(); err != nil {
+		return fail("sync", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("write snapshot: %w", err)
+		return fail("close", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("write snapshot: %w", err)
+		return fail("rename", err)
 	}
 	return nil
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vmwild"
+)
+
+func TestHealthEndpointsGateOnRecovery(t *testing.T) {
+	h, err := startHealth("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get("http://" + h.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Alive from the first moment, not ready until recovery finishes.
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz during recovery = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during recovery = %d, want 503", got)
+	}
+	h.setReady(map[string]any{"walReplayed": 7})
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz after recovery = %d, want 200", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz after recovery = %d, want 200", got)
+	}
+}
+
+func TestCleanupStaleSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "warehouse.snap")
+	keep := filepath.Join(dir, "unrelated.txt")
+	for _, f := range []string{target, keep} {
+		if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stale []string
+	for i := 0; i < 3; i++ {
+		f := filepath.Join(dir, fmt.Sprintf(".snapshot-%d", i))
+		if err := os.WriteFile(f, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stale = append(stale, f)
+	}
+	cleanupStaleSnapshots(target)
+	for _, f := range stale {
+		if _, err := os.Stat(f); !os.IsNotExist(err) {
+			t.Errorf("stale temp file %s survived cleanup", f)
+		}
+	}
+	for _, f := range []string{target, keep} {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("cleanup removed %s: %v", f, err)
+		}
+	}
+}
+
+func TestWriteSnapshotLeavesNoTempOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	w := vmwild.NewWarehouse(0)
+	w.Ingest(vmwild.MonitorSample{
+		Server:            "s1",
+		Timestamp:         time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC),
+		TotalProcessorPct: 50,
+		MemCommittedMB:    512,
+	})
+	// Renaming onto a directory fails after the stream succeeded.
+	target := filepath.Join(dir, "occupied")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(w, target); err == nil {
+		t.Fatal("expected rename failure")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("failure path stranded temp files: %v", left)
+	}
+
+	// The happy path still lands the snapshot.
+	good := filepath.Join(dir, "warehouse.snap")
+	if err := writeSnapshot(w, good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRejectsSnapshotPlusWAL(t *testing.T) {
+	err := serve(serveConfig{snapshotPath: "a.snap", walDir: "wal"})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want mutual-exclusion error", err)
+	}
+}

@@ -41,6 +41,15 @@ type Config struct {
 	// MinHistoryHours is the warm-up before the first adaptation
 	// (default one week — the periodic predictor's lookback).
 	MinHistoryHours int
+	// Journal, when set, makes the loop crash-safe: every interval writes
+	// intent → per-move outcomes → commit, and New resumes from the
+	// journal's recovered placement and interval count.
+	Journal *Journal
+	// MaxConsecutiveFailures trips Run's circuit breaker: after this many
+	// consecutive interval failures (warm-up excluded) the loop stops and
+	// reports ErrCircuitOpen instead of hammering a broken dependency.
+	// Zero keeps the legacy run-forever behavior.
+	MaxConsecutiveFailures int
 }
 
 // MoveStats summarizes the fate of one interval's migrations.
@@ -91,6 +100,9 @@ type Controller struct {
 	adapter *core.Adapter
 	prev    *placement.Placement
 	ticks   []Tick
+	// base is the number of intervals committed before this process
+	// started (journal recovery); interval indices continue from it.
+	base int
 }
 
 // New validates the configuration and builds a controller.
@@ -109,7 +121,19 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{cfg: cfg, adapter: adapter}, nil
+	c := &Controller{cfg: cfg, adapter: adapter}
+	if cfg.Journal != nil {
+		if rec := cfg.Journal.Recovery(); rec.Placement != nil {
+			// Resume from the realized placement the journal reconstructed:
+			// the next Step re-plans from where the VMs actually are.
+			if err := adapter.Restore(rec.Placement); err != nil {
+				return nil, fmt.Errorf("controller: restore journaled placement: %w", err)
+			}
+			c.prev = rec.Placement.Clone()
+			c.base = rec.Intervals
+		}
+	}
+	return c, nil
 }
 
 // ErrInsufficientHistory is returned while the warm-up window has not
@@ -159,7 +183,7 @@ func (c *Controller) RunInterval() (Tick, error) {
 		return Tick{}, err
 	}
 	tick := Tick{
-		Interval:     len(c.ticks),
+		Interval:     c.base + len(c.ticks),
 		HistoryHours: hours,
 		Step:         step,
 		Feasible:     true,
@@ -170,9 +194,32 @@ func (c *Controller) RunInterval() (Tick, error) {
 		return Tick{}, err
 	}
 	if c.prev != nil && step.Migrations > 0 {
+		if c.cfg.Journal != nil {
+			// Journal the plan before the first migration starts: a crash
+			// from here on recovers to the realized placement.
+			moves, err := executor.Diff(c.prev, cur)
+			if err != nil {
+				return Tick{}, fmt.Errorf("controller: journal intent: %w", err)
+			}
+			if err := c.cfg.Journal.intent(tick.Interval, cur, moves); err != nil {
+				return Tick{}, fmt.Errorf("controller: journal intent: %w", err)
+			}
+		}
 		exec, _, err := executor.ExecuteTransition(c.prev, cur, c.cfg.Executor)
 		if err != nil {
 			return Tick{}, fmt.Errorf("controller: schedule execution: %w", err)
+		}
+		if c.cfg.Journal != nil {
+			for _, mv := range exec.Completed {
+				if err := c.cfg.Journal.outcome(mv, true); err != nil {
+					return Tick{}, fmt.Errorf("controller: journal outcome: %w", err)
+				}
+			}
+			for _, mv := range exec.Aborted {
+				if err := c.cfg.Journal.outcome(mv, false); err != nil {
+					return Tick{}, fmt.Errorf("controller: journal outcome: %w", err)
+				}
+			}
 		}
 		tick.Execution = exec.Plan
 		tick.Feasible = exec.Plan.Total <= time.Duration(interval)*time.Hour
@@ -194,6 +241,14 @@ func (c *Controller) RunInterval() (Tick, error) {
 			if err := c.adapter.Restore(cur); err != nil {
 				return Tick{}, fmt.Errorf("controller: restore degraded placement: %w", err)
 			}
+		}
+	}
+	if c.cfg.Journal != nil {
+		// Commit the realized placement — also on migration-free intervals,
+		// so recovery always resumes at the right interval index — and let
+		// the checkpoint compact the journal behind it.
+		if err := c.cfg.Journal.commit(tick.Interval+1, cur); err != nil {
+			return Tick{}, fmt.Errorf("controller: journal commit: %w", err)
 		}
 	}
 	c.prev = cur
@@ -219,23 +274,42 @@ func (c *Controller) Ticks() []Tick {
 	return append([]Tick(nil), c.ticks...)
 }
 
+// ErrCircuitOpen is delivered to Run's onError when
+// Config.MaxConsecutiveFailures consecutive intervals failed and the loop
+// gives up.
+var ErrCircuitOpen = errors.New("controller: circuit open: too many consecutive interval failures")
+
 // Run drives RunInterval on every ticker firing until the context ends.
 // Interval errors other than warm-up are delivered to onError (which may be
 // nil); the loop keeps running — a production controller must survive
-// transient monitoring outages.
+// transient monitoring outages. With Config.MaxConsecutiveFailures set,
+// that many back-to-back failures trip a circuit breaker: Run reports
+// ErrCircuitOpen and returns instead of retrying forever.
 func (c *Controller) Run(ctx context.Context, tick <-chan time.Time, onError func(error)) {
+	failures := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-tick:
-			if _, err := c.RunInterval(); err != nil {
-				if errors.Is(err, ErrInsufficientHistory) {
-					continue
-				}
+			_, err := c.RunInterval()
+			if err == nil {
+				failures = 0
+				continue
+			}
+			if errors.Is(err, ErrInsufficientHistory) {
+				// Warm-up is expected, not a failure.
+				continue
+			}
+			if onError != nil {
+				onError(err)
+			}
+			failures++
+			if max := c.cfg.MaxConsecutiveFailures; max > 0 && failures >= max {
 				if onError != nil {
-					onError(err)
+					onError(fmt.Errorf("%w (%d in a row, last: %v)", ErrCircuitOpen, failures, err))
 				}
+				return
 			}
 		}
 	}

@@ -1,0 +1,250 @@
+package controller
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/core"
+	"vmwild/internal/placement"
+	"vmwild/internal/trace"
+	"vmwild/internal/wal"
+	"vmwild/internal/workload"
+)
+
+// crashWallSeed mirrors the monitor wall: CI's crash-matrix job sweeps the
+// kill points across seeds, locally the wall runs at a fixed default.
+func crashWallSeed(t *testing.T) int64 {
+	s := os.Getenv("CRASHWALL_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CRASHWALL_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// TestCrashWallController kills a journaled control loop at seeded record
+// and byte boundaries of its WAL and asserts the recovery contract:
+//
+//   - kills between intervals recover the committed placement
+//     byte-identically, and resuming the same feed lands byte-identically
+//     on the no-crash reference's final placement;
+//   - kills mid-interval recover the realized placement — every VM either
+//     still on its pre-interval host or fully on its planned target, with
+//     all intent resizes applied — and recovery is deterministic (two
+//     recoveries of the same crashed directory agree byte-for-byte);
+//   - recovery never fails, whatever the cut.
+func TestCrashWallController(t *testing.T) {
+	const (
+		nServers  = 24
+		start     = 8 * 24
+		intervals = 8
+	)
+	opts := func(crash *wal.CrashSwitch) wal.Options {
+		return wal.Options{Sync: wal.SyncAlways, SegmentBytes: 8 << 10, Crash: crash}
+	}
+	prof := workload.Banking()
+	prof.Servers = nServers
+	full, err := workload.Generate(prof, 24*12, workload.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// newController builds a journaled controller whose feed resumes at
+	// interval k — the deterministic stand-in for monitoring agents
+	// re-serving history after a restart.
+	newController := func(t *testing.T, j *Journal, k int) *Controller {
+		t.Helper()
+		g := &growingFetch{full: full, hours: start + 2*k, step: 2}
+		c, err := New(Config{
+			Fetch:   g.fetch,
+			Planner: core.Input{Host: catalog.HS23Elite},
+			Journal: j,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// Reference run: never crashes. commits[i] is the WAL stream position
+	// after interval i committed; refEnc[i] the placement fingerprint.
+	refJ, err := OpenJournal(t.TempDir(), opts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newController(t, refJ, 0)
+	commits := make([]int64, intervals)
+	refEnc := make([][]byte, intervals)
+	planned := 0
+	for i := 0; i < intervals; i++ {
+		tick, err := ref.RunInterval()
+		if err != nil {
+			t.Fatalf("reference interval %d: %v", i, err)
+		}
+		planned += tick.Step.Migrations
+		commits[i] = refJ.BytesWritten()
+		refEnc[i] = encodeBytes(t, ref.Placement())
+	}
+	total := refJ.BytesWritten()
+	refJ.Close()
+	if planned == 0 {
+		t.Fatal("reference run planned no migrations; the wall would not cover intent/outcome records")
+	}
+	hostOf := func(enc []byte) map[trace.ServerID]string {
+		p, err := placement.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[trace.ServerID]string, p.NumVMs())
+		for _, h := range p.Hosts() {
+			for _, vm := range p.VMsOn(h.ID) {
+				m[vm] = h.ID
+			}
+		}
+		return m
+	}
+
+	rng := rand.New(rand.NewSource(crashWallSeed(t)))
+	var kills []int64
+	for i := 0; i < 10; i++ { // randomized byte boundaries
+		kills = append(kills, 1+rng.Int63n(total))
+	}
+	for i := 0; i < 4; i++ { // exact commit boundaries
+		kills = append(kills, commits[rng.Intn(intervals)])
+	}
+
+	for _, cut := range kills {
+		dir := t.TempDir()
+		done := 0
+		j, err := OpenJournal(dir, opts(wal.NewCrashSwitch(cut)))
+		if err == nil {
+			c := newController(t, j, 0)
+			for i := 0; i < intervals; i++ {
+				if _, err := c.RunInterval(); err != nil {
+					if !errors.Is(err, wal.ErrCrashed) {
+						t.Fatalf("cut %d: interval %d failed with %v", cut, i, err)
+					}
+					break
+				}
+				done++
+			}
+		} else if !errors.Is(err, wal.ErrCrashed) {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+
+		// First recovery: capture, then recover again — restarting twice
+		// from the same wreckage must reconstruct the same state.
+		j2, err := OpenJournal(dir, opts(nil))
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		rec := j2.Recovery()
+		var recEnc []byte
+		if rec.Placement != nil {
+			recEnc = encodeBytes(t, rec.Placement)
+		}
+		j2.Close()
+		j3, err := OpenJournal(dir, opts(nil))
+		if err != nil {
+			t.Fatalf("cut %d: second recovery failed: %v", cut, err)
+		}
+		rec3 := j3.Recovery()
+		if rec3.Intervals != rec.Intervals || rec3.Interrupted != rec.Interrupted {
+			t.Fatalf("cut %d: recoveries disagree: %+v vs %+v", cut, rec3, rec)
+		}
+		if rec3.Placement != nil != (rec.Placement != nil) ||
+			(rec3.Placement != nil && !bytes.Equal(encodeBytes(t, rec3.Placement), recEnc)) {
+			t.Fatalf("cut %d: recovery is not deterministic", cut)
+		}
+
+		k := rec.Intervals
+		// The commit for interval `done` can be durable even though the
+		// crash surfaced in its wake (compaction is post-commit cleanup).
+		if k < done || k > done+1 {
+			t.Fatalf("cut %d: recovered %d committed intervals with %d acknowledged", cut, k, done)
+		}
+		if !rec.Interrupted {
+			// Clean boundary: the committed placement is byte-identical to
+			// the reference at the same interval.
+			if k == 0 {
+				if rec.Placement != nil {
+					t.Fatalf("cut %d: placement recovered before any commit", cut)
+				}
+			} else if !bytes.Equal(recEnc, refEnc[k-1]) {
+				t.Fatalf("cut %d: recovered placement diverges from reference after interval %d", cut, k)
+			}
+		} else {
+			// Mid-interval: the realized placement. Interval k's intent was
+			// durable, its commit was not, so k names the interrupted
+			// interval; the reference ran it to completion.
+			if k < 1 || k >= intervals {
+				t.Fatalf("cut %d: interrupted at interval %d, outside the reference run", cut, k)
+			}
+			src, dst := hostOf(refEnc[k-1]), hostOf(refEnc[k])
+			refP, err := placement.Decode(refEnc[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for vm, want := range dst {
+				got, ok := rec.Placement.HostOf(vm)
+				if !ok {
+					t.Fatalf("cut %d: VM %s lost in recovery", cut, vm)
+				}
+				if got != src[vm] && got != want {
+					t.Fatalf("cut %d: VM %s recovered on %s, neither source %s nor target %s",
+						cut, vm, got, src[vm], want)
+				}
+				if got == want && want != src[vm] {
+					moved++
+				}
+				// Intent resizes precede the first migration, so every VM
+				// carries its target reservation regardless of move fate.
+				it, _ := rec.Placement.Item(vm)
+				wantIt, _ := refP.Item(vm)
+				if it.Demand != wantIt.Demand {
+					t.Fatalf("cut %d: VM %s demand %+v, want resized %+v", cut, vm, it.Demand, wantIt.Demand)
+				}
+			}
+			if moved != rec.CompletedMoves {
+				t.Fatalf("cut %d: %d VMs on their targets but %d completed-move records",
+					cut, moved, rec.CompletedMoves)
+			}
+		}
+
+		// Resume the loop from the recovered state through the remaining
+		// intervals.
+		c3 := newController(t, j3, k)
+		for i := k; i < intervals; i++ {
+			if _, err := c3.RunInterval(); err != nil {
+				t.Fatalf("cut %d: resumed interval %d: %v", cut, i, err)
+			}
+		}
+		finalEnc := encodeBytes(t, c3.Placement())
+		if !rec.Interrupted {
+			// A clean-boundary crash is invisible: the resumed run lands
+			// byte-identically on the no-crash reference.
+			if !bytes.Equal(finalEnc, refEnc[intervals-1]) {
+				t.Fatalf("cut %d: resumed run diverges from the no-crash reference", cut)
+			}
+		} else {
+			// After an interrupted interval the trajectory may legitimately
+			// differ (aborted moves re-planned); the estate must stay whole.
+			p, err := placement.Decode(finalEnc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumVMs() != nServers {
+				t.Fatalf("cut %d: resumed run tracks %d VMs, want %d", cut, p.NumVMs(), nServers)
+			}
+		}
+		j3.Close()
+	}
+}

@@ -1,0 +1,239 @@
+package controller
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"vmwild/internal/executor"
+	"vmwild/internal/placement"
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+	"vmwild/internal/wal"
+)
+
+// The journal makes interval execution idempotent across restarts. Each
+// interval writes, in order:
+//
+//	intent   — the interval's planned resizes and moves, before any
+//	           migration starts
+//	move     — one record per logical move as its fate is known
+//	commit   — the realized placement, written as a WAL checkpoint (which
+//	           also compacts the log down to just that placement)
+//
+// Recovery after a crash mid-interval reconstructs the realized placement:
+// the committed placement, plus the intent's resizes, plus exactly the
+// moves with a durable completed record. Moves that were in flight when
+// the crash hit are treated as aborted — their VMs stay where they were —
+// and the next interval re-plans from the realized placement instead of a
+// stale one, exactly like the degraded-execution path.
+const (
+	walKindIntent = "intent"
+	walKindMove   = "move"
+)
+
+type walRecord struct {
+	Kind     string    `json:"kind"`
+	Interval int       `json:"interval,omitempty"`
+	Items    []walItem `json:"items,omitempty"`
+	Moves    []walMove `json:"moves,omitempty"`
+	Move     *walMove  `json:"move,omitempty"`
+	Done     bool      `json:"done,omitempty"`
+}
+
+type walItem struct {
+	VM  trace.ServerID `json:"vm"`
+	CPU float64        `json:"cpu"`
+	Mem float64        `json:"mem"`
+}
+
+type walMove struct {
+	VM   trace.ServerID `json:"vm"`
+	From string         `json:"from"`
+	To   string         `json:"to"`
+	CPU  float64        `json:"cpu"`
+	Mem  float64        `json:"mem"`
+}
+
+// walCommit is the checkpoint payload: the placement the next interval
+// plans from, plus how many intervals committed it.
+type walCommit struct {
+	Intervals int             `json:"intervals"`
+	Placement json.RawMessage `json:"placement"`
+}
+
+// Journal is the controller's crash-safety log. Open one with OpenJournal
+// and hand it to Config.Journal; New picks up the recovered state
+// automatically.
+type Journal struct {
+	log      *wal.Log
+	recovery Recovery
+}
+
+// Recovery is the controller state a journal reconstructed at open time.
+type Recovery struct {
+	// Intervals is the number of committed consolidation intervals; the
+	// next interval gets this index.
+	Intervals int
+	// Placement is the realized placement to resume from; nil when the
+	// journal was empty (fresh deployment).
+	Placement *placement.Placement
+	// Interrupted reports that a crash cut an interval short after its
+	// intent record: Placement then includes that interval's resizes and
+	// its durably-completed moves, with in-flight moves left in place.
+	Interrupted bool
+	// CompletedMoves and AbortedMoves count the interrupted interval's
+	// durable move outcomes.
+	CompletedMoves, AbortedMoves int
+	// TornBytes is the size of the discarded torn WAL tail, if any.
+	TornBytes int64
+}
+
+// OpenJournal recovers the controller journal in dir. The returned
+// journal is ready to be wired into a controller via Config.Journal.
+func OpenJournal(dir string, opts wal.Options) (*Journal, error) {
+	log, recovered, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := decodeRecovery(recovered)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return &Journal{log: log, recovery: *rec}, nil
+}
+
+// Recovery returns the state recovered at open. The placement is the
+// journal's own copy; New clones it before use.
+func (j *Journal) Recovery() Recovery { return j.recovery }
+
+// Close closes the underlying log.
+func (j *Journal) Close() error { return j.log.Close() }
+
+// BytesWritten reports the journal's WAL write-stream position — the
+// crash wall's kill-point coordinate system.
+func (j *Journal) BytesWritten() int64 { return j.log.BytesWritten() }
+
+func (j *Journal) append(rec walRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("controller: journal encode: %w", err)
+	}
+	return j.log.Append(data)
+}
+
+// intent journals the interval's plan: the per-VM reservations of the
+// target placement (the executor resizes every VM before moving any) and
+// the planned logical moves.
+func (j *Journal) intent(interval int, target *placement.Placement, moves []executor.Move) error {
+	rec := walRecord{Kind: walKindIntent, Interval: interval}
+	for _, h := range target.Hosts() {
+		for _, vm := range target.VMsOn(h.ID) {
+			it, _ := target.Item(vm)
+			rec.Items = append(rec.Items, walItem{VM: vm, CPU: it.Demand.CPU, Mem: it.Demand.Mem})
+		}
+	}
+	for _, mv := range moves {
+		rec.Moves = append(rec.Moves, walMove{
+			VM: mv.VM, From: mv.From, To: mv.To,
+			CPU: mv.Demand.CPU, Mem: mv.Demand.Mem,
+		})
+	}
+	return j.append(rec)
+}
+
+// outcome journals the fate of one logical move.
+func (j *Journal) outcome(mv executor.Move, done bool) error {
+	return j.append(walRecord{
+		Kind: walKindMove,
+		Move: &walMove{
+			VM: mv.VM, From: mv.From, To: mv.To,
+			CPU: mv.Demand.CPU, Mem: mv.Demand.Mem,
+		},
+		Done: done,
+	})
+}
+
+// commit checkpoints the realized placement, compacting the journal down
+// to it.
+func (j *Journal) commit(intervals int, p *placement.Placement) error {
+	data, err := p.Encode()
+	if err != nil {
+		return fmt.Errorf("controller: journal commit: %w", err)
+	}
+	payload, err := json.Marshal(walCommit{Intervals: intervals, Placement: data})
+	if err != nil {
+		return fmt.Errorf("controller: journal commit: %w", err)
+	}
+	return j.log.Checkpoint(payload)
+}
+
+// decodeRecovery folds the recovered checkpoint and record suffix into
+// the realized placement. Records arrive in append order: zero or more
+// (intent, move...) groups — more than one only when a previous recovery
+// itself crashed before its first commit.
+func decodeRecovery(recovered *wal.Recovered) (*Recovery, error) {
+	r := &Recovery{TornBytes: recovered.TornBytes}
+	if recovered.Checkpoint != nil {
+		var c walCommit
+		if err := json.Unmarshal(recovered.Checkpoint, &c); err != nil {
+			return nil, fmt.Errorf("controller: journal checkpoint: %w", err)
+		}
+		p, err := placement.Decode(c.Placement)
+		if err != nil {
+			return nil, fmt.Errorf("controller: journal checkpoint: %w", err)
+		}
+		r.Intervals = c.Intervals
+		r.Placement = p
+	}
+	for _, raw := range recovered.Records {
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("controller: journal record: %w", err)
+		}
+		switch rec.Kind {
+		case walKindIntent:
+			if r.Placement == nil {
+				return nil, errors.New("controller: journal intent precedes any committed placement")
+			}
+			r.Interrupted = true
+			// The executor resizes every VM to its target reservation
+			// before the first migration; replay that first.
+			for _, it := range rec.Items {
+				if err := r.Placement.UpdateDemand(it.VM, sizing.Demand{CPU: it.CPU, Mem: it.Mem}); err != nil {
+					return nil, fmt.Errorf("controller: journal replay resize: %w", err)
+				}
+			}
+			// Targets the planner opened register up front, like
+			// executeMoves does.
+			for _, mv := range rec.Moves {
+				r.Placement.EnsureHost(mv.To)
+			}
+		case walKindMove:
+			if rec.Move == nil || r.Placement == nil || !r.Interrupted {
+				return nil, errors.New("controller: journal move record without an intent")
+			}
+			if !rec.Done {
+				r.AbortedMoves++
+				continue
+			}
+			mv := rec.Move
+			it, ok := r.Placement.Item(mv.VM)
+			if !ok {
+				return nil, fmt.Errorf("controller: journal replay: unknown VM %s", mv.VM)
+			}
+			if _, err := r.Placement.Remove(mv.VM); err != nil {
+				return nil, fmt.Errorf("controller: journal replay: %w", err)
+			}
+			it.Demand = sizing.Demand{CPU: mv.CPU, Mem: mv.Mem}
+			if err := r.Placement.Assign(it, mv.To); err != nil {
+				return nil, fmt.Errorf("controller: journal replay move %s: %w", mv.VM, err)
+			}
+			r.CompletedMoves++
+		default:
+			return nil, fmt.Errorf("controller: journal record kind %q", rec.Kind)
+		}
+	}
+	return r, nil
+}

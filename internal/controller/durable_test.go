@@ -1,0 +1,283 @@
+package controller
+
+import (
+	"bytes"
+	"testing"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/core"
+	"vmwild/internal/executor"
+	"vmwild/internal/placement"
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+	"vmwild/internal/wal"
+	"vmwild/internal/workload"
+)
+
+func journalPlacement(t *testing.T) *placement.Placement {
+	t.Helper()
+	p, err := placement.NewPlacement(trace.Spec{CPURPE2: 1000, MemMB: 8192}, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.OpenHost()
+	}
+	assign := func(vm, host string, cpu, mem float64) {
+		t.Helper()
+		it := placement.Item{ID: trace.ServerID(vm), Demand: sizing.Demand{CPU: cpu, Mem: mem}}
+		if err := p.Assign(it, host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assign("vm-a", "h0000", 100, 512)
+	assign("vm-b", "h0000", 100, 512)
+	assign("vm-c", "h0001", 200, 1024)
+	return p
+}
+
+func encodeBytes(t *testing.T, p *placement.Placement) []byte {
+	t.Helper()
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestJournalFreshDir(t *testing.T) {
+	j, err := OpenJournal(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	rec := j.Recovery()
+	if rec.Placement != nil || rec.Intervals != 0 || rec.Interrupted {
+		t.Fatalf("fresh journal recovered state: %+v", rec)
+	}
+}
+
+// TestJournalRealizedPlacement pins the core recovery contract: committed
+// placement + intent resizes + exactly the durably-completed moves, with
+// in-flight moves treated as aborted.
+func TestJournalRealizedPlacement(t *testing.T) {
+	dir := t.TempDir()
+	p := journalPlacement(t)
+
+	j, err := OpenJournal(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.commit(3, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next interval's plan: every VM resized, vm-a and vm-c relocated.
+	target := p.Clone()
+	resize := func(q *placement.Placement) {
+		t.Helper()
+		for vm, d := range map[string]sizing.Demand{
+			"vm-a": {CPU: 150, Mem: 600},
+			"vm-b": {CPU: 90, Mem: 500},
+			"vm-c": {CPU: 210, Mem: 1100},
+		} {
+			if err := q.UpdateDemand(trace.ServerID(vm), d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	resize(target)
+	relocate := func(q *placement.Placement, vm, to string) {
+		t.Helper()
+		it, _ := q.Item(trace.ServerID(vm))
+		if _, err := q.Remove(trace.ServerID(vm)); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Assign(it, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	relocate(target, "vm-a", "h0001")
+	relocate(target, "vm-c", "h0002")
+	moves, err := executor.Diff(p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 2 || moves[0].VM != "vm-a" || moves[1].VM != "vm-c" {
+		t.Fatalf("unexpected plan: %+v", moves)
+	}
+	if err := j.intent(3, target, moves); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.outcome(moves[0], true); err != nil { // vm-a landed
+		t.Fatal(err)
+	}
+	if err := j.outcome(moves[1], false); err != nil { // vm-c aborted
+		t.Fatal(err)
+	}
+	j.Close() // crash before commit: Close never checkpoints
+
+	j2, err := OpenJournal(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer j2.Close()
+	rec := j2.Recovery()
+	if rec.Intervals != 3 || !rec.Interrupted {
+		t.Fatalf("recovered intervals=%d interrupted=%v, want 3/true", rec.Intervals, rec.Interrupted)
+	}
+	if rec.CompletedMoves != 1 || rec.AbortedMoves != 1 {
+		t.Fatalf("moves: %d completed, %d aborted, want 1/1", rec.CompletedMoves, rec.AbortedMoves)
+	}
+
+	// The realized placement, built independently of the journal: resizes
+	// applied, vm-a moved, vm-c left where it was.
+	want := p.Clone()
+	resize(want)
+	relocate(want, "vm-a", "h0001")
+	if !bytes.Equal(encodeBytes(t, rec.Placement), encodeBytes(t, want)) {
+		t.Fatal("recovered placement is not the realized placement")
+	}
+	if h, _ := rec.Placement.HostOf("vm-c"); h != "h0001" {
+		t.Errorf("aborted move applied: vm-c on %s, want h0001", h)
+	}
+	if it, _ := rec.Placement.Item("vm-c"); it.Demand.CPU != 210 {
+		t.Errorf("intent resize lost on aborted VM: %+v", it.Demand)
+	}
+}
+
+// TestJournalDoubleCrash replays two intent groups — a recovery that itself
+// crashed before committing leaves both in the log.
+func TestJournalDoubleCrash(t *testing.T) {
+	dir := t.TempDir()
+	p := journalPlacement(t)
+	j, err := OpenJournal(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.commit(1, p); err != nil {
+		t.Fatal(err)
+	}
+	mkMove := func(vm, from, to string, cpu, mem float64) executor.Move {
+		return executor.Move{VM: trace.ServerID(vm), From: from, To: to, Demand: sizing.Demand{CPU: cpu, Mem: mem}}
+	}
+	// First interrupted interval: vm-a moved.
+	t1 := p.Clone()
+	m1 := mkMove("vm-a", "h0000", "h0002", 100, 512)
+	if err := j.intent(1, t1, []executor.Move{m1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.outcome(m1, true); err != nil {
+		t.Fatal(err)
+	}
+	// Second interrupted interval: vm-b planned, never finished.
+	m2 := mkMove("vm-b", "h0000", "h0001", 100, 512)
+	if err := j.intent(2, t1, []executor.Move{m2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer j2.Close()
+	rec := j2.Recovery()
+	if rec.Intervals != 1 || !rec.Interrupted || rec.CompletedMoves != 1 {
+		t.Fatalf("recovered %+v", rec)
+	}
+	if h, _ := rec.Placement.HostOf("vm-a"); h != "h0002" {
+		t.Errorf("vm-a on %s, want h0002", h)
+	}
+	if h, _ := rec.Placement.HostOf("vm-b"); h != "h0000" {
+		t.Errorf("vm-b on %s, want h0000 (in-flight move must abort)", h)
+	}
+}
+
+func TestJournalRejectsOrphanMoveRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := executor.Move{VM: "vm-x", From: "a", To: "b"}
+	if err := j.outcome(mv, true); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := OpenJournal(dir, wal.Options{}); err == nil {
+		t.Fatal("a move record without an intent must fail recovery")
+	}
+}
+
+// TestControllerResumesFromJournal runs a journaled controller, kills it
+// between intervals, and resumes: interval numbering continues and the
+// placement carries over byte-identically.
+func TestControllerResumesFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, g := testConfigJournal(t, 24, 8*24, j)
+	const first = 6
+	for i := 0; i < first; i++ {
+		tick, err := c.RunInterval()
+		if err != nil {
+			t.Fatalf("interval %d: %v", i, err)
+		}
+		if tick.Interval != i {
+			t.Fatalf("interval index %d, want %d", tick.Interval, i)
+		}
+	}
+	before := encodeBytes(t, c.Placement())
+	j.Close()
+
+	j2, err := OpenJournal(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer j2.Close()
+	rec := j2.Recovery()
+	if rec.Intervals != first || rec.Interrupted {
+		t.Fatalf("recovered intervals=%d interrupted=%v, want %d/false", rec.Intervals, rec.Interrupted, first)
+	}
+	c2, err := New(Config{
+		Fetch:   g.fetch, // same feed, picking up where the old process stopped
+		Planner: core.Input{Host: catalog.HS23Elite},
+		Journal: j2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeBytes(t, c2.Placement()), before) {
+		t.Fatal("resumed controller placement diverges from the pre-crash one")
+	}
+	tick, err := c2.RunInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick.Interval != first {
+		t.Fatalf("resumed interval index %d, want %d", tick.Interval, first)
+	}
+}
+
+func testConfigJournal(t *testing.T, servers, startHours int, j *Journal) (*Controller, *growingFetch) {
+	t.Helper()
+	p := workload.Banking()
+	p.Servers = servers
+	full, err := workload.Generate(p, 24*12, workload.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &growingFetch{full: full, hours: startHours, step: 2}
+	c, err := New(Config{
+		Fetch:   g.fetch,
+		Planner: core.Input{Host: catalog.HS23Elite},
+		Journal: j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}

@@ -1,0 +1,190 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/core"
+	"vmwild/internal/trace"
+)
+
+// TestCircuitBreakerTrips: after MaxConsecutiveFailures back-to-back
+// interval failures the loop reports ErrCircuitOpen and stops on its own,
+// without a context cancellation.
+func TestCircuitBreakerTrips(t *testing.T) {
+	calls := 0
+	c, err := New(Config{
+		Fetch: func() (*trace.Set, error) {
+			calls++
+			return nil, errors.New("monitoring outage")
+		},
+		Planner:                core.Input{Host: catalog.HS23Elite},
+		MaxConsecutiveFailures: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := make(chan time.Time)
+	var loopErrs []error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(context.Background(), tick, func(err error) { loopErrs = append(loopErrs, err) })
+	}()
+	for i := 0; i < 3; i++ {
+		tick <- time.Now()
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("circuit breaker did not stop the loop")
+	}
+	if calls != 3 {
+		t.Errorf("fetch called %d times, want 3", calls)
+	}
+	// 3 interval errors plus the terminal circuit-open report.
+	if len(loopErrs) != 4 {
+		t.Fatalf("delivered %d errors, want 4: %v", len(loopErrs), loopErrs)
+	}
+	if !errors.Is(loopErrs[3], ErrCircuitOpen) {
+		t.Errorf("last error = %v, want ErrCircuitOpen", loopErrs[3])
+	}
+}
+
+// TestCircuitBreakerResetsOnSuccess: a success between failures resets the
+// streak, so intermittent outages below the threshold never trip it.
+func TestCircuitBreakerResetsOnSuccess(t *testing.T) {
+	good, g := testConfig(t, 6, 8*24)
+	_ = good
+	calls := 0
+	c, err := New(Config{
+		Fetch: func() (*trace.Set, error) {
+			calls++
+			if calls == 3 { // fail, fail, succeed, fail, fail
+				return g.fetch()
+			}
+			return nil, errors.New("flaky monitoring")
+		},
+		Planner:                core.Input{Host: catalog.HS23Elite},
+		MaxConsecutiveFailures: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := make(chan time.Time)
+	ctx, cancel := context.WithCancel(context.Background())
+	var loopErrs []error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx, tick, func(err error) { loopErrs = append(loopErrs, err) })
+	}()
+	for i := 0; i < 5; i++ {
+		tick <- time.Now() // would trip a non-resetting breaker at tick 3
+	}
+	cancel()
+	<-done
+	if calls != 5 {
+		t.Errorf("fetch called %d times, want 5 (breaker must not trip)", calls)
+	}
+	for _, err := range loopErrs {
+		if errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("breaker tripped despite an interleaved success: %v", loopErrs)
+		}
+	}
+}
+
+// TestCircuitBreakerIgnoresWarmup: warm-up intervals are expected, not
+// failures — they must never accumulate toward the breaker.
+func TestCircuitBreakerIgnoresWarmup(t *testing.T) {
+	c, _ := testConfig(t, 6, 24) // one day of history < one-week warm-up
+	c.cfg.MaxConsecutiveFailures = 2
+	tick := make(chan time.Time)
+	ctx, cancel := context.WithCancel(context.Background())
+	var loopErrs []error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx, tick, func(err error) { loopErrs = append(loopErrs, err) })
+	}()
+	for i := 0; i < 4; i++ { // twice the threshold, all warm-up
+		tick <- time.Now()
+	}
+	cancel()
+	<-done
+	if len(loopErrs) != 0 {
+		t.Fatalf("warm-up delivered errors: %v", loopErrs)
+	}
+}
+
+// TestRunCancelMidInterval: cancelling the context while RunInterval is
+// blocked inside a fetch must still shut the loop down as soon as the
+// interval returns.
+func TestRunCancelMidInterval(t *testing.T) {
+	fetching := make(chan struct{})
+	release := make(chan struct{})
+	c, err := New(Config{
+		Fetch: func() (*trace.Set, error) {
+			close(fetching)
+			<-release
+			return nil, errors.New("fetch interrupted by shutdown")
+		},
+		Planner: core.Input{Host: catalog.HS23Elite},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := make(chan time.Time, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var loopErrs []error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx, tick, func(err error) { loopErrs = append(loopErrs, err) })
+	}()
+	tick <- time.Now()
+	<-fetching // the loop is now mid-interval
+	cancel()
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not stop after mid-interval cancellation")
+	}
+	// The in-flight interval's error is still delivered before shutdown.
+	if len(loopErrs) != 1 {
+		t.Fatalf("delivered %d errors, want 1: %v", len(loopErrs), loopErrs)
+	}
+	if got := len(c.Ticks()); got != 0 {
+		t.Errorf("interrupted interval recorded %d ticks, want 0", got)
+	}
+}
+
+// TestRunNilOnError: the loop and the breaker must both survive a nil
+// error callback.
+func TestRunNilOnError(t *testing.T) {
+	c, err := New(Config{
+		Fetch:                  func() (*trace.Set, error) { return nil, errors.New("down") },
+		Planner:                core.Input{Host: catalog.HS23Elite},
+		MaxConsecutiveFailures: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := make(chan time.Time)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(context.Background(), tick, nil)
+	}()
+	tick <- time.Now()
+	tick <- time.Now()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("breaker with nil onError did not stop the loop")
+	}
+}

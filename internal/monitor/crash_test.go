@@ -1,0 +1,149 @@
+package monitor
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"vmwild/internal/trace"
+	"vmwild/internal/wal"
+)
+
+// crashWallSeed lets CI's crash-matrix job sweep the kill points across
+// seeds; locally the wall runs at a fixed default.
+func crashWallSeed(t *testing.T) int64 {
+	s := os.Getenv("CRASHWALL_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CRASHWALL_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// TestCrashWallWarehouse is the warehouse half of the crash-injection
+// wall: it replays a deterministic ingest workload against WAL crash
+// points chosen at seeded record and byte boundaries, and asserts that
+// recovery lands byte-identically on the no-crash reference at the
+// acknowledged prefix — and that resuming the feed reproduces the full
+// reference state byte-for-byte.
+func TestCrashWallWarehouse(t *testing.T) {
+	const (
+		nSamples        = 400
+		checkpointEvery = 64
+	)
+	opts := func(crash *wal.CrashSwitch) wal.Options {
+		// Small segments force rotation + compaction inside the run so
+		// kill points land in those paths too.
+		return wal.Options{Sync: wal.SyncAlways, SegmentBytes: 4 << 10, Crash: crash}
+	}
+	samples := make([]Sample, nSamples)
+	for i := range samples {
+		samples[i] = synthSample(i)
+	}
+
+	// Reference run: never crashes. ackBytes[i] is the WAL write-stream
+	// position after sample i was acknowledged — the record boundaries.
+	refW := NewWarehouse(0)
+	refWL, err := OpenWarehouseLog(refW, t.TempDir(), checkpointEvery, opts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackBytes := make([]int64, nSamples)
+	for i, s := range samples {
+		if err := refW.IngestDurable(s); err != nil {
+			t.Fatalf("reference ingest %d: %v", i, err)
+		}
+		ackBytes[i] = refWL.BytesWritten()
+	}
+	total := refWL.BytesWritten()
+	refFinal := snapshotBytes(t, refW)
+	refWL.Sync()
+
+	rng := rand.New(rand.NewSource(crashWallSeed(t)))
+	var kills []int64
+	for i := 0; i < 12; i++ { // randomized byte boundaries
+		kills = append(kills, 1+rng.Int63n(total))
+	}
+	for i := 0; i < 6; i++ { // exact record boundaries
+		kills = append(kills, ackBytes[rng.Intn(nSamples)])
+	}
+
+	for _, cut := range kills {
+		// The crashing run: ingest until the injected kill point.
+		dir := t.TempDir()
+		w := NewWarehouse(0)
+		acked := 0
+		wl, err := OpenWarehouseLog(w, dir, checkpointEvery, opts(wal.NewCrashSwitch(cut)))
+		if err == nil {
+			for _, s := range samples {
+				if err := w.IngestDurable(s); err != nil {
+					if !errors.Is(err, wal.ErrCrashed) {
+						t.Fatalf("cut %d: ingest failed with %v", cut, err)
+					}
+					break
+				}
+				acked++
+			}
+			_ = wl
+		} else if !errors.Is(err, wal.ErrCrashed) {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+
+		// Restart: recovery must never fail, must keep every acknowledged
+		// sample, and may at most additionally surface the one record
+		// that was in flight when the crash hit.
+		w2 := NewWarehouse(0)
+		wl2, err := OpenWarehouseLog(w2, dir, checkpointEvery, opts(nil))
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		got := w2.Stats().Samples
+		if got < acked || got > acked+1 {
+			t.Fatalf("cut %d: recovered %d samples with %d acked", cut, got, acked)
+		}
+		// Byte-identity with the no-crash reference at the durable
+		// prefix: a fresh warehouse fed exactly the first `got` samples.
+		prefix := NewWarehouse(0)
+		for _, s := range samples[:got] {
+			prefix.Ingest(s)
+		}
+		if !bytes.Equal(snapshotBytes(t, w2), snapshotBytes(t, prefix)) {
+			t.Fatalf("cut %d: recovered warehouse diverges from reference prefix of %d", cut, got)
+		}
+		// Aggregates agree too, not just raw samples.
+		if got > 0 {
+			id := w2.Servers()[0]
+			spec := trace.Spec{CPURPE2: 1000, MemMB: 64 << 10}
+			a, errA := w2.HourlySeries(id, spec, durableEpoch)
+			b, errB := prefix.HourlySeries(id, spec, durableEpoch)
+			if errA != nil || errB != nil {
+				t.Fatalf("cut %d: aggregate: %v / %v", cut, errA, errB)
+			}
+			if a.Len() != b.Len() {
+				t.Fatalf("cut %d: aggregate lengths differ", cut)
+			}
+			for h := 0; h < a.Len(); h++ {
+				if a.Samples[h] != b.Samples[h] {
+					t.Fatalf("cut %d: hourly aggregate diverges at hour %d", cut, h)
+				}
+			}
+		}
+		// Resume the feed (agents re-send what was never acknowledged):
+		// the final state must be byte-identical to the full reference.
+		for i, s := range samples[got:] {
+			if err := w2.IngestDurable(s); err != nil {
+				t.Fatalf("cut %d: resumed ingest %d: %v", cut, got+i, err)
+			}
+		}
+		if !bytes.Equal(snapshotBytes(t, w2), refFinal) {
+			t.Fatalf("cut %d: resumed run diverges from the no-crash reference", cut)
+		}
+		wl2.Close()
+	}
+}

@@ -1,0 +1,149 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"vmwild/internal/wal"
+)
+
+// WarehouseLog makes a warehouse crash-safe: every accepted sample is
+// journaled to a write-ahead log before it becomes visible, and the
+// warehouse state is checkpointed (via Snapshot) every CheckpointEvery
+// samples, after which the covered log segments are compacted away.
+// Recovery at open is "restore the latest checkpoint, replay the WAL
+// suffix" — a crash loses at most the samples the fsync policy had not
+// yet persisted, instead of the 30 days of planning history an in-memory
+// warehouse forfeits.
+type WarehouseLog struct {
+	w     *Warehouse
+	log   *wal.Log
+	every int
+
+	mu        sync.Mutex
+	sinceCkpt int
+
+	restored int
+	replayed int
+	torn     int64
+}
+
+// OpenWarehouseLog recovers the write-ahead log in dir into w, attaches
+// the journal, and returns the handle. checkpointEvery is the number of
+// journaled samples between checkpoints (default 4096). The warehouse
+// must not be ingesting yet.
+func OpenWarehouseLog(w *Warehouse, dir string, checkpointEvery int, opts wal.Options) (*WarehouseLog, error) {
+	if checkpointEvery <= 0 {
+		checkpointEvery = 4096
+	}
+	log, recovered, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	wl := &WarehouseLog{w: w, log: log, every: checkpointEvery, torn: recovered.TornBytes}
+	if recovered.Checkpoint != nil {
+		n, err := w.Restore(bytes.NewReader(recovered.Checkpoint))
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("monitor: restore wal checkpoint: %w", err)
+		}
+		wl.restored = n
+	}
+	for _, rec := range recovered.Records {
+		var s Sample
+		if err := json.Unmarshal(rec, &s); err != nil {
+			// We framed and checksummed this record ourselves; if it is
+			// not a sample the log belongs to something else.
+			log.Close()
+			return nil, fmt.Errorf("monitor: wal record is not a sample: %w", err)
+		}
+		w.Ingest(s)
+		wl.replayed++
+	}
+	wl.sinceCkpt = wl.replayed
+	w.SetJournal(wl.journal)
+	return wl, nil
+}
+
+// journal persists one accepted sample and inserts it, checkpointing
+// first when the cadence is due. Running the insert under wl.mu keeps the
+// log and the warehouse in lockstep: a checkpoint taken here always
+// covers exactly the samples already visible, so compaction can never
+// drop a journaled-but-uncheckpointed sample.
+func (wl *WarehouseLog) journal(s Sample) error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	if wl.sinceCkpt >= wl.every {
+		if err := wl.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	rec, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("monitor: journal sample: %w", err)
+	}
+	if err := wl.log.Append(rec); err != nil {
+		return err
+	}
+	wl.sinceCkpt++
+	wl.w.insert(s)
+	return nil
+}
+
+// Checkpoint forces a checkpoint + compaction now.
+func (wl *WarehouseLog) Checkpoint() error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	return wl.checkpointLocked()
+}
+
+func (wl *WarehouseLog) checkpointLocked() error {
+	var buf bytes.Buffer
+	if err := wl.w.Snapshot(&buf); err != nil {
+		return err
+	}
+	if err := wl.log.Checkpoint(buf.Bytes()); err != nil {
+		return err
+	}
+	wl.sinceCkpt = 0
+	return nil
+}
+
+// Sync flushes buffered appends (a no-op under fsync=always).
+func (wl *WarehouseLog) Sync() error {
+	return wl.log.Sync()
+}
+
+// Close takes a final checkpoint (so the next boot restores instead of
+// replaying) and closes the log. The warehouse should no longer be
+// ingesting.
+func (wl *WarehouseLog) Close() error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	err := wl.checkpointLocked()
+	if cerr := wl.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RecoveryStat describes what opening the log reconstructed.
+type RecoveryStat struct {
+	// Restored is how many samples came from the checkpoint.
+	Restored int
+	// Replayed is how many came from WAL records after it.
+	Replayed int
+	// TornBytes is the size of the discarded torn tail, if any.
+	TornBytes int64
+}
+
+// Recovery reports the open-time recovery outcome.
+func (wl *WarehouseLog) Recovery() RecoveryStat {
+	return RecoveryStat{Restored: wl.restored, Replayed: wl.replayed, TornBytes: wl.torn}
+}
+
+// BytesWritten exposes the underlying log's write counter (the crash
+// wall's kill-point coordinate system).
+func (wl *WarehouseLog) BytesWritten() int64 { return wl.log.BytesWritten() }

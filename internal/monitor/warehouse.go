@@ -38,9 +38,11 @@ type Warehouse struct {
 	// bound are counted as dropped and the connection stays usable.
 	MaxLineBytes int
 
-	mu      sync.Mutex
-	byID    map[trace.ServerID][]Sample
-	dropped int
+	mu          sync.Mutex
+	byID        map[trace.ServerID][]Sample
+	dropped     int
+	journal     func(Sample) error
+	journalErrs int
 
 	lis      net.Listener
 	conns    map[net.Conn]struct{}
@@ -151,15 +153,63 @@ func (w *Warehouse) Close() error {
 	return err
 }
 
+// SetJournal routes every accepted sample through j before it becomes
+// visible — the write-ahead hook behind WarehouseLog. The journal is
+// responsible for making the sample durable and then inserting it (see
+// WarehouseLog); a journal error drops the sample, because a sample that
+// cannot be made durable must not be acknowledged. Set it before any
+// ingestion begins.
+func (w *Warehouse) SetJournal(j func(Sample) error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.journal = j
+}
+
+// JournalErrors reports how many accepted samples were dropped because the
+// journal could not persist them.
+func (w *Warehouse) JournalErrors() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.journalErrs
+}
+
 // Ingest stores one sample, applying validation and retention. It is safe
 // for concurrent use and is also the in-process ingestion path.
 func (w *Warehouse) Ingest(s Sample) {
-	if s.Validate() != nil {
+	w.IngestDurable(s)
+}
+
+// IngestDurable stores one sample like Ingest and additionally reports
+// whether it was accepted: a validation failure or a journal write failure
+// drops the sample and returns the cause. A nil return from a journaled
+// warehouse means the sample has been persisted per the journal's fsync
+// policy — the acknowledgment boundary the crash-injection wall tests.
+func (w *Warehouse) IngestDurable(s Sample) error {
+	if err := s.Validate(); err != nil {
 		w.mu.Lock()
 		w.dropped++
 		w.mu.Unlock()
-		return
+		return err
 	}
+	w.mu.Lock()
+	j := w.journal
+	w.mu.Unlock()
+	if j != nil {
+		if err := j(s); err != nil {
+			w.mu.Lock()
+			w.dropped++
+			w.journalErrs++
+			w.mu.Unlock()
+			return err
+		}
+		return nil
+	}
+	w.insert(s)
+	return nil
+}
+
+// insert adds one validated sample under the retention policy.
+func (w *Warehouse) insert(s Sample) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	samples := append(w.byID[s.Server], s)

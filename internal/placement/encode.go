@@ -1,0 +1,89 @@
+package placement
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+)
+
+// The wire form preserves everything that makes a placement behave
+// identically after a round trip: host creation order (FFD and the repair
+// passes iterate hosts in that order) and per-host VM order (the executor
+// and drain paths walk VMsOn slices). Encoding the same placement twice
+// yields identical bytes, so encoded placements double as equality
+// fingerprints in the crash wall.
+type placementWire struct {
+	Spec     trace.Spec `json:"spec"`
+	Bound    float64    `json:"bound"`
+	RackSize int        `json:"rackSize"`
+	Hosts    []hostWire `json:"hosts"`
+}
+
+type hostWire struct {
+	ID   string   `json:"id"`
+	Rack string   `json:"rack"`
+	VMs  []vmWire `json:"vms,omitempty"`
+}
+
+type vmWire struct {
+	ID      trace.ServerID `json:"id"`
+	CPU     float64        `json:"cpu"`
+	Mem     float64        `json:"mem"`
+	TailCPU float64        `json:"tailCpu,omitempty"`
+	TailMem float64        `json:"tailMem,omitempty"`
+}
+
+// Encode serializes the placement deterministically — the controller's
+// write-ahead commit records persist placements in this form.
+func (p *Placement) Encode() ([]byte, error) {
+	w := placementWire{Spec: p.Spec, Bound: p.Bound, RackSize: p.rackSize}
+	for _, h := range p.hosts {
+		hw := hostWire{ID: h.ID, Rack: h.Rack}
+		for _, vm := range p.byHost[h.ID] {
+			it := p.items[vm]
+			hw.VMs = append(hw.VMs, vmWire{
+				ID:      it.ID,
+				CPU:     it.Demand.CPU,
+				Mem:     it.Demand.Mem,
+				TailCPU: it.Tail.CPU,
+				TailMem: it.Tail.Mem,
+			})
+		}
+		w.Hosts = append(w.Hosts, hw)
+	}
+	return json.Marshal(w)
+}
+
+// Decode rebuilds a placement from Encode output, reproducing the original
+// host and VM ordering exactly.
+func Decode(data []byte) (*Placement, error) {
+	var w placementWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("placement: decode: %w", err)
+	}
+	p, err := NewPlacement(w.Spec, w.Bound, w.RackSize)
+	if err != nil {
+		return nil, fmt.Errorf("placement: decode: %w", err)
+	}
+	for _, hw := range w.Hosts {
+		for _, prev := range p.hosts {
+			if prev.ID == hw.ID {
+				return nil, fmt.Errorf("placement: decode: duplicate host %s", hw.ID)
+			}
+		}
+		p.hosts = append(p.hosts, &Host{ID: hw.ID, Rack: hw.Rack})
+		for _, vw := range hw.VMs {
+			it := Item{
+				ID:     vw.ID,
+				Demand: sizing.Demand{CPU: vw.CPU, Mem: vw.Mem},
+				Tail:   sizing.Demand{CPU: vw.TailCPU, Mem: vw.TailMem},
+			}
+			if err := p.Assign(it, hw.ID); err != nil {
+				return nil, fmt.Errorf("placement: decode: %w", err)
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,122 @@
+package placement
+
+import (
+	"bytes"
+	"testing"
+
+	"vmwild/internal/sizing"
+	"vmwild/internal/trace"
+)
+
+func testPlacement(t *testing.T) *Placement {
+	t.Helper()
+	p, err := NewPlacement(trace.Spec{CPURPE2: 1000, MemMB: 4096}, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.OpenHost()
+	}
+	assign := func(vm string, host string, cpu, mem float64) {
+		t.Helper()
+		it := Item{ID: trace.ServerID(vm), Demand: sizing.Demand{CPU: cpu, Mem: mem}}
+		if err := p.Assign(it, host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assign("vm-b", "h0000", 100, 512)
+	assign("vm-a", "h0000", 50.5, 256.25)
+	assign("vm-c", "h0002", 300, 1024)
+	// h0001 stays empty — empty hosts must survive the round trip too.
+	return p
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	p := testPlacement(t)
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumHosts() != p.NumHosts() || q.NumVMs() != p.NumVMs() {
+		t.Fatalf("shape changed: %d/%d hosts, %d/%d VMs",
+			q.NumHosts(), p.NumHosts(), q.NumVMs(), p.NumVMs())
+	}
+	for i, h := range p.Hosts() {
+		qh := q.Hosts()[i]
+		if qh.ID != h.ID || qh.Rack != h.Rack {
+			t.Fatalf("host %d: %+v != %+v (ordering must be preserved)", i, qh, h)
+		}
+		vms, qvms := p.VMsOn(h.ID), q.VMsOn(h.ID)
+		if len(vms) != len(qvms) {
+			t.Fatalf("host %s VM count changed", h.ID)
+		}
+		for j := range vms {
+			if vms[j] != qvms[j] {
+				t.Fatalf("host %s VM order changed: %v vs %v", h.ID, vms, qvms)
+			}
+		}
+	}
+	for vm := range map[string]bool{"vm-a": true, "vm-b": true, "vm-c": true} {
+		a, _ := p.Item(trace.ServerID(vm))
+		b, ok := q.Item(trace.ServerID(vm))
+		if !ok || a != b {
+			t.Fatalf("item %s changed: %+v vs %+v", vm, a, b)
+		}
+		ha, _ := p.HostOf(trace.ServerID(vm))
+		hb, _ := q.HostOf(trace.ServerID(vm))
+		if ha != hb {
+			t.Fatalf("VM %s moved during round trip", vm)
+		}
+	}
+	if p.Used("h0000") != q.Used("h0000") {
+		t.Fatal("host accounting diverged")
+	}
+
+	// Deterministic: re-encoding the decoded placement yields the same
+	// bytes, so encodings work as equality fingerprints.
+	again, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("Encode(Decode(Encode(p))) != Encode(p)")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode([]byte(`{"spec":{"CPURPE2":0,"MemMB":0}}`)); err == nil {
+		t.Error("zero-capacity spec accepted")
+	}
+	dup := []byte(`{"spec":{"CPURPE2":10,"MemMB":10},"bound":1,"rackSize":1,` +
+		`"hosts":[{"id":"h0","rack":"r0"},{"id":"h0","rack":"r0"}]}`)
+	if _, err := Decode(dup); err == nil {
+		t.Error("duplicate host accepted")
+	}
+}
+
+func TestDecodedPlacementStaysUsable(t *testing.T) {
+	p := testPlacement(t)
+	data, _ := p.Encode()
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutations must behave — the decoded maps and slices are live state.
+	if _, err := q.Remove("vm-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Assign(Item{ID: "vm-d", Demand: sizing.Demand{CPU: 1, Mem: 1}}, "h0001"); err != nil {
+		t.Fatal(err)
+	}
+	h := q.OpenHost()
+	if h.ID != "h0003" {
+		t.Fatalf("OpenHost after decode = %s, want h0003", h.ID)
+	}
+}

@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkWALAppend measures the durability tax on the ingest hot path: a
+// warehouse sample is a few hundred bytes, and the fsync policy decides
+// whether each one costs a disk flush (always), a bounded window (interval)
+// or nothing (never).
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, bench := range []struct {
+		name string
+		opts Options
+	}{
+		{"fsync=never", Options{Sync: SyncNever}},
+		{"fsync=interval", Options{Sync: SyncInterval, SyncEvery: 10 * time.Millisecond}},
+		{"fsync=always", Options{Sync: SyncAlways}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			l, _, err := Open(b.TempDir(), bench.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALCheckpoint tracks the cost of the compaction path at
+// warehouse-snapshot-like payload sizes.
+func BenchmarkWALCheckpoint(b *testing.B) {
+	for _, size := range []int{4 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("payload=%dKiB", size>>10), func(b *testing.B) {
+			l, _, err := Open(b.TempDir(), Options{Sync: SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := make([]byte, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append([]byte("rec")); err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Checkpoint(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by every log operation after an injected crash
+// point has been reached. Callers treat it like process death: stop,
+// reopen, recover.
+var ErrCrashed = errors.New("wal: crash injected")
+
+// CrashSwitch is the failpoint behind the crash-injection test wall: it
+// grants the write path a byte budget and then "kills" it. The write that
+// exhausts the budget is cut short mid-record — exactly the torn tail a
+// real crash leaves — and every subsequent operation (writes, fsyncs,
+// renames, compaction deletes) fails with ErrCrashed, so nothing after
+// the kill point reaches the directory.
+//
+// Budgets are measured against Log.BytesWritten, which makes kill points
+// enumerable: run a reference workload once, read its total, and replay
+// it against switches seeded across [1, total].
+type CrashSwitch struct {
+	mu        sync.Mutex
+	remaining int64
+	tripped   bool
+}
+
+// NewCrashSwitch arms a switch that crashes the write path after
+// afterBytes bytes.
+func NewCrashSwitch(afterBytes int64) *CrashSwitch {
+	return &CrashSwitch{remaining: afterBytes}
+}
+
+// Tripped reports whether the crash point has been reached.
+func (c *CrashSwitch) Tripped() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tripped
+}
+
+// allow grants up to n bytes of the remaining budget. It returns how many
+// bytes may be written; once the budget runs out it trips the switch and
+// returns ErrCrashed alongside the final partial grant.
+func (c *CrashSwitch) allow(n int64) (int64, error) {
+	if c == nil {
+		return n, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tripped {
+		return 0, ErrCrashed
+	}
+	if n <= c.remaining {
+		c.remaining -= n
+		return n, nil
+	}
+	grant := c.remaining
+	c.remaining = 0
+	c.tripped = true
+	return grant, ErrCrashed
+}
+
+// check gates non-write operations (fsync, create, rename, remove): they
+// either happen entirely before the crash or not at all.
+func (c *CrashSwitch) check() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tripped {
+		return ErrCrashed
+	}
+	return nil
+}

@@ -1,0 +1,653 @@
+// Package wal implements the durability substrate of the control plane: an
+// append-only, CRC32-framed, length-prefixed segmented log with a
+// configurable fsync policy, a torn-tail-tolerant reader, and segment
+// rotation plus compaction after checkpoint.
+//
+// The paper's dynamic consolidation loop re-plans every two hours over
+// 14-day windows (Observations 5-7), which only makes sense if the
+// controller survives restarts: the monitoring warehouse journals accepted
+// samples through a Log and the consolidation controller journals
+// intent/outcome/commit records around each interval, so recovery is
+// "load latest checkpoint, replay the WAL suffix" instead of "lose 30 days
+// of history and orphan a half-executed migration plan".
+//
+// # On-disk layout
+//
+// A log directory holds numbered segment files and checkpoint files:
+//
+//	wal-0000000000000000.log    records appended before the first rotation
+//	wal-0000000000000003.log    the active segment (highest sequence)
+//	checkpoint-0000000000000003.ckpt
+//
+// Every segment starts with an 8-byte magic header, followed by frames of
+// [length uint32][crc32c uint32][payload]. A checkpoint file carries one
+// frame of application state (the warehouse snapshot, the controller's
+// committed placement) and is written atomically: temp file, fsync,
+// rename. A checkpoint named with sequence S covers every record in
+// segments below S; Checkpoint rotates first, writes the checkpoint, then
+// deletes the covered segments and older checkpoints.
+//
+// # Recovery semantics
+//
+// Open loads the newest checkpoint and replays the segments at or above
+// its sequence. A partial final record — a crash tore the tail of the last
+// segment — is truncated, not fatal: the bytes never reached a successful
+// fsync, so no acknowledged write is lost. Corruption anywhere else (a
+// bad frame with later segments present, a sequence gap) is an error:
+// silently skipping acknowledged records would be data loss.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appends are fsynced — the durability/latency
+// trade of the ingest hot path (see BenchmarkWALAppend).
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every append before acknowledging it: no
+	// acknowledged record is ever lost, at the price of one fsync per
+	// sample on the ingest path.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per SyncEvery, piggybacked on
+	// appends: a crash loses at most the last unsynced window.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system: fastest, and a
+	// crash loses whatever the kernel had not written back yet.
+	SyncNever
+)
+
+// ParseSyncPolicy converts the -fsync flag spelling.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options tunes a log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB). Rotation bounds how much one recovery must rescan
+	// and gives compaction whole files to delete.
+	SegmentBytes int64
+	// Sync is the fsync policy for appends (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval cadence (default 100ms).
+	SyncEvery time.Duration
+	// Crash, when non-nil, injects a crash into the write path after a
+	// byte budget — the failpoint behind the crash-injection test wall.
+	// Production opens leave it nil.
+	Crash *CrashSwitch
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+var magic = [8]byte{'V', 'M', 'W', 'W', 'A', 'L', '0', '1'}
+
+const (
+	headerLen = 8
+	frameLen  = 8 // length + crc
+	// MaxRecordBytes bounds one record: anything larger is a corrupt
+	// length prefix, not a record this package ever wrote.
+	MaxRecordBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Recovered is what Open reconstructed from the directory.
+type Recovered struct {
+	// Checkpoint is the newest durable checkpoint payload, nil when no
+	// checkpoint has been taken yet.
+	Checkpoint []byte
+	// CheckpointSeq is the segment sequence the checkpoint covers up to.
+	CheckpointSeq uint64
+	// Records are the payloads appended after the checkpoint, oldest
+	// first.
+	Records [][]byte
+	// TornBytes counts trailing bytes dropped from the final segment —
+	// the torn tail of a crashed append. Zero on a clean shutdown.
+	TornBytes int64
+}
+
+// Log is an append-only segmented write-ahead log. Methods are safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	active     *os.File
+	activeSeq  uint64
+	activeSize int64
+	written    int64
+	lastSync   time.Time
+	dirty      bool
+	closed     bool
+}
+
+// Open recovers the log directory (creating it if needed) and returns the
+// log ready for appending plus the recovered state. A torn final record is
+// truncated away; checkpoint temp files are removed.
+func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	segs, ckpts, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &Recovered{}
+	var from uint64
+	if len(ckpts) > 0 {
+		seq := ckpts[len(ckpts)-1]
+		payload, err := readCheckpoint(checkpointName(dir, seq))
+		if err != nil {
+			// A renamed checkpoint is always complete (it was fsynced
+			// before the rename); an unreadable one is external damage
+			// that silent fallback would turn into data loss.
+			return nil, nil, fmt.Errorf("wal: checkpoint %d: %w", seq, err)
+		}
+		rec.Checkpoint = payload
+		rec.CheckpointSeq = seq
+		from = seq
+	}
+
+	var replay []uint64
+	for _, seq := range segs {
+		if seq >= from {
+			replay = append(replay, seq)
+		}
+	}
+	for i, seq := range replay {
+		if i > 0 && seq != replay[i-1]+1 {
+			return nil, nil, fmt.Errorf("wal: segment gap: %d follows %d", seq, replay[i-1])
+		}
+		last := i == len(replay)-1
+		records, torn, err := readSegment(segmentName(dir, seq), last)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Records = append(rec.Records, records...)
+		rec.TornBytes += torn
+	}
+
+	l := &Log{dir: dir, opts: opts, lastSync: time.Now()}
+	if len(replay) == 0 {
+		// Fresh directory (or everything below the checkpoint was
+		// compacted away and the active segment is gone — recreate it at
+		// the checkpoint sequence).
+		if err := l.openSegment(from); err != nil {
+			return nil, nil, err
+		}
+		return l, rec, nil
+	}
+	seq := replay[len(replay)-1]
+	name := segmentName(dir, seq)
+	valid, err := validSegmentLen(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reopen segment: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	l.active = f
+	l.activeSeq = seq
+	l.activeSize = valid
+	if valid < headerLen {
+		// The crash tore the segment header itself; rewrite it so
+		// post-recovery appends replay.
+		if err := l.write(f, magic[:]); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.activeSize = headerLen
+		l.dirty = true
+	}
+	return l, rec, nil
+}
+
+// Append writes one record and makes it durable per the sync policy. A nil
+// error acknowledges the record: with SyncAlways it has reached stable
+// storage.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("wal: empty record")
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	need := int64(frameLen + len(payload))
+	if l.activeSize > headerLen && l.activeSize+need > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	frame := make([]byte, frameLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameLen:], payload)
+	if err := l.write(l.active, frame); err != nil {
+		return err
+	}
+	l.activeSize += int64(len(frame))
+	l.dirty = true
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Sync forces any buffered appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.opts.Crash.check(); err != nil {
+		return err
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Checkpoint persists the application state atomically and compacts the
+// log: the active segment is rotated, the checkpoint covering everything
+// before the new segment is written (temp file, fsync, rename), and the
+// covered segments and older checkpoints are deleted. Open afterwards
+// loads this payload and replays only the records appended since.
+func (l *Log) Checkpoint(payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: checkpoint of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if l.activeSize > headerLen {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	} else if l.dirty {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	seq := l.activeSeq
+
+	tmp := checkpointName(l.dir, seq) + ".tmp"
+	f, err := l.create(tmp)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, headerLen+frameLen+len(payload))
+	copy(frame[:headerLen], magic[:])
+	binary.LittleEndian.PutUint32(frame[headerLen:headerLen+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[headerLen+4:headerLen+8], crc32.Checksum(payload, crcTable))
+	copy(frame[headerLen+frameLen:], payload)
+	if err := l.write(f, frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := l.syncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err := l.rename(tmp, checkpointName(l.dir, seq)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+
+	// The checkpoint is durable; everything it covers is garbage. A crash
+	// mid-deletion is harmless — recovery keys off the newest checkpoint
+	// and ignores older sequences.
+	segs, ckpts, err := scanDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s < seq {
+			if err := l.remove(segmentName(l.dir, s)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range ckpts {
+		if c < seq {
+			if err := l.remove(checkpointName(l.dir, c)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := func() error {
+		if !l.dirty {
+			return nil
+		}
+		if err := l.opts.Crash.check(); err != nil {
+			return err
+		}
+		return l.active.Sync()
+	}()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// BytesWritten reports the cumulative bytes handed to the write path —
+// segment headers, record frames and checkpoint files included. The crash
+// wall uses it to enumerate kill points.
+func (l *Log) BytesWritten() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.written
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// rotateLocked syncs and closes the active segment and opens the next one.
+func (l *Log) rotateLocked() error {
+	if l.dirty {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return l.openSegment(l.activeSeq + 1)
+}
+
+func (l *Log) openSegment(seq uint64) error {
+	f, err := l.create(segmentName(l.dir, seq))
+	if err != nil {
+		return err
+	}
+	if err := l.write(f, magic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.activeSeq = seq
+	l.activeSize = headerLen
+	l.dirty = true
+	return nil
+}
+
+// write funnels every payload write through the crash failpoint: a tripped
+// switch writes only the remaining byte budget — a torn record, exactly
+// what a real crash leaves behind — and fails everything after.
+func (l *Log) write(f *os.File, p []byte) error {
+	allowed, err := l.opts.Crash.allow(int64(len(p)))
+	if allowed > 0 {
+		n, werr := f.Write(p[:allowed])
+		l.written += int64(n)
+		if werr != nil {
+			return fmt.Errorf("wal: write: %w", werr)
+		}
+	}
+	return err
+}
+
+func (l *Log) syncFile(f *os.File) error {
+	if err := l.opts.Crash.check(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) create(name string) (*os.File, error) {
+	if err := l.opts.Crash.check(); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	return f, nil
+}
+
+func (l *Log) rename(from, to string) error {
+	if err := l.opts.Crash.check(); err != nil {
+		return err
+	}
+	if err := os.Rename(from, to); err != nil {
+		return fmt.Errorf("wal: rename checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) remove(name string) error {
+	if err := l.opts.Crash.check(); err != nil {
+		return err
+	}
+	if err := os.Remove(name); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) syncDir() error {
+	if err := l.opts.Crash.check(); err != nil {
+		return err
+	}
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	defer d.Close()
+	// Some filesystems reject directory fsync; the rename itself is
+	// already atomic, so this is best-effort hardening.
+	d.Sync()
+	return nil
+}
+
+func segmentName(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seq))
+}
+
+func checkpointName(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%016x.ckpt", seq))
+}
+
+// scanDir lists segment and checkpoint sequences in ascending order and
+// removes leftover checkpoint temp files.
+func scanDir(dir string) (segs, ckpts []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A checkpoint that never made it to rename: dead weight.
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			var seq uint64
+			if _, err := fmt.Sscanf(name, "wal-%016x.log", &seq); err == nil {
+				segs = append(segs, seq)
+			}
+		case strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".ckpt"):
+			var seq uint64
+			if _, err := fmt.Sscanf(name, "checkpoint-%016x.ckpt", &seq); err == nil {
+				ckpts = append(ckpts, seq)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	return segs, ckpts, nil
+}
+
+// readSegment decodes one segment. In the final segment a torn or corrupt
+// suffix is tolerated and reported as dropped bytes; anywhere else it is
+// an error.
+func readSegment(name string, last bool) (records [][]byte, torn int64, err error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: read segment: %w", err)
+	}
+	valid, records, complete := parseSegment(data)
+	if complete {
+		return records, 0, nil
+	}
+	if !last {
+		return nil, 0, fmt.Errorf("wal: corrupt record in non-final segment %s", filepath.Base(name))
+	}
+	return records, int64(len(data)) - valid, nil
+}
+
+// validSegmentLen returns the byte length of the valid prefix of a segment.
+func validSegmentLen(name string) (int64, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return 0, fmt.Errorf("wal: read segment: %w", err)
+	}
+	valid, _, _ := parseSegment(data)
+	return valid, nil
+}
+
+// parseSegment walks the frames of a segment image and returns the length
+// of the valid prefix, the decoded records, and whether the whole image
+// parsed cleanly.
+func parseSegment(data []byte) (valid int64, records [][]byte, complete bool) {
+	if len(data) < headerLen || [8]byte(data[:headerLen]) != magic {
+		// Crash during segment creation tore the header itself.
+		return 0, nil, false
+	}
+	off := int64(headerLen)
+	for off < int64(len(data)) {
+		if off+frameLen > int64(len(data)) {
+			return off, records, false
+		}
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > MaxRecordBytes || off+frameLen+n > int64(len(data)) {
+			return off, records, false
+		}
+		payload := data[off+frameLen : off+frameLen+n]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return off, records, false
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off += frameLen + n
+	}
+	return off, records, true
+}
+
+// readCheckpoint decodes a checkpoint file, rejecting torn or corrupt
+// content.
+func readCheckpoint(name string) ([]byte, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerLen+frameLen || [8]byte(data[:headerLen]) != magic {
+		return nil, errors.New("wal: malformed checkpoint header")
+	}
+	n := int64(binary.LittleEndian.Uint32(data[headerLen : headerLen+4]))
+	crc := binary.LittleEndian.Uint32(data[headerLen+4 : headerLen+8])
+	if n > MaxRecordBytes || int64(len(data)) != headerLen+frameLen+n {
+		return nil, errors.New("wal: checkpoint length mismatch")
+	}
+	payload := data[headerLen+frameLen:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, errors.New("wal: checkpoint checksum mismatch")
+	}
+	return append([]byte(nil), payload...), nil
+}

@@ -22,6 +22,7 @@ import (
 	"vmwild/internal/sweep"
 	"vmwild/internal/trace"
 	"vmwild/internal/traceio"
+	"vmwild/internal/wal"
 	"vmwild/internal/workload"
 )
 
@@ -358,8 +359,54 @@ type (
 // ErrInsufficientHistory is returned by the controller during warm-up.
 var ErrInsufficientHistory = controller.ErrInsufficientHistory
 
+// ErrCircuitOpen is reported by Controller.Run when the configured number
+// of consecutive interval failures trips its circuit breaker.
+var ErrCircuitOpen = controller.ErrCircuitOpen
+
 // NewController builds a runtime consolidation controller.
 func NewController(cfg ControllerConfig) (*Controller, error) { return controller.New(cfg) }
+
+// Durability: the crash-safe control plane (write-ahead log, checkpoints,
+// recovery).
+type (
+	// WALOptions tunes a write-ahead log (segment size, fsync policy,
+	// crash injection for tests).
+	WALOptions = wal.Options
+	// SyncPolicy selects when the WAL reaches the disk.
+	SyncPolicy = wal.SyncPolicy
+	// WarehouseLog journals warehouse ingestion and checkpoints its state.
+	WarehouseLog = monitor.WarehouseLog
+	// WarehouseRecovery summarizes what OpenWarehouseLog reconstructed.
+	WarehouseRecovery = monitor.RecoveryStat
+	// ControllerJournal makes the consolidation loop crash-safe: intent,
+	// per-move outcomes and committed placements survive restarts.
+	ControllerJournal = controller.Journal
+	// ControllerRecovery is the state a controller journal reconstructed.
+	ControllerRecovery = controller.Recovery
+)
+
+// WAL fsync policies.
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncNever    = wal.SyncNever
+)
+
+// ParseSyncPolicy maps "always", "interval" or "never" to a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// OpenWarehouseLog recovers the journal in dir into w (checkpoint restore
+// plus WAL replay) and then journals every accepted sample, checkpointing
+// each checkpointEvery appends.
+func OpenWarehouseLog(w *Warehouse, dir string, checkpointEvery int, opts WALOptions) (*WarehouseLog, error) {
+	return monitor.OpenWarehouseLog(w, dir, checkpointEvery, opts)
+}
+
+// OpenControllerJournal recovers the controller journal in dir; hand the
+// result to ControllerConfig.Journal.
+func OpenControllerJournal(dir string, opts WALOptions) (*ControllerJournal, error) {
+	return controller.OpenJournal(dir, opts)
+}
 
 // Warehouse query protocol: how remote planners pull aggregated series.
 type (
