@@ -8,10 +8,17 @@
 // GOMAXPROCS); the report is byte-identical at every worker count for the
 // same -seed, so parallelism only buys wall-clock time. Progress lines go
 // to stderr.
+//
+// -bench-json PATH additionally writes a machine-readable timing profile of
+// the run: per-cell wall times, the total, and the worker count — the
+// format of the committed BENCH_report.json. A "benchmarks" section already
+// present in PATH (maintained from go test -bench runs) is preserved across
+// rewrites.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +28,32 @@ import (
 	"vmwild"
 )
 
+// benchCell is one grid cell's wall time.
+type benchCell struct {
+	Label string `json:"label"`
+	NS    int64  `json:"ns"`
+}
+
+// benchReport is the -bench-json document.
+type benchReport struct {
+	Schema  string      `json:"schema"`
+	Seed    int64       `json:"seed"`
+	Workers int         `json:"workers"`
+	TotalNS int64       `json:"total_ns"`
+	Cells   []benchCell `json:"cells"`
+	// Benchmarks carries go test -bench numbers (ns/op, B/op, allocs/op
+	// keyed by benchmark name and revision). The tool never computes them;
+	// it round-trips whatever the existing file holds so regenerating the
+	// timing profile does not lose the recorded baselines.
+	Benchmarks json.RawMessage `json:"benchmarks,omitempty"`
+}
+
 func main() {
 	seed := flag.Int64("seed", vmwild.DefaultSeed, "workload generator seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment grid workers (1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
+	benchJSON := flag.String("bench-json", "", "write per-cell wall-time JSON to this path")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -35,9 +63,16 @@ func main() {
 		defer cancel()
 	}
 
+	var cells []benchCell
 	opts := vmwild.ReportOptions{Workers: *parallel}
-	if !*quiet {
+	if !*quiet || *benchJSON != "" {
 		opts.Progress = func(ev vmwild.ReportProgress) {
+			if *benchJSON != "" {
+				cells = append(cells, benchCell{Label: ev.Label, NS: ev.Elapsed.Nanoseconds()})
+			}
+			if *quiet {
+				return
+			}
 			status := ""
 			if ev.Err != nil {
 				status = "  FAILED: " + ev.Err.Error()
@@ -52,8 +87,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	total := time.Since(start)
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed, *parallel, total, cells); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: bench-json:", err)
+			os.Exit(1)
+		}
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "report complete in %.1fs (%d workers)\n",
-			time.Since(start).Seconds(), *parallel)
+			total.Seconds(), *parallel)
 	}
+}
+
+// writeBenchJSON renders the timing profile, carrying over the benchmarks
+// section of any existing document at path.
+func writeBenchJSON(path string, seed int64, workers int, total time.Duration, cells []benchCell) error {
+	rep := benchReport{
+		Schema:  "vmwild-bench/1",
+		Seed:    seed,
+		Workers: workers,
+		TotalNS: total.Nanoseconds(),
+		Cells:   cells,
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old benchReport
+		if err := json.Unmarshal(prev, &old); err == nil {
+			rep.Benchmarks = old.Benchmarks
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -41,7 +41,7 @@ func PeakToAverageCDF(set *trace.Set, intervalHours int, r trace.Resource) (*sta
 func CoVCDF(set *trace.Set, r trace.Resource) (*stats.CDF, error) {
 	covs := make([]float64, 0, len(set.Servers))
 	for _, st := range set.Servers {
-		covs = append(covs, stats.CoV(st.Series.Values(r)))
+		covs = append(covs, stats.CoV(st.Series.Col(r)))
 	}
 	return stats.NewCDF(covs)
 }
@@ -119,7 +119,7 @@ func MeanCPUUtilization(set *trace.Set) (float64, error) {
 		if st.Spec.CPURPE2 <= 0 {
 			return 0, fmt.Errorf("analysis: server %s has no CPU rating", st.ID)
 		}
-		total += stats.Mean(st.Series.Values(trace.CPU)) / st.Spec.CPURPE2
+		total += stats.Mean(st.Series.Col(trace.CPU)) / st.Spec.CPURPE2
 	}
 	return total / float64(len(set.Servers)), nil
 }
@@ -140,8 +140,8 @@ func Burstiness(st *trace.ServerTrace) (ServerBurstiness, error) {
 	if err := st.Validate(); err != nil {
 		return ServerBurstiness{}, err
 	}
-	cpu := st.Series.Values(trace.CPU)
-	mem := st.Series.Values(trace.Mem)
+	cpu := st.Series.Col(trace.CPU)
+	mem := st.Series.Col(trace.Mem)
 	return ServerBurstiness{
 		ID:           st.ID,
 		AvgUtil:      stats.Mean(cpu) / st.Spec.CPURPE2,
@@ -163,7 +163,7 @@ func Correlations(set *trace.Set) ([][]float64, error) {
 	}
 	values := make([][]float64, n)
 	for i, st := range set.Servers {
-		values[i] = st.Series.Values(trace.CPU)
+		values[i] = st.Series.Col(trace.CPU)
 	}
 	m := make([][]float64, n)
 	for i := range m {

@@ -42,7 +42,7 @@ func SeasonalityOf(st *trace.ServerTrace) (Seasonality, error) {
 	if err := st.Validate(); err != nil {
 		return Seasonality{}, err
 	}
-	values := st.Series.Values(trace.CPU)
+	values := st.Series.Col(trace.CPU)
 	daily, err := Autocorrelation(values, 24)
 	if err != nil {
 		return Seasonality{}, fmt.Errorf("analysis: server %s: %w", st.ID, err)

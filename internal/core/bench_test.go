@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/workload"
+)
+
+// benchDynamicInput builds a 60-server Banking estate over the standard
+// monitoring + evaluation horizon.
+func benchDynamicInput(b *testing.B) Input {
+	b.Helper()
+	p := workload.Banking()
+	p.Servers = 60
+	set, err := workload.Generate(p, workload.HorizonHours, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := set.SliceAll(0, workload.MonitoringHours)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval, err := set.SliceAll(workload.MonitoringHours, workload.HorizonHours)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Input{Monitoring: mon, Evaluation: eval, Host: catalog.HS23Elite}
+}
+
+// BenchmarkDynamicPlan measures the dynamic planner end to end: inline, with
+// the Predict + Size walk on the measured path, and against a precomputed
+// demand matrix — the cached path every grid cell after the first takes.
+func BenchmarkDynamicPlan(b *testing.B) {
+	in := benchDynamicInput(b)
+	b.Run("inline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := (Dynamic{}).Plan(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("precomputed", func(b *testing.B) {
+		m, err := SizeDynamicDemands(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cached := in
+		cached.Demands = m
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := (Dynamic{}).Plan(cached); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"vmwild/internal/constraints"
 	"vmwild/internal/emulator"
 	"vmwild/internal/migration"
+	"vmwild/internal/placement"
 	"vmwild/internal/predict"
 	"vmwild/internal/trace"
 )
@@ -71,6 +72,22 @@ type Input struct {
 	// isolates prediction error from packing effects in ablations. Never
 	// available in production.
 	OracleSizing bool
+	// Demands, when non-nil, supplies the dynamic planner's walk-forward
+	// sizing precomputed by SizeDynamicDemands, letting many plans over
+	// the same traces (different bounds, host models, mechanisms) share
+	// one prediction pass. It must have been computed from the same trace
+	// sets, predictors and interval as this input; Dynamic.Plan verifies
+	// the structural parts (interval, sizing mode, server identity) and
+	// trusts the caller for the rest. Other planners ignore it.
+	Demands *DemandMatrix
+	// Correlations, when non-nil, supplies the stochastic planner's
+	// pairwise interval-peak correlation function precomputed by
+	// NewSharedCorrelation, letting plans over the same monitoring set
+	// (different host models, percentiles, correlation caps) share one
+	// peak-vector pass and one memo cache. It must have been built from
+	// this input's Monitoring set and interval. Ignored when
+	// ClusterCorrelation is set; other planners ignore it.
+	Correlations placement.CorrFunc
 }
 
 func (in *Input) validate() error {

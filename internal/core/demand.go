@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vmwild/internal/sizing"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+)
+
+// DemandMatrix is the dynamic planner's walk-forward sizing, fully
+// materialized: Demands[k][i] is the clamped per-interval reservation of
+// server i (in Monitoring set order) for consolidation interval k.
+//
+// The matrix depends only on the demand histories, the predictors and the
+// interval length — never on the host model, the utilization bound, the
+// constraints or the emulator knobs. That independence is what makes it
+// shareable: the sensitivity sweep (7 bounds), the blade study (3 host
+// models) and the improved-migration study all consume the same matrix for
+// a given data center, which experiments.Context exploits with a keyed
+// once-cache.
+type DemandMatrix struct {
+	// IntervalHours is the consolidation interval the matrix was sized for.
+	IntervalHours int
+	// OracleSizing records whether the matrix holds realized peaks
+	// (clairvoyant sizing) rather than predictions.
+	OracleSizing bool
+	// IDs holds the servers in Monitoring set order.
+	IDs []trace.ServerID
+	// Demands[k][i] is server i's reservation for interval k, already
+	// clamped to the source machine's capacity.
+	Demands [][]sizing.Demand
+}
+
+// SizeDynamicDemands runs the Predict + Size steps of dynamic consolidation
+// for every interval of the evaluation window and returns the full demand
+// matrix. It performs exactly the computation Dynamic.Plan does inline when
+// Input.Demands is nil, so planning against a precomputed matrix is
+// byte-identical to planning without one.
+func SizeDynamicDemands(in Input) (*DemandMatrix, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if in.Evaluation == nil || len(in.Evaluation.Servers) == 0 {
+		return nil, errors.New("dynamic: no evaluation window to plan over")
+	}
+	if len(in.Evaluation.Servers) != len(in.Monitoring.Servers) {
+		return nil, errors.New("dynamic: monitoring and evaluation sets differ in servers")
+	}
+
+	interval := in.intervalHours()
+	evalHours := in.Evaluation.Servers[0].Series.Len()
+	intervals := evalHours / interval
+	if intervals < 1 {
+		return nil, fmt.Errorf("dynamic: evaluation window of %d hours is shorter than one interval", evalHours)
+	}
+
+	cpuPred := in.CPUPredictor
+	if cpuPred == nil {
+		cpuPred = DefaultCPUPredictor()
+	}
+	memPred := in.MemPredictor
+	if memPred == nil {
+		memPred = DefaultMemPredictor()
+	}
+
+	// Concatenate monitoring and evaluation demand once per server; the
+	// walk-forward predictions slice into this. One allocation per column:
+	// the cached Series columns are copied back to back.
+	n := len(in.Monitoring.Servers)
+	var (
+		ids     = make([]trace.ServerID, n)
+		specs   = make([]trace.Spec, n)
+		cpuHist = make([][]float64, n)
+		memHist = make([][]float64, n)
+	)
+	monHours := in.Monitoring.Servers[0].Series.Len()
+	for i, st := range in.Monitoring.Servers {
+		ev := in.Evaluation.Servers[i]
+		if ev.ID != st.ID {
+			return nil, fmt.Errorf("dynamic: server order mismatch at %d: %s vs %s", i, st.ID, ev.ID)
+		}
+		ids[i] = st.ID
+		specs[i] = st.Spec
+		cpuHist[i] = concat(st.Series.Col(trace.CPU), ev.Series.Col(trace.CPU))
+		memHist[i] = concat(st.Series.Col(trace.Mem), ev.Series.Col(trace.Mem))
+	}
+
+	m := &DemandMatrix{
+		IntervalHours: interval,
+		OracleSizing:  in.OracleSizing,
+		IDs:           ids,
+		Demands:       make([][]sizing.Demand, intervals),
+	}
+	var err error
+	for k := 0; k < intervals; k++ {
+		histEnd := monHours + k*interval
+		row := make([]sizing.Demand, n)
+		for i := 0; i < n; i++ {
+			var cpu, mem float64
+			if in.OracleSizing {
+				cpu = stats.Max(cpuHist[i][histEnd:min(histEnd+interval, len(cpuHist[i]))])
+				mem = stats.Max(memHist[i][histEnd:min(histEnd+interval, len(memHist[i]))])
+			} else {
+				cpu, err = cpuPred.PredictPeak(cpuHist[i][:histEnd], interval)
+				if err != nil {
+					return nil, fmt.Errorf("dynamic: predict cpu for %s: %w", ids[i], err)
+				}
+				mem, err = memPred.PredictPeak(memHist[i][:histEnd], interval)
+				if err != nil {
+					return nil, fmt.Errorf("dynamic: predict mem for %s: %w", ids[i], err)
+				}
+			}
+			// A VM can demand at most its source machine's capacity;
+			// the adapter clamps to host capacity.
+			row[i] = sizing.Demand{
+				CPU: min(cpu, specs[i].CPURPE2),
+				Mem: min(mem, specs[i].MemMB),
+			}
+		}
+		m.Demands[k] = row
+	}
+	return m, nil
+}
+
+// DemandKey is the cache identity of the matrix SizeDynamicDemands would
+// produce for this input: predictors (fully parameterized, after
+// defaulting), interval length and sizing mode. Inputs with equal keys and
+// equal trace sets yield identical matrices.
+func DemandKey(in Input) string {
+	cpuPred := in.CPUPredictor
+	if cpuPred == nil {
+		cpuPred = DefaultCPUPredictor()
+	}
+	memPred := in.MemPredictor
+	if memPred == nil {
+		memPred = DefaultMemPredictor()
+	}
+	// Predictor names are not parameter-unique (predict.Combined is just
+	// "combined"), so key on the full printed value.
+	return fmt.Sprintf("cpu=%+v|mem=%+v|interval=%d|oracle=%t",
+		cpuPred, memPred, in.intervalHours(), in.OracleSizing)
+}
+
+// compatible checks that a caller-supplied matrix matches the input it is
+// being used with.
+func (m *DemandMatrix) compatible(in Input, interval, intervals int) error {
+	if m.IntervalHours != interval {
+		return fmt.Errorf("dynamic: demand matrix sized for %dh intervals, input wants %dh", m.IntervalHours, interval)
+	}
+	if m.OracleSizing != in.OracleSizing {
+		return errors.New("dynamic: demand matrix sizing mode differs from input")
+	}
+	if len(m.Demands) != intervals {
+		return fmt.Errorf("dynamic: demand matrix has %d intervals, input wants %d", len(m.Demands), intervals)
+	}
+	if len(m.IDs) != len(in.Monitoring.Servers) {
+		return fmt.Errorf("dynamic: demand matrix has %d servers, input has %d", len(m.IDs), len(in.Monitoring.Servers))
+	}
+	for i, st := range in.Monitoring.Servers {
+		if ev := in.Evaluation.Servers[i]; ev.ID != st.ID {
+			return fmt.Errorf("dynamic: server order mismatch at %d: %s vs %s", i, st.ID, ev.ID)
+		}
+		if m.IDs[i] != st.ID {
+			return fmt.Errorf("dynamic: demand matrix server mismatch at %d: %s vs %s", i, m.IDs[i], st.ID)
+		}
+	}
+	return nil
+}
+
+// concat joins two read-only columns into one freshly allocated slice.
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}

@@ -1,15 +1,15 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"vmwild/internal/emulator"
 	"vmwild/internal/placement"
 	"vmwild/internal/predict"
 	"vmwild/internal/sizing"
-	"vmwild/internal/stats"
 	"vmwild/internal/trace"
 )
 
@@ -54,66 +54,32 @@ func (Dynamic) Plan(in Input) (*Plan, error) {
 		return nil, fmt.Errorf("dynamic: evaluation window of %d hours is shorter than one interval", evalHours)
 	}
 
-	cpuPred := in.CPUPredictor
-	if cpuPred == nil {
-		cpuPred = DefaultCPUPredictor()
-	}
-	memPred := in.MemPredictor
-	if memPred == nil {
-		memPred = DefaultMemPredictor()
-	}
-
-	// Concatenate monitoring and evaluation demand once per server; the
-	// walk-forward predictions slice into this.
-	n := len(in.Monitoring.Servers)
-	var (
-		ids     = make([]trace.ServerID, n)
-		specs   = make([]trace.Spec, n)
-		cpuHist = make([][]float64, n)
-		memHist = make([][]float64, n)
-	)
-	monHours := in.Monitoring.Servers[0].Series.Len()
-	for i, st := range in.Monitoring.Servers {
-		ev := in.Evaluation.Servers[i]
-		if ev.ID != st.ID {
-			return nil, fmt.Errorf("dynamic: server order mismatch at %d: %s vs %s", i, st.ID, ev.ID)
+	// The Predict + Size steps either come precomputed (shared across
+	// plans by experiments.Context) or run inline; both paths execute
+	// SizeDynamicDemands, so the resulting reservations are identical.
+	m := in.Demands
+	if m == nil {
+		var err error
+		m, err = SizeDynamicDemands(in)
+		if err != nil {
+			return nil, err
 		}
-		ids[i] = st.ID
-		specs[i] = st.Spec
-		cpuHist[i] = append(st.Series.Values(trace.CPU), ev.Series.Values(trace.CPU)...)
-		memHist[i] = append(st.Series.Values(trace.Mem), ev.Series.Values(trace.Mem)...)
+	} else if err := m.compatible(in, interval, intervals); err != nil {
+		return nil, err
 	}
 
+	n := len(in.Monitoring.Servers)
 	plan := &Plan{Planner: "dynamic"}
 	adapter, err := NewAdapter(in)
 	if err != nil {
 		return nil, err
 	}
 	placements := make([]*placement.Placement, 0, intervals)
+	items := make([]placement.Item, n)
 	for k := 0; k < intervals; k++ {
-		histEnd := monHours + k*interval
-		items := make([]placement.Item, n)
+		row := m.Demands[k]
 		for i := 0; i < n; i++ {
-			var cpu, mem float64
-			if in.OracleSizing {
-				cpu = stats.Max(cpuHist[i][histEnd:min(histEnd+interval, len(cpuHist[i]))])
-				mem = stats.Max(memHist[i][histEnd:min(histEnd+interval, len(memHist[i]))])
-			} else {
-				cpu, err = cpuPred.PredictPeak(cpuHist[i][:histEnd], interval)
-				if err != nil {
-					return nil, fmt.Errorf("dynamic: predict cpu for %s: %w", ids[i], err)
-				}
-				mem, err = memPred.PredictPeak(memHist[i][:histEnd], interval)
-				if err != nil {
-					return nil, fmt.Errorf("dynamic: predict mem for %s: %w", ids[i], err)
-				}
-			}
-			// A VM can demand at most its source machine's capacity;
-			// the adapter clamps to host capacity.
-			items[i] = placement.Item{ID: ids[i], Demand: sizing.Demand{
-				CPU: min(cpu, specs[i].CPURPE2),
-				Mem: min(mem, specs[i].MemMB),
-			}}
+			items[i] = placement.Item{ID: m.IDs[i], Demand: row[i]}
 		}
 
 		step, err := adapter.Step(items)
@@ -173,29 +139,33 @@ func repairOverloads(p *placement.Placement, in Input) (int, float64, error) {
 		dataMB float64
 	)
 	for _, hostID := range p.Overloaded() {
-		// Candidate order: cheapest migrations first.
-		vms := append([]trace.ServerID(nil), p.VMsOn(hostID)...)
-		sort.Slice(vms, func(i, j int) bool {
-			a, _ := p.Item(vms[i])
-			b, _ := p.Item(vms[j])
-			if a.Demand.Mem != b.Demand.Mem {
-				return a.Demand.Mem < b.Demand.Mem
+		hi := p.HostIndex(hostID)
+		// Candidate order: cheapest migrations first. Demands do not
+		// change during the repair, so the items and sort keys are read
+		// once up front instead of inside the comparator.
+		onHost := p.VMsAt(hi)
+		cands := make([]placement.Item, len(onHost))
+		for i, vm := range onHost {
+			cands[i], _ = p.Item(vm)
+		}
+		slices.SortFunc(cands, func(a, b placement.Item) int {
+			if c := cmp.Compare(a.Demand.Mem, b.Demand.Mem); c != 0 {
+				return c
 			}
-			return vms[i] < vms[j]
+			return cmp.Compare(a.ID, b.ID)
 		})
 		cap := p.Capacity()
-		for _, vm := range vms {
-			used := p.Used(hostID)
+		for _, it := range cands {
+			used := p.UsedAt(hi)
 			if used.CPU <= cap.CPU+1e-9 && used.Mem <= cap.Mem+1e-9 {
 				break
 			}
-			it, _ := p.Item(vm)
-			target := pickTarget(p, hostID, it, in)
+			target := pickTarget(p, hi, it, in)
 			if target == "" {
 				// Power a previously freed host back on before
 				// racking a new one.
-				for _, h := range p.Hosts() {
-					if h.ID != hostID && len(p.VMsOn(h.ID)) == 0 && in.Constraints.Permits(vm, h.ID, p) == nil {
+				for i, h := range p.Hosts() {
+					if i != hi && len(p.VMsAt(i)) == 0 && in.Constraints.Permits(it.ID, h.ID, p) == nil {
 						target = h.ID
 						break
 					}
@@ -203,12 +173,12 @@ func repairOverloads(p *placement.Placement, in Input) (int, float64, error) {
 			}
 			if target == "" {
 				h := p.OpenHost()
-				if in.Constraints.Permits(vm, h.ID, p) != nil {
+				if in.Constraints.Permits(it.ID, h.ID, p) != nil {
 					continue
 				}
 				target = h.ID
 			}
-			if _, err := p.Remove(vm); err != nil {
+			if _, err := p.Remove(it.ID); err != nil {
 				return moves, dataMB, err
 			}
 			if err := p.Assign(it, target); err != nil {
@@ -217,7 +187,7 @@ func repairOverloads(p *placement.Placement, in Input) (int, float64, error) {
 			moves++
 			dataMB += it.Demand.Mem
 		}
-		used := p.Used(hostID)
+		used := p.UsedAt(hi)
 		if used.CPU > cap.CPU+1e-9 || used.Mem > cap.Mem+1e-9 {
 			return moves, dataMB, fmt.Errorf("host %s cannot be repaired within constraints", hostID)
 		}
@@ -226,24 +196,24 @@ func repairOverloads(p *placement.Placement, in Input) (int, float64, error) {
 }
 
 // pickTarget returns the most-loaded other host that fits the item and
-// passes constraints, or "" if none.
-func pickTarget(p *placement.Placement, exclude string, it placement.Item, in Input) string {
+// passes constraints, or "" if none. exclude is the host's index in Hosts().
+func pickTarget(p *placement.Placement, exclude int, it placement.Item, in Input) string {
 	var (
 		best     string
 		bestLoad = -1.0
 	)
 	cap := p.Capacity()
-	for _, h := range p.Hosts() {
-		if h.ID == exclude || len(p.VMsOn(h.ID)) == 0 {
+	for i, h := range p.Hosts() {
+		if i == exclude || len(p.VMsAt(i)) == 0 {
 			continue
 		}
-		if !p.Fits(h.ID, it.Demand) {
+		if !p.FitsAt(i, it.Demand) {
 			continue
 		}
 		if in.Constraints.Permits(it.ID, h.ID, p) != nil {
 			continue
 		}
-		u := p.Used(h.ID)
+		u := p.UsedAt(i)
 		load := max(u.CPU/cap.CPU, u.Mem/cap.Mem)
 		if load > bestLoad {
 			bestLoad, best = load, h.ID
@@ -257,34 +227,54 @@ func pickTarget(p *placement.Placement, exclude string, it placement.Item, in In
 // tried emptiest-first.
 func consolidate(p *placement.Placement, in Input) (int, float64) {
 	cap := p.Capacity()
-	load := func(id string) float64 {
-		u := p.Used(id)
-		return max(u.CPU/cap.CPU, u.Mem/cap.Mem)
+	limit := sizing.Demand{CPU: cap.CPU * evacuationHeadroom, Mem: cap.Mem * evacuationHeadroom}
+	// Loads are snapshotted before sorting (the placement is not mutated
+	// while the order is established, so precomputing reads the same
+	// values the comparator used to).
+	type candidate struct {
+		id   string
+		idx  int
+		load float64
 	}
-	active := make([]string, 0, len(p.Hosts()))
-	for _, h := range p.Hosts() {
-		if len(p.VMsOn(h.ID)) > 0 {
-			active = append(active, h.ID)
+	active := make([]candidate, 0, len(p.Hosts()))
+	for i, h := range p.Hosts() {
+		if len(p.VMsAt(i)) > 0 {
+			u := p.UsedAt(i)
+			active = append(active, candidate{id: h.ID, idx: i, load: max(u.CPU/cap.CPU, u.Mem/cap.Mem)})
 		}
 	}
-	sort.Slice(active, func(i, j int) bool {
-		li, lj := load(active[i]), load(active[j])
-		if li != lj {
-			return li < lj
+	slices.SortFunc(active, func(a, b candidate) int {
+		if c := cmp.Compare(a.load, b.load); c != 0 {
+			return c
 		}
-		return active[i] < active[j]
+		return cmp.Compare(a.id, b.id)
 	})
 
 	var (
 		moves  int
 		dataMB float64
 	)
-	for _, src := range active {
-		vms := append([]trace.ServerID(nil), p.VMsOn(src)...)
+	// The sorted target list is a function of the placement state, which
+	// only changes when an evacuation succeeds — most attempts fail, so
+	// the list (and its O(n log n) sort) is rebuilt on success instead of
+	// per source host. Dropping the source from a copy preserves relative
+	// order, so every attempt sees exactly the list a fresh build would
+	// produce.
+	allTargets := evacTargets(p, limit)
+	scratch := make([]evacTarget, 0, len(allTargets))
+	for _, cand := range active {
+		src := cand.id
+		vms := append([]trace.ServerID(nil), p.VMsAt(cand.idx)...)
 		if len(vms) == 0 {
 			continue
 		}
-		plan, ok := planEvacuation(p, src, vms, in)
+		scratch = scratch[:0]
+		for _, t := range allTargets {
+			if t.id != src {
+				scratch = append(scratch, t)
+			}
+		}
+		plan, ok := planEvacuation(p, scratch, cap, vms, in)
 		if !ok {
 			continue
 		}
@@ -295,7 +285,7 @@ func consolidate(p *placement.Placement, in Input) (int, float64) {
 		for vm := range plan {
 			moved = append(moved, vm)
 		}
-		sort.Slice(moved, func(i, j int) bool { return moved[i] < moved[j] })
+		slices.Sort(moved)
 		for _, vm := range moved {
 			target := plan[vm]
 			it, _ := p.Item(vm)
@@ -311,69 +301,78 @@ func consolidate(p *placement.Placement, in Input) (int, float64) {
 			moves++
 			dataMB += it.Demand.Mem
 		}
+		allTargets = evacTargets(p, limit)
 	}
 	return moves, dataMB
 }
 
-// planEvacuation checks whether every VM on src fits onto other active
-// hosts within the hysteresis headroom and constraints, and returns the
-// target mapping.
-func planEvacuation(p *placement.Placement, src string, vms []trace.ServerID, in Input) (map[trace.ServerID]string, bool) {
-	cap := p.Capacity()
-	limit := sizing.Demand{CPU: cap.CPU * evacuationHeadroom, Mem: cap.Mem * evacuationHeadroom}
+// evacTarget is one candidate evacuation destination: residual headroom
+// against the hysteresis limit, plus the precomputed fill-order key.
+type evacTarget struct {
+	id       string
+	cpu, mem float64
+	key      float64
+}
 
-	// Residual capacity of each candidate target.
-	type slack struct{ cpu, mem float64 }
-	residual := make(map[string]*slack)
-	var targets []string
-	for _, h := range p.Hosts() {
-		if h.ID == src || len(p.VMsOn(h.ID)) == 0 {
+// evacTargets lists every active host with its residual headroom, sorted
+// most-loaded first (ties by ID) — the fill order of planEvacuation.
+func evacTargets(p *placement.Placement, limit sizing.Demand) []evacTarget {
+	targets := make([]evacTarget, 0, len(p.Hosts()))
+	for i, h := range p.Hosts() {
+		if len(p.VMsAt(i)) == 0 {
 			continue
 		}
-		u := p.Used(h.ID)
-		residual[h.ID] = &slack{cpu: limit.CPU - u.CPU, mem: limit.Mem - u.Mem}
-		targets = append(targets, h.ID)
+		u := p.UsedAt(i)
+		rc, rm := limit.CPU-u.CPU, limit.Mem-u.Mem
+		targets = append(targets, evacTarget{id: h.ID, cpu: rc, mem: rm, key: min(rc/limit.CPU, rm/limit.Mem)})
 	}
-	// Fill the most-loaded targets first.
-	sort.Slice(targets, func(i, j int) bool {
-		ri, rj := residual[targets[i]], residual[targets[j]]
-		li := min(ri.cpu/limit.CPU, ri.mem/limit.Mem)
-		lj := min(rj.cpu/limit.CPU, rj.mem/limit.Mem)
-		if li != lj {
-			return li < lj
+	slices.SortFunc(targets, func(a, b evacTarget) int {
+		if c := cmp.Compare(a.key, b.key); c != 0 {
+			return c
 		}
-		return targets[i] < targets[j]
+		return cmp.Compare(a.id, b.id)
 	})
+	return targets
+}
 
+// planEvacuation checks whether every VM in vms fits onto the candidate
+// targets within the hysteresis headroom and constraints, and returns the
+// target mapping. targets is consumed (residuals are decremented in place);
+// callers pass a scratch copy.
+func planEvacuation(p *placement.Placement, targets []evacTarget, cap sizing.Demand, vms []trace.ServerID, in Input) (map[trace.ServerID]string, bool) {
 	// Biggest VMs first.
-	sorted := append([]trace.ServerID(nil), vms...)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, _ := p.Item(sorted[i])
-		b, _ := p.Item(sorted[j])
-		ka := max(a.Demand.CPU/cap.CPU, a.Demand.Mem/cap.Mem)
-		kb := max(b.Demand.CPU/cap.CPU, b.Demand.Mem/cap.Mem)
-		if ka != kb {
-			return ka > kb
+	type mover struct {
+		it  placement.Item
+		key float64
+	}
+	movers := make([]mover, len(vms))
+	for i, vm := range vms {
+		it, _ := p.Item(vm)
+		movers[i] = mover{it: it, key: max(it.Demand.CPU/cap.CPU, it.Demand.Mem/cap.Mem)}
+	}
+	slices.SortFunc(movers, func(a, b mover) int {
+		if c := cmp.Compare(b.key, a.key); c != 0 {
+			return c
 		}
-		return sorted[i] < sorted[j]
+		return cmp.Compare(a.it.ID, b.it.ID)
 	})
 
-	assignment := make(map[trace.ServerID]string, len(sorted))
+	assignment := make(map[trace.ServerID]string, len(movers))
 	view := overlayView{base: p, moved: assignment}
-	for _, vm := range sorted {
-		it, _ := p.Item(vm)
+	for _, mv := range movers {
+		it := mv.it
 		placed := false
-		for _, t := range targets {
-			r := residual[t]
+		for t := range targets {
+			r := &targets[t]
 			if it.Demand.CPU > r.cpu+1e-9 || it.Demand.Mem > r.mem+1e-9 {
 				continue
 			}
-			if in.Constraints.Permits(vm, t, view) != nil {
+			if in.Constraints.Permits(it.ID, r.id, view) != nil {
 				continue
 			}
 			r.cpu -= it.Demand.CPU
 			r.mem -= it.Demand.Mem
-			assignment[vm] = t
+			assignment[it.ID] = r.id
 			placed = true
 			break
 		}
@@ -416,7 +415,7 @@ func (v overlayView) VMsOn(host string) []trace.ServerID {
 		}
 	}
 	// Sorted, not map order, so constraint checks see a stable view.
-	sort.Slice(incoming, func(i, j int) bool { return incoming[i] < incoming[j] })
+	slices.Sort(incoming)
 	return append(out, incoming...)
 }
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"vmwild/internal/cluster"
 	"vmwild/internal/emulator"
@@ -41,9 +43,14 @@ func (Stochastic) Plan(in Input) (*Plan, error) {
 		corr placement.CorrFunc
 		err  error
 	)
-	if in.ClusterCorrelation {
+	switch {
+	case in.ClusterCorrelation:
 		corr, err = clusterCorrelation(in.Monitoring, in.intervalHours())
-	} else {
+	case in.Correlations != nil:
+		// Precomputed by NewSharedCorrelation over the same monitoring
+		// set — same peak vectors, same stats.Correlation values.
+		corr = in.Correlations
+	default:
 		corr, err = intervalPeakCorrelation(in.Monitoring, in.intervalHours())
 	}
 	if err != nil {
@@ -100,10 +107,12 @@ func intervalPeakCorrelation(set *trace.Set, intervalHours int) (placement.CorrF
 		peaks[i] = p
 		index[st.ID] = i
 	}
-	// Correlations are computed lazily and memoized: PCP only ever asks
-	// about pairs that are candidates for co-location, a small fraction
-	// of the full matrix for large data centers.
-	cache := make(map[[2]int]float64)
+	// Correlations are computed lazily and memoized in a dense matrix:
+	// PCP probes pairs repeatedly during packing, so the hit path (one
+	// index) dominates. A cell holds ^Float64bits(c); the bitwise NOT
+	// makes a stored 0.0 distinguishable from an empty (zero) cell
+	// without pre-filling the matrix.
+	cells := make([]uint64, n*n)
 	return func(a, b trace.ServerID) float64 {
 		ia, ok := index[a]
 		if !ok {
@@ -116,15 +125,62 @@ func intervalPeakCorrelation(set *trace.Set, intervalHours int) (placement.CorrF
 		if ia > ib {
 			ia, ib = ib, ia
 		}
-		key := [2]int{ia, ib}
-		if c, ok := cache[key]; ok {
-			return c
+		k := ia*n + ib
+		if u := cells[k]; u != 0 {
+			return math.Float64frombits(^u)
 		}
 		c, err := stats.Correlation(peaks[ia], peaks[ib])
 		if err != nil {
 			c = 0
 		}
-		cache[key] = c
+		cells[k] = ^math.Float64bits(c)
+		return c
+	}, nil
+}
+
+// NewSharedCorrelation builds the stochastic planner's interval-peak
+// correlation function for a monitoring set, with the dense memo matrix
+// accessed atomically so the function is safe to share across concurrent
+// plans (the per-plan function built by Stochastic.Plan is not). Values are
+// identical to the inline path: stats.Correlation over the same
+// per-interval peak vectors. A racing duplicate computation evaluates the
+// same pure function, so last-write-wins stores are safe. Attach it via
+// Input.Correlations.
+func NewSharedCorrelation(set *trace.Set, intervalHours int) (placement.CorrFunc, error) {
+	n := len(set.Servers)
+	peaks := make([][]float64, n)
+	index := make(map[trace.ServerID]int, n)
+	for i, st := range set.Servers {
+		p, err := st.Series.Intervals(intervalHours, trace.CPU, stats.Max)
+		if err != nil {
+			return nil, err
+		}
+		peaks[i] = p
+		index[st.ID] = i
+	}
+	// Same ^Float64bits encoding as the inline path: zero means empty.
+	cells := make([]atomic.Uint64, n*n)
+	return func(a, b trace.ServerID) float64 {
+		ia, ok := index[a]
+		if !ok {
+			return 0
+		}
+		ib, ok := index[b]
+		if !ok {
+			return 0
+		}
+		if ia > ib {
+			ia, ib = ib, ia
+		}
+		k := ia*n + ib
+		if u := cells[k].Load(); u != 0 {
+			return math.Float64frombits(^u)
+		}
+		c, err := stats.Correlation(peaks[ia], peaks[ib])
+		if err != nil {
+			c = 0
+		}
+		cells[k].Store(^math.Float64bits(c))
 		return c
 	}, nil
 }

@@ -11,6 +11,55 @@ import (
 	"vmwild/internal/workload"
 )
 
+// BenchmarkEmulatorReplay measures the index-resolved replay hot path: a
+// 100-server two-week window under an interval schedule that alternates
+// between two placements, so both the per-placement resolution and the
+// pointer-identity resolver cache are on the measured path.
+func BenchmarkEmulatorReplay(b *testing.B) {
+	p := workload.Banking()
+	p.Servers = 100
+	const hours = 24 * 14
+	set, err := workload.Generate(p, hours, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hostSpec := trace.Spec{CPURPE2: 20480, MemMB: 131072}
+	items := make([]placement.Item, 0, len(set.Servers))
+	for _, st := range set.Servers {
+		items = append(items, placement.Item{ID: st.ID, Demand: sizing.Demand{
+			CPU: stats.Max(st.Series.Values(trace.CPU)),
+			Mem: stats.Max(st.Series.Values(trace.Mem)),
+		}})
+	}
+	packer := placement.FFD{HostSpec: hostSpec, Bound: 1, RackSize: 14}
+	tight, err := packer.Pack(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	packer.Bound = 0.8
+	loose, err := packer.Pack(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	placements := make([]*placement.Placement, hours/24)
+	for i := range placements {
+		if i%2 == 0 {
+			placements[i] = tight
+		} else {
+			placements[i] = loose
+		}
+	}
+	sched := IntervalSchedule{IntervalHours: 24, Placements: placements}
+	cfg := Config{HostSpec: hostSpec, Power: power.HostModel{IdleWatts: 180, PeakWatts: 420}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(set, sched, hours, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReplayWeek measures replaying a 50-server week against a
 // peak-sized FFD placement.
 func BenchmarkReplayWeek(b *testing.B) {

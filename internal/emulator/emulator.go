@@ -156,6 +156,73 @@ type hostAccum struct {
 	peak  float64
 }
 
+// resolvedHost is one active host of a placement with its VM set resolved to
+// dense indices into the evaluation trace set. Resolving a placement once per
+// schedule interval replaces the per-host-hour string-map lookups (VMsOn +
+// byID) of the naive replay with flat slice walks.
+type resolvedHost struct {
+	id  string  // host ID, for contention events
+	acc int     // slot in the flat accumulator arrays
+	vms []int32 // indices into the trace set, in VMsOn order
+}
+
+// resolver turns placements into resolvedHost lists against one trace set.
+// Accumulator slots are assigned on first sight of a host and live for the
+// whole replay, so a host keeps one slot across placement changes.
+type resolver struct {
+	vmIdx  map[trace.ServerID]int32
+	accIdx map[string]int
+	accIDs []string
+	cache  map[*placement.Placement][]resolvedHost
+}
+
+func newResolver(set *trace.Set) *resolver {
+	r := &resolver{
+		vmIdx:  make(map[trace.ServerID]int32, len(set.Servers)),
+		accIdx: make(map[string]int),
+		cache:  make(map[*placement.Placement][]resolvedHost),
+	}
+	for i, st := range set.Servers {
+		r.vmIdx[st.ID] = int32(i)
+	}
+	return r
+}
+
+// resolve returns the active hosts of p with index-resolved VM lists,
+// preserving the Hosts()/VMsOn iteration order so that the replay's float
+// accumulation order — and therefore every emitted statistic — is
+// bit-identical to the map-based path. Hosts with no VMs are dropped here,
+// exactly as the per-hour loop used to skip them.
+func (r *resolver) resolve(p *placement.Placement) ([]resolvedHost, error) {
+	if rh, ok := r.cache[p]; ok {
+		return rh, nil
+	}
+	var out []resolvedHost
+	for _, host := range p.Hosts() {
+		vms := p.VMsOn(host.ID)
+		if len(vms) == 0 {
+			continue
+		}
+		idx := make([]int32, len(vms))
+		for i, vm := range vms {
+			vi, ok := r.vmIdx[vm]
+			if !ok {
+				return nil, fmt.Errorf("emulator: placement references unknown server %s", vm)
+			}
+			idx[i] = vi
+		}
+		slot, ok := r.accIdx[host.ID]
+		if !ok {
+			slot = len(r.accIDs)
+			r.accIdx[host.ID] = slot
+			r.accIDs = append(r.accIDs, host.ID)
+		}
+		out = append(out, resolvedHost{id: host.ID, acc: slot, vms: idx})
+	}
+	r.cache[p] = out
+	return out, nil
+}
+
 // Run replays hours of demand from the evaluation trace set against the
 // schedule. The trace set's series must cover at least that many samples.
 func Run(set *trace.Set, sched Schedule, hours int, cfg Config) (*Result, error) {
@@ -165,39 +232,49 @@ func Run(set *trace.Set, sched Schedule, hours int, cfg Config) (*Result, error)
 	if hours < 1 {
 		return nil, errors.New("emulator: need at least one hour to replay")
 	}
-	byID := make(map[trace.ServerID]*trace.ServerTrace, len(set.Servers))
-	for _, st := range set.Servers {
+	rows := make([][]trace.Usage, len(set.Servers))
+	for i, st := range set.Servers {
 		if st.Series.Len() < hours {
 			return nil, fmt.Errorf("emulator: server %s has %d samples, need %d", st.ID, st.Series.Len(), hours)
 		}
-		byID[st.ID] = st
+		rows[i] = st.Series.Samples
 	}
+	rsv := newResolver(set)
 
 	res := &Result{
 		Hours:       hours,
 		ActiveHosts: make([]int, hours),
 		PowerWatts:  make([]float64, hours),
 	}
-	accums := make(map[string]*hostAccum)
+	var accums []hostAccum
 
+	var (
+		lastP    *placement.Placement
+		resolved []resolvedHost
+	)
 	for h := 0; h < hours; h++ {
 		p := sched.PlacementAt(h)
 		if p == nil {
 			return nil, fmt.Errorf("emulator: schedule has no placement for hour %d", h)
 		}
-		contended := false
-		for _, host := range p.Hosts() {
-			vms := p.VMsOn(host.ID)
-			if len(vms) == 0 {
-				continue
+		if p != lastP {
+			var err error
+			if resolved, err = rsv.resolve(p); err != nil {
+				return nil, err
 			}
+			lastP = p
+			if n := len(rsv.accIDs); n > len(accums) {
+				accums = append(accums, make([]hostAccum, n-len(accums))...)
+			}
+		}
+		contended := false
+		active := 0
+		watts := 0.0
+		for i := range resolved {
+			rh := &resolved[i]
 			var cpu, mem float64
-			for _, vm := range vms {
-				st, ok := byID[vm]
-				if !ok {
-					return nil, fmt.Errorf("emulator: placement references unknown server %s", vm)
-				}
-				u := st.Series.Samples[h]
+			for _, vi := range rh.vms {
+				u := rows[vi][h]
 				cpu += u.CPU
 				mem += u.Mem
 			}
@@ -206,44 +283,43 @@ func Run(set *trace.Set, sched Schedule, hours int, cfg Config) (*Result, error)
 
 			cpuUtil := cpu / cfg.HostSpec.CPURPE2
 			memUtil := mem / cfg.HostSpec.MemMB
-			acc := accums[host.ID]
-			if acc == nil {
-				acc = &hostAccum{}
-				accums[host.ID] = acc
-			}
+			acc := &accums[rh.acc]
 			acc.hours++
 			acc.sum += cpuUtil
 			if cpuUtil > acc.peak {
 				acc.peak = cpuUtil
 			}
 
-			res.ActiveHosts[h]++
-			res.PowerWatts[h] += cfg.Power.Watts(cpuUtil)
+			active++
+			watts += cfg.Power.Watts(cpuUtil)
 
 			cpuOver := cpuUtil - 1
 			memOver := memUtil - 1
 			if cpuOver > 1e-9 || memOver > 1e-9 {
 				res.Contentions = append(res.Contentions, Contention{
 					Hour:    h,
-					Host:    host.ID,
+					Host:    rh.id,
 					CPUOver: max(0, cpuOver),
 					MemOver: max(0, memOver),
 				})
 				contended = true
 			}
 		}
+		res.ActiveHosts[h] = active
+		res.PowerWatts[h] = watts
 		if contended {
 			res.ContentionHours++
 		}
 	}
 
-	hosts := make([]string, 0, len(accums))
-	for id := range accums {
-		hosts = append(hosts, id)
-	}
+	hosts := make([]string, len(rsv.accIDs))
+	copy(hosts, rsv.accIDs)
 	sort.Strings(hosts)
 	for _, id := range hosts {
-		acc := accums[id]
+		acc := accums[rsv.accIdx[id]]
+		if acc.hours == 0 {
+			continue
+		}
 		res.Hosts = append(res.Hosts, HostStats{
 			Host:        id,
 			ActiveHours: acc.hours,

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+
+	"vmwild/internal/workload"
+)
+
+// BenchmarkSensitivitySweep measures the Figures 13-16 sweep on a 64-server
+// custom estate: two baseline planner runs plus seven plan-only dynamic
+// cells. The first iteration warms the context's run and demand caches, so
+// the steady state is the shared-cache path the report grid runs.
+func BenchmarkSensitivitySweep(b *testing.B) {
+	p, err := workload.FromTemplate(workload.Template{
+		Name: "bench-sweep", Servers: 64, WebFraction: 0.5, Burstiness: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewContext(p, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sensitivity(c, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"vmwild/internal/catalog"
 	"vmwild/internal/core"
 	"vmwild/internal/emulator"
+	"vmwild/internal/placement"
 	"vmwild/internal/power"
 	"vmwild/internal/trace"
 	"vmwild/internal/workload"
@@ -29,6 +30,14 @@ type Config struct {
 	VirtOverhead float64
 	// DedupFactor is the memory deduplication saving fraction.
 	DedupFactor float64
+	// DisableSharedCaches turns off the cross-cell demand-matrix and
+	// correlation caches, forcing every dynamic plan to recompute its
+	// predictions inline and every stochastic plan to rebuild its
+	// correlation function. The report is byte-identical either way (the
+	// equivalence is enforced by test); the switch exists to prove exactly
+	// that, and as an escape hatch should a future predictor ever become
+	// stateful.
+	DisableSharedCaches bool
 }
 
 // DefaultConfig returns the paper's baseline conditions (Table 3).
@@ -51,14 +60,32 @@ type Context struct {
 	Monitoring *trace.Set
 	Evaluation *trace.Set
 
-	mu   sync.Mutex
-	runs map[string]*runEntry
+	mu      sync.Mutex
+	runs    map[string]*runEntry
+	demands map[string]*demandEntry
+	corrs   map[int]*corrEntry
 }
 
 // runEntry is one memoized planner run; once guards the single computation.
 type runEntry struct {
 	once sync.Once
 	run  *Run
+	err  error
+}
+
+// demandEntry is one memoized demand matrix; once guards the single
+// computation, exactly like runEntry.
+type demandEntry struct {
+	once sync.Once
+	m    *core.DemandMatrix
+	err  error
+}
+
+// corrEntry is one memoized shared-correlation function, keyed by interval
+// length.
+type corrEntry struct {
+	once sync.Once
+	fn   placement.CorrFunc
 	err  error
 }
 
@@ -223,9 +250,117 @@ func (c *Context) Run(planner core.Planner) (*Run, error) {
 	return e.run, e.err
 }
 
+// SizedDemands returns the dynamic planner's walk-forward demand matrix for
+// the input's predictors, interval and sizing mode, computed at most once
+// per distinct key and shared across every grid cell of this context. Safe
+// for concurrent use: the first caller computes, concurrent callers block
+// on that computation (the runEntry pattern).
+//
+// The matrix depends only on the traces, predictors and interval — never on
+// Bound, Host or Constraints — so the sensitivity sweep's 7 bounds, the
+// blade study's 3 host models and the improved-migration study all share
+// one prediction pass per data center.
+func (c *Context) SizedDemands(in core.Input) (*core.DemandMatrix, error) {
+	key := core.DemandKey(in)
+	c.mu.Lock()
+	if c.demands == nil {
+		c.demands = make(map[string]*demandEntry)
+	}
+	e, ok := c.demands[key]
+	if !ok {
+		e = &demandEntry{}
+		c.demands[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.m, e.err = core.SizeDynamicDemands(in) })
+	return e.m, e.err
+}
+
+// withDemands attaches the shared demand matrix to a dynamic-planner input
+// when caching is enabled and the input plans over this context's own trace
+// sets. On any cache miss condition the input is returned unchanged and the
+// planner computes its predictions inline — the byte-identical fallback.
+func (c *Context) withDemands(in core.Input) core.Input {
+	if in.Demands != nil || c.Config.DisableSharedCaches {
+		return in
+	}
+	if in.Monitoring != c.Monitoring || in.Evaluation != c.Evaluation {
+		return in
+	}
+	m, err := c.SizedDemands(in)
+	if err != nil {
+		// Let the planner surface the identical error from its inline
+		// computation.
+		return in
+	}
+	in.Demands = m
+	return in
+}
+
+// SharedCorrelations returns the stochastic planner's interval-peak
+// correlation function over this context's monitoring set, built at most
+// once per interval length. The memo cache inside survives across plans, so
+// the blade study's three host models and the ablations probe each VM pair
+// at most once per data center.
+func (c *Context) SharedCorrelations(intervalHours int) (placement.CorrFunc, error) {
+	c.mu.Lock()
+	if c.corrs == nil {
+		c.corrs = make(map[int]*corrEntry)
+	}
+	e, ok := c.corrs[intervalHours]
+	if !ok {
+		e = &corrEntry{}
+		c.corrs[intervalHours] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.fn, e.err = core.NewSharedCorrelation(c.Monitoring, intervalHours) })
+	return e.fn, e.err
+}
+
+// withCorrelations attaches the shared correlation function to a
+// stochastic-planner input when caching is enabled and the input plans over
+// this context's own monitoring set. On any miss condition the input is
+// returned unchanged and the planner builds its correlation function inline
+// — the byte-identical fallback.
+func (c *Context) withCorrelations(in core.Input) core.Input {
+	if in.Correlations != nil || in.ClusterCorrelation || c.Config.DisableSharedCaches {
+		return in
+	}
+	if in.Monitoring != c.Monitoring {
+		return in
+	}
+	hours := in.IntervalHours
+	if hours == 0 {
+		hours = core.DefaultIntervalHours
+	}
+	fn, err := c.SharedCorrelations(hours)
+	if err != nil {
+		// Let the planner surface the identical error from its inline
+		// construction.
+		return in
+	}
+	in.Correlations = fn
+	return in
+}
+
+// PlanDynamic plans with the dynamic planner against explicit input,
+// routing the Predict + Size steps through the shared demand cache. The
+// sensitivity and mechanism studies use it for plan-only cells that never
+// replay.
+func (c *Context) PlanDynamic(in core.Input) (*core.Plan, error) {
+	return core.Dynamic{}.Plan(c.withDemands(in))
+}
+
 // RunWith plans with explicit input (for sensitivity sweeps) and replays
-// the schedule; results are not cached.
+// the schedule; results are not cached. Dynamic-planner inputs are routed
+// through the shared demand cache.
 func (c *Context) RunWith(planner core.Planner, in core.Input) (*Run, error) {
+	switch planner.(type) {
+	case core.Dynamic:
+		in = c.withDemands(in)
+	case core.Stochastic:
+		in = c.withCorrelations(in)
+	}
 	plan, err := planner.Plan(in)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s plan %s: %w", c.Profile.Name, planner.Name(), err)

@@ -236,7 +236,7 @@ func Sensitivity(c *Context, bounds []float64) (SensitivityResult, error) {
 func SensitivityPointAt(c *Context, bound float64) (SensitivityPoint, error) {
 	in := c.Input()
 	in.Bound = bound
-	plan, err := (core.Dynamic{}).Plan(in)
+	plan, err := c.PlanDynamic(in)
 	if err != nil {
 		return SensitivityPoint{}, fmt.Errorf("experiments: sensitivity %s bound %v: %w", c.Profile.Name, bound, err)
 	}

@@ -180,7 +180,7 @@ func ImprovedMigrationStudy(c *Context) ([]MechanismRow, error) {
 	for i := range rows {
 		in := c.Input()
 		in.Bound = 1 - rows[i].Reservation
-		plan, err := (core.Dynamic{}).Plan(in)
+		plan, err := c.PlanDynamic(in)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: improved migration %s: %w", rows[i].Mechanism, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"vmwild/internal/core"
 	"vmwild/internal/workload"
 )
 
@@ -130,6 +131,102 @@ func TestSweepDeterminism(t *testing.T) {
 	base := grid(1)
 	for _, workers := range []int{4, 8} {
 		assertResultsEqual(t, fmt.Sprintf("workers 1 vs %d", workers), base, grid(workers))
+	}
+}
+
+// TestCacheEquivalence: the shared demand and correlation caches are a pure
+// performance optimization. With Config.DisableSharedCaches forcing every
+// dynamic plan to recompute its predictions inline and every stochastic plan
+// to rebuild its correlation function, the 8-worker report must still emit
+// the committed golden bytes.
+func TestCacheEquivalence(t *testing.T) {
+	skipHeavy(t, "full report collection")
+	cfg := DefaultConfig()
+	cfg.DisableSharedCaches = true
+	res, err := Collect(context.Background(), cfg, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	diffBytes(t, "cache-disabled report (8 workers)", want, buf.Bytes())
+}
+
+// TestSharedCacheConcurrency hammers the context-level demand and
+// correlation caches from 8 goroutines at once. Every caller must observe
+// the same matrix (pointer identity: each key computes exactly once), the
+// shared correlation function must tolerate concurrent reads and fills of
+// its memo matrix, and the resulting plans must agree. Not gated by
+// skipHeavy: under -race this is the concurrency proof for both caches.
+func TestSharedCacheConcurrency(t *testing.T) {
+	p, err := workload.FromTemplate(workload.Template{
+		Name: "cache-race", Servers: 48, WebFraction: 0.5, Burstiness: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewContext(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var (
+		wg    sync.WaitGroup
+		mats  [workers]*core.DemandMatrix
+		plans [workers]*core.Plan
+		errs  [workers]error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := c.Input()
+			m, err := c.SizedDemands(in)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			mats[w] = m
+			corr, err := c.SharedCorrelations(core.DefaultIntervalHours)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			servers := c.Monitoring.Servers
+			for i := range servers {
+				for j := i + 1; j < len(servers); j++ {
+					corr(servers[i].ID, servers[j].ID)
+				}
+			}
+			plan, err := c.PlanDynamic(in)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			plans[w] = plan
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if mats[w] != mats[0] {
+			t.Errorf("worker %d observed a different demand matrix (key computed more than once)", w)
+		}
+		if plans[w].Provisioned != plans[0].Provisioned || plans[w].Migrations != plans[0].Migrations {
+			t.Errorf("worker %d plan differs: %d hosts / %d migrations, worker 0 got %d / %d",
+				w, plans[w].Provisioned, plans[w].Migrations, plans[0].Provisioned, plans[0].Migrations)
+		}
 	}
 }
 

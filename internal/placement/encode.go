@@ -39,9 +39,9 @@ type vmWire struct {
 // write-ahead commit records persist placements in this form.
 func (p *Placement) Encode() ([]byte, error) {
 	w := placementWire{Spec: p.Spec, Bound: p.Bound, RackSize: p.rackSize}
-	for _, h := range p.hosts {
+	for hi, h := range p.hosts {
 		hw := hostWire{ID: h.ID, Rack: h.Rack}
-		for _, vm := range p.byHost[h.ID] {
+		for _, vm := range p.hostVMs[hi] {
 			it := p.items[vm]
 			hw.VMs = append(hw.VMs, vmWire{
 				ID:      it.ID,
@@ -68,12 +68,10 @@ func Decode(data []byte) (*Placement, error) {
 		return nil, fmt.Errorf("placement: decode: %w", err)
 	}
 	for _, hw := range w.Hosts {
-		for _, prev := range p.hosts {
-			if prev.ID == hw.ID {
-				return nil, fmt.Errorf("placement: decode: duplicate host %s", hw.ID)
-			}
+		if _, dup := p.hostIdx[hw.ID]; dup {
+			return nil, fmt.Errorf("placement: decode: duplicate host %s", hw.ID)
 		}
-		p.hosts = append(p.hosts, &Host{ID: hw.ID, Rack: hw.Rack})
+		p.addHost(&Host{ID: hw.ID, Rack: hw.Rack})
 		for _, vw := range hw.VMs {
 			it := Item{
 				ID:     vw.ID,

@@ -13,6 +13,7 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"math"
 	"sort"
 	"strconv"
@@ -55,11 +56,15 @@ type Placement struct {
 	// reservation).
 	Bound float64
 
+	// Per-host state lives in slices parallel to hosts; hostIdx maps a
+	// host ID to its position. The planners' hot loops walk hosts by
+	// index (VMsAt/UsedAt/FitsAt) and never pay a map lookup per host.
 	hosts    []*Host
-	byHost   map[string][]trace.ServerID
+	hostIdx  map[string]int
+	hostVMs  [][]trace.ServerID
+	used     []sizing.Demand
 	byVM     map[trace.ServerID]string
 	items    map[trace.ServerID]Item
-	used     map[string]sizing.Demand
 	rackSize int
 }
 
@@ -81,10 +86,9 @@ func NewPlacement(spec trace.Spec, bound float64, rackSize int) (*Placement, err
 	return &Placement{
 		Spec:     spec,
 		Bound:    bound,
-		byHost:   make(map[string][]trace.ServerID),
+		hostIdx:  make(map[string]int),
 		byVM:     make(map[trace.ServerID]string),
 		items:    make(map[trace.ServerID]Item),
-		used:     make(map[string]sizing.Demand),
 		rackSize: rackSize,
 	}, nil
 }
@@ -100,7 +104,27 @@ func (p *Placement) NumHosts() int { return len(p.hosts) }
 func (p *Placement) NumVMs() int { return len(p.byVM) }
 
 // VMsOn implements constraints.View. The returned slice is shared.
-func (p *Placement) VMsOn(host string) []trace.ServerID { return p.byHost[host] }
+func (p *Placement) VMsOn(host string) []trace.ServerID {
+	if i, ok := p.hostIdx[host]; ok {
+		return p.hostVMs[i]
+	}
+	return nil
+}
+
+// HostIndex returns the position of the host in Hosts(), or -1 when the
+// host is not part of the placement.
+func (p *Placement) HostIndex(host string) int {
+	if i, ok := p.hostIdx[host]; ok {
+		return i
+	}
+	return -1
+}
+
+// VMsAt returns the VMs on Hosts()[i]. The returned slice is shared.
+func (p *Placement) VMsAt(i int) []trace.ServerID { return p.hostVMs[i] }
+
+// UsedAt returns the summed body demand on Hosts()[i].
+func (p *Placement) UsedAt(i int) sizing.Demand { return p.used[i] }
 
 // HostOf implements constraints.View.
 func (p *Placement) HostOf(vm trace.ServerID) (string, bool) {
@@ -110,10 +134,8 @@ func (p *Placement) HostOf(vm trace.ServerID) (string, bool) {
 
 // RackOf implements constraints.View.
 func (p *Placement) RackOf(host string) string {
-	for _, h := range p.hosts {
-		if h.ID == host {
-			return h.Rack
-		}
+	if i, ok := p.hostIdx[host]; ok {
+		return p.hosts[i].Rack
 	}
 	return ""
 }
@@ -125,7 +147,12 @@ func (p *Placement) Item(vm trace.ServerID) (Item, bool) {
 }
 
 // Used returns the summed body demand on a host.
-func (p *Placement) Used(host string) sizing.Demand { return p.used[host] }
+func (p *Placement) Used(host string) sizing.Demand {
+	if i, ok := p.hostIdx[host]; ok {
+		return p.used[i]
+	}
+	return sizing.Demand{}
+}
 
 // Capacity returns the usable per-host capacity (spec scaled by bound).
 func (p *Placement) Capacity() sizing.Demand {
@@ -139,7 +166,7 @@ func (p *Placement) OpenHost() *Host {
 		ID:   "h" + pad(idx),
 		Rack: "r" + pad(idx/p.rackSize),
 	}
-	p.hosts = append(p.hosts, h)
+	p.addHost(h)
 	return h
 }
 
@@ -147,19 +174,33 @@ func (p *Placement) OpenHost() *Host {
 // of the placement (the executor replays moves whose targets were opened by
 // a later planning state). The rack is derived from the host's position.
 func (p *Placement) EnsureHost(id string) *Host {
-	for _, h := range p.hosts {
-		if h.ID == id {
-			return h
-		}
+	if i, ok := p.hostIdx[id]; ok {
+		return p.hosts[i]
 	}
 	h := &Host{ID: id, Rack: "r" + pad(len(p.hosts)/p.rackSize)}
-	p.hosts = append(p.hosts, h)
+	p.addHost(h)
 	return h
+}
+
+func (p *Placement) addHost(h *Host) {
+	p.hostIdx[h.ID] = len(p.hosts)
+	p.hosts = append(p.hosts, h)
+	p.hostVMs = append(p.hostVMs, nil)
+	p.used = append(p.used, sizing.Demand{})
 }
 
 // Fits reports whether adding demand to the host keeps it within the bound.
 func (p *Placement) Fits(host string, d sizing.Demand) bool {
-	u := p.used[host]
+	return p.FitsAt(p.HostIndex(host), d)
+}
+
+// FitsAt reports whether adding demand to Hosts()[i] keeps it within the
+// bound. A negative index checks against an empty host.
+func (p *Placement) FitsAt(i int, d sizing.Demand) bool {
+	var u sizing.Demand
+	if i >= 0 {
+		u = p.used[i]
+	}
 	c := p.Capacity()
 	return u.CPU+d.CPU <= c.CPU+1e-9 && u.Mem+d.Mem <= c.Mem+1e-9
 }
@@ -170,23 +211,15 @@ func (p *Placement) Assign(it Item, host string) error {
 	if _, dup := p.byVM[it.ID]; dup {
 		return fmt.Errorf("placement: %s already assigned", it.ID)
 	}
-	if _, ok := p.byHost[host]; !ok {
-		found := false
-		for _, h := range p.hosts {
-			if h.ID == host {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("placement: unknown host %s", host)
-		}
+	hi, ok := p.hostIdx[host]
+	if !ok {
+		return fmt.Errorf("placement: unknown host %s", host)
 	}
-	p.byHost[host] = append(p.byHost[host], it.ID)
+	p.hostVMs[hi] = append(p.hostVMs[hi], it.ID)
 	p.byVM[it.ID] = host
 	p.items[it.ID] = it
-	u := p.used[host]
-	p.used[host] = sizing.Demand{CPU: u.CPU + it.Demand.CPU, Mem: u.Mem + it.Demand.Mem}
+	u := p.used[hi]
+	p.used[hi] = sizing.Demand{CPU: u.CPU + it.Demand.CPU, Mem: u.Mem + it.Demand.Mem}
 	return nil
 }
 
@@ -199,15 +232,16 @@ func (p *Placement) Remove(vm trace.ServerID) (Item, error) {
 	it := p.items[vm]
 	delete(p.byVM, vm)
 	delete(p.items, vm)
-	vms := p.byHost[host]
+	hi := p.hostIdx[host]
+	vms := p.hostVMs[hi]
 	for i, id := range vms {
 		if id == vm {
-			p.byHost[host] = append(vms[:i], vms[i+1:]...)
+			p.hostVMs[hi] = append(vms[:i], vms[i+1:]...)
 			break
 		}
 	}
-	u := p.used[host]
-	p.used[host] = sizing.Demand{CPU: u.CPU - it.Demand.CPU, Mem: u.Mem - it.Demand.Mem}
+	u := p.used[hi]
+	p.used[hi] = sizing.Demand{CPU: u.CPU - it.Demand.CPU, Mem: u.Mem - it.Demand.Mem}
 	return it, nil
 }
 
@@ -219,8 +253,9 @@ func (p *Placement) UpdateDemand(vm trace.ServerID, d sizing.Demand) error {
 		return fmt.Errorf("placement: %s is not assigned", vm)
 	}
 	it := p.items[vm]
-	u := p.used[host]
-	p.used[host] = sizing.Demand{
+	hi := p.hostIdx[host]
+	u := p.used[hi]
+	p.used[hi] = sizing.Demand{
 		CPU: u.CPU - it.Demand.CPU + d.CPU,
 		Mem: u.Mem - it.Demand.Mem + d.Mem,
 	}
@@ -234,8 +269,8 @@ func (p *Placement) UpdateDemand(vm trace.ServerID, d sizing.Demand) error {
 func (p *Placement) Overloaded() []string {
 	c := p.Capacity()
 	var out []string
-	for _, h := range p.hosts {
-		u := p.used[h.ID]
+	for i, h := range p.hosts {
+		u := p.used[i]
 		if u.CPU > c.CPU+1e-9 || u.Mem > c.Mem+1e-9 {
 			out = append(out, h.ID)
 		}
@@ -246,8 +281,8 @@ func (p *Placement) Overloaded() []string {
 // ActiveHosts returns how many hosts have at least one VM.
 func (p *Placement) ActiveHosts() int {
 	n := 0
-	for _, h := range p.hosts {
-		if len(p.byHost[h.ID]) > 0 {
+	for i := range p.hosts {
+		if len(p.hostVMs[i]) > 0 {
 			n++
 		}
 	}
@@ -260,24 +295,19 @@ func (p *Placement) Clone() *Placement {
 		Spec:     p.Spec,
 		Bound:    p.Bound,
 		hosts:    make([]*Host, len(p.hosts)),
-		byHost:   make(map[string][]trace.ServerID, len(p.byHost)),
-		byVM:     make(map[trace.ServerID]string, len(p.byVM)),
-		items:    make(map[trace.ServerID]Item, len(p.items)),
-		used:     make(map[string]sizing.Demand, len(p.used)),
+		hostIdx:  maps.Clone(p.hostIdx),
+		hostVMs:  make([][]trace.ServerID, len(p.hostVMs)),
+		used:     make([]sizing.Demand, len(p.used)),
+		byVM:     maps.Clone(p.byVM),
+		items:    maps.Clone(p.items),
 		rackSize: p.rackSize,
 	}
 	copy(c.hosts, p.hosts)
-	for h, vms := range p.byHost {
-		c.byHost[h] = append([]trace.ServerID(nil), vms...)
-	}
-	for vm, h := range p.byVM {
-		c.byVM[vm] = h
-	}
-	for vm, it := range p.items {
-		c.items[vm] = it
-	}
-	for h, u := range p.used {
-		c.used[h] = u
+	copy(c.used, p.used)
+	for i, vms := range p.hostVMs {
+		if len(vms) > 0 {
+			c.hostVMs[i] = append([]trace.ServerID(nil), vms...)
+		}
 	}
 	return c
 }

@@ -1,0 +1,33 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkCombinedPredictPeak measures the planner's default estimator
+// (recent peak + weekly time-of-day, the core.DefaultCPUPredictor shape)
+// over a 30-day hourly history — one cell of the demand matrix that
+// core.SizeDynamicDemands materializes. The predictors must stay
+// allocation-free: the walk-forward sizing calls this n-servers x
+// 168-intervals times per (predictor, interval) key.
+func BenchmarkCombinedPredictPeak(b *testing.B) {
+	p := Combined{
+		Predictors: []Predictor{
+			RecentPeak{Windows: 1},
+			Periodic{Days: 7, SamplesPerDay: 24},
+		},
+		Headroom: 1.10,
+	}
+	history := make([]float64, 24*30)
+	for i := range history {
+		history[i] = 100 + 50*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictPeak(history, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -90,11 +90,11 @@ func (d Demand) Scale(k float64) Demand {
 
 // SizeServer applies the sizer to both resources of one server trace.
 func SizeServer(st *trace.ServerTrace, s Sizer) (Demand, error) {
-	cpu, err := s.Size(st.Series.Values(trace.CPU))
+	cpu, err := s.Size(st.Series.Col(trace.CPU))
 	if err != nil {
 		return Demand{}, fmt.Errorf("server %s cpu: %w", st.ID, err)
 	}
-	mem, err := s.Size(st.Series.Values(trace.Mem))
+	mem, err := s.Size(st.Series.Col(trace.Mem))
 	if err != nil {
 		return Demand{}, fmt.Errorf("server %s mem: %w", st.ID, err)
 	}

@@ -13,6 +13,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -70,6 +71,9 @@ type Series struct {
 	Step time.Duration
 	// Samples holds one Usage per step.
 	Samples []Usage
+
+	colMu sync.Mutex
+	cols  [2][]float64 // cached per-resource columns; see Col
 }
 
 // NewSeries creates a series with the given step and samples. The samples
@@ -89,13 +93,38 @@ func (s *Series) Duration() time.Duration {
 	return time.Duration(len(s.Samples)) * s.Step
 }
 
-// Values extracts one resource component as a flat slice.
+// Values extracts one resource component as a flat slice. The slice is
+// freshly allocated on every call; callers may mutate it. Read-only callers
+// should prefer Col, which caches the column on the series.
 func (s *Series) Values(r Resource) []float64 {
 	out := make([]float64, len(s.Samples))
 	for i, u := range s.Samples {
 		out[i] = u.Get(r)
 	}
 	return out
+}
+
+// Col returns one resource component as a flat slice, cached on the series
+// after the first call. The returned slice MUST be treated as read-only: it
+// is shared between every caller (and across goroutines). Series samples are
+// never mutated after construction anywhere in this module, so the cache is
+// invalidated only defensively, by length.
+func (s *Series) Col(r Resource) []float64 {
+	i := 0
+	if r == Mem {
+		i = 1
+	}
+	s.colMu.Lock()
+	col := s.cols[i]
+	if len(col) != len(s.Samples) {
+		col = make([]float64, len(s.Samples))
+		for j, u := range s.Samples {
+			col[j] = u.Get(r)
+		}
+		s.cols[i] = col
+	}
+	s.colMu.Unlock()
+	return col
 }
 
 // Slice returns a view of samples [from, to) as a new Series sharing the
@@ -142,7 +171,7 @@ func (s *Series) Intervals(n int, r Resource, f func([]float64) float64) ([]floa
 	if n < 1 {
 		return nil, errors.New("trace: interval length must be >= 1")
 	}
-	vals := s.Values(r)
+	vals := s.Col(r)
 	out := make([]float64, 0, (len(vals)+n-1)/n)
 	for i := 0; i < len(vals); i += n {
 		end := i + n

@@ -67,6 +67,12 @@ type (
 	Plan = core.Plan
 	// PlanInput is the planner input.
 	PlanInput = core.Input
+	// DemandMatrix is the dynamic planner's walk-forward sizing, fully
+	// materialized for sharing across plans (see SizeDynamicDemands).
+	DemandMatrix = core.DemandMatrix
+	// CorrFunc is a pairwise demand-correlation function consumed by the
+	// stochastic packer.
+	CorrFunc = placement.CorrFunc
 	// ReplayResult is the emulator's replay outcome.
 	ReplayResult = emulator.Result
 	// Placement is a mutable assignment of VMs to hosts.
@@ -155,6 +161,22 @@ func Stochastic() Planner { return core.Stochastic{} }
 // Dynamic returns the dynamic consolidation planner (2-hour intervals, live
 // migration with a 20% reservation).
 func Dynamic() Planner { return core.Dynamic{} }
+
+// SizeDynamicDemands precomputes the dynamic planner's Predict + Size walk:
+// the per-interval reservation of every server across the evaluation
+// window. Attach the result via PlanInput.Demands to let many dynamic plans
+// over the same traces (different bounds, host models, constraints) share
+// one prediction pass — planning output is identical either way.
+func SizeDynamicDemands(in PlanInput) (*DemandMatrix, error) {
+	return core.SizeDynamicDemands(in)
+}
+
+// NewSharedCorrelation precomputes the stochastic planner's interval-peak
+// correlation function over a monitoring set, with a memo that is safe to
+// share across concurrent plans. Attach it via PlanInput.Correlations.
+func NewSharedCorrelation(set *TraceSet, intervalHours int) (CorrFunc, error) {
+	return core.NewSharedCorrelation(set, intervalHours)
+}
 
 // Deployment constraints (Section 2.2.4 of the paper).
 type (
