@@ -39,6 +39,7 @@ func run() error {
 		queryListen  = flag.String("query-listen", "127.0.0.1:7701", "query protocol address")
 		interval     = flag.Duration("interval", 2*time.Hour, "consolidation interval")
 		retention    = flag.Duration("retention", 30*24*time.Hour, "sample retention")
+		ingestShards = flag.Int("ingest-shards", vmwild.DefaultIngestShards, "warehouse ingest shard count (also the WAL lane count)")
 		snapshot     = flag.String("snapshot", "", "restore this snapshot file at startup and rewrite it on shutdown")
 		walDir       = flag.String("wal-dir", "", "journal accepted samples to a write-ahead log in this directory and recover from it at startup")
 		fsync        = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
@@ -70,6 +71,7 @@ func run() error {
 		queryListen:  *queryListen,
 		interval:     *interval,
 		retention:    *retention,
+		ingestShards: *ingestShards,
 		snapshotPath: *snapshot,
 		walDir:       *walDir,
 		fsync:        *fsync,
@@ -82,14 +84,15 @@ func run() error {
 
 // serveConfig carries the daemon-mode settings.
 type serveConfig struct {
-	listen, queryListen  string
-	interval, retention  time.Duration
-	snapshotPath         string
-	walDir, fsync        string
-	ckptEvery            int
-	healthListen         string
-	readTimeout          time.Duration
-	maxLineBytes         int
+	listen, queryListen string
+	interval, retention time.Duration
+	ingestShards        int
+	snapshotPath        string
+	walDir, fsync       string
+	ckptEvery           int
+	healthListen        string
+	readTimeout         time.Duration
+	maxLineBytes        int
 }
 
 // serve runs the daemon against real agents until SIGINT/SIGTERM.
@@ -113,7 +116,7 @@ func serve(cfg serveConfig) error {
 		fmt.Printf("health endpoints on %s\n", health.Addr())
 	}
 
-	warehouse := vmwild.NewWarehouse(cfg.retention)
+	warehouse := vmwild.NewWarehouseShards(cfg.retention, cfg.ingestShards)
 	warehouse.ReadTimeout = cfg.readTimeout
 	warehouse.MaxLineBytes = cfg.maxLineBytes
 	if cfg.snapshotPath != "" {

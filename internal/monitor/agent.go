@@ -3,7 +3,6 @@ package monitor
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -11,8 +10,11 @@ import (
 )
 
 // Agent is the per-server collector: it polls its Source on the collection
-// interval and streams JSON-line samples to the warehouse, reconnecting
-// with backoff when the connection drops.
+// interval and streams samples to the warehouse as batch frames,
+// reconnecting with backoff when the connection drops. Samples collected
+// while the warehouse is unreachable accumulate (up to MaxPending) and
+// ship on the next successful flush, so a warehouse restart costs
+// latency, not data.
 type Agent struct {
 	// Source supplies the samples.
 	Source Source
@@ -26,6 +28,9 @@ type Agent struct {
 	Now func() time.Time
 	// Backoff is the reconnect delay (default 100ms).
 	Backoff time.Duration
+	// MaxPending bounds the samples buffered while the warehouse is
+	// unreachable (default 4096); beyond it the oldest are dropped.
+	MaxPending int
 }
 
 // Run collects and ships samples until the context is canceled. It returns
@@ -49,19 +54,85 @@ func (a *Agent) Run(ctx context.Context) error {
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	maxPending := a.MaxPending
+	if maxPending <= 0 {
+		maxPending = 4096
+	}
 
 	ticker := time.NewTicker(a.Interval)
 	defer ticker.Stop()
 
 	var (
-		conn net.Conn
-		enc  *json.Encoder
+		conn    net.Conn
+		bw      *bufio.Writer
+		pending []Sample
+		frame   []byte
 	)
+	fc := floatCachePool.Get().(*floatCache)
+	defer floatCachePool.Put(fc)
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
 	}()
+	flush := func() {
+		for attempt := 0; attempt < 2 && len(pending) > 0; attempt++ {
+			if conn == nil {
+				c, err := (&net.Dialer{}).DialContext(ctx, "tcp", a.Addr)
+				if err != nil {
+					select {
+					case <-ctx.Done():
+					case <-time.After(backoff):
+					}
+					continue
+				}
+				conn = c
+				bw = bufio.NewWriter(conn)
+			}
+			var err error
+			for len(pending) > 0 && err == nil {
+				chunk := pending[:min(batchChunk, len(pending))]
+				frame, err = appendBatchFrame(frame[:0], chunk, fc)
+				if err != nil {
+					// One unencodable sample poisons its frame; rebuild
+					// the frame skipping only the samples not even the
+					// fallback encoder can represent.
+					frame = append(frame[:0], '[')
+					kept := 0
+					for i := range chunk {
+						pos := len(frame)
+						if kept > 0 {
+							frame = append(frame, ',')
+						}
+						var encErr error
+						if frame, encErr = appendSampleWire(frame, &chunk[i], fc); encErr != nil {
+							frame = frame[:pos]
+							continue
+						}
+						kept++
+					}
+					frame = append(frame, ']', '\n')
+					err = nil
+					if kept == 0 {
+						pending = pending[len(chunk):]
+						continue
+					}
+				}
+				conn.SetWriteDeadline(time.Now().Add(batchWriteTimeout))
+				if _, err = bw.Write(frame); err == nil {
+					if err = bw.Flush(); err == nil {
+						pending = pending[len(chunk):]
+					}
+				}
+			}
+			if err != nil {
+				conn.Close()
+				conn, bw = nil, nil
+				continue
+			}
+			return
+		}
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -70,50 +141,63 @@ func (a *Agent) Run(ctx context.Context) error {
 		}
 		sample, err := a.Source.Collect(now())
 		if err != nil {
-			// Sources run dry when their trace ends; stop cleanly.
+			// Sources run dry when their trace ends; ship what is
+			// buffered and stop cleanly.
+			flush()
 			return nil
 		}
-		for attempt := 0; attempt < 2; attempt++ {
-			if conn == nil {
-				c, err := (&net.Dialer{}).DialContext(ctx, "tcp", a.Addr)
-				if err != nil {
-					select {
-					case <-ctx.Done():
-						return nil
-					case <-time.After(backoff):
-					}
-					continue
-				}
-				conn = c
-				enc = json.NewEncoder(conn)
-			}
-			if err := enc.Encode(sample); err != nil {
-				conn.Close()
-				conn, enc = nil, nil
-				continue
-			}
-			break
+		if len(pending) >= maxPending {
+			copy(pending, pending[1:])
+			pending = pending[:len(pending)-1]
+		}
+		pending = append(pending, sample)
+		flush()
+		if len(pending) == 0 && cap(pending) > 4*batchChunk {
+			pending = nil // shed a backlog-sized buffer once drained
 		}
 	}
 }
 
-// SendBatch dials the warehouse once and ships the given samples — the bulk
-// path used to backfill history or run deterministic tests without timers.
+// SendBatch dials the warehouse once and ships the given samples as
+// chunked batch frames with one flush per chunk — the bulk path used to
+// backfill history or run deterministic tests without timers. It honors
+// ctx between chunks and bounds each flush with a write deadline, so a
+// stalled warehouse fails the call instead of hanging it.
 func SendBatch(ctx context.Context, addr string, samples []Sample) error {
 	conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return fmt.Errorf("monitor: dial warehouse: %w", err)
 	}
 	defer conn.Close()
+	// A cancellation mid-write would otherwise wait out the full write
+	// deadline; poking an immediate deadline fails the blocked write now.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 	w := bufio.NewWriter(conn)
-	enc := json.NewEncoder(w)
-	for _, s := range samples {
-		if err := enc.Encode(s); err != nil {
+	frame := make([]byte, 0, 64*batchChunk)
+	fc := floatCachePool.Get().(*floatCache)
+	defer floatCachePool.Put(fc)
+	for len(samples) > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("monitor: send batch: %w", err)
+		}
+		chunk := samples[:min(batchChunk, len(samples))]
+		samples = samples[len(chunk):]
+		frame, err = appendBatchFrame(frame[:0], chunk, fc)
+		if err != nil {
 			return fmt.Errorf("monitor: send sample: %w", err)
 		}
-	}
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("monitor: flush: %w", err)
+		deadline := time.Now().Add(batchWriteTimeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		conn.SetWriteDeadline(deadline)
+		if _, err := w.Write(frame); err != nil {
+			return fmt.Errorf("monitor: send sample: %w", err)
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("monitor: flush: %w", err)
+		}
 	}
 	return nil
 }

@@ -104,9 +104,12 @@ func TestJournalFailureDropsSample(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Ingest(synthSample(0))
-	// Kill the log out from under the warehouse: persistence failures must
-	// surface as drops + counted errors, not invisible data loss.
-	wl.log.Close()
+	// Kill every journal lane out from under the warehouse: persistence
+	// failures must surface as drops + counted errors, not invisible data
+	// loss.
+	for i := range wl.lanes {
+		wl.lanes[i].log.Close()
+	}
 	if err := w.IngestDurable(synthSample(1)); err == nil {
 		t.Fatal("expected a journal error")
 	}

@@ -99,16 +99,22 @@ func (qs *QueryServer) Listen(addr string) (string, error) {
 
 func (qs *QueryServer) acceptLoop(lis net.Listener) {
 	defer qs.wg.Done()
+	backoff := acceptBackoffMin
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
+			// Back off on transient accept errors so a listener stuck in
+			// a persistent error state (EMFILE, say) does not spin a
+			// core; any successful accept resets the delay.
 			select {
 			case <-qs.shutdown:
 				return
-			default:
+			case <-time.After(backoff):
+				backoff = min(backoff*2, acceptBackoffMax)
 				continue
 			}
 		}
+		backoff = acceptBackoffMin
 		qs.mu.Lock()
 		qs.conns[conn] = struct{}{}
 		qs.mu.Unlock()
@@ -139,7 +145,11 @@ func (qs *QueryServer) serveConn(conn net.Conn) {
 	enc := json.NewEncoder(conn)
 	for {
 		if qs.ReadTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(qs.ReadTimeout))
+			if err := conn.SetReadDeadline(time.Now().Add(qs.ReadTimeout)); err != nil {
+				// A connection that cannot arm its read deadline must
+				// not keep looping without one.
+				return
+			}
 		}
 		if !sc.Scan() {
 			// EOF, read timeout, or a line beyond MaxLineBytes.

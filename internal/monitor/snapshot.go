@@ -5,28 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"vmwild/internal/trace"
 )
 
-// Snapshot writes every retained sample as JSON lines, ordered by server
-// and timestamp — the warehouse's durability path, so a restarted central
-// server does not lose its 30-day planning history.
-func (w *Warehouse) Snapshot(out io.Writer) error {
-	w.mu.Lock()
-	ids := make([]string, 0, len(w.byID))
-	for id := range w.byID {
-		ids = append(ids, string(id))
-	}
-	sort.Strings(ids)
-	// Copy under the lock; encode outside it.
-	var samples []Sample
-	for _, id := range ids {
-		samples = append(samples, w.byID[trace.ServerID(id)]...)
-	}
-	w.mu.Unlock()
-
+// encodeSamples writes samples as JSON lines — the snapshot format, kept
+// byte-identical to the pre-shard json.Encoder output.
+func encodeSamples(out io.Writer, samples []Sample) error {
 	bw := bufio.NewWriter(out)
 	enc := json.NewEncoder(bw)
 	for _, s := range samples {
@@ -38,6 +24,65 @@ func (w *Warehouse) Snapshot(out io.Writer) error {
 		return fmt.Errorf("monitor: snapshot flush: %w", err)
 	}
 	return nil
+}
+
+// copyAll reassembles every retained sample ordered by server then
+// storage (timestamp) order, holding all shard locks for the copy so the
+// result is a consistent point-in-time cut. Locks are taken in shard
+// index order; no other path holds two shard locks at once.
+func (w *Warehouse) copyAll() []Sample {
+	for i := range w.shards {
+		w.shards[i].mu.Lock()
+	}
+	total := 0
+	var ids []trace.ServerID
+	for i := range w.shards {
+		total += w.shards[i].samples
+		for id := range w.shards[i].servers {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	samples := make([]Sample, 0, total)
+	for _, id := range ids {
+		st := w.shards[w.shardIndex(id)].servers[id]
+		for i := range st.ts {
+			samples = append(samples, st.sampleAt(id, i))
+		}
+	}
+	for i := range w.shards {
+		w.shards[i].mu.Unlock()
+	}
+	return samples
+}
+
+// Snapshot writes every retained sample as JSON lines, ordered by server
+// and timestamp — the warehouse's durability path, so a restarted central
+// server does not lose its 30-day planning history.
+func (w *Warehouse) Snapshot(out io.Writer) error {
+	return encodeSamples(out, w.copyAll())
+}
+
+// snapshotShard writes shard k's retained samples in snapshot format —
+// the per-shard WAL checkpoint payload. The caller must not hold shard
+// k's lock.
+func (w *Warehouse) snapshotShard(k int, out io.Writer) error {
+	sh := &w.shards[k]
+	sh.mu.Lock()
+	ids := make([]trace.ServerID, 0, len(sh.servers))
+	for id := range sh.servers {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	samples := make([]Sample, 0, sh.samples)
+	for _, id := range ids {
+		st := sh.servers[id]
+		for i := range st.ts {
+			samples = append(samples, st.sampleAt(id, i))
+		}
+	}
+	sh.mu.Unlock()
+	return encodeSamples(out, samples)
 }
 
 // Restore ingests a snapshot previously written by Snapshot, applying the

@@ -4,26 +4,67 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmwild/internal/trace"
 )
 
 // DefaultMaxLineBytes bounds one JSON line on an ingestion or query
-// connection. An agent sample is a few hundred bytes; anything near this
-// limit is garbage or an attack, and the connection is dropped rather than
-// buffered without bound.
+// connection. An agent sample is a few hundred bytes and a batch frame a
+// few hundred KB at most; anything near this limit is garbage or an
+// attack, and the connection is dropped rather than buffered without
+// bound.
 const DefaultMaxLineBytes = 1 << 20
 
-// Warehouse is the central monitoring store: it accepts JSON-line samples
-// over TCP, retains them under a retention policy, and aggregates them into
-// the hourly-average series consolidation planning consumes.
+// DefaultIngestShards is the shard count NewWarehouse uses. It is a fixed
+// constant rather than NumCPU so that shard assignment — and therefore the
+// per-shard WAL layout — is identical across machines.
+const DefaultIngestShards = 8
+
+// maxIngestShards caps the configurable shard count; beyond this the
+// per-shard WAL directory fan-out stops paying for itself.
+const maxIngestShards = 256
+
+var (
+	errNoCPURating  = errors.New("monitor: spec has no CPU rating")
+	errPrecedeEpoch = errors.New("monitor: samples precede epoch")
+)
+
+// journalFn is the write-ahead hook type; stored behind an atomic pointer
+// so the ingest hot path reads it without a lock.
+type journalFn func(Sample) error
+
+// shard is one lock domain of the warehouse: a subset of servers chosen by
+// ServerID hash, with its own mutex, sample/eviction counters, and
+// struct-of-arrays stores. The padding keeps adjacent shard mutexes off
+// the same cache line.
+type shard struct {
+	mu      sync.Mutex
+	servers map[trace.ServerID]*serverStore
+	samples int
+	evicted int
+	_       [64]byte
+}
+
+// serverCache is the memoized sorted server list; gen ties it to the
+// newest-server generation it was built from.
+type serverCache struct {
+	gen uint64
+	ids []trace.ServerID
+}
+
+// Warehouse is the central monitoring store: it accepts JSON samples over
+// TCP — one object per line, or a batch frame holding a JSON array of
+// objects — retains them under a retention policy, and aggregates them
+// into the hourly-average series consolidation planning consumes. Storage
+// is sharded by ServerID hash so concurrent agents and query clients do
+// not contend on one lock.
 type Warehouse struct {
 	// Retention drops samples older than this relative to the newest
 	// sample of the same server (0 keeps everything). The paper's
@@ -38,26 +79,66 @@ type Warehouse struct {
 	// bound are counted as dropped and the connection stays usable.
 	MaxLineBytes int
 
-	mu          sync.Mutex
-	byID        map[trace.ServerID][]Sample
-	dropped     int
-	journal     func(Sample) error
-	journalErrs int
+	shards []shard
 
-	lis      net.Listener
+	journal     atomic.Pointer[journalFn]
+	droppedMisc atomic.Int64 // invalid, unparseable, or journal-failed samples
+	journalErrs atomic.Int64
+
+	serverGen  atomic.Uint64 // bumped after a new server's map insert
+	serverList atomic.Pointer[serverCache]
+
+	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
+	lis      net.Listener
 	wg       sync.WaitGroup
 	shutdown chan struct{}
 }
 
-// NewWarehouse creates an empty warehouse.
+// NewWarehouse creates an empty warehouse with DefaultIngestShards shards.
 func NewWarehouse(retention time.Duration) *Warehouse {
-	return &Warehouse{
+	return NewWarehouseShards(retention, DefaultIngestShards)
+}
+
+// NewWarehouseShards creates an empty warehouse with the given shard
+// count. Values outside [1, 256] are clamped. One shard reproduces the
+// old single-lock behavior; more shards trade memory for ingest and query
+// concurrency.
+func NewWarehouseShards(retention time.Duration, shards int) *Warehouse {
+	if shards < 1 {
+		shards = DefaultIngestShards
+	}
+	if shards > maxIngestShards {
+		shards = maxIngestShards
+	}
+	w := &Warehouse{
 		Retention: retention,
-		byID:      make(map[trace.ServerID][]Sample),
+		shards:    make([]shard, shards),
 		conns:     make(map[net.Conn]struct{}),
 		shutdown:  make(chan struct{}),
 	}
+	for i := range w.shards {
+		w.shards[i].servers = make(map[trace.ServerID]*serverStore)
+	}
+	return w
+}
+
+// Shards reports the shard count (needed by the per-shard WAL to lay out
+// its journal lanes).
+func (w *Warehouse) Shards() int { return len(w.shards) }
+
+// shardIndex maps a server to its shard with FNV-1a — stable across
+// processes, which the per-shard WAL layout depends on.
+func (w *Warehouse) shardIndex(id trace.ServerID) int {
+	if len(w.shards) == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(w.shards)))
 }
 
 // Listen starts accepting agents on addr (use "127.0.0.1:0" for an
@@ -73,22 +154,32 @@ func (w *Warehouse) Listen(addr string) (string, error) {
 	return lis.Addr().String(), nil
 }
 
+// acceptBackoff paces retries after transient Accept errors: exponential
+// from 5ms to 1s, reset by any successful accept. Without it a listener
+// stuck in a persistent error state (EMFILE, say) spins a core at 100%.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
 func (w *Warehouse) acceptLoop() {
 	defer w.wg.Done()
+	backoff := acceptBackoffMin
 	for {
 		conn, err := w.lis.Accept()
 		if err != nil {
 			select {
 			case <-w.shutdown:
 				return
-			default:
-				// Transient accept error; keep serving.
+			case <-time.After(backoff):
+				backoff = min(backoff*2, acceptBackoffMax)
 				continue
 			}
 		}
-		w.mu.Lock()
+		backoff = acceptBackoffMin
+		w.connMu.Lock()
 		w.conns[conn] = struct{}{}
-		w.mu.Unlock()
+		w.connMu.Unlock()
 		w.wg.Add(1)
 		go w.serveConn(conn)
 	}
@@ -98,24 +189,36 @@ func (w *Warehouse) serveConn(conn net.Conn) {
 	defer w.wg.Done()
 	defer func() {
 		conn.Close()
-		w.mu.Lock()
+		w.connMu.Lock()
 		delete(w.conns, conn)
-		w.mu.Unlock()
+		w.connMu.Unlock()
 	}()
 	maxLine := w.MaxLineBytes
 	if maxLine <= 0 {
 		maxLine = DefaultMaxLineBytes
 	}
 	// Line-based ingestion with a bounded buffer: one malformed line is
-	// one dropped sample, not a poisoned stream, and an oversized line
-	// ends the connection instead of growing the buffer without bound.
+	// one dropped sample (or one dropped batch), not a poisoned stream,
+	// and an oversized line ends the connection instead of growing the
+	// buffer without bound.
 	sc := bufio.NewScanner(conn)
 	// Scanner treats max(cap(buf), limit) as the token bound, so the
-	// initial buffer must not exceed the configured limit.
-	sc.Buffer(make([]byte, 0, min(4096, maxLine)), maxLine)
+	// initial buffer must not exceed the configured limit. Batch frames
+	// run to ~128 KiB, so starting near that size skips the grow-and-copy
+	// ladder on every connection.
+	sc.Buffer(make([]byte, 0, min(128*1024, maxLine)), maxLine)
+	// Server IDs repeat on every sample of a connection; interning them
+	// makes the steady-state decode allocation-free per sample.
+	intern := make(map[string]trace.ServerID, 16)
+	batch := takeBatch()
+	defer putBatch(batch)
 	for {
 		if w.ReadTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(w.ReadTimeout))
+			if err := conn.SetReadDeadline(time.Now().Add(w.ReadTimeout)); err != nil {
+				// A connection that cannot arm its read deadline must
+				// not keep looping without one.
+				return
+			}
 		}
 		if !sc.Scan() {
 			// EOF, read timeout, or a line beyond MaxLineBytes.
@@ -125,11 +228,20 @@ func (w *Warehouse) serveConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		var s Sample
-		if err := json.Unmarshal(line, &s); err != nil {
-			w.mu.Lock()
-			w.dropped++
-			w.mu.Unlock()
+		if line[0] == '[' {
+			// Batch frame: a JSON array of sample objects on one line.
+			var err error
+			batch, err = decodeBatch(line, batch[:0], intern)
+			if err != nil {
+				w.droppedMisc.Add(1)
+				continue
+			}
+			w.IngestBatch(batch)
+			continue
+		}
+		s, err := decodeSample(line, intern)
+		if err != nil {
+			w.droppedMisc.Add(1)
 			continue
 		}
 		w.Ingest(s)
@@ -144,11 +256,11 @@ func (w *Warehouse) Close() error {
 	if w.lis != nil {
 		err = w.lis.Close()
 	}
-	w.mu.Lock()
+	w.connMu.Lock()
 	for conn := range w.conns {
 		conn.Close()
 	}
-	w.mu.Unlock()
+	w.connMu.Unlock()
 	w.wg.Wait()
 	return err
 }
@@ -160,17 +272,18 @@ func (w *Warehouse) Close() error {
 // cannot be made durable must not be acknowledged. Set it before any
 // ingestion begins.
 func (w *Warehouse) SetJournal(j func(Sample) error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.journal = j
+	if j == nil {
+		w.journal.Store(nil)
+		return
+	}
+	fn := journalFn(j)
+	w.journal.Store(&fn)
 }
 
 // JournalErrors reports how many accepted samples were dropped because the
 // journal could not persist them.
 func (w *Warehouse) JournalErrors() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.journalErrs
+	return int(w.journalErrs.Load())
 }
 
 // Ingest stores one sample, applying validation and retention. It is safe
@@ -186,20 +299,13 @@ func (w *Warehouse) Ingest(s Sample) {
 // policy — the acknowledgment boundary the crash-injection wall tests.
 func (w *Warehouse) IngestDurable(s Sample) error {
 	if err := s.Validate(); err != nil {
-		w.mu.Lock()
-		w.dropped++
-		w.mu.Unlock()
+		w.droppedMisc.Add(1)
 		return err
 	}
-	w.mu.Lock()
-	j := w.journal
-	w.mu.Unlock()
-	if j != nil {
-		if err := j(s); err != nil {
-			w.mu.Lock()
-			w.dropped++
-			w.journalErrs++
-			w.mu.Unlock()
+	if j := w.journal.Load(); j != nil {
+		if err := (*j)(s); err != nil {
+			w.droppedMisc.Add(1)
+			w.journalErrs.Add(1)
 			return err
 		}
 		return nil
@@ -208,90 +314,206 @@ func (w *Warehouse) IngestDurable(s Sample) error {
 	return nil
 }
 
-// insert adds one validated sample under the retention policy.
+// insert adds one validated sample to its shard under the retention
+// policy.
 func (w *Warehouse) insert(s Sample) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	samples := append(w.byID[s.Server], s)
-	// Keep samples ordered by timestamp; agents usually send in order,
-	// so this is almost always a no-op.
-	for i := len(samples) - 1; i > 0 && samples[i].Timestamp.Before(samples[i-1].Timestamp); i-- {
-		samples[i], samples[i-1] = samples[i-1], samples[i]
+	sh := &w.shards[w.shardIndex(s.Server)]
+	sh.mu.Lock()
+	isNew := sh.insertLocked(w.Retention, s)
+	sh.mu.Unlock()
+	if isNew {
+		w.serverGen.Add(1)
 	}
-	if w.Retention > 0 {
-		cutoff := samples[len(samples)-1].Timestamp.Add(-w.Retention)
-		drop := 0
-		for drop < len(samples) && samples[drop].Timestamp.Before(cutoff) {
-			drop++
+}
+
+// insertLocked stores s in this shard (caller holds sh.mu) and reports
+// whether the server is new to the shard.
+func (sh *shard) insertLocked(retention time.Duration, s Sample) (isNew bool) {
+	st := sh.servers[s.Server]
+	if st == nil {
+		st = newServerStore()
+		sh.servers[s.Server] = st
+		isNew = true
+	}
+	st.insert(s)
+	sh.samples++
+	if retention > 0 {
+		cutoff := st.ts[len(st.ts)-1].Add(-retention)
+		d := st.evict(cutoff)
+		sh.samples -= d
+		sh.evicted += d
+	}
+	return isNew
+}
+
+// batchScratch holds the counting-sort workspace IngestBatch reuses across
+// calls through a pool.
+type batchScratch struct {
+	idx    []int32 // shard per sample, -1 for invalid
+	counts []int32
+	order  []int32
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// growInt32 resizes s to n elements, reusing its backing array when it
+// fits. Contents are unspecified.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// IngestBatch stores a batch of samples with one shard-lock acquisition
+// per touched shard, grouping samples by shard with a counting sort that
+// preserves arrival order within each server. With a journal attached it
+// degrades to the per-sample durable path, preserving the
+// checkpoint-before-append contract.
+func (w *Warehouse) IngestBatch(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	if j := w.journal.Load(); j != nil {
+		for i := range samples {
+			if err := samples[i].Validate(); err != nil {
+				w.droppedMisc.Add(1)
+				continue
+			}
+			if err := (*j)(samples[i]); err != nil {
+				w.droppedMisc.Add(1)
+				w.journalErrs.Add(1)
+			}
 		}
-		w.dropped += drop
-		samples = samples[drop:]
+		return
 	}
-	w.byID[s.Server] = samples
+
+	sc := batchScratchPool.Get().(*batchScratch)
+	idx := growInt32(sc.idx, len(samples))
+	counts := growInt32(sc.counts, len(w.shards))
+	clear(counts)
+	order := growInt32(sc.order, len(samples))
+
+	for i := range samples {
+		if err := samples[i].Validate(); err != nil {
+			w.droppedMisc.Add(1)
+			idx[i] = -1
+			continue
+		}
+		k := int32(w.shardIndex(samples[i].Server))
+		idx[i] = k
+		counts[k]++
+	}
+	// Prefix-sum counts into start offsets, then place each sample's
+	// index in its shard's run — stable, so per-server order survives.
+	start := int32(0)
+	for k := range counts {
+		c := counts[k]
+		counts[k] = start
+		start += c
+	}
+	for i := range samples {
+		if idx[i] < 0 {
+			continue
+		}
+		order[counts[idx[i]]] = int32(i)
+		counts[idx[i]]++
+	}
+
+	newServers := 0
+	pos := 0
+	for k := range w.shards {
+		end := int(counts[k]) // counts[k] is now the end offset of run k
+		if pos == end {
+			continue
+		}
+		sh := &w.shards[k]
+		sh.mu.Lock()
+		for _, o := range order[pos:end] {
+			if sh.insertLocked(w.Retention, samples[o]) {
+				newServers++
+			}
+		}
+		sh.mu.Unlock()
+		pos = end
+	}
+	if newServers > 0 {
+		w.serverGen.Add(uint64(newServers))
+	}
+
+	sc.idx, sc.counts, sc.order = idx, counts, order
+	batchScratchPool.Put(sc)
 }
 
 // Dropped reports how many samples were rejected or expired.
 func (w *Warehouse) Dropped() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.dropped
+	total := int(w.droppedMisc.Load())
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		total += sh.evicted
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// Servers lists the monitored server IDs in sorted order.
+// Servers lists the monitored server IDs in sorted order. The list is
+// rebuilt only when a server appears for the first time; steady-state
+// calls return a copy of the cached slice without taking any shard lock.
 func (w *Warehouse) Servers() []trace.ServerID {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make([]trace.ServerID, 0, len(w.byID))
-	for id := range w.byID {
-		out = append(out, id)
+	gen := w.serverGen.Load()
+	if c := w.serverList.Load(); c != nil && c.gen == gen {
+		return slices.Clone(c.ids)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	var ids []trace.ServerID
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		for id := range sh.servers {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+	}
+	slices.Sort(ids)
+	// gen was read before the scan, so a server that lands mid-scan may
+	// be cached under too old a generation — which only means one extra
+	// rebuild later, never a stale hit.
+	w.serverList.Store(&serverCache{gen: gen, ids: ids})
+	return slices.Clone(ids)
 }
 
 // SampleCount reports how many samples are retained for a server.
 func (w *Warehouse) SampleCount(id trace.ServerID) int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.byID[id])
+	sh := &w.shards[w.shardIndex(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st := sh.servers[id]; st != nil {
+		return len(st.ts)
+	}
+	return 0
 }
 
 // HourlySeries aggregates a server's retained samples into hourly averages
 // of CPU demand (converted to RPE2 with the given spec) and committed
 // memory — the warehouse view the planners consume. epoch anchors hour
-// zero.
+// zero. With an hour-aligned epoch the read costs O(occupied hours) off
+// the live ingest-time aggregates, independent of sample density.
 func (w *Warehouse) HourlySeries(id trace.ServerID, spec trace.Spec, epoch time.Time) (*trace.Series, error) {
-	w.mu.Lock()
-	samples := append([]Sample(nil), w.byID[id]...)
-	w.mu.Unlock()
-	if len(samples) == 0 {
+	sh := &w.shards[w.shardIndex(id)]
+	sh.mu.Lock()
+	st := sh.servers[id]
+	if st == nil || len(st.ts) == 0 {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("monitor: no samples for %s", id)
 	}
 	if spec.CPURPE2 <= 0 {
-		return nil, errors.New("monitor: spec has no CPU rating")
+		sh.mu.Unlock()
+		return nil, errNoCPURating
 	}
-
-	first := int(samples[0].Timestamp.Sub(epoch) / time.Hour)
-	last := int(samples[len(samples)-1].Timestamp.Sub(epoch) / time.Hour)
-	if first < 0 {
-		return nil, errors.New("monitor: samples precede epoch")
-	}
-	type bucket struct {
-		cpu, mem float64
-		n        int
-	}
-	buckets := make([]bucket, last-first+1)
-	for _, s := range samples {
-		i := int(s.Timestamp.Sub(epoch)/time.Hour) - first
-		buckets[i].cpu += s.TotalProcessorPct / 100 * spec.CPURPE2
-		buckets[i].mem += s.MemCommittedMB
-		buckets[i].n++
-	}
-	out := make([]trace.Usage, len(buckets))
-	for i, b := range buckets {
-		if b.n > 0 {
-			out[i] = trace.Usage{CPU: b.cpu / float64(b.n), Mem: b.mem / float64(b.n)}
-		}
+	out, err := st.hourly(spec, epoch)
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	return trace.NewSeries(time.Hour, out)
 }
@@ -324,15 +546,20 @@ type Stat struct {
 	Dropped int
 }
 
-// Stats returns current totals.
+// Stats returns current totals. Counts are gathered shard by shard, so a
+// concurrent ingest may straddle the scan; each shard's numbers are
+// internally consistent.
 func (w *Warehouse) Stats() Stat {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	total := 0
-	for _, s := range w.byID {
-		total += len(s)
+	st := Stat{Dropped: int(w.droppedMisc.Load())}
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		st.Servers += len(sh.servers)
+		st.Samples += sh.samples
+		st.Dropped += sh.evicted
+		sh.mu.Unlock()
 	}
-	return Stat{Servers: len(w.byID), Samples: total, Dropped: w.dropped}
+	return st
 }
 
 // WaitForSamples blocks until every listed server has at least n samples or

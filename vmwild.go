@@ -349,9 +349,21 @@ type (
 	Warehouse = monitor.Warehouse
 )
 
-// NewWarehouse creates a monitoring warehouse with the given retention.
+// DefaultIngestShards is the warehouse's default shard count.
+const DefaultIngestShards = monitor.DefaultIngestShards
+
+// NewWarehouse creates a monitoring warehouse with the given retention
+// and DefaultIngestShards ingest shards.
 func NewWarehouse(retention time.Duration) *Warehouse {
 	return monitor.NewWarehouse(retention)
+}
+
+// NewWarehouseShards creates a monitoring warehouse with an explicit
+// ingest shard count (clamped to [1, 256]). One shard reproduces the
+// single-lock behavior; more shards trade memory for ingest and query
+// concurrency.
+func NewWarehouseShards(retention time.Duration, shards int) *Warehouse {
+	return monitor.NewWarehouseShards(retention, shards)
 }
 
 // NewTraceSource replays a demand trace as per-minute monitoring samples.
