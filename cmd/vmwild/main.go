@@ -7,6 +7,7 @@
 //	vmwild migrate     -mem 2048 -dirty 40   # live-migration pre-copy model
 //	vmwild recommend   -workload A    # consolidation-mode advisor (Section 8)
 //	vmwild execute     -workload A    # do the migration waves fit the interval?
+//	vmwild scenario    run flash-crowd       # end-to-end scenario with checkpoints
 //	vmwild report                     # the full reproduction, all tables and figures
 package main
 
@@ -30,7 +31,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: vmwild <analyze|compare|sensitivity|migrate|report> [flags]")
+		return fmt.Errorf("usage: vmwild <analyze|compare|sensitivity|migrate|scenario|report> [flags]")
 	}
 	switch args[0] {
 	case "analyze":
@@ -45,6 +46,8 @@ func run(args []string) error {
 		return recommend(args[1:])
 	case "execute":
 		return execute(args[1:])
+	case "scenario":
+		return scenarioCmd(args[1:])
 	case "report":
 		return fullReport(args[1:])
 	default:

@@ -45,3 +45,29 @@ func TestRunErrors(t *testing.T) {
 		t.Error("expected error for invalid migration parameters")
 	}
 }
+
+// The scenario verbs are cheap enough to run for real: list renders the
+// catalog, run drives a full in-memory scenario and must report pass.
+func TestScenarioCommand(t *testing.T) {
+	if err := run([]string{"scenario", "list"}); err != nil {
+		t.Fatalf("scenario list: %v", err)
+	}
+	if err := run([]string{"scenario", "run", "rolling-maintenance"}); err != nil {
+		t.Fatalf("scenario run: %v", err)
+	}
+	if err := run([]string{"scenario", "run", "-seed", "7", "-json", "dc-evacuation"}); err != nil {
+		t.Fatalf("scenario run -seed -json: %v", err)
+	}
+}
+
+func TestScenarioCommandErrors(t *testing.T) {
+	if err := run([]string{"scenario"}); err == nil {
+		t.Error("expected usage error for bare scenario")
+	}
+	if err := run([]string{"scenario", "bogus"}); err == nil {
+		t.Error("expected error for unknown scenario verb")
+	}
+	if err := run([]string{"scenario", "run", "no-such-scenario"}); err == nil {
+		t.Error("expected error for unknown scenario ID")
+	}
+}

@@ -105,3 +105,34 @@ func ExampleWriteTraceCSV() {
 	// Output:
 	// restored servers: 2
 }
+
+// ExampleRunScenario lists the named end-to-end scenarios, runs one, and
+// reads its checkpoint verdicts. Scenario runs are bitwise-reproducible
+// from their seed, so the output below is stable.
+func ExampleRunScenario() {
+	for _, s := range vmwild.Scenarios() {
+		fmt.Println(s.ID)
+	}
+
+	s, err := vmwild.ScenarioByID("rolling-maintenance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := vmwild.RunScenario(s, vmwild.ScenarioOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: passed=%v checkpoints=%d\n", res.ID, res.Passed, len(res.Checkpoints))
+	if cp, ok := res.Checkpoint("estate-whole"); ok {
+		fmt.Printf("estate-whole: passed=%v\n", cp.Passed)
+	}
+	// Output:
+	// correlated-rack-outage
+	// dc-evacuation
+	// flash-crowd
+	// hardware-refresh
+	// rolling-maintenance
+	// soak-stress
+	// rolling-maintenance: passed=true checkpoints=4
+	// estate-whole: passed=true
+}

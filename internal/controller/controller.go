@@ -256,6 +256,30 @@ func (c *Controller) RunInterval() (Tick, error) {
 	return tick, nil
 }
 
+// AdoptPlacement seeds the controller with an externally realized placement
+// — a maintenance drain, a hardware refresh, or a scenario-harness world
+// mutation that moved VMs outside the consolidation loop. The next
+// RunInterval re-plans from the adopted placement, and interval numbering
+// continues from intervals. Adopting also resets the in-memory tick
+// history; a journaled controller keeps journaling from the adopted state.
+func (c *Controller) AdoptPlacement(p *placement.Placement, intervals int) error {
+	if p == nil {
+		return errors.New("controller: adopt nil placement")
+	}
+	if intervals < 0 {
+		return fmt.Errorf("controller: adopt negative interval base %d", intervals)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.adapter.Restore(p); err != nil {
+		return fmt.Errorf("controller: adopt placement: %w", err)
+	}
+	c.prev = p.Clone()
+	c.base = intervals
+	c.ticks = nil
+	return nil
+}
+
 // Placement returns a copy of the current placement, or nil before the
 // first interval.
 func (c *Controller) Placement() *placement.Placement {

@@ -167,3 +167,66 @@ func TestRunLoopSurvivesFetchErrors(t *testing.T) {
 		t.Errorf("got %d delivered errors, want 2", len(loopErrs))
 	}
 }
+
+// TestAdoptPlacement: an externally realized placement (drain, hardware
+// swap) becomes the controller's planning basis, and interval numbering
+// continues from the given base.
+func TestAdoptPlacement(t *testing.T) {
+	c, _ := testConfig(t, 12, 8*24)
+	if _, err := c.RunInterval(); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Placement()
+	if p == nil {
+		t.Fatal("no placement after first interval")
+	}
+
+	// Simulate an out-of-band drain: evacuate one VM to a fresh host.
+	vms := p.VMsOn(p.Hosts()[0].ID)
+	if len(vms) == 0 {
+		t.Fatal("first host empty")
+	}
+	vm := vms[0]
+	it, _ := p.Item(vm)
+	if _, err := p.Remove(vm); err != nil {
+		t.Fatal(err)
+	}
+	dst := p.OpenHost().ID
+	if err := p.Assign(it, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdoptPlacement(p, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	tick, err := c.RunInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick.Interval != 7 {
+		t.Errorf("interval after adopt = %d, want 7", tick.Interval)
+	}
+	if got := len(c.Ticks()); got != 1 {
+		t.Errorf("tick history = %d entries after adopt, want 1", got)
+	}
+
+	// Error paths: nil placement, negative base, wrong VM population.
+	if err := c.AdoptPlacement(nil, 0); err == nil {
+		t.Error("nil placement adopted")
+	}
+	if err := c.AdoptPlacement(p, -1); err == nil {
+		t.Error("negative interval base adopted")
+	}
+	short := p.Clone()
+	id := short.Hosts()[0].ID
+	for _, vm := range append([]trace.ServerID(nil), short.VMsOn(id)...) {
+		if _, err := short.Remove(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if short.NumVMs() != p.NumVMs() {
+		if err := c.AdoptPlacement(short, 0); err == nil {
+			t.Error("placement with missing VMs adopted")
+		}
+	}
+}

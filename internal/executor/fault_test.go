@@ -239,3 +239,123 @@ func TestExecuteBudgetExhaustionIsDeterministic(t *testing.T) {
 		t.Errorf("seeded executions differ:\n%+v\n%+v", a, b)
 	}
 }
+
+// TestExecuteOutageDuringRetryWave crosses the two fault clocks: a move
+// fails, backs off one wave, and its retry wave is exactly the one in which
+// the target host is transiently down. The retry must defer again and still
+// land, not abort or double-draw.
+func TestExecuteOutageDuringRetryWave(t *testing.T) {
+	from := build(t, 2, map[string]vmAt{"a": {host: "h0000", cpu: 100, mem: 1000}})
+	moves := []Move{{VM: "a", From: "h0000", To: "h0001", Demand: demand(100, 1000)}}
+	cfg := DefaultConfig()
+	cfg.RetryBackoff = time.Minute
+	cfg.Fault = &scripted{
+		// Attempt 1 fails in wave 0; backoff makes the retry eligible in
+		// wave 1, where the target is down; wave 2 carries it home.
+		outcomes: map[string]fault.Outcome{"a/1": fault.Failed},
+		downs:    map[string]bool{"h0001/1": true},
+	}
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Completed) != 1 || exec.Degraded() {
+		t.Fatalf("execution = %+v, want the move completed", exec)
+	}
+	if exec.Attempts != 2 || exec.Failures != 1 {
+		t.Errorf("attempts/failures = %d/%d, want 2/1", exec.Attempts, exec.Failures)
+	}
+	// Two real waves (failed attempt, successful retry) separated by one
+	// idle outage wave billed at the backoff cost.
+	if len(exec.Plan.Waves) != 2 {
+		t.Errorf("waves = %d, want 2", len(exec.Plan.Waves))
+	}
+	want := exec.Plan.Waves[0].Duration + time.Minute + exec.Plan.Waves[1].Duration
+	if exec.Plan.Total != want {
+		t.Errorf("total %v, want %v", exec.Plan.Total, want)
+	}
+	if h, _ := exec.Final.HostOf("a"); h != "h0001" {
+		t.Errorf("a ended on %s, want h0001", h)
+	}
+}
+
+// TestExecutePermanentOutageTerminates holds every host down forever
+// (outage probability 1): the scheduler must not spin — it gives up after
+// the idle cap and aborts everything with the VMs unmoved.
+func TestExecutePermanentOutageTerminates(t *testing.T) {
+	from, moves := twoMoves(t)
+	inj, err := fault.New(fault.Config{Seed: 5, HostOutage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Fault = inj
+	cfg.RetryBackoff = time.Second
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Degraded() || len(exec.Aborted) != 2 || len(exec.Completed) != 0 {
+		t.Fatalf("execution = %+v, want everything aborted", exec)
+	}
+	if exec.Attempts != 0 {
+		t.Errorf("attempts = %d, want 0 (no host was ever reachable)", exec.Attempts)
+	}
+	for _, vm := range []trace.ServerID{"a", "b"} {
+		if h, _ := exec.Final.HostOf(vm); h != "h0000" {
+			t.Errorf("%s ended on %s, want h0000", vm, h)
+		}
+	}
+}
+
+// TestExecuteCertainFailureAbortsAtBudget runs MigrationFailure = 1: every
+// attempt burns budget, every move aborts after exactly RetryBudget tries.
+func TestExecuteCertainFailureAbortsAtBudget(t *testing.T) {
+	from, moves := twoMoves(t)
+	inj, err := fault.New(fault.Config{Seed: 5, MigrationFailure: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RetryBudget = 3
+	cfg.Fault = inj
+	exec, err := Execute(from, moves, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Aborted) != 2 || len(exec.Completed) != 0 {
+		t.Fatalf("execution = %+v, want both moves aborted", exec)
+	}
+	if want := 2 * cfg.RetryBudget; exec.Attempts != want || exec.Failures != want {
+		t.Errorf("attempts/failures = %d/%d, want %d/%d", exec.Attempts, exec.Failures, want, want)
+	}
+}
+
+// TestExecuteAndDrainZeroVMHosts: hosts without VMs must be harmless — as
+// drain sources (nothing to do), as outage-draw subjects, and in empty
+// executions.
+func TestExecuteAndDrainZeroVMHosts(t *testing.T) {
+	p := build(t, 3, map[string]vmAt{"a": {host: "h0000", cpu: 100, mem: 1000}})
+	cfg := DefaultConfig()
+
+	plan, moves, err := Drain(p, "h0002", cfg) // h0002 holds no VMs
+	if err != nil {
+		t.Fatalf("drain of empty host: %v", err)
+	}
+	if len(moves) != 0 || plan.Moves() != 0 {
+		t.Errorf("empty-host drain produced %d moves", len(moves))
+	}
+
+	inj, err := fault.New(fault.Config{Seed: 5, HostOutage: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fault = inj
+	exec, err := Execute(p, nil, cfg)
+	if err != nil {
+		t.Fatalf("empty execution: %v", err)
+	}
+	if exec.Attempts != 0 || exec.Final == nil || exec.Final.NumVMs() != 1 {
+		t.Errorf("empty execution = %+v", exec)
+	}
+}

@@ -66,6 +66,13 @@ type Config struct {
 	// HostOutage is the per-(host, wave) probability that a host is
 	// transiently unreachable for migration traffic during one wave.
 	HostOutage float64
+	// RackOutage is the per-(rack, wave) probability that a whole rack is
+	// unreachable for migration traffic during one wave — the correlated
+	// failure mode a top-of-rack switch or PDU produces. One draw covers
+	// every host in the rack, so rack-mates go down together; callers map
+	// hosts to racks (see placement.RackOf) and combine RackDown with the
+	// per-host HostDown draw.
+	RackOutage float64
 	// AgentDropout is the per-sample probability that a monitoring agent
 	// fails to deliver an observation.
 	AgentDropout float64
@@ -73,7 +80,8 @@ type Config struct {
 
 // Enabled reports whether any fault has a nonzero probability.
 func (c Config) Enabled() bool {
-	return c.MigrationFailure > 0 || c.MigrationStall > 0 || c.HostOutage > 0 || c.AgentDropout > 0
+	return c.MigrationFailure > 0 || c.MigrationStall > 0 || c.HostOutage > 0 ||
+		c.RackOutage > 0 || c.AgentDropout > 0
 }
 
 func (c Config) validate() error {
@@ -84,6 +92,7 @@ func (c Config) validate() error {
 		{"MigrationFailure", c.MigrationFailure},
 		{"MigrationStall", c.MigrationStall},
 		{"HostOutage", c.HostOutage},
+		{"RackOutage", c.RackOutage},
 		{"AgentDropout", c.AgentDropout},
 	} {
 		if p.v < 0 || p.v > 1 {
@@ -163,6 +172,17 @@ func (inj *Injector) HostDown(host string, wave int) bool {
 		return false
 	}
 	return inj.uniform("host-outage", host, strconv.Itoa(wave)) < inj.cfg.HostOutage
+}
+
+// RackDown reports whether an entire rack is unreachable for migration
+// traffic during the given wave. The draw is addressed by rack identity, so
+// every host of the rack shares one fate per wave — correlated, not
+// independent, failure.
+func (inj *Injector) RackDown(rack string, wave int) bool {
+	if inj == nil || inj.cfg.RackOutage <= 0 || rack == "" {
+		return false
+	}
+	return inj.uniform("rack-outage", rack, strconv.Itoa(wave)) < inj.cfg.RackOutage
 }
 
 // AgentDrops reports whether a monitoring agent loses its idx-th sample.

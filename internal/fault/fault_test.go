@@ -122,6 +122,100 @@ func TestRatesRoughlyHold(t *testing.T) {
 	}
 }
 
+// TestProbabilityEdges pins the degenerate probabilities the scenario
+// harness leans on: p=0 must never fire and p=1 must always fire, for every
+// draw, whatever the identity or attempt number.
+func TestProbabilityEdges(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		always bool
+		probe  func(inj *Injector, i int) bool
+	}{
+		{"failure-p0", Config{Seed: 3}, false,
+			func(inj *Injector, i int) bool { return inj.MigrationOutcome(vmID(i), i%5+1) == Failed }},
+		{"failure-p1", Config{Seed: 3, MigrationFailure: 1}, true,
+			func(inj *Injector, i int) bool { return inj.MigrationOutcome(vmID(i), i%5+1) == Failed }},
+		{"stall-p1", Config{Seed: 3, MigrationStall: 1}, true,
+			func(inj *Injector, i int) bool { return inj.MigrationOutcome(vmID(i), i%5+1) == Stalled }},
+		{"host-outage-p0", Config{Seed: 3}, false,
+			func(inj *Injector, i int) bool { return inj.HostDown("h"+strconv.Itoa(i%7), i) }},
+		{"host-outage-p1", Config{Seed: 3, HostOutage: 1}, true,
+			func(inj *Injector, i int) bool { return inj.HostDown("h"+strconv.Itoa(i%7), i) }},
+		{"rack-outage-p0", Config{Seed: 3}, false,
+			func(inj *Injector, i int) bool { return inj.RackDown("r"+strconv.Itoa(i%3), i) }},
+		{"rack-outage-p1", Config{Seed: 3, RackOutage: 1}, true,
+			func(inj *Injector, i int) bool { return inj.RackDown("r"+strconv.Itoa(i%3), i) }},
+		{"dropout-p0", Config{Seed: 3}, false,
+			func(inj *Injector, i int) bool { return inj.AgentDrops(vmID(i%7), i) }},
+		{"dropout-p1", Config{Seed: 3, AgentDropout: 1}, true,
+			func(inj *Injector, i int) bool { return inj.AgentDrops(vmID(i%7), i) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 500; i++ {
+				if got := tc.probe(inj, i); got != tc.always {
+					t.Fatalf("draw %d fired=%v, want %v", i, got, tc.always)
+				}
+			}
+		})
+	}
+}
+
+// TestRackOutageIsCorrelated: one rack draw per wave — hosts that share a
+// rack share its fate, and a rack's fate varies across waves (it is a
+// transient outage, not a dead rack).
+func TestRackOutageIsCorrelated(t *testing.T) {
+	inj, err := New(Config{Seed: 11, RackOutage: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var downs, ups int
+	for wave := 0; wave < 200; wave++ {
+		d := inj.RackDown("rack-0", wave)
+		if d {
+			downs++
+		} else {
+			ups++
+		}
+		// Re-asking for the same (rack, wave) never changes the answer —
+		// this is what makes every host of the rack agree.
+		for i := 0; i < 3; i++ {
+			if inj.RackDown("rack-0", wave) != d {
+				t.Fatalf("wave %d: rack fate changed between draws", wave)
+			}
+		}
+	}
+	if downs == 0 || ups == 0 {
+		t.Fatalf("rack outage at p=0.5 never varied: %d down, %d up", downs, ups)
+	}
+	// The empty rack label (hosts outside any rack) never draws an outage.
+	for wave := 0; wave < 100; wave++ {
+		if inj.RackDown("", wave) {
+			t.Fatal("empty rack label drew an outage")
+		}
+	}
+}
+
+func TestRackOutageValidation(t *testing.T) {
+	for _, cfg := range []Config{{RackOutage: -0.1}, {RackOutage: 1.01}} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if (Config{RackOutage: 0.2}).Enabled() != true {
+		t.Error("RackOutage alone should enable the fault model")
+	}
+	var nilInj *Injector
+	if nilInj.RackDown("r", 0) {
+		t.Error("nil injector reported a rack outage")
+	}
+}
+
 func TestOutcomeString(t *testing.T) {
 	for o, want := range map[Outcome]string{OK: "ok", Stalled: "stalled", Failed: "failed", Outcome(9): "outcome(9)"} {
 		if got := o.String(); got != want {

@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vmwild/internal/controller"
+	"vmwild/internal/placement"
+	"vmwild/internal/wal"
+)
+
+// crashWallSeed mirrors the monitor and controller walls: CI's crash-matrix
+// job sweeps the kill points across seeds, locally the wall runs at a fixed
+// default.
+func crashWallSeed(t *testing.T) int64 {
+	s := os.Getenv("CRASHWALL_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CRASHWALL_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+func encPlacement(t *testing.T, p *placement.Placement) []byte {
+	t.Helper()
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// intervalLines filters a metric stream down to its per-interval records —
+// the only record type whose values are not aggregated across a resume
+// boundary, so the one stream a crashed-and-resumed run can be compared
+// against the no-crash reference line by line.
+func intervalLines(buf *bytes.Buffer) []string {
+	var out []string
+	for _, ln := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(ln, `{"record":"interval"`) {
+			out = append(out, ln)
+		}
+	}
+	return out
+}
+
+// TestCrashWallScenarioSoak kills the soak scenario's journaled control
+// loop mid-run — at seeded commit boundaries and at arbitrary byte
+// offsets of the controller WAL — and asserts the recovery contract end
+// to end through the scenario harness:
+//
+//   - the crashing run dies with wal.ErrCrashed, never a corrupt result;
+//   - recovery from the wreckage is deterministic (two opens agree);
+//   - a clean-boundary kill is invisible: the resumed scenario emits
+//     byte-identical interval records for every post-crash interval and
+//     lands byte-identically on the reference's final placement, with
+//     every checkpoint passing;
+//   - a mid-interval kill may legitimately re-plan the interrupted
+//     interval, but the estate stays whole and the run completes.
+func TestCrashWallScenarioSoak(t *testing.T) {
+	walOpts := func(crash *wal.CrashSwitch) wal.Options {
+		return wal.Options{Sync: wal.SyncAlways, SegmentBytes: 8 << 10, Crash: crash}
+	}
+
+	// Reference run: the full soak, never crashed. commits[i] is the
+	// journal position after interval i committed; refEnc[i] the realized
+	// placement fingerprint at the same point.
+	var commits []int64
+	var refEnc [][]byte
+	var refMetrics bytes.Buffer
+	refJ := walOpts(nil)
+	ref, err := Run(SoakStress(), Options{
+		StateDir:    t.TempDir(),
+		Metrics:     &refMetrics,
+		journalOpts: &refJ,
+		afterInterval: func(w *World, _ IntervalMetrics) {
+			commits = append(commits, w.JournalBytes())
+			refEnc = append(refEnc, encPlacement(t, w.Placement()))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Passed {
+		for _, cp := range ref.Failed() {
+			t.Errorf("reference checkpoint %s/%s: %s", cp.Turn, cp.Name, cp.Detail)
+		}
+		t.Fatal("reference soak run failed its checkpoints; the crash wall has no baseline")
+	}
+	refLines := intervalLines(&refMetrics)
+	n := len(commits)
+	if n != len(refLines) {
+		t.Fatalf("reference emitted %d interval records for %d intervals", len(refLines), n)
+	}
+	total := commits[n-1]
+
+	rng := rand.New(rand.NewSource(crashWallSeed(t)))
+	var cuts []int64
+	for i := 0; i < 2; i++ { // exact commit boundaries, mid-turn
+		cuts = append(cuts, commits[1+rng.Intn(n-2)])
+	}
+	for i := 0; i < 2; i++ { // anywhere in the stream
+		cuts = append(cuts, 1+rng.Int63n(total-1))
+	}
+
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		crashJ := walOpts(wal.NewCrashSwitch(cut))
+		_, err := Run(SoakStress(), Options{StateDir: dir, journalOpts: &crashJ})
+		if err == nil {
+			t.Fatalf("cut %d: run survived the crash switch", cut)
+		}
+		if !errors.Is(err, wal.ErrCrashed) {
+			t.Fatalf("cut %d: died with %v, want wal.ErrCrashed", cut, err)
+		}
+
+		// Recovery from the wreckage must be deterministic: two
+		// independent opens reconstruct the same committed state.
+		jdir := filepath.Join(dir, "controller")
+		j1, err := controller.OpenJournal(jdir, walOpts(nil))
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		rec := j1.Recovery()
+		k, interrupted := rec.Intervals, rec.Interrupted
+		var recEnc []byte
+		if rec.Placement != nil {
+			recEnc = encPlacement(t, rec.Placement)
+		}
+		j1.Close()
+		j2, err := controller.OpenJournal(jdir, walOpts(nil))
+		if err != nil {
+			t.Fatalf("cut %d: second recovery failed: %v", cut, err)
+		}
+		rec2 := j2.Recovery()
+		if rec2.Intervals != k || rec2.Interrupted != interrupted ||
+			(rec2.Placement != nil) != (rec.Placement != nil) ||
+			(rec2.Placement != nil && !bytes.Equal(encPlacement(t, rec2.Placement), recEnc)) {
+			t.Fatalf("cut %d: recovery is not deterministic", cut)
+		}
+		j2.Close()
+		if k < 1 || k > n-1 {
+			t.Fatalf("cut %d: recovered %d committed intervals, want within [1,%d]", cut, k, n-1)
+		}
+
+		// Resume the scenario from the same state directory.
+		var resMetrics bytes.Buffer
+		var finalEnc []byte
+		resumeJ := walOpts(nil)
+		res, err := Run(SoakStress(), Options{
+			StateDir:    dir,
+			Metrics:     &resMetrics,
+			journalOpts: &resumeJ,
+			afterTurn: func(w *World, _ TurnMetrics) {
+				finalEnc = encPlacement(t, w.Placement())
+			},
+		})
+		if err != nil {
+			t.Fatalf("cut %d: resume failed: %v", cut, err)
+		}
+		if res.Recovered != k {
+			t.Fatalf("cut %d: resume fast-forwarded %d intervals, journal committed %d", cut, res.Recovered, k)
+		}
+
+		if !interrupted {
+			// Clean boundary: the crash is invisible. Every live interval
+			// of the resumed run matches the reference record-for-record,
+			// the final placement is byte-identical, and the checkpoints
+			// that were not fast-forwarded all pass.
+			resLines := intervalLines(&resMetrics)
+			if len(resLines) != n-k {
+				t.Fatalf("cut %d: resumed run emitted %d interval records, want %d", cut, len(resLines), n-k)
+			}
+			for i, ln := range resLines {
+				if ln != refLines[k+i] {
+					t.Fatalf("cut %d: interval record %d diverges from reference:\n  ref: %s\n  got: %s",
+						cut, k+i, refLines[k+i], ln)
+				}
+			}
+			if !bytes.Equal(finalEnc, refEnc[n-1]) {
+				t.Fatalf("cut %d: resumed run's final placement diverges from the no-crash reference", cut)
+			}
+			if !res.Passed {
+				for _, cp := range res.Failed() {
+					t.Errorf("cut %d: checkpoint %s/%s: %s", cut, cp.Turn, cp.Name, cp.Detail)
+				}
+			}
+		} else {
+			// Mid-interval: the interrupted interval is re-planned from
+			// the recovered realized placement, so the trajectory may
+			// differ — the estate must stay whole.
+			p, err := placement.Decode(finalEnc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumVMs() != ref.Servers {
+				t.Fatalf("cut %d: resumed run tracks %d VMs, want %d", cut, p.NumVMs(), ref.Servers)
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vmwild/internal/workload"
+)
+
+// sink writes JSONL records, remembering the first write error so the
+// run can report it once at the end.
+type sink struct {
+	w   io.Writer
+	err error
+}
+
+func (s *sink) emit(v any) {
+	if s.w == nil || s.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// The metric stream's record types. Everything in these structs is a pure
+// function of the scenario seed — wall-clock measurements go to the
+// timing sink instead.
+type runRecord struct {
+	Record    string `json:"record"`
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Seed      int64  `json:"seed"`
+	Servers   int    `json:"servers"`
+	Hours     int    `json:"hours"`
+	StepHours int    `json:"stepHours"`
+	Soak      bool   `json:"soak"`
+	Resumed   int    `json:"resumed,omitempty"`
+}
+
+type intervalRecord struct {
+	Record string `json:"record"`
+	IntervalMetrics
+}
+
+type turnRecord struct {
+	Record string `json:"record"`
+	TurnMetrics
+}
+
+type checkpointRecord struct {
+	Record string `json:"record"`
+	CheckpointResult
+}
+
+type summaryRecord struct {
+	Record      string `json:"record"`
+	ID          string `json:"id"`
+	Passed      bool   `json:"passed"`
+	Checkpoints int    `json:"checkpoints"`
+	Failed      int    `json:"failed"`
+}
+
+type timingRecord struct {
+	Record   string  `json:"record"`
+	Interval int     `json:"interval"`
+	Turn     string  `json:"turn"`
+	PlanMs   float64 `json:"planMs"`
+}
+
+// Run executes a scenario and grades its checkpoints. A checkpoint
+// failure is reported in the Result (Passed=false), not as an error;
+// errors mean the simulation itself could not proceed.
+func Run(s *Scenario, opts Options) (*Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = s.Seed
+	}
+	if seed == 0 {
+		seed = workload.DefaultSeed
+	}
+	w, err := newWorld(s, seed, &opts)
+	if err != nil {
+		return nil, err
+	}
+	defer w.close()
+
+	metrics := &sink{w: opts.Metrics}
+	timing := &sink{w: opts.Timing}
+	res := &Result{ID: s.ID, Seed: seed, Servers: len(w.set.Servers), Recovered: w.recovered}
+	metrics.emit(runRecord{
+		Record: "scenario", ID: s.ID, Name: s.Name, Seed: seed,
+		Servers: res.Servers, Hours: s.Hours(), StepHours: w.step,
+		Soak: s.Soak != nil, Resumed: w.recovered,
+	})
+
+	passed := true
+	skip := w.recovered
+	var history []TurnMetrics
+	for _, turn := range s.Turns {
+		if turn.Action != nil {
+			if err := turn.Action(w); err != nil {
+				return nil, fmt.Errorf("scenario %s: turn %q action: %w", s.ID, turn.Name, err)
+			}
+		}
+		tm := TurnMetrics{Turn: turn.Name, MoveBudget: turn.MoveBudget, RecoveryIntervals: -1}
+		for i := 0; i < turn.Intervals; i++ {
+			if skip > 0 {
+				// Resume fast-forward: the journal already committed this
+				// interval before the crash; the action above re-mutated
+				// the world identically, only the loop is skipped.
+				skip--
+				w.skipInterval()
+				continue
+			}
+			im, err := w.runInterval(turn.Name)
+			if err != nil {
+				return nil, err
+			}
+			tm.Intervals++
+			tm.PlannedMoves += im.PlannedMoves
+			tm.Attempted += im.Attempted
+			tm.Completed += im.Completed
+			tm.Aborted += im.Aborted
+			tm.FailedAttempts += im.FailedAttempts
+			tm.StalledAttempts += im.StalledAttempts
+			tm.OverloadedHostIntervals += im.OverloadedHosts
+			tm.SLOViolations += im.SLOViolations
+			tm.ContentionHours += im.ContentionHours
+			tm.MigrationDataMB += im.MigrationDataMB
+			tm.ExecMillis += im.ExecMillis
+			tm.PlanLatency += im.PlanLatency
+			if im.Degraded {
+				tm.DegradedIntervals++
+			}
+			if !im.Feasible {
+				tm.InfeasibleIntervals++
+			}
+			if im.clean() && tm.RecoveryIntervals == -1 {
+				tm.RecoveryIntervals = i + 1
+			}
+			tm.FinalClean = im.clean()
+			tm.ActiveHosts = im.ActiveHosts
+			metrics.emit(intervalRecord{Record: "interval", IntervalMetrics: im})
+			timing.emit(timingRecord{
+				Record: "timing", Interval: im.Interval, Turn: turn.Name,
+				PlanMs: float64(im.PlanLatency.Microseconds()) / 1000,
+			})
+			if opts.afterInterval != nil {
+				opts.afterInterval(w, im)
+			}
+		}
+		if tm.Intervals == 0 {
+			// Fully fast-forwarded turn: report the adopted state.
+			if p := w.Placement(); p != nil {
+				tm.ActiveHosts = p.ActiveHosts()
+			}
+		}
+		tm.BudgetOverrun = tm.MoveBudget > 0 && tm.Attempted > tm.MoveBudget
+		metrics.emit(turnRecord{Record: "turn", TurnMetrics: tm})
+		if opts.afterTurn != nil {
+			opts.afterTurn(w, tm)
+		}
+		history = append(history, tm)
+
+		for _, cp := range s.Checkpoints {
+			if cp.Turn != turn.Name {
+				continue
+			}
+			cr := gradeCheckpoint(cp, w, tm, history)
+			passed = passed && cr.Passed
+			res.Checkpoints = append(res.Checkpoints, cr)
+			metrics.emit(checkpointRecord{Record: "checkpoint", CheckpointResult: cr})
+		}
+	}
+	if len(history) > 0 {
+		last := history[len(history)-1]
+		for _, cp := range s.Checkpoints {
+			if cp.Turn != "" {
+				continue
+			}
+			cr := gradeCheckpoint(cp, w, last, history)
+			passed = passed && cr.Passed
+			res.Checkpoints = append(res.Checkpoints, cr)
+			metrics.emit(checkpointRecord{Record: "checkpoint", CheckpointResult: cr})
+		}
+	}
+	res.Turns = history
+	res.Passed = passed
+	metrics.emit(summaryRecord{
+		Record: "summary", ID: s.ID, Passed: passed,
+		Checkpoints: len(res.Checkpoints), Failed: len(res.Failed()),
+	})
+	if metrics.err != nil {
+		return nil, fmt.Errorf("scenario %s: metrics sink: %w", s.ID, metrics.err)
+	}
+	if timing.err != nil {
+		return nil, fmt.Errorf("scenario %s: timing sink: %w", s.ID, timing.err)
+	}
+	return res, nil
+}
+
+func gradeCheckpoint(cp Checkpoint, w *World, tm TurnMetrics, history []TurnMetrics) CheckpointResult {
+	cr := CheckpointResult{Name: cp.Name, Turn: cp.Turn, Passed: true}
+	if tm.Intervals == 0 && cp.Turn != "" {
+		// The whole turn was fast-forwarded on resume; its metrics are
+		// empty, so grading would be meaningless.
+		cr.Detail = "skipped: turn resumed from journal"
+		return cr
+	}
+	if err := cp.Assert(&Check{World: w, Turn: tm, History: history}); err != nil {
+		cr.Passed = false
+		cr.Detail = err.Error()
+	}
+	return cr
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wallSeeds are the seeds the scenario wall runs at: the default plus one
+// alternate, both fixed in CI. SCENARIO_SEED overrides for sweeps.
+func wallSeeds(t *testing.T) []int64 {
+	if s := os.Getenv("SCENARIO_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SCENARIO_SEED=%q: %v", s, err)
+		}
+		return []int64{v}
+	}
+	return []int64{0, 7} // 0 = each scenario's own default seed
+}
+
+// TestScenarioWall runs every named scenario at the wall seeds and
+// requires every checkpoint to pass.
+func TestScenarioWall(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range wallSeeds(t) {
+				res, err := Run(Get2(t, s.ID), Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, tm := range res.Turns {
+					t.Logf("seed %d turn %-14s intervals=%d planned=%d attempted=%d completed=%d aborted=%d failed=%d stalled=%d overload=%d slo=%d degraded=%d recov=%d finalClean=%v active=%d",
+						res.Seed, tm.Turn, tm.Intervals, tm.PlannedMoves, tm.Attempted, tm.Completed,
+						tm.Aborted, tm.FailedAttempts, tm.StalledAttempts, tm.OverloadedHostIntervals,
+						tm.SLOViolations, tm.DegradedIntervals, tm.RecoveryIntervals, tm.FinalClean, tm.ActiveHosts)
+				}
+				if !res.Passed {
+					for _, cp := range res.Failed() {
+						t.Errorf("seed %d checkpoint %s/%s: %s", res.Seed, cp.Turn, cp.Name, cp.Detail)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Get2 fetches a fresh scenario instance, failing the test on unknown IDs.
+func Get2(t *testing.T, id string) *Scenario {
+	t.Helper()
+	s, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestReplayWall proves bitwise reproducibility: every scenario, run twice
+// from the same seed (in parallel with every other scenario, so scheduling
+// cannot leak in), must produce byte-identical metric streams.
+func TestReplayWall(t *testing.T) {
+	for _, s := range All() {
+		id := s.ID
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var a, b bytes.Buffer
+			ra, err := Run(Get2(t, id), Options{Metrics: &a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := Run(Get2(t, id), Options{Metrics: &b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ra.Seed != rb.Seed {
+				t.Fatalf("seeds diverged: %d vs %d", ra.Seed, rb.Seed)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				la, lb := strings.Split(a.String(), "\n"), strings.Split(b.String(), "\n")
+				for i := range la {
+					if i >= len(lb) || la[i] != lb[i] {
+						t.Fatalf("metric streams diverge at line %d:\n  run1: %s\n  run2: %s", i+1, la[i], at(lb, i))
+					}
+				}
+				t.Fatalf("metric streams differ in length: %d vs %d lines", len(la), len(lb))
+			}
+			if a.Len() == 0 {
+				t.Fatal("metric stream is empty")
+			}
+		})
+	}
+}
+
+func at(lines []string, i int) string {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return "<missing>"
+}
+
+// TestScenarioValidation pins the declarative layer's error paths.
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	if _, err := Get("no-such-scenario"); err == nil {
+		t.Error("unknown scenario ID accepted")
+	}
+	base := FlashCrowd()
+	base.Turns[1].Name = base.Turns[0].Name
+	if _, err := Run(base, Options{}); err == nil {
+		t.Error("duplicate turn name accepted")
+	}
+	base = FlashCrowd()
+	base.Checkpoints[0].Turn = "missing-turn"
+	if _, err := Run(base, Options{}); err == nil {
+		t.Error("checkpoint referencing unknown turn accepted")
+	}
+	base = FlashCrowd()
+	base.StartHours = 24
+	if _, err := Run(base, Options{}); err == nil {
+		t.Error("sub-warmup StartHours accepted")
+	}
+}

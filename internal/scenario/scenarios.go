@@ -1,0 +1,418 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/fault"
+	"vmwild/internal/workload"
+)
+
+// defaultStartHours gives every scenario a full week of history for the
+// periodic predictor plus a day of slack before the first turn.
+const defaultStartHours = 8 * 24
+
+// All returns a fresh instance of every named scenario, sorted by ID.
+// Instances are independent: running one never affects another.
+func All() []*Scenario {
+	list := []*Scenario{
+		CorrelatedRackOutage(),
+		DCEvacuation(),
+		FlashCrowd(),
+		HardwareRefresh(),
+		RollingMaintenance(),
+		SoakStress(),
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+	return list
+}
+
+// Get returns a fresh instance of the named scenario.
+func Get(id string) (*Scenario, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q", id)
+}
+
+func expect(ok bool, format string, args ...any) error {
+	if ok {
+		return nil
+	}
+	return fmt.Errorf(format, args...)
+}
+
+// FlashCrowd: the web tier's demand multiplies overnight — the shape the
+// paper's static traces never contained. The controller must first absorb
+// the hit (SLO violations while predictions lag reality) and then prove it
+// recovers: repairs spread the load, and the estate comes back clean while
+// the surge is still running.
+func FlashCrowd() *Scenario {
+	prof := workload.Airlines()
+	prof.Servers = 96
+	return &Scenario{
+		ID:   "flash-crowd",
+		Name: "Flash crowd on the web tier",
+		Description: "Web-class demand jumps 2.5x for 14 hours; the loop must absorb " +
+			"the overloads and return the estate to a clean steady state once it passes.",
+		Seed:       workload.DefaultSeed,
+		Profile:    prof,
+		Host:       catalog.HS23Elite,
+		StartHours: defaultStartHours,
+		StepHours:  2,
+		Turns: []Turn{
+			{Name: "steady", Intervals: 3, MoveBudget: 40},
+			{Name: "surge", Intervals: 4, MoveBudget: 60, Action: func(w *World) error {
+				if n := w.ScaleDemand("web", 2.5, 1.5, 14); n == 0 {
+					return errors.New("no web-class servers to surge")
+				}
+				return nil
+			}},
+			{Name: "recovery", Intervals: 4, MoveBudget: 60},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "steady-clean", Turn: "steady", Assert: func(c *Check) error {
+				return expect(c.Turn.SLOViolations == 0 && c.Turn.Aborted == 0,
+					"steady state not clean: %d SLO violations, %d aborted moves",
+					c.Turn.SLOViolations, c.Turn.Aborted)
+			}},
+			{Name: "surge-bites", Turn: "surge", Assert: func(c *Check) error {
+				return expect(c.Turn.OverloadedHostIntervals > 0 || c.Turn.SLOViolations > 0,
+					"the surge never stressed the estate — scenario is vacuous")
+			}},
+			{Name: "surge-answered", Turn: "surge", Assert: func(c *Check) error {
+				return expect(c.Turn.PlannedMoves > 0,
+					"the controller never reacted to the surge")
+			}},
+			{Name: "recovered", Turn: "recovery", Assert: func(c *Check) error {
+				if c.Turn.RecoveryIntervals == -1 {
+					return errors.New("estate never came clean after the surge")
+				}
+				return expect(c.Turn.FinalClean,
+					"estate dirty again at end of recovery (clean first at interval %d)",
+					c.Turn.RecoveryIntervals)
+			}},
+			{Name: "migration-budget", Assert: func(c *Check) error {
+				for _, tm := range c.History {
+					if tm.BudgetOverrun {
+						return fmt.Errorf("turn %q spent %d migration attempts against a budget of %d",
+							tm.Turn, tm.Attempted, tm.MoveBudget)
+					}
+				}
+				return nil
+			}},
+		},
+	}
+}
+
+// RollingMaintenance: hosts are drained one at a time, patched, and
+// returned — the live-migration workflow real estates actually run
+// (Section 1.2). The wall asserts the fence holds: a drained host stays
+// empty across consolidation intervals until it is reopened.
+func RollingMaintenance() *Scenario {
+	prof := workload.Banking()
+	prof.Servers = 84
+	var first, second string
+	return &Scenario{
+		ID:   "rolling-maintenance",
+		Name: "Rolling maintenance window",
+		Description: "Two hosts are drained back-to-back and reopened; drained hosts " +
+			"must stay empty while fenced and the estate must end whole and clean.",
+		Seed:       workload.DefaultSeed,
+		Profile:    prof,
+		Host:       catalog.HS23Elite,
+		StartHours: defaultStartHours,
+		StepHours:  2,
+		Turns: []Turn{
+			{Name: "steady", Intervals: 2, MoveBudget: 40},
+			{Name: "drain-first", Intervals: 2, MoveBudget: 60, Action: func(w *World) error {
+				hosts := w.ActiveHostIDs()
+				if len(hosts) < 2 {
+					return fmt.Errorf("estate too small to drain: %d active hosts", len(hosts))
+				}
+				first = hosts[0]
+				return w.DrainHosts(first)
+			}},
+			{Name: "drain-second", Intervals: 2, MoveBudget: 60, Action: func(w *World) error {
+				if err := w.ReopenHosts(first); err != nil {
+					return err
+				}
+				for _, h := range w.ActiveHostIDs() {
+					if h != first {
+						second = h
+						break
+					}
+				}
+				if second == "" {
+					return errors.New("no second host to drain")
+				}
+				return w.DrainHosts(second)
+			}},
+			{Name: "restore", Intervals: 3, MoveBudget: 40, Action: func(w *World) error {
+				return w.ReopenHosts(second)
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "first-fenced", Turn: "drain-first", Assert: func(c *Check) error {
+				n := len(c.World.Placement().VMsOn(first))
+				return expect(n == 0, "drained host %s still carries %d VMs after two intervals", first, n)
+			}},
+			{Name: "second-fenced", Turn: "drain-second", Assert: func(c *Check) error {
+				n := len(c.World.Placement().VMsOn(second))
+				return expect(n == 0, "drained host %s still carries %d VMs after two intervals", second, n)
+			}},
+			{Name: "estate-whole", Assert: func(c *Check) error {
+				got := c.World.Placement().NumVMs()
+				return expect(got == 84, "placement tracks %d VMs, want 84", got)
+			}},
+			{Name: "ends-clean", Turn: "restore", Assert: func(c *Check) error {
+				return expect(c.Turn.FinalClean && c.Turn.Aborted == 0,
+					"estate not clean after maintenance: finalClean=%v, %d aborted",
+					c.Turn.FinalClean, c.Turn.Aborted)
+			}},
+		},
+	}
+}
+
+// DCEvacuation: a third of the active estate must be emptied at once — the
+// "get everything off that row" shape of a cooling failure or a planned
+// power cut. The evacuation may open fresh hosts; no VM may be lost and
+// the evacuated zone must stay empty.
+func DCEvacuation() *Scenario {
+	prof := workload.NaturalResources()
+	prof.Servers = 84
+	var zone []string
+	return &Scenario{
+		ID:   "dc-evacuation",
+		Name: "Zone evacuation",
+		Description: "A third of the active hosts are evacuated in one action; the zone " +
+			"must stay empty, every VM must survive, and the estate must settle.",
+		Seed:       workload.DefaultSeed,
+		Profile:    prof,
+		Host:       catalog.HS23Elite,
+		StartHours: defaultStartHours,
+		StepHours:  2,
+		Turns: []Turn{
+			{Name: "steady", Intervals: 2, MoveBudget: 50},
+			{Name: "evacuate", Intervals: 3, MoveBudget: 80, Action: func(w *World) error {
+				hosts := w.ActiveHostIDs()
+				k := (len(hosts) + 2) / 3
+				if k == len(hosts) {
+					return fmt.Errorf("cannot evacuate the whole estate (%d hosts)", len(hosts))
+				}
+				zone = hosts[:k]
+				return w.DrainHosts(zone...)
+			}},
+			{Name: "settle", Intervals: 3, MoveBudget: 60},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "zone-empty", Turn: "evacuate", Assert: func(c *Check) error {
+				p := c.World.Placement()
+				for _, h := range zone {
+					if n := len(p.VMsOn(h)); n > 0 {
+						return fmt.Errorf("evacuated host %s still carries %d VMs", h, n)
+					}
+				}
+				return expect(len(zone) > 0, "no zone was evacuated")
+			}},
+			{Name: "no-vm-lost", Assert: func(c *Check) error {
+				got := c.World.Placement().NumVMs()
+				return expect(got == 84, "placement tracks %d VMs, want 84", got)
+			}},
+			{Name: "settled", Turn: "settle", Assert: func(c *Check) error {
+				return expect(c.Turn.Aborted == 0 && c.Turn.FinalClean,
+					"estate did not settle after evacuation: %d aborted, finalClean=%v",
+					c.Turn.Aborted, c.Turn.FinalClean)
+			}},
+		},
+	}
+}
+
+// HardwareRefresh: every blade gets the extended-memory upgrade in place
+// (HS23 standard -> elite, Observation 3's contrast). The memory-bound
+// estate should consolidate visibly denser on the doubled memory, without
+// losing a VM or aborting a move.
+func HardwareRefresh() *Scenario {
+	prof := workload.NaturalResources()
+	prof.Servers = 90
+	var before int
+	return &Scenario{
+		ID:   "hardware-refresh",
+		Name: "Hardware generation swap",
+		Description: "All hosts are upgraded from standard to extended memory in place; " +
+			"the consolidation wave that follows must shrink the active estate.",
+		Seed:       workload.DefaultSeed,
+		Profile:    prof,
+		Host:       catalog.HS23Standard,
+		StartHours: defaultStartHours,
+		StepHours:  2,
+		Turns: []Turn{
+			{Name: "steady", Intervals: 2, MoveBudget: 50},
+			{Name: "refresh", Intervals: 4, MoveBudget: 80, Action: func(w *World) error {
+				before = len(w.ActiveHostIDs())
+				return w.UpgradeHardware(catalog.HS23Elite)
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "estate-shrank", Turn: "refresh", Assert: func(c *Check) error {
+				after := len(c.World.ActiveHostIDs())
+				return expect(after < before,
+					"doubled memory did not consolidate the estate: %d hosts before, %d after", before, after)
+			}},
+			{Name: "no-move-lost", Turn: "refresh", Assert: func(c *Check) error {
+				return expect(c.Turn.Aborted == 0, "%d moves aborted during the refresh wave", c.Turn.Aborted)
+			}},
+			{Name: "estate-whole", Assert: func(c *Check) error {
+				got := c.World.Placement().NumVMs()
+				return expect(got == 90, "placement tracks %d VMs, want 90", got)
+			}},
+			{Name: "ends-clean", Assert: func(c *Check) error {
+				return expect(c.Turn.FinalClean, "estate not clean after the refresh wave")
+			}},
+		},
+	}
+}
+
+// CorrelatedRackOutage: migrations keep failing in rack-sized bursts while
+// a demand bump forces the planner to keep moving VMs — the correlated
+// failure mode (top-of-rack switch, PDU) that independent per-host draws
+// understate. The loop must degrade gracefully, never wedge, and come
+// clean once the network heals.
+func CorrelatedRackOutage() *Scenario {
+	prof := workload.Banking()
+	prof.Servers = 84
+	return &Scenario{
+		ID:   "correlated-rack-outage",
+		Name: "Correlated rack outage",
+		Description: "Racks flap with p=0.4 per wave while demand rises 50%; executions " +
+			"must terminate degraded-not-wedged and the estate must come clean after healing.",
+		Seed:       workload.DefaultSeed,
+		Profile:    prof,
+		Host:       catalog.HS23Elite,
+		StartHours: defaultStartHours,
+		StepHours:  2,
+		Turns: []Turn{
+			{Name: "calm", Intervals: 2, MoveBudget: 40},
+			{Name: "outage", Intervals: 3, MoveBudget: 120, Action: func(w *World) error {
+				if n := w.ScaleDemand("", 1.6, 1.35, 6); n == 0 {
+					return errors.New("no servers to scale")
+				}
+				return w.SetFault(fault.Config{
+					RackOutage:       0.4,
+					MigrationFailure: 0.15,
+					MigrationStall:   0.15,
+				})
+			}},
+			{Name: "healed", Intervals: 3, MoveBudget: 80, Action: func(w *World) error {
+				return w.SetFault(fault.Config{})
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "calm-clean", Turn: "calm", Assert: func(c *Check) error {
+				return expect(c.Turn.SLOViolations == 0 && c.Turn.Aborted == 0,
+					"calm baseline not clean: %d SLO violations, %d aborted",
+					c.Turn.SLOViolations, c.Turn.Aborted)
+			}},
+			{Name: "outage-stresses", Turn: "outage", Assert: func(c *Check) error {
+				return expect(c.Turn.Attempted > 0,
+					"no migrations were attempted during the outage — nothing was tested")
+			}},
+			{Name: "never-wedged", Turn: "outage", Assert: func(c *Check) error {
+				return expect(c.Turn.Intervals == 3,
+					"outage turn drove %d of 3 intervals", c.Turn.Intervals)
+			}},
+			{Name: "heals-clean", Turn: "healed", Assert: func(c *Check) error {
+				if c.Turn.RecoveryIntervals == -1 {
+					return errors.New("estate never came clean after the outage")
+				}
+				return expect(c.Turn.FinalClean && c.Turn.Aborted == 0,
+					"estate still degraded after healing: finalClean=%v, %d aborted",
+					c.Turn.FinalClean, c.Turn.Aborted)
+			}},
+		},
+	}
+}
+
+// SoakStress: the same control loop, but through the durable stack — WAL-
+// backed warehouse ingestion (with agent dropout) and a journaled
+// controller — under a demand surge and a migration-fault burst. This is
+// the scenario the crash wall kills mid-run; its checkpoints also audit
+// the monitoring plane's sample accounting.
+func SoakStress() *Scenario {
+	prof := workload.Airlines()
+	prof.Servers = 48
+	const dropout = 0.03
+	return &Scenario{
+		ID:   "soak-stress",
+		Name: "Durable-stack soak",
+		Description: "Controller journal + warehouse WAL under surge, agent dropout and " +
+			"migration faults; sample accounting must be exact and the estate must settle.",
+		Seed:       workload.DefaultSeed,
+		Profile:    prof,
+		Host:       catalog.HS23Elite,
+		StartHours: defaultStartHours,
+		StepHours:  2,
+		Fault:      fault.Config{AgentDropout: dropout},
+		Soak:       &SoakConfig{SamplesPerHour: 4},
+		Turns: []Turn{
+			{Name: "warm", Intervals: 2, MoveBudget: 40},
+			{Name: "surge", Intervals: 3, MoveBudget: 60, Action: func(w *World) error {
+				if n := w.ScaleDemand("web", 1.8, 1.3, 10); n == 0 {
+					return errors.New("no web-class servers to surge")
+				}
+				return nil
+			}},
+			{Name: "churn", Intervals: 3, MoveBudget: 120, Action: func(w *World) error {
+				if n := w.ScaleDemand("", 1.4, 1.25, 6); n == 0 {
+					return errors.New("no servers to churn")
+				}
+				return w.SetFault(fault.Config{
+					AgentDropout:     dropout,
+					MigrationFailure: 0.25,
+					MigrationStall:   0.15,
+				})
+			}},
+			{Name: "settle", Intervals: 3, MoveBudget: 60, Action: func(w *World) error {
+				return w.SetFault(fault.Config{AgentDropout: dropout})
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "samples-accounted", Assert: func(c *Check) error {
+				w := c.World
+				perHour := 4
+				// Ingestion runs up to the start of each interval, so the
+				// last step's hours are never ingested.
+				hours := w.Hour() - w.scn.step()
+				clock := w.Set().Servers[0].ID
+				want := hours * perHour
+				if got := w.Warehouse().SampleCount(clock); got != want {
+					return fmt.Errorf("clock server holds %d samples, want %d", got, want)
+				}
+				total := w.Warehouse().Stats().Samples
+				full := len(w.Set().Servers) * hours * perHour
+				if total >= full {
+					return fmt.Errorf("agent dropout never dropped a sample: %d of %d", total, full)
+				}
+				if float64(total) < 0.9*float64(full) {
+					return fmt.Errorf("dropout ate too much: %d of %d samples", total, full)
+				}
+				return nil
+			}},
+			{Name: "journaled", Assert: func(c *Check) error {
+				return expect(c.World.JournalBytes() > 0, "controller journal never wrote a byte")
+			}},
+			{Name: "churn-stresses", Turn: "churn", Assert: func(c *Check) error {
+				return expect(c.Turn.FailedAttempts > 0 || c.Turn.StalledAttempts > 0,
+					"fault burst never touched a migration")
+			}},
+			{Name: "settles", Turn: "settle", Assert: func(c *Check) error {
+				return expect(c.Turn.FinalClean && c.Turn.Aborted == 0,
+					"estate did not settle: finalClean=%v, %d aborted", c.Turn.FinalClean, c.Turn.Aborted)
+			}},
+		},
+	}
+}

@@ -1,0 +1,619 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/constraints"
+	"vmwild/internal/controller"
+	"vmwild/internal/core"
+	"vmwild/internal/emulator"
+	"vmwild/internal/executor"
+	"vmwild/internal/fault"
+	"vmwild/internal/monitor"
+	"vmwild/internal/placement"
+	"vmwild/internal/power"
+	"vmwild/internal/stats"
+	"vmwild/internal/trace"
+	"vmwild/internal/wal"
+	"vmwild/internal/workload"
+)
+
+// soakEpoch anchors hour zero of every soak scenario's monitoring
+// timeline (the paper's trace collection date).
+var soakEpoch = time.Date(2014, 12, 8, 0, 0, 0, 0, time.UTC)
+
+// World is the mutable simulation state a scenario's turns act on: the
+// ground-truth demand traces, the consolidation controller, the fault
+// model, and (for soak scenarios) the durable warehouse+journal stack.
+type World struct {
+	scn  *Scenario
+	seed int64
+	opts *Options
+
+	set  *trace.Set
+	hour int
+	step int
+
+	host     catalog.Model
+	emCfg    emulator.Config
+	execCfg  executor.Config
+	faultCfg fault.Config
+	faults   *scriptedFaults
+	avoid    map[string]bool
+
+	ctrl     *controller.Controller
+	interval int
+
+	// Soak plumbing (nil/zero for in-memory scenarios).
+	stateDir  string
+	ownsState bool
+	wh        *monitor.Warehouse
+	whLog     *monitor.WarehouseLog
+	journal   *controller.Journal
+	specs     map[trace.ServerID]trace.Spec
+	perHour   int
+	ingested  int
+	recovered int
+}
+
+// scriptedFaults adapts the pure fault injector to the executor's
+// FaultModel seam and layers the scenario's scripted state on top: forced
+// host outages and the host→rack map that turns RackOutage draws into
+// correlated per-host downtime. The harness re-derives the injector every
+// interval so identical (vm, attempt) identities draw fresh across
+// intervals.
+type scriptedFaults struct {
+	inj  *fault.Injector
+	down map[string]bool
+	rack map[string]string
+}
+
+func (f *scriptedFaults) MigrationOutcome(vm trace.ServerID, attempt int) fault.Outcome {
+	return f.inj.MigrationOutcome(vm, attempt)
+}
+
+func (f *scriptedFaults) StallFactor() float64 { return f.inj.StallFactor() }
+
+func (f *scriptedFaults) HostDown(host string, wave int) bool {
+	if f.down[host] {
+		return true
+	}
+	if f.inj.HostDown(host, wave) {
+		return true
+	}
+	return f.inj.RackDown(f.rack[host], wave)
+}
+
+// avoidHosts vetoes every assignment onto a drained host; one constraint
+// covers the whole avoid set.
+type avoidHosts struct{ hosts map[string]bool }
+
+func (c avoidHosts) Name() string { return "avoid-drained-hosts" }
+
+func (c avoidHosts) Permits(vm trace.ServerID, host string, _ constraints.View) error {
+	if c.hosts[host] {
+		return fmt.Errorf("host %s is drained for maintenance", host)
+	}
+	return nil
+}
+
+func newWorld(s *Scenario, seed int64, opts *Options) (*World, error) {
+	prof := *s.Profile
+	set, err := workload.Generate(&prof, s.Hours(), stats.Split(seed, "workload"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: generate workload: %w", s.ID, err)
+	}
+	w := &World{
+		scn:      s,
+		seed:     seed,
+		opts:     opts,
+		set:      set,
+		hour:     s.StartHours,
+		step:     s.step(),
+		host:     s.Host,
+		faultCfg: s.Fault,
+		faults:   &scriptedFaults{down: map[string]bool{}, rack: map[string]string{}},
+		avoid:    map[string]bool{},
+	}
+	w.emCfg = emulator.Config{
+		HostSpec:     s.Host.Spec,
+		Power:        power.HostModel{IdleWatts: s.Host.IdleWatts, PeakWatts: s.Host.PeakWatts},
+		VirtOverhead: 0.05,
+	}
+	w.execCfg = executor.DefaultConfig()
+	w.execCfg.Fault = w.faults
+
+	if s.Soak != nil {
+		if err := w.openSoak(); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+	if err := w.buildController(nil); err != nil {
+		w.close()
+		return nil, err
+	}
+	if w.journal != nil {
+		w.recovered = w.journal.Recovery().Intervals
+	}
+	return w, nil
+}
+
+func (w *World) openSoak() error {
+	soak := w.scn.Soak
+	w.perHour = soak.samplesPerHour()
+	w.stateDir = w.opts.StateDir
+	if w.stateDir == "" {
+		dir, err := os.MkdirTemp("", "vmwild-scenario-")
+		if err != nil {
+			return fmt.Errorf("scenario %s: soak state dir: %w", w.scn.ID, err)
+		}
+		w.stateDir = dir
+		w.ownsState = true
+	}
+	w.specs = make(map[trace.ServerID]trace.Spec, len(w.set.Servers))
+	for _, st := range w.set.Servers {
+		w.specs[st.ID] = st.Spec
+	}
+	// Retention far beyond any scenario horizon: soak runs must never
+	// age samples out mid-run.
+	w.wh = monitor.NewWarehouse(1 << 20 * time.Hour)
+	whOpts := wal.Options{Sync: soak.syncPolicy()}
+	whLog, err := monitor.OpenWarehouseLog(w.wh, filepath.Join(w.stateDir, "warehouse"), soak.checkpointEvery(), whOpts)
+	if err != nil {
+		return fmt.Errorf("scenario %s: open warehouse log: %w", w.scn.ID, err)
+	}
+	w.whLog = whLog
+	jOpts := wal.Options{Sync: soak.syncPolicy()}
+	if w.opts.journalOpts != nil {
+		jOpts = *w.opts.journalOpts
+	}
+	journal, err := controller.OpenJournal(filepath.Join(w.stateDir, "controller"), jOpts)
+	if err != nil {
+		return fmt.Errorf("scenario %s: open controller journal: %w", w.scn.ID, err)
+	}
+	w.journal = journal
+	// The warehouse remembers how far ingestion got (the WAL replays it
+	// back); server 0 is the ingestion clock — it is exempt from agent
+	// dropout, so its sample count divides evenly into hours.
+	if len(w.set.Servers) > 0 {
+		w.ingested = w.wh.SampleCount(w.set.Servers[0].ID) / w.perHour
+	}
+	return nil
+}
+
+// buildController (re)assembles the consolidation loop around the current
+// host model and constraint set. adopt, when non-nil, seeds it with an
+// externally realized placement (drain, hardware swap).
+func (w *World) buildController(adopt *placement.Placement) error {
+	var cons constraints.Set
+	if len(w.avoid) > 0 {
+		cons = constraints.Set{avoidHosts{hosts: w.avoid}}
+	}
+	ctrl, err := controller.New(controller.Config{
+		Fetch: w.fetch,
+		Planner: core.Input{
+			Host:          w.host,
+			IntervalHours: w.step,
+			Constraints:   cons,
+		},
+		Executor:        w.execCfg,
+		MinHistoryHours: w.scn.StartHours,
+		Journal:         w.journal,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario %s: build controller: %w", w.scn.ID, err)
+	}
+	if adopt != nil {
+		if err := ctrl.AdoptPlacement(adopt, w.interval); err != nil {
+			return fmt.Errorf("scenario %s: adopt placement: %w", w.scn.ID, err)
+		}
+	}
+	w.ctrl = ctrl
+	return nil
+}
+
+func (w *World) fetch() (*trace.Set, error) {
+	if w.wh != nil {
+		return w.wh.CollectSet(w.set.Name, w.specs, soakEpoch)
+	}
+	return w.set.SliceAll(0, w.hour)
+}
+
+// refreshFaults re-derives the injector for the current interval (extra
+// distinguishes retry rounds inside one action) and rebuilds the host→rack
+// map from the live placement so RackOutage draws hit whole racks.
+func (w *World) refreshFaults(extra int64) error {
+	cfg := w.faultCfg
+	if !cfg.Enabled() {
+		w.faults.inj = nil
+		return nil
+	}
+	cfg.Seed = stats.Derive(stats.Derive(stats.Split(w.seed, "fault"), int64(w.interval)), extra)
+	inj, err := fault.New(cfg)
+	if err != nil {
+		return fmt.Errorf("scenario %s: fault config: %w", w.scn.ID, err)
+	}
+	w.faults.inj = inj
+	w.faults.rack = map[string]string{}
+	if cfg.RackOutage > 0 {
+		if p := w.ctrl.Placement(); p != nil {
+			for _, h := range p.Hosts() {
+				w.faults.rack[h.ID] = h.Rack
+			}
+		}
+	}
+	return nil
+}
+
+// ingestUpTo feeds the warehouse every monitoring sample up to (not
+// including) hour — the agents' view of the ground-truth traces, with
+// agent dropout applied to every server except the clock server 0.
+func (w *World) ingestUpTo(hour int) error {
+	if w.wh == nil || w.ingested >= hour {
+		return nil
+	}
+	slot := time.Hour / time.Duration(w.perHour)
+	for si, st := range w.set.Servers {
+		spec := st.Spec
+		for h := w.ingested; h < hour; h++ {
+			u := st.Series.Samples[h]
+			pct := 0.0
+			if spec.CPURPE2 > 0 {
+				pct = u.CPU / spec.CPURPE2 * 100
+			}
+			pct = min(max(pct, 0), 100)
+			mem := max(u.Mem, 0)
+			for k := 0; k < w.perHour; k++ {
+				if si > 0 && w.faults.inj.AgentDrops(st.ID, h*w.perHour+k) {
+					continue
+				}
+				s := monitor.Sample{
+					Server:            st.ID,
+					Timestamp:         soakEpoch.Add(time.Duration(h)*time.Hour + time.Duration(k)*slot),
+					TotalProcessorPct: pct,
+					MemCommittedMB:    mem,
+				}
+				if err := w.wh.IngestDurable(s); err != nil {
+					return fmt.Errorf("scenario %s: ingest hour %d: %w", w.scn.ID, h, err)
+				}
+			}
+		}
+	}
+	w.ingested = hour
+	return nil
+}
+
+// runInterval drives one consolidation interval and measures it: the
+// controller's tick, then an emulator replay of the realized placement
+// against the actual demand of the hours the placement serves.
+func (w *World) runInterval(turn string) (IntervalMetrics, error) {
+	if err := w.refreshFaults(0); err != nil {
+		return IntervalMetrics{}, err
+	}
+	if err := w.ingestUpTo(w.hour); err != nil {
+		return IntervalMetrics{}, err
+	}
+	t0 := time.Now()
+	tick, err := w.ctrl.RunInterval()
+	latency := time.Since(t0)
+	if err != nil {
+		return IntervalMetrics{}, fmt.Errorf("scenario %s: interval %d: %w", w.scn.ID, w.interval, err)
+	}
+	m := IntervalMetrics{
+		Interval:        tick.Interval,
+		Turn:            turn,
+		HistoryHours:    tick.HistoryHours,
+		PlannedMoves:    tick.Step.Migrations,
+		Attempted:       tick.Moves.Attempted,
+		Completed:       tick.Moves.Succeeded,
+		Aborted:         tick.Moves.Aborted,
+		FailedAttempts:  tick.Moves.Failed,
+		StalledAttempts: tick.Moves.Stalled,
+		Degraded:        tick.Degraded,
+		Feasible:        tick.Feasible,
+		OverloadedHosts: tick.Step.OverloadedHosts,
+		MigrationDataMB: tick.Step.MigrationDataMB,
+		PlanLatency:     latency,
+	}
+	if tick.Execution != nil {
+		m.ExecMillis = tick.Execution.Total.Milliseconds()
+	}
+	realized := w.ctrl.Placement()
+	m.ActiveHosts = realized.ActiveHosts()
+
+	end := min(w.hour+w.step, w.set.Servers[0].Series.Len())
+	if end > w.hour {
+		slice, err := w.set.SliceAll(w.hour, end)
+		if err != nil {
+			return IntervalMetrics{}, err
+		}
+		replay, err := emulator.Run(slice, emulator.StaticSchedule{P: realized}, end-w.hour, w.emCfg)
+		if err != nil {
+			return IntervalMetrics{}, fmt.Errorf("scenario %s: SLO replay: %w", w.scn.ID, err)
+		}
+		m.SLOViolations = len(replay.Contentions)
+		m.ContentionHours = replay.ContentionHours
+	}
+
+	w.hour += w.step
+	w.interval++
+	return m, nil
+}
+
+// skipInterval fast-forwards past an interval the journal already
+// committed (soak resume): the clock advances, nothing is re-driven.
+func (w *World) skipInterval() {
+	w.hour += w.step
+	w.interval++
+}
+
+func (w *World) close() {
+	if w.whLog != nil {
+		w.whLog.Close()
+		w.whLog = nil
+	}
+	if w.journal != nil {
+		w.journal.Close()
+		w.journal = nil
+	}
+	if w.ownsState && w.stateDir != "" {
+		os.RemoveAll(w.stateDir)
+		w.stateDir = ""
+	}
+}
+
+// ---- Accessors for turn actions and checkpoints ----
+
+// Hour is the current position in the trace timeline.
+func (w *World) Hour() int { return w.hour }
+
+// Interval is the next global interval index.
+func (w *World) Interval() int { return w.interval }
+
+// Set is the ground-truth trace set (turn actions may mutate future
+// hours; checkpoints must treat it as read-only).
+func (w *World) Set() *trace.Set { return w.set }
+
+// Placement is a copy of the current placement (nil before the first
+// interval).
+func (w *World) Placement() *placement.Placement { return w.ctrl.Placement() }
+
+// Warehouse is the soak warehouse, nil for in-memory scenarios.
+func (w *World) Warehouse() *monitor.Warehouse { return w.wh }
+
+// JournalBytes is the controller journal's write volume (0 without soak).
+func (w *World) JournalBytes() int64 {
+	if w.journal == nil {
+		return 0
+	}
+	return w.journal.BytesWritten()
+}
+
+// Drained returns the currently drained (maintenance) hosts, sorted.
+func (w *World) Drained() []string {
+	out := make([]string, 0, len(w.avoid))
+	for h := range w.avoid {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActiveHostIDs returns the IDs of hosts with at least one VM, sorted.
+func (w *World) ActiveHostIDs() []string {
+	p := w.ctrl.Placement()
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for _, h := range p.Hosts() {
+		if len(p.VMsOn(h.ID)) > 0 {
+			out = append(out, h.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- World mutations (turn actions) ----
+
+// ScaleDemand multiplies the demand of every server whose Class matches
+// (empty matches all) for the next hours hours — CPU by cpuFactor, memory
+// by memFactor — clamped to each server's capacity. The paper's estates
+// are memory-bound, so a surge that should stress consolidation must grow
+// memory too, not just CPU. It returns how many servers were touched.
+func (w *World) ScaleDemand(class string, cpuFactor, memFactor float64, hours int) int {
+	touched := 0
+	for _, st := range w.set.Servers {
+		if class != "" && st.Class != class {
+			continue
+		}
+		touched++
+		end := min(w.hour+hours, st.Series.Len())
+		for h := w.hour; h < end; h++ {
+			s := &st.Series.Samples[h]
+			s.CPU = min(s.CPU*cpuFactor, st.Spec.CPURPE2)
+			s.Mem = min(s.Mem*memFactor, st.Spec.MemMB)
+		}
+	}
+	return touched
+}
+
+// SetFault replaces the fault model from the next interval on (the seed
+// field is managed by the harness and ignored).
+func (w *World) SetFault(cfg fault.Config) error {
+	cfg.Seed = 0
+	probe := cfg
+	probe.Seed = 1
+	if _, err := fault.New(probe); err != nil {
+		return err
+	}
+	w.faultCfg = cfg
+	return nil
+}
+
+// ForceHostsDown marks hosts unreachable for migration traffic until
+// ClearForcedOutages — a scripted outage on top of the probabilistic ones.
+func (w *World) ForceHostsDown(hosts ...string) {
+	for _, h := range hosts {
+		w.faults.down[h] = true
+	}
+}
+
+// ClearForcedOutages lifts every forced outage.
+func (w *World) ClearForcedOutages() {
+	w.faults.down = map[string]bool{}
+}
+
+// DrainHosts evacuates the given hosts (largest VMs first onto the
+// emptiest remaining hosts, opening fresh hosts when capacity runs out),
+// executes the migrations under the fault model — retrying aborted moves
+// in up to four follow-up rounds, as a maintenance operator would — and
+// fences the hosts off from future planning until ReopenHosts.
+func (w *World) DrainHosts(hosts ...string) error {
+	if len(hosts) == 0 {
+		return nil
+	}
+	cur := w.ctrl.Placement()
+	if cur == nil {
+		return errors.New("scenario: drain before the first interval")
+	}
+	drainSet := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		if cur.HostIndex(h) < 0 {
+			return fmt.Errorf("scenario: drain unknown host %s", h)
+		}
+		drainSet[h] = true
+		w.avoid[h] = true
+	}
+	for round := int64(0); ; round++ {
+		if err := w.refreshFaults(1 + round); err != nil {
+			return err
+		}
+		moves, err := w.planEvacuation(cur, drainSet)
+		if err != nil {
+			return err
+		}
+		if len(moves) == 0 {
+			break
+		}
+		exec, err := executor.Execute(cur, moves, w.execCfg)
+		if err != nil {
+			return fmt.Errorf("scenario: drain execution: %w", err)
+		}
+		cur = exec.Final
+		if !exec.Degraded() {
+			break
+		}
+		if round >= 4 {
+			return fmt.Errorf("scenario: drain of %v stuck with %d moves aborted after %d rounds",
+				hosts, len(exec.Aborted), round+1)
+		}
+	}
+	return w.buildController(cur)
+}
+
+// ReopenHosts returns drained hosts to the planner's pool; the next
+// consolidation intervals fold load back onto them if worthwhile.
+func (w *World) ReopenHosts(hosts ...string) error {
+	for _, h := range hosts {
+		delete(w.avoid, h)
+	}
+	return w.buildController(w.ctrl.Placement())
+}
+
+// planEvacuation relocates every VM on the drained hosts: largest memory
+// first onto the emptiest non-drained, non-avoided hosts, opening fresh
+// hosts when nothing fits (an evacuation must succeed even if the
+// remaining estate is full).
+func (w *World) planEvacuation(p *placement.Placement, drain map[string]bool) ([]executor.Move, error) {
+	var vms []trace.ServerID
+	for h := range drain {
+		vms = append(vms, p.VMsOn(h)...)
+	}
+	if len(vms) == 0 {
+		return nil, nil
+	}
+	sort.Slice(vms, func(i, j int) bool {
+		a, _ := p.Item(vms[i])
+		b, _ := p.Item(vms[j])
+		if a.Demand.Mem != b.Demand.Mem {
+			return a.Demand.Mem > b.Demand.Mem
+		}
+		return vms[i] < vms[j]
+	})
+	target := p.Clone()
+	for _, vm := range vms {
+		it, err := target.Remove(vm)
+		if err != nil {
+			return nil, err
+		}
+		best := -1
+		bestSlack := -1.0
+		cap := target.Capacity()
+		for i, h := range target.Hosts() {
+			if drain[h.ID] || w.avoid[h.ID] || !target.FitsAt(i, it.Demand) {
+				continue
+			}
+			u := target.UsedAt(i)
+			slack := min((cap.CPU-u.CPU)/cap.CPU, (cap.Mem-u.Mem)/cap.Mem)
+			if slack > bestSlack {
+				bestSlack = slack
+				best = i
+			}
+		}
+		var host string
+		if best >= 0 {
+			host = target.Hosts()[best].ID
+		} else {
+			host = target.OpenHost().ID
+		}
+		if err := target.Assign(it, host); err != nil {
+			return nil, err
+		}
+	}
+	return executor.Diff(p, target)
+}
+
+// UpgradeHardware swaps every host to a new model in place (the
+// hardware-generation refresh: same blades, extended memory). VMs stay
+// where they are; the controller re-plans on the new capacity from the
+// next interval, and the consolidation wave that follows is the payoff
+// being measured.
+func (w *World) UpgradeHardware(m catalog.Model) error {
+	if m.Spec.CPURPE2 <= 0 || m.Spec.MemMB <= 0 {
+		return fmt.Errorf("scenario: hardware model %q has no capacity", m.Name)
+	}
+	cur := w.ctrl.Placement()
+	if cur == nil {
+		return errors.New("scenario: hardware swap before the first interval")
+	}
+	rackSize := m.BladesPerRack
+	if rackSize <= 0 {
+		rackSize = 14
+	}
+	next, err := placement.NewPlacement(m.Spec, core.DefaultBound, rackSize)
+	if err != nil {
+		return err
+	}
+	for _, h := range cur.Hosts() {
+		next.EnsureHost(h.ID)
+		for _, vm := range cur.VMsOn(h.ID) {
+			it, _ := cur.Item(vm)
+			if err := next.Assign(it, h.ID); err != nil {
+				return fmt.Errorf("scenario: hardware swap: %w", err)
+			}
+		}
+	}
+	w.host = m
+	w.emCfg.HostSpec = m.Spec
+	w.emCfg.Power = power.HostModel{IdleWatts: m.IdleWatts, PeakWatts: m.PeakWatts}
+	return w.buildController(next)
+}

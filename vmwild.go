@@ -18,6 +18,7 @@ import (
 	"vmwild/internal/migration"
 	"vmwild/internal/monitor"
 	"vmwild/internal/placement"
+	"vmwild/internal/scenario"
 	"vmwild/internal/stats"
 	"vmwild/internal/sweep"
 	"vmwild/internal/trace"
@@ -440,6 +441,54 @@ func OpenWarehouseLog(w *Warehouse, dir string, checkpointEvery int, opts WALOpt
 // result to ControllerConfig.Journal.
 func OpenControllerJournal(dir string, opts WALOptions) (*ControllerJournal, error) {
 	return controller.OpenJournal(dir, opts)
+}
+
+// Scenario harness: named end-to-end simulations that drive the full
+// controller/executor/monitor stack through scripted events (demand
+// surges, maintenance drains, rack outages, hardware swaps) and grade the
+// outcome against hard checkpoints. Every run is bitwise-reproducible
+// from its seed; `vmwild scenario` is the CLI front end and the repo's
+// scenario wall runs them all as tests.
+type (
+	// Scenario is one named end-to-end simulation: turns that mutate the
+	// world, checkpoints that grade it.
+	Scenario = scenario.Scenario
+	// ScenarioTurn is one phase of a scenario.
+	ScenarioTurn = scenario.Turn
+	// ScenarioCheckpoint is a hard pass/fail assertion over a turn.
+	ScenarioCheckpoint = scenario.Checkpoint
+	// ScenarioCheck is the state a checkpoint assertion inspects.
+	ScenarioCheck = scenario.Check
+	// ScenarioWorld is the mutable simulation state turn actions act on.
+	ScenarioWorld = scenario.World
+	// ScenarioOptions tunes one run (seed override, metric sinks, soak
+	// state directory).
+	ScenarioOptions = scenario.Options
+	// ScenarioResult is a graded run: per-turn metrics plus checkpoints.
+	ScenarioResult = scenario.Result
+	// ScenarioTurnMetrics aggregates one turn's intervals.
+	ScenarioTurnMetrics = scenario.TurnMetrics
+	// ScenarioIntervalMetrics measures one consolidation interval.
+	ScenarioIntervalMetrics = scenario.IntervalMetrics
+	// ScenarioCheckpointResult is one graded checkpoint.
+	ScenarioCheckpointResult = scenario.CheckpointResult
+	// ScenarioSoakConfig routes a scenario through the durable
+	// warehouse+journal stack.
+	ScenarioSoakConfig = scenario.SoakConfig
+)
+
+// Scenarios returns a fresh instance of every named scenario, sorted by
+// ID. Instances are independent: running one never affects another.
+func Scenarios() []*Scenario { return scenario.All() }
+
+// ScenarioByID returns a fresh instance of the named scenario.
+func ScenarioByID(id string) (*Scenario, error) { return scenario.Get(id) }
+
+// RunScenario executes a scenario and grades its checkpoints. Checkpoint
+// failures are reported in the result (Passed=false), not as errors;
+// errors mean the simulation itself could not proceed.
+func RunScenario(s *Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
+	return scenario.Run(s, opts)
 }
 
 // Warehouse query protocol: how remote planners pull aggregated series.
