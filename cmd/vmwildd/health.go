@@ -16,6 +16,7 @@ type healthServer struct {
 	mu     sync.Mutex
 	ready  bool
 	detail map[string]any
+	varz   func() any
 
 	ln  net.Listener
 	srv *http.Server
@@ -28,6 +29,7 @@ func startHealth(addr string) (*healthServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", h.healthz)
 	mux.HandleFunc("/readyz", h.readyz)
+	mux.HandleFunc("/varz", h.varzHandler)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -49,6 +51,28 @@ func (h *healthServer) setReady(detail map[string]any) {
 	if detail != nil {
 		h.detail = detail
 	}
+}
+
+// setVarz installs the live metrics source behind /varz — the overload
+// and degradation counters (connections, shed ingest, corrupt frames,
+// rejected queries) an operator watches during an incident.
+func (h *healthServer) setVarz(source func() any) {
+	h.mu.Lock()
+	h.varz = source
+	h.mu.Unlock()
+}
+
+func (h *healthServer) varzHandler(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	source := h.varz
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if source == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "recovering"})
+		return
+	}
+	json.NewEncoder(w).Encode(source())
 }
 
 func (h *healthServer) healthz(w http.ResponseWriter, _ *http.Request) {

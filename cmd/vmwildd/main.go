@@ -46,7 +46,12 @@ func run() error {
 		ckptEvery    = flag.Int("checkpoint-every", 0, "WAL appends between warehouse checkpoints (0 = default 4096)")
 		healthListen = flag.String("health-listen", "", "serve /healthz and /readyz on this address (empty disables)")
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "sever ingestion/query connections silent longer than this (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-write deadline on ack and response writes (0 = 30s default)")
 		maxLineBytes = flag.Int("max-line-bytes", 0, "per-connection line size bound (0 = 1 MiB default)")
+		maxConns     = flag.Int("max-conns", 0, "max concurrent agent connections; excess waits in the accept backlog (0 = unbounded)")
+		qryMaxConns  = flag.Int("query-max-conns", 0, "max concurrent query connections (0 = unbounded)")
+		ingestRate   = flag.Float64("ingest-rate", 0, "token-bucket ingest refill in samples/sec; requires -ingest-burst")
+		ingestBurst  = flag.Int("ingest-burst", 0, "token-bucket ingest burst in samples; 0 disables the limiter")
 		simulate     = flag.String("simulate", "", "run a self-contained simulation of workload A, B, C or D instead of serving")
 		servers      = flag.Int("servers", 40, "simulated fleet size")
 		ticks        = flag.Int("ticks", 12, "simulated consolidation intervals")
@@ -78,7 +83,12 @@ func run() error {
 		ckptEvery:    *ckptEvery,
 		healthListen: *healthListen,
 		readTimeout:  *readTimeout,
+		writeTimeout: *writeTimeout,
 		maxLineBytes: *maxLineBytes,
+		maxConns:     *maxConns,
+		qryMaxConns:  *qryMaxConns,
+		ingestRate:   *ingestRate,
+		ingestBurst:  *ingestBurst,
 	})
 }
 
@@ -92,7 +102,12 @@ type serveConfig struct {
 	ckptEvery           int
 	healthListen        string
 	readTimeout         time.Duration
+	writeTimeout        time.Duration
 	maxLineBytes        int
+	maxConns            int
+	qryMaxConns         int
+	ingestRate          float64
+	ingestBurst         int
 }
 
 // serve runs the daemon against real agents until SIGINT/SIGTERM.
@@ -116,9 +131,18 @@ func serve(cfg serveConfig) error {
 		fmt.Printf("health endpoints on %s\n", health.Addr())
 	}
 
+	if cfg.ingestRate > 0 && cfg.ingestBurst <= 0 {
+		return errors.New("-ingest-rate requires -ingest-burst")
+	}
+
 	warehouse := vmwild.NewWarehouseShards(cfg.retention, cfg.ingestShards)
 	warehouse.ReadTimeout = cfg.readTimeout
+	warehouse.WriteTimeout = cfg.writeTimeout
 	warehouse.MaxLineBytes = cfg.maxLineBytes
+	warehouse.MaxConns = cfg.maxConns
+	if cfg.ingestBurst > 0 {
+		warehouse.SetIngestLimit(cfg.ingestRate, cfg.ingestBurst)
+	}
 	if cfg.snapshotPath != "" {
 		// A crash during a previous shutdown snapshot may have stranded
 		// temp files next to the target; sweep them before writing more.
@@ -170,7 +194,13 @@ func serve(cfg serveConfig) error {
 	defer warehouse.Close()
 	qs := vmwild.NewQueryServer(warehouse)
 	qs.ReadTimeout = cfg.readTimeout
+	qs.WriteTimeout = cfg.writeTimeout
 	qs.MaxLineBytes = cfg.maxLineBytes
+	qs.MaxConns = cfg.qryMaxConns
+	// Priority shedding: when the agent side approaches its connection
+	// cap, refuse NEW query connections first — losing a planning query
+	// is recoverable, losing monitoring samples is not.
+	qs.RejectWhen = warehouse.UnderPressure
 	qaddr, err := qs.Listen(cfg.queryListen)
 	if err != nil {
 		return err
@@ -181,6 +211,12 @@ func serve(cfg serveConfig) error {
 		detail["ingest"] = addr
 		detail["query"] = qaddr
 		health.setReady(detail)
+		health.setVarz(func() any {
+			return map[string]any{
+				"warehouse": warehouse.Metrics(),
+				"query":     qs.Metrics(),
+			}
+		})
 	}
 
 	stop := make(chan os.Signal, 1)

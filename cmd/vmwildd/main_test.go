@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
@@ -34,12 +35,46 @@ func TestHealthEndpointsGateOnRecovery(t *testing.T) {
 	if got := get("/readyz"); got != http.StatusServiceUnavailable {
 		t.Errorf("/readyz during recovery = %d, want 503", got)
 	}
+	if got := get("/varz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/varz before the servers exist = %d, want 503", got)
+	}
 	h.setReady(map[string]any{"walReplayed": 7})
 	if got := get("/readyz"); got != http.StatusOK {
 		t.Errorf("/readyz after recovery = %d, want 200", got)
 	}
 	if got := get("/healthz"); got != http.StatusOK {
 		t.Errorf("/healthz after recovery = %d, want 200", got)
+	}
+}
+
+func TestVarzServesWarehouseMetrics(t *testing.T) {
+	h, err := startHealth("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	w := vmwild.NewWarehouse(0)
+	w.MaxConns = 64
+	qs := vmwild.NewQueryServer(w)
+	h.setVarz(func() any {
+		return map[string]any{"warehouse": w.Metrics(), "query": qs.Metrics()}
+	})
+	resp, err := http.Get("http://" + h.Addr() + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/varz = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Warehouse vmwild.WarehouseMetrics `json:"warehouse"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Warehouse.MaxConns != 64 {
+		t.Fatalf("/varz warehouse.maxConns = %d, want 64", body.Warehouse.MaxConns)
 	}
 }
 

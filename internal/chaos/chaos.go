@@ -1,0 +1,376 @@
+// Package chaos is a deterministic in-process TCP fault proxy: it sits
+// between the monitoring plane's clients (agents, query clients) and its
+// servers (warehouse, query server) and degrades the wire the way real
+// networks do during migration-heavy intervals — added latency and jitter,
+// throttled bandwidth, slow-loris dribble, mid-stream resets, byte
+// corruption, truncation, and full partitions that heal on command.
+//
+// Every fault decision is a pure function of (seed, connection, direction,
+// chunk): the proxy never holds a shared random stream, so the same seed
+// reproduces the same fault schedule per connection regardless of how
+// goroutines interleave. This is the internal/fault identity-addressing
+// discipline applied to the network itself. What is NOT deterministic is
+// how the kernel batches bytes into reads, so byte-exact fault positions
+// vary across runs; the chaos wall therefore asserts invariants that must
+// hold under every realization (exact accounting, bit-identical surviving
+// aggregates), never exact fault counts.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmwild/internal/stats"
+)
+
+// Config parameterizes the proxy. The zero value forwards bytes
+// transparently.
+type Config struct {
+	// Seed roots every fault decision; the same seed draws the same fault
+	// schedule for the same (connection, direction, chunk) identity.
+	Seed int64
+
+	// Latency delays every forwarded chunk (one-way, per chunk).
+	Latency time.Duration
+	// Jitter widens Latency by a seeded uniform draw in [0, Jitter).
+	Jitter time.Duration
+	// BandwidthBPS throttles forwarding to roughly this many bytes per
+	// second per direction (0 = unthrottled).
+	BandwidthBPS int
+	// DribbleBytes caps how many bytes one forwarded chunk carries — the
+	// slow-loris shape: a frame arrives as many tiny paced writes instead
+	// of one. 0 forwards whatever one read returned.
+	DribbleBytes int
+
+	// ResetProb is the per-chunk probability that the connection is cut
+	// mid-stream (both directions), as an RST or a dying middlebox would.
+	ResetProb float64
+	// CorruptProb is the per-chunk probability that one byte of the chunk
+	// is flipped before forwarding.
+	CorruptProb float64
+	// TruncateProb is the per-chunk probability that the chunk's tail is
+	// dropped and the connection cut right after — a mid-frame FIN.
+	TruncateProb float64
+}
+
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ResetProb", c.ResetProb},
+		{"CorruptProb", c.CorruptProb},
+		{"TruncateProb", c.TruncateProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.BandwidthBPS < 0 || c.DribbleBytes < 0 || c.Latency < 0 || c.Jitter < 0 {
+		return errors.New("chaos: negative latency, jitter, bandwidth or dribble")
+	}
+	return nil
+}
+
+// Stats counts what the proxy did to the traffic. Counts are cumulative
+// since New.
+type Stats struct {
+	// Conns is how many client connections were accepted (including ones
+	// refused service during a partition).
+	Conns int64
+	// PartitionRefused is how many accepted connections were cut
+	// immediately because the network was partitioned.
+	PartitionRefused int64
+	// Resets is how many connections were cut mid-stream by ResetProb.
+	Resets int64
+	// CorruptedChunks is how many chunks had a byte flipped.
+	CorruptedChunks int64
+	// TruncatedChunks is how many chunks lost their tail (and their
+	// connection).
+	TruncatedChunks int64
+	// BytesIn / BytesOut are the payload bytes forwarded client→upstream
+	// and upstream→client after faults were applied.
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Proxy is one listener forwarding to one upstream address through the
+// fault model.
+type Proxy struct {
+	cfg      Config
+	upstream string
+
+	lis      net.Listener
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+
+	partitioned atomic.Bool
+	connSeq     atomic.Int64
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	stats struct {
+		conns, refused, resets atomic.Int64
+		corrupted, truncated   atomic.Int64
+		bytesIn, bytesOut      atomic.Int64
+	}
+}
+
+// New validates the configuration and builds a proxy targeting upstream.
+func New(cfg Config, upstream string) (*Proxy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if upstream == "" {
+		return nil, errors.New("chaos: empty upstream address")
+	}
+	return &Proxy{
+		cfg:      cfg,
+		upstream: upstream,
+		shutdown: make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Listen starts accepting client connections on addr (use "127.0.0.1:0"
+// for an ephemeral port) and returns the bound address clients should dial
+// instead of the upstream.
+func (p *Proxy) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("chaos: listen: %w", err)
+	}
+	p.lis = lis
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+// Partition cuts the network: every live connection is severed and new
+// connections are accepted but immediately cut (the client sees a dial
+// that succeeds and then dies, the way a blackholed route behaves under
+// TCP timeouts compressed to zero).
+func (p *Proxy) Partition() {
+	p.partitioned.Store(true)
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Heal lifts a partition; new connections flow again.
+func (p *Proxy) Heal() { p.partitioned.Store(false) }
+
+// Partitioned reports whether the network is currently cut.
+func (p *Proxy) Partitioned() bool { return p.partitioned.Load() }
+
+// Stats returns the cumulative fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:            p.stats.conns.Load(),
+		PartitionRefused: p.stats.refused.Load(),
+		Resets:           p.stats.resets.Load(),
+		CorruptedChunks:  p.stats.corrupted.Load(),
+		TruncatedChunks:  p.stats.truncated.Load(),
+		BytesIn:          p.stats.bytesIn.Load(),
+		BytesOut:         p.stats.bytesOut.Load(),
+	}
+}
+
+// Close stops the listener and severs every live connection.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.shutdown:
+		return nil
+	default:
+	}
+	close(p.shutdown)
+	var err error
+	if p.lis != nil {
+		err = p.lis.Close()
+	}
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			select {
+			case <-p.shutdown:
+				return
+			case <-time.After(5 * time.Millisecond):
+				continue
+			}
+		}
+		p.stats.conns.Add(1)
+		if p.partitioned.Load() {
+			p.stats.refused.Add(1)
+			conn.Close()
+			continue
+		}
+		id := p.connSeq.Add(1)
+		p.wg.Add(1)
+		go p.serve(conn, id)
+	}
+}
+
+// track registers c for severing on Partition/Close; the returned func
+// unregisters it.
+func (p *Proxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+func (p *Proxy) serve(client net.Conn, id int64) {
+	defer p.wg.Done()
+	defer client.Close()
+	untrackClient := p.track(client)
+	defer untrackClient()
+
+	up, err := net.DialTimeout("tcp", p.upstream, 10*time.Second)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	untrackUp := p.track(up)
+	defer untrackUp()
+
+	// cut severs both directions at once; a reset in either pump must not
+	// leave the other half-draining a dead peer.
+	var once sync.Once
+	cut := func() {
+		once.Do(func() {
+			client.Close()
+			up.Close()
+		})
+	}
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() {
+		defer pumps.Done()
+		p.pump(client, up, id, "in", &p.stats.bytesIn, cut)
+	}()
+	go func() {
+		defer pumps.Done()
+		p.pump(up, client, id, "out", &p.stats.bytesOut, cut)
+	}()
+	pumps.Wait()
+}
+
+// draw maps a (direction, connection, chunk) identity to a deterministic
+// uniform in [0, 1).
+func (p *Proxy) draw(kind, dir string, conn, chunk int64) float64 {
+	s := stats.Split(p.cfg.Seed, kind, dir, strconv.FormatInt(conn, 10), strconv.FormatInt(chunk, 10))
+	return float64(s) / (1 << 63)
+}
+
+// pump forwards src→dst one chunk at a time through the fault model until
+// either side dies. dir distinguishes the two directions of one connection
+// so their fault schedules are independent.
+func (p *Proxy) pump(src, dst net.Conn, id int64, dir string, volume *atomic.Int64, cut func()) {
+	// A clean EOF propagates the FIN and leaves the reverse direction
+	// draining (a query response or an ack may still be in flight); every
+	// other exit severs both directions.
+	clean := false
+	defer func() {
+		if !clean {
+			cut()
+		}
+	}()
+	chunkSize := 32 * 1024
+	if p.cfg.DribbleBytes > 0 && p.cfg.DribbleBytes < chunkSize {
+		chunkSize = p.cfg.DribbleBytes
+	}
+	buf := make([]byte, chunkSize)
+	for chunk := int64(0); ; chunk++ {
+		n, err := src.Read(buf)
+		if n > 0 {
+			b := buf[:n]
+			if p.cfg.ResetProb > 0 && p.draw("reset", dir, id, chunk) < p.cfg.ResetProb {
+				p.stats.resets.Add(1)
+				return
+			}
+			truncated := false
+			if p.cfg.TruncateProb > 0 && p.draw("truncate", dir, id, chunk) < p.cfg.TruncateProb {
+				// Keep a seeded prefix (possibly empty) and cut the
+				// connection right after it — a mid-frame FIN.
+				keep := int(p.draw("truncate-len", dir, id, chunk) * float64(n))
+				b = b[:keep]
+				truncated = true
+				p.stats.truncated.Add(1)
+			}
+			if len(b) > 0 && p.cfg.CorruptProb > 0 && p.draw("corrupt", dir, id, chunk) < p.cfg.CorruptProb {
+				i := int(p.draw("corrupt-pos", dir, id, chunk) * float64(len(b)))
+				flip := byte(1 + int(p.draw("corrupt-bit", dir, id, chunk)*255))
+				b[i] ^= flip
+				p.stats.corrupted.Add(1)
+			}
+			p.sleepFor(len(b), dir, id, chunk)
+			if len(b) > 0 {
+				if _, err := dst.Write(b); err != nil {
+					return
+				}
+				volume.Add(int64(len(b)))
+			}
+			if truncated {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate the FIN so line-oriented peers see a
+			// clean end of stream, then let the other pump drain.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite() //nolint:errcheck
+				clean = true
+			} else {
+				dst.Close()
+			}
+			return
+		}
+	}
+}
+
+// sleepFor applies latency, jitter and bandwidth pacing for one chunk,
+// returning early if the proxy shuts down.
+func (p *Proxy) sleepFor(n int, dir string, id, chunk int64) {
+	d := p.cfg.Latency
+	if p.cfg.Jitter > 0 {
+		d += time.Duration(p.draw("jitter", dir, id, chunk) * float64(p.cfg.Jitter))
+	}
+	if p.cfg.BandwidthBPS > 0 && n > 0 {
+		d += time.Duration(float64(n) / float64(p.cfg.BandwidthBPS) * float64(time.Second))
+	}
+	if d <= 0 {
+		return
+	}
+	select {
+	case <-p.shutdown:
+	case <-time.After(d):
+	}
+}

@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"bytes"
+	"crypto/rand"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back until the
+// client closes its write side.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c) //nolint:errcheck
+			}(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+func newProxyT(t *testing.T, cfg Config, upstream string) (*Proxy, string) {
+	t.Helper()
+	p, err := New(cfg, upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, addr
+}
+
+// roundTrip writes payload through addr and reads the echo back.
+func roundTrip(t *testing.T, addr string, payload []byte) ([]byte, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(payload); err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite() //nolint:errcheck
+	}
+	return io.ReadAll(conn)
+}
+
+func TestTransparentForwarding(t *testing.T) {
+	up := echoServer(t)
+	_, addr := newProxyT(t, Config{Seed: 1}, up)
+
+	payload := make([]byte, 256*1024)
+	if _, err := rand.Read(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := roundTrip(t, addr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("zero-config proxy altered the stream: %d bytes in, %d out", len(payload), len(got))
+	}
+}
+
+func TestDribbleAndLatencyPreserveBytes(t *testing.T) {
+	up := echoServer(t)
+	p, addr := newProxyT(t, Config{
+		Seed:         7,
+		Latency:      100 * time.Microsecond,
+		Jitter:       100 * time.Microsecond,
+		DribbleBytes: 64,
+		BandwidthBPS: 4 << 20,
+	}, up)
+
+	payload := make([]byte, 8*1024)
+	if _, err := rand.Read(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := roundTrip(t, addr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("dribble/latency faults must delay bytes, never change them")
+	}
+	if st := p.Stats(); st.BytesIn < int64(len(payload)) {
+		t.Fatalf("proxy counted %d bytes in, want >= %d", st.BytesIn, len(payload))
+	}
+}
+
+func TestPartitionSeversAndHeals(t *testing.T) {
+	up := echoServer(t)
+	p, addr := newProxyT(t, Config{Seed: 3}, up)
+
+	// A healthy round trip first.
+	if _, err := roundTrip(t, addr, []byte("hello")); err != nil {
+		t.Fatalf("pre-partition round trip: %v", err)
+	}
+
+	p.Partition()
+	if !p.Partitioned() {
+		t.Fatal("Partitioned() false after Partition()")
+	}
+	// During the partition a dial may succeed (the listener is up) but no
+	// data ever comes back.
+	if got, err := roundTrip(t, addr, []byte("lost")); err == nil && len(got) > 0 {
+		t.Fatalf("partitioned proxy echoed %q", got)
+	}
+
+	p.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := roundTrip(t, addr, []byte("back"))
+		if err == nil && bytes.Equal(got, []byte("back")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy never recovered after heal: got %q, err %v", got, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := p.Stats(); st.PartitionRefused == 0 {
+		t.Error("partition never refused a connection")
+	}
+}
+
+// TestPartitionSeversLiveConns proves an established connection dies when
+// the partition starts, instead of lingering half-usable.
+func TestPartitionSeversLiveConns(t *testing.T) {
+	up := echoServer(t)
+	p, addr := newProxyT(t, Config{Seed: 3}, up)
+
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Partition()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read on a partitioned connection succeeded")
+	}
+}
+
+// TestFaultsFire drives enough chunks through an aggressive config that
+// every probabilistic fault class triggers, and confirms the client
+// observes failures rather than silent corruption-free success.
+func TestFaultsFire(t *testing.T) {
+	up := echoServer(t)
+	p, addr := newProxyT(t, Config{
+		Seed:         20141208,
+		DribbleBytes: 128,
+		ResetProb:    0.05,
+		CorruptProb:  0.2,
+		TruncateProb: 0.05,
+	}, up)
+
+	payload := make([]byte, 16*1024)
+	if _, err := rand.Read(payload); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Errors and short/corrupted echoes are expected; the point is
+			// volume through the fault path.
+			roundTrip(t, addr, payload) //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+
+	st := p.Stats()
+	if st.CorruptedChunks == 0 {
+		t.Error("no chunk was ever corrupted at p=0.2")
+	}
+	if st.Resets+st.TruncatedChunks == 0 {
+		t.Error("no connection was ever reset or truncated")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{ResetProb: 1.5}, "x:1"); err == nil {
+		t.Error("ResetProb > 1 accepted")
+	}
+	if _, err := New(Config{Latency: -time.Second}, "x:1"); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := New(Config{}, ""); err == nil {
+		t.Error("empty upstream accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,12 +27,27 @@ type Agent struct {
 	// Now abstracts the clock so replayed traces can run on compressed
 	// time; nil uses time.Now.
 	Now func() time.Time
-	// Backoff is the reconnect delay (default 100ms).
+	// Backoff is the base reconnect delay (default 100ms). Consecutive
+	// dial failures grow it exponentially up to BackoffMax, each sleep
+	// jittered over [b/2, b) so a restarted warehouse is not hit by the
+	// whole fleet on one synchronized schedule.
 	Backoff time.Duration
+	// BackoffMax caps the grown reconnect delay (default 5s).
+	BackoffMax time.Duration
+	// Seed roots the backoff jitter (keyed with Source+Addr so agents
+	// sharing a seed still spread out); zero is a valid seed.
+	Seed int64
 	// MaxPending bounds the samples buffered while the warehouse is
-	// unreachable (default 4096); beyond it the oldest are dropped.
+	// unreachable (default 4096); beyond it the oldest are dropped —
+	// and counted in Dropped, never silently.
 	MaxPending int
+
+	dropped atomic.Int64
 }
+
+// Dropped reports how many collected samples the agent shed because its
+// send queue overflowed MaxPending while the warehouse was unreachable.
+func (a *Agent) Dropped() int64 { return a.dropped.Load() }
 
 // Run collects and ships samples until the context is canceled. It returns
 // nil on cancellation and an error only for unrecoverable configuration
@@ -50,10 +66,19 @@ func (a *Agent) Run(ctx context.Context) error {
 	if now == nil {
 		now = time.Now
 	}
-	backoff := a.Backoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
+	baseBackoff := a.Backoff
+	if baseBackoff <= 0 {
+		baseBackoff = 100 * time.Millisecond
 	}
+	maxBackoff := a.BackoffMax
+	if maxBackoff < baseBackoff {
+		maxBackoff = max(5*time.Second, baseBackoff)
+	}
+	backoff := baseBackoff
+	// The jitter stream is identity-addressed by (Seed, Addr); give each
+	// agent in a fleet its own Seed (stats.Derive over an agent index) to
+	// fully desynchronize the herd.
+	rng := backoffRand(a.Seed, "agent-reconnect", a.Addr)
 	maxPending := a.MaxPending
 	if maxPending <= 0 {
 		maxPending = 4096
@@ -82,12 +107,14 @@ func (a *Agent) Run(ctx context.Context) error {
 				if err != nil {
 					select {
 					case <-ctx.Done():
-					case <-time.After(backoff):
+					case <-time.After(jitterBackoff(rng, backoff)):
+						backoff = min(backoff*2, maxBackoff)
 					}
 					continue
 				}
 				conn = c
 				bw = bufio.NewWriter(conn)
+				backoff = baseBackoff
 			}
 			var err error
 			for len(pending) > 0 && err == nil {
@@ -149,6 +176,7 @@ func (a *Agent) Run(ctx context.Context) error {
 		if len(pending) >= maxPending {
 			copy(pending, pending[1:])
 			pending = pending[:len(pending)-1]
+			a.dropped.Add(1)
 		}
 		pending = append(pending, sample)
 		flush()

@@ -1,0 +1,29 @@
+package monitor
+
+import (
+	"math/rand"
+	"time"
+
+	"vmwild/internal/stats"
+)
+
+// backoffRand builds the seeded source behind one backoff schedule's
+// jitter, identity-addressed the way the fault injector derives its
+// streams: the same (seed, labels) reproduce the same jitter sequence,
+// and distinct labels never share one.
+func backoffRand(seed int64, labels ...string) *rand.Rand {
+	return rand.New(rand.NewSource(stats.Split(seed, labels...)))
+}
+
+// jitterBackoff spreads one backoff sleep over [b/2, b) — equal jitter.
+// Exponential growth alone synchronizes every retrying peer onto the same
+// schedule after an outage (a restarted warehouse would face the whole
+// agent fleet at once); the seeded spread breaks the herd while keeping
+// at least half the intended delay, so pacing guarantees survive.
+func jitterBackoff(rng *rand.Rand, b time.Duration) time.Duration {
+	half := b / 2
+	if half <= 0 {
+		return b
+	}
+	return half + time.Duration(rng.Int63n(int64(half)))
+}

@@ -1,0 +1,53 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the warehouse's ingest admission meter: rate tokens per
+// second refill up to burst, and every sample admitted over the network
+// costs one token. A rate of zero with a positive burst is a frozen
+// budget — exactly burst samples are ever admitted, which the chaos wall
+// uses to make shed counts deterministic under arbitrary timing.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = no refill
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	return &tokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   now(),
+		now:    now,
+	}
+}
+
+// take grants up to n tokens and returns how many were granted. A partial
+// grant admits a prefix of the caller's batch; the caller sheds the rest.
+func (tb *tokenBucket) take(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.rate > 0 {
+		t := tb.now()
+		if dt := t.Sub(tb.last).Seconds(); dt > 0 {
+			tb.tokens = min(tb.burst, tb.tokens+dt*tb.rate)
+		}
+		tb.last = t
+	}
+	granted := min(n, int(tb.tokens))
+	tb.tokens -= float64(granted)
+	return granted
+}

@@ -55,3 +55,78 @@ type Source interface {
 	// Collect returns the sample observed at time t.
 	Collect(t time.Time) (Sample, error)
 }
+
+// ShardMetrics is one shard's slice of the overload counters.
+type ShardMetrics struct {
+	Servers int   `json:"servers"`
+	Samples int   `json:"samples"`
+	Evicted int   `json:"evicted"`
+	Shed    int64 `json:"shed"`
+}
+
+// Metrics is the warehouse's operational counter set — the overload and
+// degradation story Stats does not tell. Every shed or refused sample is
+// counted somewhere here; the serving plane never drops silently.
+type Metrics struct {
+	// Conns is the live agent connections; MaxConns its configured cap
+	// (0 = unbounded).
+	Conns    int `json:"conns"`
+	MaxConns int `json:"maxConns"`
+	// ShedIngest counts network samples refused by the ingest limiter
+	// (the per-shard Shed fields attribute them to lock domains).
+	ShedIngest int64 `json:"shedIngest"`
+	// AckedSamples counts samples admitted through acked envelopes.
+	AckedSamples int64 `json:"ackedSamples"`
+	// CorruptFrames counts envelopes rejected by parse or CRC check.
+	CorruptFrames int64 `json:"corruptFrames"`
+	// SlowClients counts connections cut on a stalled or failed ack write.
+	SlowClients int64 `json:"slowClients"`
+	// DroppedMisc counts invalid, unparseable, or journal-failed samples;
+	// JournalErrs the journal-failed subset.
+	DroppedMisc int64 `json:"droppedMisc"`
+	JournalErrs int64 `json:"journalErrs"`
+
+	Shards []ShardMetrics `json:"shards"`
+}
+
+// Metrics gathers the overload counters shard by shard; like Stats, a
+// concurrent ingest may straddle the scan but each shard is internally
+// consistent.
+func (w *Warehouse) Metrics() Metrics {
+	m := Metrics{
+		Conns:         w.ConnCount(),
+		MaxConns:      w.MaxConns,
+		ShedIngest:    w.shedIngest.Load(),
+		AckedSamples:  w.ackedSamples.Load(),
+		CorruptFrames: w.corruptFrames.Load(),
+		SlowClients:   w.slowClients.Load(),
+		DroppedMisc:   w.droppedMisc.Load(),
+		JournalErrs:   w.journalErrs.Load(),
+		Shards:        make([]ShardMetrics, len(w.shards)),
+	}
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		m.Shards[i] = ShardMetrics{
+			Servers: len(sh.servers),
+			Samples: sh.samples,
+			Evicted: sh.evicted,
+			Shed:    sh.shed.Load(),
+		}
+		sh.mu.Unlock()
+	}
+	return m
+}
+
+// QueryMetrics is the query tier's operational counter set.
+type QueryMetrics struct {
+	// Conns is the live query connections; MaxConns its configured cap.
+	Conns    int `json:"conns"`
+	MaxConns int `json:"maxConns"`
+	// Rejected counts connections refused at accept because RejectWhen
+	// reported pressure.
+	Rejected int64 `json:"rejected"`
+	// SlowClients counts connections cut on a stalled or failed response
+	// write.
+	SlowClients int64 `json:"slowClients"`
+}

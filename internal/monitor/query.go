@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmwild/internal/trace"
@@ -66,7 +67,26 @@ type QueryServer struct {
 	// a connection exceeding it is closed. Malformed requests within the
 	// bound get an error response and the connection stays usable.
 	MaxLineBytes int
+	// WriteTimeout bounds each response write (0 disables) — a client
+	// that stops draining responses is cut, not waited on forever.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served query connections (0 =
+	// unbounded); like the warehouse gate, the slot is taken before
+	// Accept so excess dials queue in the kernel backlog. Set before
+	// Listen.
+	MaxConns int
+	// RejectWhen, when set, is consulted on every accept: true refuses
+	// the connection with an error response. Wired to
+	// Warehouse.UnderPressure this sheds query load before ingest —
+	// a planner can retry a fetch; a shed sample is gone.
+	RejectWhen func() bool
+	// BackoffSeed roots the accept-loop retry jitter; zero is valid.
+	BackoffSeed int64
 
+	rejected    atomic.Int64
+	slowClients atomic.Int64
+
+	sem      chan struct{}
 	mu       sync.Mutex
 	lis      net.Listener
 	conns    map[net.Conn]struct{}
@@ -89,6 +109,9 @@ func (qs *QueryServer) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("monitor: query listen: %w", err)
 	}
+	if qs.MaxConns > 0 {
+		qs.sem = make(chan struct{}, qs.MaxConns)
+	}
 	qs.mu.Lock()
 	qs.lis = lis
 	qs.mu.Unlock()
@@ -100,26 +123,72 @@ func (qs *QueryServer) Listen(addr string) (string, error) {
 func (qs *QueryServer) acceptLoop(lis net.Listener) {
 	defer qs.wg.Done()
 	backoff := acceptBackoffMin
+	rng := backoffRand(qs.BackoffSeed, "query-accept")
 	for {
+		// Slot before Accept: at the cap, excess dials wait in the
+		// kernel backlog instead of spawning handlers.
+		if qs.sem != nil {
+			select {
+			case qs.sem <- struct{}{}:
+			case <-qs.shutdown:
+				return
+			}
+		}
 		conn, err := lis.Accept()
 		if err != nil {
+			qs.releaseSlot()
 			// Back off on transient accept errors so a listener stuck in
 			// a persistent error state (EMFILE, say) does not spin a
-			// core; any successful accept resets the delay.
+			// core; any successful accept resets the delay. The seeded
+			// jitter desynchronizes a fleet of servers restarting into
+			// the same error.
 			select {
 			case <-qs.shutdown:
 				return
-			case <-time.After(backoff):
+			case <-time.After(jitterBackoff(rng, backoff)):
 				backoff = min(backoff*2, acceptBackoffMax)
 				continue
 			}
 		}
 		backoff = acceptBackoffMin
+		if qs.RejectWhen != nil && qs.RejectWhen() {
+			// Priority shedding: refuse query work while the ingest tier
+			// is under pressure, with an explicit error so the planner
+			// backs off knowingly.
+			qs.rejected.Add(1)
+			if qs.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(qs.WriteTimeout))
+			}
+			resp, _ := json.Marshal(queryResponse{Error: "server under pressure, retry later"})
+			conn.Write(append(resp, '\n')) //nolint:errcheck
+			conn.Close()
+			qs.releaseSlot()
+			continue
+		}
 		qs.mu.Lock()
 		qs.conns[conn] = struct{}{}
 		qs.mu.Unlock()
 		qs.wg.Add(1)
 		go qs.serveConn(conn)
+	}
+}
+
+func (qs *QueryServer) releaseSlot() {
+	if qs.sem != nil {
+		<-qs.sem
+	}
+}
+
+// Metrics reports the query tier's operational counters.
+func (qs *QueryServer) Metrics() QueryMetrics {
+	qs.mu.Lock()
+	conns := len(qs.conns)
+	qs.mu.Unlock()
+	return QueryMetrics{
+		Conns:       conns,
+		MaxConns:    qs.MaxConns,
+		Rejected:    qs.rejected.Load(),
+		SlowClients: qs.slowClients.Load(),
 	}
 }
 
@@ -130,6 +199,7 @@ func (qs *QueryServer) serveConn(conn net.Conn) {
 		qs.mu.Lock()
 		delete(qs.conns, conn)
 		qs.mu.Unlock()
+		qs.releaseSlot()
 	}()
 	maxLine := qs.MaxLineBytes
 	if maxLine <= 0 {
@@ -166,7 +236,18 @@ func (qs *QueryServer) serveConn(conn net.Conn) {
 		} else {
 			resp = qs.handle(req)
 		}
+		if qs.WriteTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(qs.WriteTimeout)); err != nil {
+				// A connection that cannot arm its write deadline must
+				// not write without one — mirror of the read-side rule.
+				qs.slowClients.Add(1)
+				return
+			}
+		}
 		if err := enc.Encode(resp); err != nil {
+			// Half-closed or stalled peer: close rather than spin. The
+			// client re-dials; the response is recomputable.
+			qs.slowClients.Add(1)
 			return
 		}
 	}

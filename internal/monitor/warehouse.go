@@ -49,7 +49,10 @@ type shard struct {
 	servers map[trace.ServerID]*serverStore
 	samples int
 	evicted int
-	_       [64]byte
+	// shed counts this shard's samples refused by the ingest limiter;
+	// atomic because shedding happens without taking the shard lock.
+	shed atomic.Int64
+	_    [64]byte
 }
 
 // serverCache is the memoized sorted server list; gen ties it to the
@@ -78,6 +81,21 @@ type Warehouse struct {
 	// a connection exceeding it is closed. Malformed lines within the
 	// bound are counted as dropped and the connection stays usable.
 	MaxLineBytes int
+	// WriteTimeout bounds each envelope acknowledgment write (0 falls
+	// back to batchWriteTimeout). A client too slow to drain its acks is
+	// counted and disconnected rather than pinning a handler.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served agent connections (0 = unbounded).
+	// The gate is taken BEFORE Accept, so excess dials queue in the
+	// kernel's accept backlog — backpressure, not a spun-up goroutine per
+	// dial. Set before Listen.
+	MaxConns int
+	// BackoffSeed roots the accept-loop retry jitter so tests can pin the
+	// schedule; zero is a valid seed.
+	BackoffSeed int64
+	// Clock abstracts time for the ingest limiter's refill (nil uses
+	// time.Now) — the seam that makes shed counts reproducible in tests.
+	Clock func() time.Time
 
 	shards []shard
 
@@ -85,11 +103,21 @@ type Warehouse struct {
 	droppedMisc atomic.Int64 // invalid, unparseable, or journal-failed samples
 	journalErrs atomic.Int64
 
+	limiter       atomic.Pointer[tokenBucket]
+	shedIngest    atomic.Int64 // network samples refused by the limiter
+	ackedSamples  atomic.Int64 // samples admitted through acked envelopes
+	corruptFrames atomic.Int64 // envelopes rejected by parse or CRC
+	slowClients   atomic.Int64 // connections cut on a stalled ack write
+
+	ackMu   sync.Mutex
+	lastAck map[string]ackResult // per-agent last envelope result, for exactly-once retries
+
 	serverGen  atomic.Uint64 // bumped after a new server's map insert
 	serverList atomic.Pointer[serverCache]
 
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
+	connSem  chan struct{} // MaxConns admission gate, created by Listen
 	lis      net.Listener
 	wg       sync.WaitGroup
 	shutdown chan struct{}
@@ -115,6 +143,7 @@ func NewWarehouseShards(retention time.Duration, shards int) *Warehouse {
 		Retention: retention,
 		shards:    make([]shard, shards),
 		conns:     make(map[net.Conn]struct{}),
+		lastAck:   make(map[string]ackResult),
 		shutdown:  make(chan struct{}),
 	}
 	for i := range w.shards {
@@ -148,6 +177,9 @@ func (w *Warehouse) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("monitor: listen: %w", err)
 	}
+	if w.MaxConns > 0 {
+		w.connSem = make(chan struct{}, w.MaxConns)
+	}
 	w.lis = lis
 	w.wg.Add(1)
 	go w.acceptLoop()
@@ -165,13 +197,26 @@ const (
 func (w *Warehouse) acceptLoop() {
 	defer w.wg.Done()
 	backoff := acceptBackoffMin
+	rng := backoffRand(w.BackoffSeed, "warehouse-accept")
 	for {
+		// Take a connection slot BEFORE accepting: at MaxConns live
+		// handlers the loop parks here and excess dials queue in the
+		// kernel accept backlog — backpressure the client feels as a slow
+		// dial, instead of an unbounded goroutine per connection.
+		if w.connSem != nil {
+			select {
+			case w.connSem <- struct{}{}:
+			case <-w.shutdown:
+				return
+			}
+		}
 		conn, err := w.lis.Accept()
 		if err != nil {
+			w.releaseConnSlot()
 			select {
 			case <-w.shutdown:
 				return
-			case <-time.After(backoff):
+			case <-time.After(jitterBackoff(rng, backoff)):
 				backoff = min(backoff*2, acceptBackoffMax)
 				continue
 			}
@@ -185,6 +230,30 @@ func (w *Warehouse) acceptLoop() {
 	}
 }
 
+func (w *Warehouse) releaseConnSlot() {
+	if w.connSem != nil {
+		<-w.connSem
+	}
+}
+
+// ConnCount reports the live agent connections being served.
+func (w *Warehouse) ConnCount() int {
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	return len(w.conns)
+}
+
+// UnderPressure reports whether the connection gate is nearly saturated
+// (≥ 80% of MaxConns live). The query tier uses it to reject new query
+// connections first — shedding reads before writes, because a planner can
+// retry a fetch but a shed sample is gone.
+func (w *Warehouse) UnderPressure() bool {
+	if w.MaxConns <= 0 {
+		return false
+	}
+	return w.ConnCount()*5 >= w.MaxConns*4
+}
+
 func (w *Warehouse) serveConn(conn net.Conn) {
 	defer w.wg.Done()
 	defer func() {
@@ -192,6 +261,7 @@ func (w *Warehouse) serveConn(conn net.Conn) {
 		w.connMu.Lock()
 		delete(w.conns, conn)
 		w.connMu.Unlock()
+		w.releaseConnSlot()
 	}()
 	maxLine := w.MaxLineBytes
 	if maxLine <= 0 {
@@ -228,6 +298,15 @@ func (w *Warehouse) serveConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
+		if bytes.HasPrefix(line, envelopePrefix) {
+			// Acked envelope: parse, CRC-check, admit, acknowledge. A
+			// protocol error closes the connection so the sender retries
+			// the whole frame instead of trusting a mangled one.
+			if !w.serveEnvelope(conn, line, batch[:0], intern) {
+				return
+			}
+			continue
+		}
 		if line[0] == '[' {
 			// Batch frame: a JSON array of sample objects on one line.
 			var err error
@@ -236,7 +315,8 @@ func (w *Warehouse) serveConn(conn net.Conn) {
 				w.droppedMisc.Add(1)
 				continue
 			}
-			w.IngestBatch(batch)
+			granted := w.admit(batch)
+			w.IngestBatch(batch[:granted])
 			continue
 		}
 		s, err := decodeSample(line, intern)
@@ -244,8 +324,92 @@ func (w *Warehouse) serveConn(conn net.Conn) {
 			w.droppedMisc.Add(1)
 			continue
 		}
+		if w.admit([]Sample{s}) == 0 {
+			continue
+		}
 		w.Ingest(s)
 	}
+}
+
+// SetIngestLimit installs (or with burst <= 0 removes) the token-bucket
+// admission limiter on the network ingest paths: rate samples per second
+// refilling up to burst. rate == 0 with a positive burst freezes the
+// budget — exactly burst samples admitted, ever — which makes shed counts
+// deterministic for the chaos wall. In-process Ingest/IngestBatch calls,
+// snapshot Restore and journal replay are never limited: the limiter
+// protects the socket door, not recovery.
+func (w *Warehouse) SetIngestLimit(rate float64, burst int) {
+	if burst <= 0 {
+		w.limiter.Store(nil)
+		return
+	}
+	w.limiter.Store(newTokenBucket(rate, burst, w.Clock))
+}
+
+// admit runs a decoded network batch through the ingest limiter, returning
+// how many leading samples were admitted. The shed suffix is counted —
+// globally and per shard — never silently lost.
+func (w *Warehouse) admit(batch []Sample) int {
+	tb := w.limiter.Load()
+	if tb == nil {
+		return len(batch)
+	}
+	granted := tb.take(len(batch))
+	if shed := batch[granted:]; len(shed) > 0 {
+		w.shedIngest.Add(int64(len(shed)))
+		for i := range shed {
+			w.shards[w.shardIndex(shed[i].Server)].shed.Add(1)
+		}
+	}
+	return granted
+}
+
+// serveEnvelope handles one acked envelope line; false means the
+// connection must close (protocol violation or unwritable ack).
+func (w *Warehouse) serveEnvelope(conn net.Conn, line []byte, batch []Sample, intern map[string]trace.ServerID) bool {
+	agent, seq, rawSamples, err := decodeEnvelope(line)
+	if err != nil {
+		w.corruptFrames.Add(1)
+		return false
+	}
+	batch, err = decodeBatch(rawSamples, batch, intern)
+	if err != nil {
+		// The CRC passed, so the sender really framed an undecodable
+		// array — same contract as a corrupt frame: refuse and close.
+		w.corruptFrames.Add(1)
+		return false
+	}
+
+	// Exactly-once: a duplicate sequence re-acks the ORIGINAL counts
+	// without touching storage, so a retry after a lost ack neither
+	// double-ingests nor double-counts. The map is per-agent, and the
+	// sender never advances seq until the previous one is acked.
+	w.ackMu.Lock()
+	res, replay := w.lastAck[agent]
+	if !replay || res.seq != seq {
+		granted := w.admit(batch)
+		w.IngestBatch(batch[:granted])
+		w.ackedSamples.Add(int64(granted))
+		res = ackResult{seq: seq, ok: granted, shed: len(batch) - granted}
+		w.lastAck[agent] = res
+	}
+	w.ackMu.Unlock()
+
+	timeout := w.WriteTimeout
+	if timeout <= 0 {
+		timeout = batchWriteTimeout
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		w.slowClients.Add(1)
+		return false
+	}
+	if _, err := conn.Write(appendAck(nil, res)); err != nil {
+		// The samples are in; the ack is lost. The sender retries the
+		// seq and the dedup map replays this exact ack.
+		w.slowClients.Add(1)
+		return false
+	}
+	return true
 }
 
 // Close stops the listener, severs live agent connections (agents

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"vmwild/internal/workload"
+)
+
+// chaosWallSeeds returns the seeds the chaos wall runs at: the paper seed
+// and one unrelated seed by default, or exactly the seed CHAOSWALL_SEED
+// names — the hook CI's seed matrix uses.
+func chaosWallSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if env := os.Getenv("CHAOSWALL_SEED"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOSWALL_SEED %q: %v", env, err)
+		}
+		return []int64{n}
+	}
+	return []int64{workload.DefaultSeed, 7}
+}
+
+// TestChaosWall drives every resilience scenario — the real sender →
+// proxy → warehouse → query server → controller stack over real sockets —
+// and requires every checkpoint to pass. The checkpoints assert only
+// timing-free invariants (exact accounting, bit-identical survivors,
+// bounded recovery), so the wall is meaningful at any seed even though
+// socket timing varies run to run.
+func TestChaosWall(t *testing.T) {
+	for _, rs := range Resilience() {
+		for _, seed := range chaosWallSeeds(t) {
+			rs, seed := rs, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", rs.ID, seed), func(t *testing.T) {
+				t.Parallel()
+				res, err := rs.Run(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, cp := range res.Checkpoints {
+					if cp.Passed {
+						t.Logf("checkpoint %-28s [%s] ok", cp.Name, cp.Turn)
+					} else {
+						t.Errorf("checkpoint %s [%s]: %s", cp.Name, cp.Turn, cp.Detail)
+					}
+				}
+				if !res.Passed && !t.Failed() {
+					t.Error("result reports failure but no checkpoint did")
+				}
+			})
+		}
+	}
+}
+
+func TestGetResilience(t *testing.T) {
+	seen := map[string]bool{}
+	for _, rs := range Resilience() {
+		if rs.ID == "" || rs.Name == "" || rs.Description == "" || rs.run == nil {
+			t.Fatalf("scenario %q is structurally incomplete", rs.ID)
+		}
+		if seen[rs.ID] {
+			t.Fatalf("duplicate resilience scenario id %q", rs.ID)
+		}
+		seen[rs.ID] = true
+		got, err := GetResilience(rs.ID)
+		if err != nil || got.ID != rs.ID {
+			t.Fatalf("GetResilience(%q) = %v, %v", rs.ID, got, err)
+		}
+	}
+	if _, err := GetResilience("no-such-drill"); err == nil {
+		t.Fatal("unknown resilience scenario did not error")
+	}
+}

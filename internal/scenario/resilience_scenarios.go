@@ -1,0 +1,310 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"vmwild/internal/catalog"
+	"vmwild/internal/chaos"
+	"vmwild/internal/controller"
+	"vmwild/internal/core"
+	"vmwild/internal/executor"
+	"vmwild/internal/monitor"
+	"vmwild/internal/trace"
+	"vmwild/internal/workload"
+)
+
+// IngestStorm floods a gated warehouse: a calm baseline, then a burst the
+// ingest limiter is frozen against so only a fixed budget may land, then
+// the limit lifts and the fleet drains. The shed count must equal the
+// over-budget excess EXACTLY — not approximately — because the frozen
+// token bucket plus the acked envelope protocol make admission
+// deterministic even while the proxy is injecting resets.
+func IngestStorm() *ResilienceScenario {
+	const (
+		servers    = 24
+		calmHours  = 24
+		stormHours = 24
+		liftHours  = 6
+		perHour    = 4
+		hours      = calmHours + stormHours + liftHours
+	)
+	return &ResilienceScenario{
+		ID:   "ingest-storm",
+		Name: "Ingest storm",
+		Description: "Admission control under a monitoring flood: a frozen token " +
+			"budget sheds the over-budget excess exactly, the connection gate keeps " +
+			"the listener live, and the surviving aggregates stay bit-identical.",
+		rig: rigConfig{
+			servers: servers,
+			hours:   hours,
+			perHour: perHour,
+			profile: workload.Airlines,
+			ingest: chaos.Config{
+				Latency:   100 * time.Microsecond,
+				Jitter:    100 * time.Microsecond,
+				ResetProb: 0.02,
+			},
+			warehouse: func(w *monitor.Warehouse) {
+				w.MaxConns = 8
+				w.WriteTimeout = 2 * time.Second
+			},
+			sender: func(i int, s *monitor.ReliableSender) {
+				s.Chunk = 48
+				s.BackoffMax = 50 * time.Millisecond
+				// Every sender releases its slot after each flush: 24
+				// agents funnel through 8 connection slots, so the
+				// admission gate is exercised on every single flush. A
+				// fleet of persistent connections above MaxConns would
+				// instead starve whoever dials ninth — that is the
+				// overload the gate exists to refuse.
+				s.CloseEachFlush = true
+			},
+		},
+		run: func(r *chaosRig) error {
+			r.phase("calm")
+			r.queueHours(0, calmHours)
+			r.check("calm-ingest-clean", r.flushAll(10))
+
+			r.phase("storm")
+			const storm = servers * stormHours * perHour
+			const budget = storm / 3
+			r.wh.SetIngestLimit(0, budget)
+			r.queueHours(calmHours, calmHours+stormHours)
+			r.check("storm-flush-completes", r.flushAll(10))
+			r.check("storm-sheds-exactly", func() error {
+				t := r.totals()
+				if want := int64(storm - budget); t.ServerShed != want {
+					return fmt.Errorf("shed %d samples, want exactly %d (storm %d − budget %d)",
+						t.ServerShed, want, storm, budget)
+				}
+				return nil
+			}())
+
+			r.phase("recovery")
+			r.wh.SetIngestLimit(0, 0)
+			r.queueHours(calmHours+stormHours, hours)
+			r.check("post-storm-recovery", r.flushAll(10))
+			r.check("nothing-left-pending", func() error {
+				if t := r.totals(); t.Pending != 0 {
+					return fmt.Errorf("%d samples still pending after recovery", t.Pending)
+				}
+				return nil
+			}())
+			r.check("accounting-exact", r.checkAccounting())
+			r.check("survivor-identity", r.verifyIdentity(false))
+			return nil
+		},
+	}
+}
+
+// PartitionHeal cuts the network between the fleet and the serving plane
+// mid-run, proves nothing leaks through or gets lost, heals it, and
+// requires full recovery: every generated sample lands exactly once, the
+// aggregates match a clean rebuild bit for bit, and the consolidation
+// controller plans off the healed query path as if nothing had happened.
+func PartitionHeal() *ResilienceScenario {
+	const (
+		servers   = 16
+		perHour   = 1
+		preHours  = 85
+		partHours = 128
+		hours     = 170 // ≥ the controller's one-week warm-up plus one interval
+	)
+	return &ResilienceScenario{
+		ID:   "partition-heal",
+		Name: "Partition and heal",
+		Description: "A full network partition between fleet and serving plane: " +
+			"ingest and query both go dark, nothing is lost or duplicated across the " +
+			"heal, and the controller plans off the recovered warehouse bit-identically.",
+		rig: rigConfig{
+			servers: servers,
+			hours:   hours,
+			perHour: perHour,
+			profile: workload.Airlines,
+			ingest:  chaos.Config{Latency: 50 * time.Microsecond},
+			query:   chaos.Config{Latency: 50 * time.Microsecond},
+			warehouse: func(w *monitor.Warehouse) {
+				w.WriteTimeout = 2 * time.Second
+			},
+			sender: func(i int, s *monitor.ReliableSender) {
+				s.Chunk = 64
+				s.BackoffMax = 20 * time.Millisecond
+			},
+		},
+		run: func(r *chaosRig) error {
+			r.phase("steady")
+			r.queueHours(0, preHours)
+			r.check("pre-partition-clean", r.flushAll(10))
+			pre := r.totals().Acked
+
+			r.phase("partition")
+			r.ingestProxy.Partition()
+			r.queryProxy.Partition()
+			r.queueHours(preHours, partHours)
+			flushErr := r.flushAll(2)
+			r.check("partition-blocks-ingest", func() error {
+				if flushErr == nil {
+					return errors.New("flush succeeded through a partitioned network")
+				}
+				if got := r.totals().Acked; got != pre {
+					return fmt.Errorf("%d samples acked during the partition", got-pre)
+				}
+				return nil
+			}())
+			r.check("partition-blocks-query", func() error {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				qc, err := monitor.DialQuery(ctx, r.queryAddr)
+				if err != nil {
+					return nil // refused at dial: also a correct partition
+				}
+				defer qc.Close()
+				qc.Timeout = time.Second
+				if _, err := qc.Stats(); err == nil {
+					return errors.New("query round-tripped through a partitioned network")
+				}
+				return nil
+			}())
+
+			r.phase("heal")
+			r.ingestProxy.Heal()
+			r.queryProxy.Heal()
+			_, drainErr := r.drain(3, 8)
+			r.check("recovery-within-deadline", drainErr)
+
+			r.phase("steady-after")
+			r.queueHours(partHours, hours)
+			r.check("post-heal-ingest-clean", r.flushAll(10))
+			r.check("accounting-exact", r.checkAccounting())
+			r.check("no-sample-lost", r.verifyIdentity(true))
+			r.check("partition-refusals-counted", func() error {
+				if got := r.ingestProxy.Stats().PartitionRefused; got == 0 {
+					return errors.New("ingest proxy refused no connections during the partition")
+				}
+				if got := r.queryProxy.Stats().PartitionRefused; got == 0 {
+					return errors.New("query proxy refused no connections during the partition")
+				}
+				return nil
+			}())
+			r.check("controller-plans-post-heal", func() error {
+				// The full stack: the consolidation loop fetches its
+				// monitoring history from the chaos-battered warehouse
+				// through the healed query proxy and must plan normally.
+				fetch := func() (*trace.Set, error) {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					qc, err := monitor.DialQuery(ctx, r.queryAddr)
+					if err != nil {
+						return nil, err
+					}
+					defer qc.Close()
+					qc.Timeout = 5 * time.Second
+					return qc.FetchSet(r.set.Name, r.specs, soakEpoch)
+				}
+				ctrl, err := controller.New(controller.Config{
+					Fetch: fetch,
+					Planner: core.Input{
+						Host:          catalog.HS23Elite,
+						IntervalHours: 2,
+					},
+					Executor:        executor.DefaultConfig(),
+					MinHistoryHours: 168,
+				})
+				if err != nil {
+					return err
+				}
+				tick, err := ctrl.RunInterval()
+				if err != nil {
+					return err
+				}
+				if tick.HistoryHours < 168 {
+					return fmt.Errorf("controller planned on %d hours of history, want ≥ 168", tick.HistoryHours)
+				}
+				return nil
+			}())
+			return nil
+		},
+	}
+}
+
+// SlowLorisSiege drips every frame through a dribbling, corrupting,
+// resetting proxy: tiny paced chunks, flipped bytes, mid-frame FINs. The
+// CRC'd envelope protocol must reject every mangled frame, retry it, and
+// still land every single generated sample exactly once — the warehouse
+// ends the siege bit-identical to a clean ingest.
+func SlowLorisSiege() *ResilienceScenario {
+	const (
+		servers = 12
+		perHour = 2
+		hours   = 36
+	)
+	return &ResilienceScenario{
+		ID:   "slow-loris-siege",
+		Name: "Slow-loris siege",
+		Description: "Dribbled frames, flipped bytes and mid-stream resets on the " +
+			"ingest path: corruption is rejected by CRC — never stored — and retries " +
+			"land every sample exactly once, bit-identical to a clean ingest.",
+		rig: rigConfig{
+			servers: servers,
+			hours:   hours,
+			perHour: perHour,
+			profile: workload.Airlines,
+			ingest: chaos.Config{
+				Latency:      150 * time.Microsecond,
+				Jitter:       150 * time.Microsecond,
+				DribbleBytes: 120,
+				ResetProb:    0.01,
+				CorruptProb:  0.02,
+				TruncateProb: 0.005,
+			},
+			warehouse: func(w *monitor.Warehouse) {
+				w.WriteTimeout = 2 * time.Second
+			},
+			sender: func(i int, s *monitor.ReliableSender) {
+				s.Chunk = 16 // small frames: many chunks, many fault draws
+				s.Backoff = time.Millisecond
+				s.BackoffMax = 20 * time.Millisecond
+				s.Timeout = time.Second
+			},
+		},
+		run: func(r *chaosRig) error {
+			r.phase("siege")
+			r.queueHours(0, hours)
+			_, drainErr := r.drain(6, 8)
+			r.check("drained-under-siege", drainErr)
+			r.check("every-sample-lands", func() error {
+				t := r.totals()
+				if t.Pending != 0 || t.DroppedQueue != 0 || t.ServerShed != 0 {
+					return fmt.Errorf("pending %d, dropped %d, shed %d — want all zero",
+						t.Pending, t.DroppedQueue, t.ServerShed)
+				}
+				if t.Acked != t.Queued {
+					return fmt.Errorf("acked %d of %d queued", t.Acked, t.Queued)
+				}
+				return nil
+			}())
+			r.check("faults-actually-fired", func() error {
+				st := r.ingestProxy.Stats()
+				if st.CorruptedChunks == 0 {
+					return errors.New("proxy corrupted nothing — the siege did not happen")
+				}
+				if st.Resets+st.TruncatedChunks == 0 {
+					return errors.New("proxy cut nothing — the siege did not happen")
+				}
+				return nil
+			}())
+			r.check("corruption-rejected-not-stored", func() error {
+				if m := r.wh.Metrics(); m.CorruptFrames == 0 {
+					return errors.New("warehouse rejected no frames despite byte corruption")
+				}
+				return nil
+			}())
+			r.check("accounting-exact", r.checkAccounting())
+			r.check("bitwise-identity", r.verifyIdentity(true))
+			return nil
+		},
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"vmwild/internal/advisor"
 	"vmwild/internal/analysis"
 	"vmwild/internal/catalog"
+	"vmwild/internal/chaos"
 	"vmwild/internal/constraints"
 	"vmwild/internal/controller"
 	"vmwild/internal/core"
@@ -490,6 +491,53 @@ func ScenarioByID(id string) (*Scenario, error) { return scenario.Get(id) }
 func RunScenario(s *Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
 	return scenario.Run(s, opts)
 }
+
+// Overload protection and network chaos: the serving plane's robustness
+// surface. The warehouse gates connections and sheds over-budget ingest
+// through a token bucket (every refusal counted, never silent), the
+// reliable sender ships CRC'd acked envelopes whose counters reconcile
+// exactly against the warehouse's books, and the chaos proxy injects
+// seeded network faults to prove all of it under fire — the chaos wall in
+// internal/scenario runs the drills as tests.
+type (
+	// ChaosConfig parameterizes the seeded TCP fault proxy; the zero value
+	// (plus a seed) forwards transparently.
+	ChaosConfig = chaos.Config
+	// ChaosProxy is a TCP proxy that injects latency, corruption,
+	// truncation, resets and partitions, all as pure functions of
+	// (seed, connection, direction, chunk).
+	ChaosProxy = chaos.Proxy
+	// ChaosStats counts what a proxy did to the traffic.
+	ChaosStats = chaos.Stats
+	// ReliableSender ships samples as sequenced, CRC'd, acknowledged
+	// envelopes with exactly-once accounting.
+	ReliableSender = monitor.ReliableSender
+	// SenderCounters is the sender's reconciliation ledger: Queued ==
+	// Acked + ServerShed + DroppedQueue + Pending at quiescence.
+	SenderCounters = monitor.SenderCounters
+	// WarehouseMetrics is the warehouse's operational counter set
+	// (connections, shed ingest, corrupt frames, per-shard detail).
+	WarehouseMetrics = monitor.Metrics
+	// WarehouseShardMetrics is one ingest shard's slice of the metrics.
+	WarehouseShardMetrics = monitor.ShardMetrics
+	// QueryServerMetrics counts the query server's admission decisions.
+	QueryServerMetrics = monitor.QueryMetrics
+	// ResilienceScenario is one chaos-wall drill: the real serving stack
+	// driven through fault proxies, graded on timing-free invariants.
+	ResilienceScenario = scenario.ResilienceScenario
+)
+
+// NewChaosProxy validates the configuration and builds a fault proxy in
+// front of upstream; Listen starts it.
+func NewChaosProxy(cfg ChaosConfig, upstream string) (*ChaosProxy, error) {
+	return chaos.New(cfg, upstream)
+}
+
+// ResilienceScenarios returns the chaos-wall drills in wall order.
+func ResilienceScenarios() []*ResilienceScenario { return scenario.Resilience() }
+
+// ResilienceByID finds one chaos-wall drill.
+func ResilienceByID(id string) (*ResilienceScenario, error) { return scenario.GetResilience(id) }
 
 // Warehouse query protocol: how remote planners pull aggregated series.
 type (
