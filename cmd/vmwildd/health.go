@@ -13,10 +13,11 @@ import (
 // large log. /readyz stays 503 until recovery finished and the ingestion
 // and query listeners accept traffic.
 type healthServer struct {
-	mu     sync.Mutex
-	ready  bool
-	detail map[string]any
-	varz   func() any
+	mu       sync.Mutex
+	ready    bool
+	detail   map[string]any
+	varz     func() any
+	degraded func() bool
 
 	ln  net.Listener
 	srv *http.Server
@@ -62,6 +63,16 @@ func (h *healthServer) setVarz(source func() any) {
 	h.mu.Unlock()
 }
 
+// setDegraded installs a check that flips /readyz to 503 while the
+// warehouse is in shed-ingest read-only mode (disk full or poisoned
+// journal): the process is alive and serving reads, but a load balancer
+// should steer agent traffic to a healthy replica.
+func (h *healthServer) setDegraded(check func() bool) {
+	h.mu.Lock()
+	h.degraded = check
+	h.mu.Unlock()
+}
+
 func (h *healthServer) varzHandler(w http.ResponseWriter, _ *http.Request) {
 	h.mu.Lock()
 	source := h.varz
@@ -89,11 +100,17 @@ func (h *healthServer) healthz(w http.ResponseWriter, _ *http.Request) {
 func (h *healthServer) readyz(w http.ResponseWriter, _ *http.Request) {
 	h.mu.Lock()
 	ready := h.ready
+	degraded := h.degraded
 	h.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if !ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]any{"status": "recovering"})
+		return
+	}
+	if degraded != nil && degraded() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "degraded", "reason": "storage"})
 		return
 	}
 	json.NewEncoder(w).Encode(map[string]any{"status": "ready"})

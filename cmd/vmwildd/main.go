@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +53,8 @@ func run() error {
 		qryMaxConns  = flag.Int("query-max-conns", 0, "max concurrent query connections (0 = unbounded)")
 		ingestRate   = flag.Float64("ingest-rate", 0, "token-bucket ingest refill in samples/sec; requires -ingest-burst")
 		ingestBurst  = flag.Int("ingest-burst", 0, "token-bucket ingest burst in samples; 0 disables the limiter")
+		faultProfile = flag.String("disk-fault-profile", "", "inject seeded filesystem faults on the durable paths: off, flaky, corrupt or enospc:<bytes> (testing only, never production)")
+		faultSeed    = flag.Int64("disk-fault-seed", vmwild.DefaultSeed, "seed for the -disk-fault-profile fault schedule")
 		simulate     = flag.String("simulate", "", "run a self-contained simulation of workload A, B, C or D instead of serving")
 		servers      = flag.Int("servers", 40, "simulated fleet size")
 		ticks        = flag.Int("ticks", 12, "simulated consolidation intervals")
@@ -89,6 +92,8 @@ func run() error {
 		qryMaxConns:  *qryMaxConns,
 		ingestRate:   *ingestRate,
 		ingestBurst:  *ingestBurst,
+		faultProfile: *faultProfile,
+		faultSeed:    *faultSeed,
 	})
 }
 
@@ -108,6 +113,26 @@ type serveConfig struct {
 	qryMaxConns         int
 	ingestRate          float64
 	ingestBurst         int
+	faultProfile        string
+	faultSeed           int64
+}
+
+// storageFS picks the filesystem the durable paths run on: the real OS,
+// or — when -disk-fault-profile asks for it — a seeded fault injector
+// rooted at the durable directory. A dev/test hook: it lets an operator
+// rehearse the daemon's ENOSPC shedding, poisoned-segment handling and
+// crash recovery without sacrificing a disk.
+func (cfg serveConfig) storageFS(root string) (vmwild.FS, error) {
+	prof, err := vmwild.ParseFaultProfile(cfg.faultProfile)
+	if err != nil {
+		return nil, err
+	}
+	if prof == (vmwild.FaultProfile{}) {
+		return vmwild.OSFS, nil
+	}
+	fmt.Fprintf(os.Stderr, "vmwildd: DISK FAULT INJECTION ACTIVE (profile %q, seed %d) — testing only\n",
+		cfg.faultProfile, cfg.faultSeed)
+	return vmwild.NewFaultFS(vmwild.OSFS, root, cfg.faultSeed, prof)
 }
 
 // serve runs the daemon against real agents until SIGINT/SIGTERM.
@@ -116,6 +141,21 @@ func serve(cfg serveConfig) error {
 		// The WAL checkpoints subsume shutdown snapshots; restoring both
 		// would double-count every sample the snapshot shares with the log.
 		return errors.New("-snapshot and -wal-dir are mutually exclusive")
+	}
+
+	// One filesystem for every durable path, rooted at whichever durable
+	// directory is in use (the mutual exclusion above guarantees at most
+	// one), so a fault schedule keys on stable relative paths.
+	durableRoot := cfg.walDir
+	if durableRoot == "" && cfg.snapshotPath != "" {
+		durableRoot = filepath.Dir(cfg.snapshotPath)
+	}
+	if cfg.faultProfile != "" && durableRoot == "" {
+		return errors.New("-disk-fault-profile requires -wal-dir or -snapshot")
+	}
+	storeFS, err := cfg.storageFS(durableRoot)
+	if err != nil {
+		return err
 	}
 
 	// Liveness first: /healthz must answer while a large WAL is still
@@ -146,8 +186,8 @@ func serve(cfg serveConfig) error {
 	if cfg.snapshotPath != "" {
 		// A crash during a previous shutdown snapshot may have stranded
 		// temp files next to the target; sweep them before writing more.
-		cleanupStaleSnapshots(cfg.snapshotPath)
-		f, err := os.Open(cfg.snapshotPath)
+		cleanupStaleSnapshots(storeFS, cfg.snapshotPath)
+		f, err := storeFS.OpenFile(cfg.snapshotPath, os.O_RDONLY, 0)
 		switch {
 		case err == nil:
 			n, err := warehouse.Restore(f)
@@ -172,7 +212,7 @@ func serve(cfg serveConfig) error {
 		if err != nil {
 			return err
 		}
-		wlog, err = vmwild.OpenWarehouseLog(warehouse, cfg.walDir, cfg.ckptEvery, vmwild.WALOptions{Sync: policy})
+		wlog, err = vmwild.OpenWarehouseLog(warehouse, cfg.walDir, cfg.ckptEvery, vmwild.WALOptions{Sync: policy, FS: storeFS})
 		if err != nil {
 			return fmt.Errorf("wal recovery: %w", err)
 		}
@@ -217,6 +257,10 @@ func serve(cfg serveConfig) error {
 				"query":     qs.Metrics(),
 			}
 		})
+		// A disk-degraded warehouse is alive but refusing ingest; surface
+		// that on /readyz so load balancers steer agents to a healthy
+		// replica while the operator frees space.
+		health.setDegraded(warehouse.DiskDegraded)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -232,7 +276,7 @@ func serve(cfg serveConfig) error {
 		fmt.Printf("wal checkpointed in %s\n", cfg.walDir)
 	}
 	if cfg.snapshotPath != "" {
-		if err := writeSnapshot(warehouse, cfg.snapshotPath); err != nil {
+		if err := writeSnapshot(storeFS, warehouse, cfg.snapshotPath); err != nil {
 			return err
 		}
 		fmt.Printf("snapshot written to %s\n", cfg.snapshotPath)
@@ -243,13 +287,19 @@ func serve(cfg serveConfig) error {
 // cleanupStaleSnapshots removes temp files a crashed shutdown snapshot
 // left behind in the snapshot's directory, logging each one — silent
 // accumulation is how disks fill up.
-func cleanupStaleSnapshots(path string) {
-	stale, err := filepath.Glob(filepath.Join(filepath.Dir(path), ".snapshot-*"))
+func cleanupStaleSnapshots(fsys vmwild.FS, path string) {
+	dir := filepath.Dir(path)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmwildd: stale snapshot sweep of %s: %v\n", dir, err)
 		return
 	}
-	for _, f := range stale {
-		if err := os.Remove(f); err != nil {
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".snapshot-") {
+			continue
+		}
+		f := filepath.Join(dir, e.Name())
+		if err := fsys.Remove(f); err != nil {
 			fmt.Fprintf(os.Stderr, "vmwildd: stale snapshot %s: %v\n", f, err)
 			continue
 		}
@@ -260,19 +310,24 @@ func cleanupStaleSnapshots(path string) {
 // writeSnapshot persists the warehouse atomically: the snapshot streams
 // into a temp file in the target directory and replaces the old file only
 // by rename, so a crash mid-write can never truncate the previous good
-// snapshot.
-func writeSnapshot(warehouse *vmwild.Warehouse, path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+// snapshot. Every step's error is checked — the rename commits only
+// durable bytes (fsync before rename, directory sync after).
+func writeSnapshot(fsys vmwild.FS, warehouse *vmwild.Warehouse, path string) error {
+	tmpName := filepath.Join(filepath.Dir(path), ".snapshot-"+filepath.Base(path)+".tmp")
+	tmp, err := fsys.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("write snapshot: %w", err)
 	}
 	// On any failure, remove the temp file and say so: a silently stranded
 	// temp both leaks disk and hides that the snapshot is missing.
+	closed := false
 	fail := func(stage string, err error) error {
-		tmp.Close()
-		if rmErr := os.Remove(tmp.Name()); rmErr != nil {
+		if !closed {
+			tmp.Close()
+		}
+		if rmErr := fsys.Remove(tmpName); rmErr != nil {
 			fmt.Fprintf(os.Stderr, "vmwildd: snapshot %s failed and temp file %s could not be removed: %v\n",
-				stage, tmp.Name(), rmErr)
+				stage, tmpName, rmErr)
 		} else {
 			fmt.Fprintf(os.Stderr, "vmwildd: snapshot %s failed, temp file removed\n", stage)
 		}
@@ -281,15 +336,21 @@ func writeSnapshot(warehouse *vmwild.Warehouse, path string) error {
 	if err := warehouse.Snapshot(tmp); err != nil {
 		return fail("stream", err)
 	}
-	// The rename only commits durable bytes.
 	if err := tmp.Sync(); err != nil {
 		return fail("sync", err)
 	}
 	if err := tmp.Close(); err != nil {
+		closed = true
 		return fail("close", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	closed = true
+	if err := fsys.Rename(tmpName, path); err != nil {
 		return fail("rename", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		// The rename itself is atomic; a failed directory sync weakens
+		// crash ordering but does not invalidate the snapshot.
+		fmt.Fprintf(os.Stderr, "vmwildd: snapshot directory sync: %v\n", err)
 	}
 	return nil
 }

@@ -95,7 +95,7 @@ func TestCleanupStaleSnapshots(t *testing.T) {
 		}
 		stale = append(stale, f)
 	}
-	cleanupStaleSnapshots(target)
+	cleanupStaleSnapshots(vmwild.OSFS, target)
 	for _, f := range stale {
 		if _, err := os.Stat(f); !os.IsNotExist(err) {
 			t.Errorf("stale temp file %s survived cleanup", f)
@@ -122,7 +122,7 @@ func TestWriteSnapshotLeavesNoTempOnFailure(t *testing.T) {
 	if err := os.Mkdir(target, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSnapshot(w, target); err == nil {
+	if err := writeSnapshot(vmwild.OSFS, w, target); err == nil {
 		t.Fatal("expected rename failure")
 	}
 	left, err := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
@@ -135,7 +135,7 @@ func TestWriteSnapshotLeavesNoTempOnFailure(t *testing.T) {
 
 	// The happy path still lands the snapshot.
 	good := filepath.Join(dir, "warehouse.snap")
-	if err := writeSnapshot(w, good); err != nil {
+	if err := writeSnapshot(vmwild.OSFS, w, good); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(good); err != nil {
@@ -147,5 +147,99 @@ func TestServeRejectsSnapshotPlusWAL(t *testing.T) {
 	err := serve(serveConfig{snapshotPath: "a.snap", walDir: "wal"})
 	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("err = %v, want mutual-exclusion error", err)
+	}
+}
+
+func TestServeRejectsFaultProfileWithoutDurablePath(t *testing.T) {
+	err := serve(serveConfig{faultProfile: "flaky"})
+	if err == nil || !strings.Contains(err.Error(), "requires -wal-dir or -snapshot") {
+		t.Fatalf("err = %v, want missing-durable-path error", err)
+	}
+}
+
+func TestServeRejectsBadFaultProfile(t *testing.T) {
+	err := serve(serveConfig{faultProfile: "explode", walDir: "wal"})
+	if err == nil || !strings.Contains(err.Error(), "unknown fault profile") {
+		t.Fatalf("err = %v, want unknown-profile error", err)
+	}
+}
+
+// TestReadyzReportsStorageDegraded: once the degraded check flips,
+// /readyz turns 503 while /healthz stays 200 — the daemon is alive, just
+// refusing ingest.
+func TestReadyzReportsStorageDegraded(t *testing.T) {
+	h, err := startHealth("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	h.setReady(nil)
+	degraded := false
+	h.setDegraded(func() bool { return degraded })
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get("http://" + h.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz healthy = %d, want 200", got)
+	}
+	degraded = true
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz degraded = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz degraded = %d, want 200 (liveness is not readiness)", got)
+	}
+}
+
+// TestWriteSnapshotFaultFS: the snapshot writer's failure handling runs
+// through the injected filesystem — a torn stream reports the failure and
+// strands no temp file, and the previous good snapshot survives.
+func TestWriteSnapshotFaultFS(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "warehouse.snap")
+	w := vmwild.NewWarehouse(0)
+	for i := 0; i < 64; i++ {
+		w.Ingest(vmwild.MonitorSample{
+			Server:            vmwild.ServerID(fmt.Sprintf("s%02d", i%4)),
+			Timestamp:         time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Minute),
+			TotalProcessorPct: float64(i % 100),
+			MemCommittedMB:    512,
+		})
+	}
+	if err := writeSnapshot(vmwild.OSFS, w, target); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every write through this FS is torn; the stream must fail cleanly.
+	ffs, err := vmwild.NewFaultFS(vmwild.OSFS, dir, 3, vmwild.FaultProfile{WriteErrProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(ffs, w, target); err == nil {
+		t.Fatal("snapshot through an all-faults disk reported success")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("failure path stranded temp files: %v", left)
+	}
+	after, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Error("failed snapshot attempt damaged the previous good snapshot")
 	}
 }

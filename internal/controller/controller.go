@@ -22,6 +22,7 @@ import (
 	"vmwild/internal/executor"
 	"vmwild/internal/placement"
 	"vmwild/internal/trace"
+	"vmwild/internal/wal"
 )
 
 // FetchFunc returns the monitored demand history available so far: one
@@ -309,6 +310,14 @@ var ErrCircuitOpen = errors.New("controller: circuit open: too many consecutive 
 // transient monitoring outages. With Config.MaxConsecutiveFailures set,
 // that many back-to-back failures trip a circuit breaker: Run reports
 // ErrCircuitOpen and returns instead of retrying forever.
+//
+// Terminal storage failures skip the failure budget entirely: once the
+// journal reports wal.ErrPoisoned, no future interval can make its intent
+// durable, and a controller that keeps planning migrations it cannot
+// journal would desynchronize the recovered placement from reality. A
+// disk-full journal (wal.ErrDiskFull), by contrast, is retryable — the
+// interval failed cleanly before any migration started, and the loop keeps
+// trying within the normal failure budget.
 func (c *Controller) Run(ctx context.Context, tick <-chan time.Time, onError func(error)) {
 	failures := 0
 	for {
@@ -327,6 +336,12 @@ func (c *Controller) Run(ctx context.Context, tick <-chan time.Time, onError fun
 			}
 			if onError != nil {
 				onError(err)
+			}
+			if errors.Is(err, wal.ErrPoisoned) {
+				if onError != nil {
+					onError(fmt.Errorf("%w (journal storage poisoned: %v)", ErrCircuitOpen, err))
+				}
+				return
 			}
 			failures++
 			if max := c.cfg.MaxConsecutiveFailures; max > 0 && failures >= max {

@@ -1,0 +1,210 @@
+package fsx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzFaultFS drives a FaultFS through an arbitrary operation script and
+// holds the injector to its own contract:
+//
+//   - no input panics or wedges it;
+//   - every injected failure is typed (ErrInjected or ErrDiskFull), never
+//     an anonymous error;
+//   - a crash tears a file only between its durable watermark and its
+//     size: what survives is always a prefix of the bytes that landed, and
+//     never shorter than the last successful fsync;
+//   - the whole run — error sequence, fault counters, surviving bytes —
+//     is a pure function of (seed, script), independent of where the root
+//     directory lives on disk.
+//
+// The last property is the one the disk-chaos wall leans on, so the fuzz
+// runs every script twice in different roots and diffs the transcripts.
+func FuzzFaultFS(f *testing.F) {
+	f.Add(int64(3), []byte{0, 1, 2, 1, 7, 0, 1, 4, 1, 2, 7})
+	f.Add(int64(20141208), []byte{0, 9, 17, 2, 33, 3, 0, 41, 7, 49, 4, 5, 6})
+	f.Add(int64(7), bytes.Repeat([]byte{0, 1, 2, 7}, 16))
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		t1, c1 := runFaultScript(t, seed, script)
+		t2, c2 := runFaultScript(t, seed, script)
+		if !equalTranscript(t1, t2) {
+			t.Fatalf("same seed and script, different transcripts:\n%v\n%v", t1, t2)
+		}
+		if c1 != c2 {
+			t.Fatalf("same seed and script, different counters:\n%+v\n%+v", c1, c2)
+		}
+	})
+}
+
+// runFaultScript interprets script against a fresh FaultFS in its own
+// temp root and returns a normalized transcript of what every operation
+// reported, plus the final counters. It fails the test in place when an
+// invariant breaks (untyped error, crash tearing outside the
+// [synced, written] window).
+func runFaultScript(t *testing.T, seed int64, script []byte) ([]string, Counters) {
+	t.Helper()
+	root := t.TempDir()
+	ffs, err := NewFaultFS(OS, root, seed, Profile{
+		WriteErrProb:  0.2,
+		SyncErrProb:   0.2,
+		CloseErrProb:  0.1,
+		RenameErrProb: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "a")
+	alt := filepath.Join(root, "b")
+
+	// The model: the bytes that actually landed in the live file and the
+	// length the last successful fsync made durable.
+	var h File
+	var written []byte
+	synced := 0
+
+	// note normalizes an op outcome for the cross-root transcript diff:
+	// absolute paths are stripped so both runs produce identical lines.
+	var transcript []string
+	note := func(op string, err error) {
+		detail := "ok"
+		if err != nil {
+			detail = strings.ReplaceAll(err.Error(), root, "")
+			if !errors.Is(err, ErrInjected) && !errors.Is(err, ErrDiskFull) &&
+				!errors.Is(err, os.ErrNotExist) && !errors.Is(err, os.ErrClosed) {
+				t.Fatalf("op %s: untyped failure %v", op, err)
+			}
+		}
+		transcript = append(transcript, op+": "+detail)
+	}
+
+	for i, b := range script {
+		switch b % 8 {
+		case 0: // (re)create the live file; O_TRUNC resets the model
+			if h != nil {
+				h.Close()
+			}
+			var err error
+			h, err = ffs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+			note("create", err)
+			if err != nil {
+				h = nil
+				break
+			}
+			written, synced = nil, 0
+		case 1: // write a deterministic chunk; torn prefixes still land
+			if h == nil {
+				break
+			}
+			p := []byte(fmt.Sprintf("chunk %03d |%s|", i, strings.Repeat("x", int(b/8)%24)))
+			n, err := h.Write(p)
+			note("write", err)
+			if n > len(p) {
+				t.Fatalf("write reported %d of %d bytes", n, len(p))
+			}
+			written = append(written, p[:n]...)
+		case 2:
+			if h == nil {
+				break
+			}
+			err := h.Sync()
+			note("sync", err)
+			if err == nil {
+				synced = len(written)
+			}
+		case 3:
+			if h == nil {
+				break
+			}
+			note("close", h.Close())
+			h = nil
+		case 4: // checkpoint-style rename; durability state must follow
+			if h != nil {
+				note("close", h.Close())
+				h = nil
+			}
+			err := ffs.Rename(path, alt)
+			note("rename", err)
+			if err == nil {
+				// The live file moved away; the model starts over.
+				written, synced = nil, 0
+			}
+		case 5:
+			note("remove", ffs.Remove(alt))
+		case 6:
+			if h == nil {
+				break
+			}
+			sz := int64(len(written) / 2)
+			err := h.Truncate(sz)
+			note("truncate", err)
+			if err == nil {
+				// Truncate leaves the offset where it was; reposition at the
+				// new end so the next write appends instead of leaving a hole.
+				if _, err := h.Seek(sz, 0); err != nil {
+					t.Fatalf("seek after truncate: %v", err)
+				}
+				written = written[:sz]
+				if synced > int(sz) {
+					synced = int(sz)
+				}
+			}
+		case 7: // crash: the live file tears inside [synced, written]
+			if err := ffs.Crash(); err != nil {
+				t.Fatalf("crash: %v", err)
+			}
+			h = nil
+			transcript = append(transcript, "crash")
+			got, err := os.ReadFile(path)
+			if errors.Is(err, os.ErrNotExist) {
+				got = nil
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) < synced || len(got) > len(written) {
+				t.Fatalf("crash left %d bytes, durable window is [%d, %d]", len(got), synced, len(written))
+			}
+			if !bytes.Equal(got, written[:len(got)]) {
+				t.Fatalf("crash survivor is not a prefix of the written bytes")
+			}
+			// Only fsync advances the durable watermark: bytes that survived
+			// this tear but were never synced stay fair game for the next.
+			written = got
+			if synced > len(written) {
+				synced = len(written)
+			}
+		}
+	}
+	if h != nil {
+		h.Close()
+	}
+	// Close out with the determinism surface: the surviving bytes of both
+	// files, root-independent.
+	for _, p := range []string{path, alt} {
+		got, err := os.ReadFile(p)
+		if err != nil {
+			got = nil
+		}
+		transcript = append(transcript, fmt.Sprintf("final %s: %d bytes %x", filepath.Base(p), len(got), got))
+	}
+	return transcript, ffs.Counters()
+}
+
+func equalTranscript(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"vmwild/internal/fsx"
 	"vmwild/internal/wal"
 )
 
@@ -32,6 +33,7 @@ import (
 // marker file making the hand-off crash-safe in both directions.
 type WarehouseLog struct {
 	w         *Warehouse
+	fs        fsx.FS
 	lanes     []journalLane
 	everyLane int
 
@@ -64,8 +66,8 @@ func isLegacyWALFile(name string) bool {
 
 // scanWALDir classifies dir's contents: legacy root WAL files, existing
 // lane directories, and the migration marker.
-func scanWALDir(dir string) (legacy []string, laneDirs []string, marker bool, err error) {
-	entries, err := os.ReadDir(dir)
+func scanWALDir(fs fsx.FS, dir string) (legacy []string, laneDirs []string, marker bool, err error) {
+	entries, err := fs.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil, false, nil
 	}
@@ -141,13 +143,18 @@ func OpenWarehouseLog(w *Warehouse, dir string, checkpointEvery int, opts wal.Op
 		checkpointEvery = 4096
 	}
 	nlanes := w.Shards()
+	fs := opts.FS
+	if fs == nil {
+		fs = fsx.OS
+	}
 	wl := &WarehouseLog{
 		w:         w,
+		fs:        fs,
 		lanes:     make([]journalLane, nlanes),
 		everyLane: max(1, checkpointEvery/nlanes),
 	}
 
-	legacy, laneDirs, marker, err := scanWALDir(dir)
+	legacy, laneDirs, marker, err := scanWALDir(fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -155,11 +162,11 @@ func OpenWarehouseLog(w *Warehouse, dir string, checkpointEvery int, opts wal.Op
 		// A previous migration checkpointed the lanes and crashed during
 		// cleanup: the lanes are authoritative, the root files garbage.
 		for _, name := range legacy {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil {
 				return nil, fmt.Errorf("monitor: finish wal migration: %w", err)
 			}
 		}
-		if err := os.Remove(filepath.Join(dir, legacyMigratedMarker)); err != nil {
+		if err := fs.Remove(filepath.Join(dir, legacyMigratedMarker)); err != nil {
 			return nil, fmt.Errorf("monitor: finish wal migration: %w", err)
 		}
 		legacy = nil
@@ -170,7 +177,7 @@ func OpenWarehouseLog(w *Warehouse, dir string, checkpointEvery int, opts wal.Op
 		// The root log is authoritative until the marker lands; any lane
 		// dirs are artifacts of an earlier migration that did not commit.
 		for _, d := range laneDirs {
-			if err := os.RemoveAll(filepath.Join(dir, d)); err != nil {
+			if err := fs.RemoveAll(filepath.Join(dir, d)); err != nil {
 				return nil, fmt.Errorf("monitor: clear stale wal lanes: %w", err)
 			}
 		}
@@ -246,6 +253,10 @@ func OpenWarehouseLog(w *Warehouse, dir string, checkpointEvery int, opts wal.Op
 // anything is deleted, so a crash at any point either redoes the fold or
 // proceeds from the root.
 func foldLanesToRoot(w *Warehouse, dir string, laneDirs []string, opts wal.Options, torn *int64) error {
+	fs := opts.FS
+	if fs == nil {
+		fs = fsx.OS
+	}
 	scratch := NewWarehouseShards(w.Retention, 1)
 	for _, d := range laneDirs {
 		log, recovered, err := wal.Open(filepath.Join(dir, d), opts)
@@ -277,7 +288,7 @@ func foldLanesToRoot(w *Warehouse, dir string, laneDirs []string, opts wal.Optio
 		return fmt.Errorf("monitor: fold wal lanes: %w", err)
 	}
 	for _, d := range laneDirs {
-		if err := os.RemoveAll(filepath.Join(dir, d)); err != nil {
+		if err := fs.RemoveAll(filepath.Join(dir, d)); err != nil {
 			return fmt.Errorf("monitor: clear stale wal lanes: %w", err)
 		}
 	}
@@ -297,12 +308,12 @@ func (wl *WarehouseLog) commitMigration(dir string) error {
 			return err
 		}
 	}
-	legacy, _, _, err := scanWALDir(dir)
+	legacy, _, _, err := scanWALDir(wl.fs, dir)
 	if err != nil {
 		return err
 	}
 	marker := filepath.Join(dir, legacyMigratedMarker)
-	f, err := os.Create(marker)
+	f, err := fsx.Create(wl.fs, marker)
 	if err == nil {
 		err = f.Sync()
 		if cerr := f.Close(); err == nil {
@@ -313,11 +324,11 @@ func (wl *WarehouseLog) commitMigration(dir string) error {
 		return fmt.Errorf("monitor: commit wal migration: %w", err)
 	}
 	for _, name := range legacy {
-		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+		if err := wl.fs.Remove(filepath.Join(dir, name)); err != nil {
 			return fmt.Errorf("monitor: finish wal migration: %w", err)
 		}
 	}
-	if err := os.Remove(marker); err != nil {
+	if err := wl.fs.Remove(marker); err != nil {
 		return fmt.Errorf("monitor: finish wal migration: %w", err)
 	}
 	return nil

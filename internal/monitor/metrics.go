@@ -85,6 +85,11 @@ type Metrics struct {
 	// JournalErrs the journal-failed subset.
 	DroppedMisc int64 `json:"droppedMisc"`
 	JournalErrs int64 `json:"journalErrs"`
+	// DiskDegraded reports the shed-ingest read-only mode entered after a
+	// disk-full or poisoned-storage journal failure; ShedDisk counts the
+	// network samples shed while in it.
+	DiskDegraded bool  `json:"diskDegraded"`
+	ShedDisk     int64 `json:"shedDisk"`
 
 	Shards []ShardMetrics `json:"shards"`
 }
@@ -102,6 +107,8 @@ func (w *Warehouse) Metrics() Metrics {
 		SlowClients:   w.slowClients.Load(),
 		DroppedMisc:   w.droppedMisc.Load(),
 		JournalErrs:   w.journalErrs.Load(),
+		DiskDegraded:  w.diskDegraded.Load(),
+		ShedDisk:      w.shedDisk.Load(),
 		Shards:        make([]ShardMetrics, len(w.shards)),
 	}
 	for i := range w.shards {

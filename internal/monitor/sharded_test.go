@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"vmwild/internal/fsx"
 	"vmwild/internal/trace"
 	"vmwild/internal/wal"
 )
@@ -664,7 +665,7 @@ func TestWarehouseLogLegacyMigration(t *testing.T) {
 	if rec.Restored != 10 || rec.Replayed != 10 {
 		t.Fatalf("migrated %d restored + %d replayed, want 10 + 10", rec.Restored, rec.Replayed)
 	}
-	legacy, laneDirs, marker, err := scanWALDir(dir)
+	legacy, laneDirs, marker, err := scanWALDir(fsx.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -731,7 +732,7 @@ func TestWarehouseLogShardCountChange(t *testing.T) {
 	if got := snapshotBytes(t, w3); !bytes.Equal(got, want) {
 		t.Fatal("shard-count change lost or reordered samples")
 	}
-	_, laneDirs, _, err := scanWALDir(dir)
+	_, laneDirs, _, err := scanWALDir(fsx.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vmwild/internal/fsx"
 	"vmwild/internal/trace"
+	"vmwild/internal/wal"
 )
 
 // DefaultMaxLineBytes bounds one JSON line on an ingestion or query
@@ -102,6 +104,14 @@ type Warehouse struct {
 	journal     atomic.Pointer[journalFn]
 	droppedMisc atomic.Int64 // invalid, unparseable, or journal-failed samples
 	journalErrs atomic.Int64
+
+	// diskDegraded latches when the journal reports the disk is full or
+	// poisoned: network ingest sheds (counted in shedDisk) while queries
+	// keep being served, until ResumeIngest. Latched rather than probed so
+	// the warehouse fails a bounded number of journal writes, not one per
+	// arriving sample.
+	diskDegraded atomic.Bool
+	shedDisk     atomic.Int64 // network samples shed while disk-degraded
 
 	limiter       atomic.Pointer[tokenBucket]
 	shedIngest    atomic.Int64 // network samples refused by the limiter
@@ -244,14 +254,40 @@ func (w *Warehouse) ConnCount() int {
 }
 
 // UnderPressure reports whether the connection gate is nearly saturated
-// (≥ 80% of MaxConns live). The query tier uses it to reject new query
-// connections first — shedding reads before writes, because a planner can
-// retry a fetch but a shed sample is gone.
+// (≥ 80% of MaxConns live) or the warehouse is disk-degraded. The query
+// tier uses it to reject new query connections first — shedding reads
+// before writes, because a planner can retry a fetch but a shed sample is
+// gone.
 func (w *Warehouse) UnderPressure() bool {
+	if w.diskDegraded.Load() {
+		return true
+	}
 	if w.MaxConns <= 0 {
 		return false
 	}
 	return w.ConnCount()*5 >= w.MaxConns*4
+}
+
+// DiskDegraded reports whether the warehouse is in shed-ingest read-only
+// mode after the journal hit a disk-full or poisoned-storage condition.
+func (w *Warehouse) DiskDegraded() bool { return w.diskDegraded.Load() }
+
+// ShedDisk reports how many network samples were shed while disk-degraded.
+func (w *Warehouse) ShedDisk() int64 { return w.shedDisk.Load() }
+
+// ResumeIngest clears the disk-degraded latch after the operator freed
+// space (or the journal was rotated to healthy storage). Samples shed in
+// the interim are gone — agents saw them refused, never acked.
+func (w *Warehouse) ResumeIngest() { w.diskDegraded.Store(false) }
+
+// noteJournalError inspects a journal failure and latches degraded mode on
+// the conditions where retrying per-sample would burn the write path for
+// nothing: a full disk (retryable only after an operator acts) or poisoned
+// storage (never retryable in place).
+func (w *Warehouse) noteJournalError(err error) {
+	if fsx.IsNoSpace(err) || errors.Is(err, wal.ErrPoisoned) {
+		w.diskDegraded.Store(true)
+	}
 }
 
 func (w *Warehouse) serveConn(conn net.Conn) {
@@ -346,10 +382,20 @@ func (w *Warehouse) SetIngestLimit(rate float64, burst int) {
 	w.limiter.Store(newTokenBucket(rate, burst, w.Clock))
 }
 
-// admit runs a decoded network batch through the ingest limiter, returning
-// how many leading samples were admitted. The shed suffix is counted —
-// globally and per shard — never silently lost.
+// admit runs a decoded network batch through the disk-degraded gate and
+// the ingest limiter, returning how many leading samples were admitted.
+// The shed suffix is counted — globally and per shard — never silently
+// lost.
 func (w *Warehouse) admit(batch []Sample) int {
+	if w.diskDegraded.Load() {
+		// Read-only mode: nothing gets journaled, so nothing gets acked.
+		// Envelope senders see shed == len(batch) and hold their data.
+		w.shedDisk.Add(int64(len(batch)))
+		for i := range batch {
+			w.shards[w.shardIndex(batch[i].Server)].shed.Add(1)
+		}
+		return 0
+	}
 	tb := w.limiter.Load()
 	if tb == nil {
 		return len(batch)
@@ -388,9 +434,12 @@ func (w *Warehouse) serveEnvelope(conn net.Conn, line []byte, batch []Sample, in
 	res, replay := w.lastAck[agent]
 	if !replay || res.seq != seq {
 		granted := w.admit(batch)
-		w.IngestBatch(batch[:granted])
-		w.ackedSamples.Add(int64(granted))
-		res = ackResult{seq: seq, ok: granted, shed: len(batch) - granted}
+		// The ack may only claim what the journal actually made durable: a
+		// disk that fills mid-envelope sheds the batch's tail instead of
+		// acking samples that were never stored.
+		ok := w.ingestBatchDurable(batch[:granted])
+		w.ackedSamples.Add(int64(ok))
+		res = ackResult{seq: seq, ok: ok, shed: len(batch) - ok}
 		w.lastAck[agent] = res
 	}
 	w.ackMu.Unlock()
@@ -470,6 +519,7 @@ func (w *Warehouse) IngestDurable(s Sample) error {
 		if err := (*j)(s); err != nil {
 			w.droppedMisc.Add(1)
 			w.journalErrs.Add(1)
+			w.noteJournalError(err)
 			return err
 		}
 		return nil
@@ -529,6 +579,39 @@ func growInt32(s []int32, n int) []int32 {
 	return s[:n]
 }
 
+// ingestBatchDurable is the envelope path's journal-aware ingest: it
+// returns how many leading samples actually landed, so the ack never
+// claims durability the journal refused. On the first journal failure the
+// rest of the batch is shed — counted in shedDisk and per shard — without
+// probing the broken disk once per sample, and the error latches degraded
+// mode when it is typed as disk-full or poisoned storage.
+func (w *Warehouse) ingestBatchDurable(samples []Sample) int {
+	j := w.journal.Load()
+	if j == nil {
+		w.IngestBatch(samples)
+		return len(samples)
+	}
+	for i := range samples {
+		if err := samples[i].Validate(); err != nil {
+			// An invalid sample is acked (the sender must not retry it)
+			// but dropped, exactly as on the journal-free path.
+			w.droppedMisc.Add(1)
+			continue
+		}
+		if err := (*j)(samples[i]); err != nil {
+			w.journalErrs.Add(1)
+			w.noteJournalError(err)
+			shed := samples[i:]
+			w.shedDisk.Add(int64(len(shed)))
+			for k := range shed {
+				w.shards[w.shardIndex(shed[k].Server)].shed.Add(1)
+			}
+			return i
+		}
+	}
+	return len(samples)
+}
+
 // IngestBatch stores a batch of samples with one shard-lock acquisition
 // per touched shard, grouping samples by shard with a counting sort that
 // preserves arrival order within each server. With a journal attached it
@@ -547,6 +630,7 @@ func (w *Warehouse) IngestBatch(samples []Sample) {
 			if err := (*j)(samples[i]); err != nil {
 				w.droppedMisc.Add(1)
 				w.journalErrs.Add(1)
+				w.noteJournalError(err)
 			}
 		}
 		return

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"vmwild/internal/workload"
+)
+
+// diskWallSeeds returns the seeds the disk-chaos wall runs at: the paper
+// seed and one unrelated seed by default, or exactly the seed
+// DISKWALL_SEED names — the hook CI's seed matrix uses.
+func diskWallSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if env := os.Getenv("DISKWALL_SEED"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("DISKWALL_SEED %q: %v", env, err)
+		}
+		return []int64{n}
+	}
+	return []int64{workload.DefaultSeed, 7}
+}
+
+// TestDiskWall drives every disk-chaos drill — the WAL/journal/snapshot
+// stack over a seeded fault-injecting filesystem — and requires every
+// checkpoint to pass. The fault schedule is a pure function of the seed,
+// so every invariant (exact two-sided accounting, replay == acked,
+// byte-identical recovery, typed failures) is fully deterministic.
+func TestDiskWall(t *testing.T) {
+	for _, ds := range DiskChaos() {
+		for _, seed := range diskWallSeeds(t) {
+			ds, seed := ds, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", ds.ID, seed), func(t *testing.T) {
+				t.Parallel()
+				res, err := ds.Run(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, cp := range res.Checkpoints {
+					if cp.Passed {
+						t.Logf("checkpoint %-32s [%s] ok", cp.Name, cp.Turn)
+					} else {
+						t.Errorf("checkpoint %s [%s]: %s", cp.Name, cp.Turn, cp.Detail)
+					}
+				}
+				if !res.Passed && !t.Failed() {
+					t.Error("result reports failure but no checkpoint did")
+				}
+			})
+		}
+	}
+}
+
+func TestGetDiskChaos(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ds := range DiskChaos() {
+		if ds.ID == "" || ds.Name == "" || ds.Description == "" || ds.run == nil {
+			t.Fatalf("scenario %q is structurally incomplete", ds.ID)
+		}
+		if seen[ds.ID] {
+			t.Fatalf("duplicate disk-chaos scenario id %q", ds.ID)
+		}
+		seen[ds.ID] = true
+		got, err := GetDiskChaos(ds.ID)
+		if err != nil || got.ID != ds.ID {
+			t.Fatalf("GetDiskChaos(%q) = %v, %v", ds.ID, got, err)
+		}
+	}
+	if _, err := GetDiskChaos("no-such-drill"); err == nil {
+		t.Fatal("unknown disk-chaos scenario did not error")
+	}
+}

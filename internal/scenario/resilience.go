@@ -363,8 +363,9 @@ func (r *chaosRig) checkAccounting() error {
 	if m.AckedSamples != t.Acked {
 		return fmt.Errorf("warehouse admitted %d samples, senders hold acks for %d", m.AckedSamples, t.Acked)
 	}
-	if m.ShedIngest != t.ServerShed {
-		return fmt.Errorf("warehouse shed %d samples, senders were told %d", m.ShedIngest, t.ServerShed)
+	if m.ShedIngest+m.ShedDisk != t.ServerShed {
+		return fmt.Errorf("warehouse shed %d samples (%d limiter + %d disk), senders were told %d",
+			m.ShedIngest+m.ShedDisk, m.ShedIngest, m.ShedDisk, t.ServerShed)
 	}
 	var stored, shardShed int64
 	for _, sh := range m.Shards {
@@ -374,8 +375,8 @@ func (r *chaosRig) checkAccounting() error {
 	if stored != t.Acked {
 		return fmt.Errorf("warehouse stores %d samples but acked %d — an admitted sample vanished", stored, t.Acked)
 	}
-	if shardShed != m.ShedIngest {
-		return fmt.Errorf("per-shard shed %d does not sum to global %d", shardShed, m.ShedIngest)
+	if shardShed != m.ShedIngest+m.ShedDisk {
+		return fmt.Errorf("per-shard shed %d does not sum to global %d", shardShed, m.ShedIngest+m.ShedDisk)
 	}
 	return nil
 }

@@ -1,0 +1,568 @@
+package wal
+
+// Storage-fault tests: the torn/poisoned/terminal state machine under
+// targeted injections (hookFS pins exactly which call fails) and under
+// seeded schedules (FuzzFaultFS sweeps fault profiles and asserts the
+// replay-equals-acked contract).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmwild/internal/fsx"
+)
+
+// hookFS wraps an fsx.FS with test-armed failure counters. Tests mutate
+// the fields directly between calls; single-goroutine use only.
+type hookFS struct {
+	fsx.FS
+	failNextSync   int    // fail the next n file Sync calls
+	failNextWrite  int    // tear the next n writes after tearBytes bytes
+	tearBytes      int    // prefix landed by a torn write
+	failNextRename int    // fail the next n renames
+	failOpenMatch  string // refuse OpenFile of names containing this
+}
+
+func (h *hookFS) OpenFile(name string, flag int, perm os.FileMode) (fsx.File, error) {
+	if h.failOpenMatch != "" && strings.Contains(filepath.Base(name), h.failOpenMatch) {
+		return nil, errors.New("hook: open refused")
+	}
+	f, err := h.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &hookFile{File: f, fs: h}, nil
+}
+
+func (h *hookFS) Rename(oldpath, newpath string) error {
+	if h.failNextRename > 0 {
+		h.failNextRename--
+		return errors.New("hook: rename refused")
+	}
+	return h.FS.Rename(oldpath, newpath)
+}
+
+type hookFile struct {
+	fsx.File
+	fs *hookFS
+}
+
+func (f *hookFile) Sync() error {
+	if f.fs.failNextSync > 0 {
+		f.fs.failNextSync--
+		return errors.New("hook: fsync refused")
+	}
+	return f.File.Sync()
+}
+
+func (f *hookFile) Write(p []byte) (int, error) {
+	if f.fs.failNextWrite > 0 {
+		f.fs.failNextWrite--
+		n := f.fs.tearBytes
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			f.File.Write(p[:n])
+		}
+		return n, errors.New("hook: write refused")
+	}
+	return f.File.Write(p)
+}
+
+// TestFailedSyncPoisonsAndRotates: a failed fsync must fail the append
+// with ErrPoisoned, refuse further syncs of the segment, drop the
+// unacked record at the durable watermark, and continue in a fresh
+// segment on the next append.
+func TestFailedSyncPoisonsAndRotates(t *testing.T) {
+	dir := t.TempDir()
+	h := &hookFS{FS: fsx.OS}
+	l, _, err := Open(dir, Options{FS: h, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("r0")); err != nil {
+		t.Fatal(err)
+	}
+	h.failNextSync = 1
+	if err := l.Append([]byte("r1")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append through failed fsync: err = %v, want ErrPoisoned", err)
+	}
+	if !l.Poisoned() {
+		t.Fatal("log not marked poisoned after failed fsync")
+	}
+	// No later fsync of the poisoned segment may claim durability.
+	if err := l.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("sync of poisoned segment: err = %v, want ErrPoisoned", err)
+	}
+	// The next append rotates away and succeeds.
+	if err := l.Append([]byte("r2")); err != nil {
+		t.Fatalf("append after poison rotation: %v", err)
+	}
+	if l.Poisoned() {
+		t.Fatal("still poisoned after rotation")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	segs, _, err := scanDir(fsx.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("want poisoned + fresh segment, got %d segments", len(segs))
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	want := [][]byte{[]byte("r0"), []byte("r2")}
+	if len(rec.Records) != 2 || !bytes.Equal(rec.Records[0], want[0]) || !bytes.Equal(rec.Records[1], want[1]) {
+		t.Fatalf("replay = %q, want %q (the unacked r1 must not resurface)", rec.Records, want)
+	}
+}
+
+// TestPoisonRotationFailureIsTerminal: when the fresh segment after a
+// poisoned one cannot be created, the log goes terminal — every further
+// operation reports ErrPoisoned, and recovery sees only acked records.
+func TestPoisonRotationFailureIsTerminal(t *testing.T) {
+	dir := t.TempDir()
+	h := &hookFS{FS: fsx.OS}
+	l, _, err := Open(dir, Options{FS: h, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("r0")); err != nil {
+		t.Fatal(err)
+	}
+	h.failNextSync = 1
+	if err := l.Append([]byte("r1")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("err = %v, want ErrPoisoned", err)
+	}
+	h.failOpenMatch = ".log" // the replacement segment cannot be created
+	if err := l.Append([]byte("r2")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("rotation failure err = %v, want ErrPoisoned", err)
+	}
+	h.failOpenMatch = ""
+	// Terminal is sticky: even with the disk healed, the log refuses.
+	if err := l.Append([]byte("r3")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on terminal log err = %v, want ErrPoisoned", err)
+	}
+	if err := l.Checkpoint([]byte("c")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("checkpoint on terminal log err = %v, want ErrPoisoned", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("close of terminal log err = %v, want ErrPoisoned", err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if len(rec.Records) != 1 || !bytes.Equal(rec.Records[0], []byte("r0")) {
+		t.Fatalf("replay = %q, want only the acked r0", rec.Records)
+	}
+}
+
+// TestPoisonBeforeFirstSyncRemovesSegment: a segment poisoned before even
+// its header was synced holds nothing durable; rotation removes the file
+// and reuses its sequence so recovery never sees a gap or a headerless
+// non-final segment.
+func TestPoisonBeforeFirstSyncRemovesSegment(t *testing.T) {
+	dir := t.TempDir()
+	h := &hookFS{FS: fsx.OS}
+	l, _, err := Open(dir, Options{FS: h, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.failNextSync = 1
+	if err := l.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("sync err = %v, want ErrPoisoned", err)
+	}
+	if err := l.Append([]byte("r0")); err != nil {
+		t.Fatalf("append after empty-segment poison: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanDir(fsx.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("want the poisoned empty segment removed, got %d segments", len(segs))
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || !bytes.Equal(rec.Records[0], []byte("r0")) {
+		t.Fatalf("replay = %q", rec.Records)
+	}
+}
+
+// TestTornWriteRepairsInPlace: a write that fails partway leaves garbage
+// past the boundary; the next append truncates it and continues in the
+// same segment — no rotation, nothing acked lost, nothing unacked kept.
+func TestTornWriteRepairsInPlace(t *testing.T) {
+	dir := t.TempDir()
+	h := &hookFS{FS: fsx.OS}
+	l, _, err := Open(dir, Options{FS: h, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("r0")); err != nil {
+		t.Fatal(err)
+	}
+	h.failNextWrite, h.tearBytes = 1, 5
+	if err := l.Append([]byte("r1-that-tears")); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if l.Poisoned() {
+		t.Fatal("a mere write failure must not poison the segment")
+	}
+	if err := l.Append([]byte("r2")); err != nil {
+		t.Fatalf("append after torn write: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, _ := scanDir(fsx.OS, dir)
+	if len(segs) != 1 {
+		t.Fatalf("torn-write repair rotated (%d segments), want in-place", len(segs))
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 2 || !bytes.Equal(rec.Records[0], []byte("r0")) || !bytes.Equal(rec.Records[1], []byte("r2")) {
+		t.Fatalf("replay = %q, want [r0 r2]", rec.Records)
+	}
+	if rec.TornBytes != 0 {
+		t.Fatalf("repair left %d torn bytes for recovery to clean", rec.TornBytes)
+	}
+}
+
+// TestCheckpointRenameFailureIsRetryable: a failed checkpoint rename
+// leaves the old checkpoint standing and the temp cleaned up; the retry
+// succeeds.
+func TestCheckpointRenameFailureIsRetryable(t *testing.T) {
+	dir := t.TempDir()
+	h := &hookFS{FS: fsx.OS}
+	l, _, err := Open(dir, Options{FS: h, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.failNextRename = 1
+	if err := l.Checkpoint([]byte("state-a")); err == nil {
+		t.Fatal("checkpoint with failed rename reported success")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("failed checkpoint left temp file %s", e.Name())
+		}
+	}
+	if err := l.Checkpoint([]byte("state-b")); err != nil {
+		t.Fatalf("checkpoint retry: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Checkpoint, []byte("state-b")) {
+		t.Fatalf("recovered checkpoint %q, want state-b", rec.Checkpoint)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("replay = %q, want none after checkpoint", rec.Records)
+	}
+}
+
+// TestAppendDiskFullRetryable: ENOSPC fails the append with a typed,
+// errors.Is-able sentinel and the log resumes cleanly once space frees.
+func TestAppendDiskFullRetryable(t *testing.T) {
+	root := t.TempDir()
+	ffs, err := fsx.NewFaultFS(fsx.OS, root, 1, fsx.Profile{DiskBudget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "w")
+	l, _, err := Open(dir, Options{FS: ffs, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 100)
+	err = l.Append(big)
+	if !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("append on full disk err = %v, want ErrDiskFull", err)
+	}
+	if !fsx.IsNoSpace(err) {
+		t.Fatal("IsNoSpace rejects the WAL's ENOSPC error")
+	}
+	ffs.SetDiskBudget(-1) // operator freed space
+	if err := l.Append(big); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || !bytes.Equal(rec.Records[0], big) {
+		t.Fatalf("replay has %d records, want exactly the acked one", len(rec.Records))
+	}
+}
+
+// TestRecoveryZeroLengthFinalSegment: an empty final segment file (the
+// crash landed between create and the header write) recovers cleanly and
+// the segment is reused.
+func TestRecoveryZeroLengthFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segmentName(dir, 1), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery with zero-length final segment: %v", err)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(rec.Records))
+	}
+	if err := l2.Append([]byte("r3")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Records) != 4 || !bytes.Equal(rec2.Records[3], []byte("r3")) {
+		t.Fatalf("second replay = %q", rec2.Records)
+	}
+}
+
+// TestRecoveryEmptyDirWithStaleCheckpointTemp: a directory holding only
+// an interrupted checkpoint temp must open as a fresh log and sweep the
+// temp away.
+func TestRecoveryEmptyDirWithStaleCheckpointTemp(t *testing.T) {
+	dir := t.TempDir()
+	tmp := checkpointName(dir, 4) + ".tmp"
+	if err := os.WriteFile(tmp, []byte("half a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if rec.Checkpoint != nil || len(rec.Records) != 0 {
+		t.Fatalf("stale temp produced recovered state: %+v", rec)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale checkpoint temp survived recovery")
+	}
+	if err := l.Append([]byte("r0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryInterruptedCheckpointRename: a temp from a checkpoint whose
+// rename never happened is ignored; the previous checkpoint and the
+// records since it are what recovery returns.
+func TestRecoveryInterruptedCheckpointRename(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint([]byte("good-state")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 13; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The interrupted second checkpoint: fully written, never renamed.
+	good, err := os.ReadFile(checkpointName(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(checkpointName(dir, 9)+".tmp", good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if !bytes.Equal(rec.Checkpoint, []byte("good-state")) {
+		t.Fatalf("recovered checkpoint %q, want good-state", rec.Checkpoint)
+	}
+	if len(rec.Records) != 3 || !bytes.Equal(rec.Records[0], []byte("r10")) {
+		t.Fatalf("replay = %q, want [r10 r11 r12]", rec.Records)
+	}
+}
+
+// TestCorruptSentinelTyped: mid-log corruption and checkpoint damage
+// surface as ErrCorruptRecord, distinguishable from disk-full and poison.
+func TestCorruptSentinelTyped(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, _ := scanDir(fsx.OS, dir)
+	if len(segs) < 2 {
+		t.Fatal("need two segments")
+	}
+	name := segmentName(dir, segs[0])
+	data, _ := os.ReadFile(name)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(name, data, 0o644)
+	_, _, err = Open(dir, Options{})
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("mid-log corruption err = %v, want ErrCorruptRecord", err)
+	}
+	if errors.Is(err, ErrDiskFull) || errors.Is(err, ErrPoisoned) {
+		t.Fatal("sentinels are not distinct")
+	}
+}
+
+// fuzzProfile scales raw fuzz bytes into a fault profile. Probabilities
+// top out at ~50% so runs still make progress.
+func fuzzProfile(wp, sp, cp, rp uint8, budget uint16) fsx.Profile {
+	return fsx.Profile{
+		WriteErrProb:  float64(wp) / 512,
+		SyncErrProb:   float64(sp) / 512,
+		CloseErrProb:  float64(cp) / 512,
+		RenameErrProb: float64(rp) / 512,
+		DiskBudget:    int64(budget),
+	}
+}
+
+// FuzzFaultFS drives the WAL through seeded fault schedules and checks
+// the contract the rest of the system stands on: replay never panics,
+// never yields a record the writer was not acked for, and — under
+// SyncAlways — never loses one it was.
+func FuzzFaultFS(f *testing.F) {
+	f.Add(int64(20141208), uint8(30), uint8(30), uint8(10), uint8(10), uint16(0), uint8(24))
+	f.Add(int64(7), uint8(0), uint8(120), uint8(0), uint8(0), uint16(0), uint8(16))
+	f.Add(int64(3), uint8(60), uint8(0), uint8(0), uint8(40), uint16(900), uint8(32))
+	f.Add(int64(1), uint8(255), uint8(255), uint8(255), uint8(255), uint16(300), uint8(40))
+	f.Fuzz(func(t *testing.T, seed int64, wp, sp, cp, rp uint8, budget uint16, n uint8) {
+		root := t.TempDir()
+		ffs, err := fsx.NewFaultFS(fsx.OS, root, seed, fuzzProfile(wp, sp, cp, rp, budget))
+		if err != nil {
+			t.Skip("profile rejected")
+		}
+		dir := filepath.Join(root, "wal")
+		l, _, err := Open(dir, Options{FS: ffs, SegmentBytes: 512, Sync: SyncAlways})
+		if err != nil {
+			return // a fault killed Open; no ack was ever issued
+		}
+		rec := func(i int) []byte { return []byte(fmt.Sprintf("rec-%04d", i)) }
+		var acked []int
+		var lastCkpt []byte
+		count := int(n)%48 + 1
+		for i := 0; i < count; i++ {
+			if i%9 == 8 {
+				payload := []byte(fmt.Sprintf("ckpt-%04d", i))
+				if err := l.Checkpoint(payload); err == nil {
+					lastCkpt = payload
+					acked = acked[:0] // compacted away
+				}
+				continue
+			}
+			if err := l.Append(rec(i)); err == nil {
+				acked = append(acked, i)
+			}
+		}
+		closeErr := l.Close()
+
+		// The disk is what it is: recover through a clean filesystem.
+		_, got, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("recovery failed after faults: %v (close: %v)", err, closeErr)
+		}
+		if string(got.Checkpoint) != string(lastCkpt) {
+			t.Fatalf("recovered checkpoint %q, want %q", got.Checkpoint, lastCkpt)
+		}
+		if len(got.Records) != len(acked) {
+			t.Fatalf("replayed %d records, acked %d (close: %v)\nreplay: %q", len(got.Records), len(acked), closeErr, got.Records)
+		}
+		for j, i := range acked {
+			if !bytes.Equal(got.Records[j], rec(i)) {
+				t.Fatalf("replay[%d] = %q, want acked %q", j, got.Records[j], rec(i))
+			}
+		}
+
+		// A recovery attempt through a corrupting filesystem must never
+		// panic and never invent records; content checks do not apply.
+		cffs, err := fsx.NewFaultFS(fsx.OS, root, seed+1, fsx.Profile{ReadCorruptProb: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2, noisy, err := Open(dir, Options{FS: cffs}); err == nil {
+			valid := make(map[string]bool, count)
+			for i := 0; i < count; i++ {
+				valid[string(rec(i))] = true
+			}
+			for _, r := range noisy.Records {
+				if !valid[string(r)] {
+					t.Fatalf("corrupt-read recovery slipped a damaged record past the CRC: %q", r)
+				}
+			}
+			l2.Close()
+		}
+	})
+}

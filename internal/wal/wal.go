@@ -33,8 +33,39 @@
 // its sequence. A partial final record — a crash tore the tail of the last
 // segment — is truncated, not fatal: the bytes never reached a successful
 // fsync, so no acknowledged write is lost. Corruption anywhere else (a
-// bad frame with later segments present, a sequence gap) is an error:
-// silently skipping acknowledged records would be data loss.
+// bad frame with later segments present, a sequence gap) is an
+// ErrCorruptRecord error: silently skipping acknowledged records would be
+// data loss.
+//
+// # Storage fault model
+//
+// Every filesystem operation goes through an fsx.FS (Options.FS), so the
+// log can run against a seeded fsx.FaultFS in tests and chaos drills. The
+// write path distinguishes three failure severities:
+//
+//   - A failed or torn WRITE leaves garbage after the last well-formed
+//     frame. The segment is marked torn; the next append truncates back
+//     to the good boundary and continues in place. Nothing acknowledged
+//     was lost, and the page cache is not suspect.
+//
+//   - A failed FSYNC poisons the segment (ErrPoisoned): the kernel may
+//     have dropped the dirty pages and cleared the error, so a later
+//     "successful" fsync on the same file proves nothing. No further
+//     append ever lands in a poisoned segment. The next append truncates
+//     the segment to its durable watermark — the well-formed boundary the
+//     last successful fsync covered — and rotates to a fresh segment.
+//     Under SyncAlways the watermark equals the acknowledgment boundary,
+//     so no acked record is dropped; under SyncInterval/SyncNever the
+//     unsynced window is lost exactly as a crash would lose it.
+//
+//   - A failed poison-rotation (the truncate or the new segment's create
+//     cannot complete) is terminal: every subsequent operation returns
+//     ErrPoisoned. The log cannot promise durability anymore, and
+//     pretending otherwise is how storage systems lie.
+//
+// Disk-full (fsx.ErrDiskFull, re-exported as ErrDiskFull) surfaces through
+// append and checkpoint errors and is retryable once space is freed: a
+// torn ENOSPC write repairs like any torn write.
 package wal
 
 import (
@@ -49,6 +80,26 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"vmwild/internal/fsx"
+)
+
+// Typed storage sentinels. Callers use errors.Is to tell retryable
+// conditions (ErrDiskFull — free space and retry) from terminal ones
+// (ErrPoisoned — rotate to new storage or stop acking) and from damage
+// found at rest (ErrCorruptRecord — refuse to recover silently).
+var (
+	// ErrDiskFull is the disk-out-of-space condition, injected or real;
+	// identical to fsx.ErrDiskFull so the two layers agree under errors.Is.
+	ErrDiskFull = fsx.ErrDiskFull
+	// ErrPoisoned marks a segment (or, terminally, the whole log) that hit
+	// a failed fsync: its unsynced bytes are doubtful and no later fsync
+	// may claim them durable.
+	ErrPoisoned = errors.New("wal: segment poisoned by failed fsync")
+	// ErrCorruptRecord marks a frame whose length or checksum is wrong
+	// somewhere recovery is not allowed to truncate — mid-log corruption
+	// or a damaged checkpoint.
+	ErrCorruptRecord = errors.New("wal: corrupt record")
 )
 
 // SyncPolicy selects when appends are fsynced — the durability/latency
@@ -107,6 +158,10 @@ type Options struct {
 	// byte budget — the failpoint behind the crash-injection test wall.
 	// Production opens leave it nil.
 	Crash *CrashSwitch
+	// FS is the filesystem the log runs on (default fsx.OS). Chaos drills
+	// hand in an fsx.FaultFS to inject torn writes, failed fsyncs, ENOSPC
+	// and read corruption.
+	FS fsx.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +170,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = fsx.OS
 	}
 	return o
 }
@@ -151,15 +209,20 @@ type Recovered struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   fsx.FS
 
 	mu         sync.Mutex
-	active     *os.File
+	active     fsx.File
 	activeSeq  uint64
-	activeSize int64
+	activeSize int64 // well-formed byte boundary of the active segment
+	syncedSize int64 // durable watermark: boundary covered by the last successful fsync
 	written    int64
 	lastSync   time.Time
 	dirty      bool
 	closed     bool
+	torn       bool // garbage bytes sit past activeSize (failed write); repair = truncate in place
+	poisoned   bool // a fsync failed; repair = truncate to syncedSize and rotate
+	terminal   bool // poison repair failed; every operation returns ErrPoisoned
 }
 
 // Open recovers the log directory (creating it if needed) and returns the
@@ -167,10 +230,11 @@ type Log struct {
 // truncated away; checkpoint temp files are removed.
 func Open(dir string, opts Options) (*Log, *Recovered, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
-	segs, ckpts, err := scanDir(dir)
+	segs, ckpts, err := scanDir(fs, dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -179,7 +243,7 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 	var from uint64
 	if len(ckpts) > 0 {
 		seq := ckpts[len(ckpts)-1]
-		payload, err := readCheckpoint(checkpointName(dir, seq))
+		payload, err := readCheckpoint(fs, checkpointName(dir, seq))
 		if err != nil {
 			// A renamed checkpoint is always complete (it was fsynced
 			// before the rename); an unreadable one is external damage
@@ -197,20 +261,24 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 			replay = append(replay, seq)
 		}
 	}
+	var lastValid int64
 	for i, seq := range replay {
 		if i > 0 && seq != replay[i-1]+1 {
 			return nil, nil, fmt.Errorf("wal: segment gap: %d follows %d", seq, replay[i-1])
 		}
 		last := i == len(replay)-1
-		records, torn, err := readSegment(segmentName(dir, seq), last)
+		records, valid, torn, err := readSegment(fs, segmentName(dir, seq), last)
 		if err != nil {
 			return nil, nil, err
 		}
 		rec.Records = append(rec.Records, records...)
 		rec.TornBytes += torn
+		if last {
+			lastValid = valid
+		}
 	}
 
-	l := &Log{dir: dir, opts: opts, lastSync: time.Now()}
+	l := &Log{dir: dir, opts: opts, fs: fs, lastSync: time.Now()}
 	if len(replay) == 0 {
 		// Fresh directory (or everything below the checkpoint was
 		// compacted away and the active segment is gone — recreate it at
@@ -222,15 +290,14 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 	}
 	seq := replay[len(replay)-1]
 	name := segmentName(dir, seq)
-	valid, err := validSegmentLen(name)
-	if err != nil {
-		return nil, nil, err
-	}
-	f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(name, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: reopen segment: %w", err)
 	}
-	if err := f.Truncate(valid); err != nil {
+	// The truncation boundary comes from the SAME read that produced the
+	// replayed records, so the on-disk suffix and the recovered state can
+	// never disagree (a second read could be corrupted differently).
+	if err := f.Truncate(lastValid); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 	}
@@ -240,15 +307,17 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 	}
 	l.active = f
 	l.activeSeq = seq
-	l.activeSize = valid
-	if valid < headerLen {
+	l.activeSize = lastValid
+	l.syncedSize = lastValid
+	if lastValid < headerLen {
 		// The crash tore the segment header itself; rewrite it so
 		// post-recovery appends replay.
-		if err := l.write(f, magic[:]); err != nil {
+		if _, err := l.write(f, magic[:]); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
 		l.activeSize = headerLen
+		l.syncedSize = 0
 		l.dirty = true
 	}
 	return l, rec, nil
@@ -269,6 +338,9 @@ func (l *Log) Append(payload []byte) error {
 	if l.closed {
 		return errors.New("wal: log closed")
 	}
+	if err := l.ensureWritableLocked(); err != nil {
+		return err
+	}
 	need := int64(frameLen + len(payload))
 	if l.activeSize > headerLen && l.activeSize+need > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
@@ -279,11 +351,9 @@ func (l *Log) Append(payload []byte) error {
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
 	copy(frame[frameLen:], payload)
-	if err := l.write(l.active, frame); err != nil {
+	if err := l.appendFrameLocked(frame); err != nil {
 		return err
 	}
-	l.activeSize += int64(len(frame))
-	l.dirty = true
 	switch l.opts.Sync {
 	case SyncAlways:
 		return l.syncLocked()
@@ -295,12 +365,120 @@ func (l *Log) Append(payload []byte) error {
 	return nil
 }
 
+// appendFrameLocked writes one frame to the active segment, marking the
+// segment torn when the write fails partway.
+func (l *Log) appendFrameLocked(frame []byte) error {
+	n, err := l.write(l.active, frame)
+	if err != nil {
+		if n > 0 {
+			// A partial frame sits past activeSize; the next append
+			// truncates it away before writing.
+			l.torn = true
+		}
+		return err
+	}
+	l.activeSize += int64(len(frame))
+	l.dirty = true
+	return nil
+}
+
+// ensureWritableLocked repairs whatever the last failure left behind
+// before new bytes are appended: terminal logs refuse, poisoned segments
+// truncate to the durable watermark and rotate, torn segments truncate
+// their garbage tail in place, and a missing active segment (a failed
+// rotation) is recreated.
+func (l *Log) ensureWritableLocked() error {
+	if l.terminal {
+		return fmt.Errorf("wal: log is terminally poisoned: %w", ErrPoisoned)
+	}
+	// After an injected crash nothing may touch the directory — not even
+	// repairs; recovery through Open is the only way forward.
+	if err := l.opts.Crash.check(); err != nil {
+		return err
+	}
+	if l.poisoned {
+		return l.rotatePoisonedLocked()
+	}
+	if l.active == nil {
+		return l.openSegment(l.activeSeq + 1)
+	}
+	if l.torn {
+		return l.repairTornLocked()
+	}
+	return nil
+}
+
+// repairTornLocked truncates the garbage a failed write left past the
+// well-formed boundary. The page cache is not suspect after a mere write
+// failure, so appending continues in the same segment.
+func (l *Log) repairTornLocked() error {
+	if err := l.active.Truncate(l.activeSize); err != nil {
+		return fmt.Errorf("wal: repair torn segment: %w", err)
+	}
+	if _, err := l.active.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("wal: repair torn segment: %w", err)
+	}
+	l.torn = false
+	return nil
+}
+
+// rotatePoisonedLocked retires a segment whose fsync failed: truncate it
+// to the durable watermark (everything past it is doubtful and was never
+// acked under SyncAlways), abandon the file, and open a fresh segment.
+// Any failure here is terminal — the log can no longer promise that an
+// acknowledgment means durability.
+func (l *Log) rotatePoisonedLocked() error {
+	fail := func(stage string, err error) error {
+		l.terminal = true
+		return fmt.Errorf("wal: %s while rotating poisoned segment (log now terminal): %v: %w", stage, err, ErrPoisoned)
+	}
+	if l.active != nil {
+		if l.syncedSize == 0 {
+			// Not even the header reached the disk; the file holds nothing
+			// durable, so remove it and reuse its sequence.
+			l.active.Close() // the handle is abandoned either way
+			if err := l.fs.Remove(segmentName(l.dir, l.activeSeq)); err != nil {
+				return fail("remove empty poisoned segment", err)
+			}
+			l.active = nil
+			l.poisoned = false
+			l.torn = false
+			l.dirty = false
+			return l.openSegmentTerminalOnFail(l.activeSeq)
+		}
+		if err := l.active.Truncate(l.syncedSize); err != nil {
+			return fail("truncate to durable watermark", err)
+		}
+		// Deliberately NO fsync of the poisoned file: a success would prove
+		// nothing. The truncate drops only bytes that were never durable,
+		// so replay after a crash sees at most what the watermark covered.
+		l.active.Close()
+		l.active = nil
+	}
+	l.poisoned = false
+	l.torn = false
+	l.dirty = false
+	return l.openSegmentTerminalOnFail(l.activeSeq + 1)
+}
+
+func (l *Log) openSegmentTerminalOnFail(seq uint64) error {
+	if err := l.openSegment(seq); err != nil {
+		l.terminal = true
+		return fmt.Errorf("wal: open fresh segment after poison (log now terminal): %v: %w", err, ErrPoisoned)
+	}
+	return nil
+}
+
 // Sync forces any buffered appends to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return errors.New("wal: log closed")
+	}
+	if l.terminal || l.poisoned {
+		// A sync on a poisoned segment must not be allowed to "succeed".
+		return fmt.Errorf("wal: sync refused: %w", ErrPoisoned)
 	}
 	return l.syncLocked()
 }
@@ -313,9 +491,14 @@ func (l *Log) syncLocked() error {
 		return err
 	}
 	if err := l.active.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		// Poisoned: the kernel may have dropped the dirty pages and
+		// cleared its error state, so no later fsync on this file can be
+		// trusted. The next append rotates away from it.
+		l.poisoned = true
+		return fmt.Errorf("wal: fsync: %v: %w", err, ErrPoisoned)
 	}
 	l.dirty = false
+	l.syncedSize = l.activeSize
 	l.lastSync = time.Now()
 	return nil
 }
@@ -333,6 +516,9 @@ func (l *Log) Checkpoint(payload []byte) error {
 	defer l.mu.Unlock()
 	if l.closed {
 		return errors.New("wal: log closed")
+	}
+	if err := l.ensureWritableLocked(); err != nil {
+		return err
 	}
 	if l.activeSize > headerLen {
 		if err := l.rotateLocked(); err != nil {
@@ -355,23 +541,28 @@ func (l *Log) Checkpoint(payload []byte) error {
 	binary.LittleEndian.PutUint32(frame[headerLen:headerLen+4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[headerLen+4:headerLen+8], crc32.Checksum(payload, crcTable))
 	copy(frame[headerLen+frameLen:], payload)
-	if err := l.write(f, frame); err != nil {
+	// On any failure the temp file is removed; if even the removal fails,
+	// the next Open's scan sweeps it, but the caller still learns both.
+	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		if rmErr := l.fs.Remove(tmp); rmErr != nil {
+			return fmt.Errorf("%w (checkpoint temp not cleaned: %v)", err, rmErr)
+		}
 		return err
+	}
+	if _, err := l.write(f, frame); err != nil {
+		return fail(err)
 	}
 	if err := l.syncFile(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("wal: close checkpoint: %w", err)
+		// A failed close can mean lost writes on some filesystems; the
+		// checkpoint must not be renamed into place.
+		return fail(fmt.Errorf("wal: close checkpoint: %w", err))
 	}
 	if err := l.rename(tmp, checkpointName(l.dir, seq)); err != nil {
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := l.syncDir(); err != nil {
 		return err
@@ -380,7 +571,7 @@ func (l *Log) Checkpoint(payload []byte) error {
 	// The checkpoint is durable; everything it covers is garbage. A crash
 	// mid-deletion is harmless — recovery keys off the newest checkpoint
 	// and ignores older sequences.
-	segs, ckpts, err := scanDir(l.dir)
+	segs, ckpts, err := scanDir(l.fs, l.dir)
 	if err != nil {
 		return err
 	}
@@ -401,7 +592,10 @@ func (l *Log) Checkpoint(payload []byte) error {
 	return nil
 }
 
-// Close syncs and closes the active segment.
+// Close syncs and closes the active segment. A poisoned log is closed at
+// its durable watermark and Close reports ErrPoisoned: the unsynced
+// window is gone, exactly as a crash would have taken it, and pretending
+// otherwise would re-ack it.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -409,17 +603,52 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.active == nil {
+		if l.terminal {
+			return fmt.Errorf("wal: close: %w", ErrPoisoned)
+		}
+		return nil
+	}
+	if l.terminal || l.poisoned {
+		if cerr := l.opts.Crash.check(); cerr != nil {
+			l.active.Close()
+			return fmt.Errorf("wal: close: %v: %w", cerr, ErrPoisoned)
+		}
+		// Best-effort repair to the durable watermark; never fsync a
+		// poisoned file — a "success" would claim durability it cannot
+		// prove.
+		terr := l.active.Truncate(l.syncedSize)
+		l.active.Close()
+		if terr != nil {
+			return fmt.Errorf("wal: close poisoned log: truncate: %v: %w", terr, ErrPoisoned)
+		}
+		return fmt.Errorf("wal: close: %w", ErrPoisoned)
+	}
 	err := func() error {
+		if err := l.opts.Crash.check(); err != nil {
+			// Post-crash the directory is frozen: no repair, no sync.
+			return err
+		}
+		if l.torn {
+			if err := l.repairTornLocked(); err != nil {
+				return err
+			}
+		}
 		if !l.dirty {
 			return nil
 		}
-		if err := l.opts.Crash.check(); err != nil {
-			return err
+		if err := l.active.Sync(); err != nil {
+			l.poisoned = true
+			// Same contract as syncLocked: the unsynced window is lost.
+			if terr := l.active.Truncate(l.syncedSize); terr != nil {
+				return fmt.Errorf("wal: close: fsync failed and truncate failed (%v): %w", terr, ErrPoisoned)
+			}
+			return fmt.Errorf("wal: close: fsync: %v: %w", err, ErrPoisoned)
 		}
-		return l.active.Sync()
+		return nil
 	}()
-	if cerr := l.active.Close(); err == nil {
-		err = cerr
+	if cerr := l.active.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close segment: %w", cerr)
 	}
 	return err
 }
@@ -433,6 +662,14 @@ func (l *Log) BytesWritten() int64 {
 	return l.written
 }
 
+// Poisoned reports whether the log has hit a failed fsync it has not yet
+// rotated away from (or, terminally, cannot rotate away from).
+func (l *Log) Poisoned() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned || l.terminal
+}
+
 // Dir returns the log directory.
 func (l *Log) Dir() string { return l.dir }
 
@@ -444,8 +681,13 @@ func (l *Log) rotateLocked() error {
 		}
 	}
 	if err := l.active.Close(); err != nil {
+		// The segment was already synced, so nothing acked is at risk,
+		// but the handle is gone either way; open the next segment on the
+		// retry path.
+		l.active = nil
 		return fmt.Errorf("wal: close segment: %w", err)
 	}
+	l.active = nil
 	return l.openSegment(l.activeSeq + 1)
 }
 
@@ -454,33 +696,43 @@ func (l *Log) openSegment(seq uint64) error {
 	if err != nil {
 		return err
 	}
-	if err := l.write(f, magic[:]); err != nil {
+	if _, err := l.write(f, magic[:]); err != nil {
+		// A partial header is garbage; remove the file so a retry (or
+		// recovery) does not find a truncated header mid-sequence.
 		f.Close()
+		if rmErr := l.fs.Remove(segmentName(l.dir, seq)); rmErr != nil {
+			return fmt.Errorf("%w (segment not cleaned: %v)", err, rmErr)
+		}
 		return err
 	}
 	l.active = f
 	l.activeSeq = seq
 	l.activeSize = headerLen
+	l.syncedSize = 0
 	l.dirty = true
+	l.torn = false
 	return nil
 }
 
 // write funnels every payload write through the crash failpoint: a tripped
 // switch writes only the remaining byte budget — a torn record, exactly
-// what a real crash leaves behind — and fails everything after.
-func (l *Log) write(f *os.File, p []byte) error {
+// what a real crash leaves behind — and fails everything after. It returns
+// how many bytes actually landed.
+func (l *Log) write(f fsx.File, p []byte) (int, error) {
 	allowed, err := l.opts.Crash.allow(int64(len(p)))
+	var n int
 	if allowed > 0 {
-		n, werr := f.Write(p[:allowed])
+		var werr error
+		n, werr = f.Write(p[:allowed])
 		l.written += int64(n)
-		if werr != nil {
-			return fmt.Errorf("wal: write: %w", werr)
+		if werr != nil && err == nil {
+			err = fmt.Errorf("wal: write: %w", werr)
 		}
 	}
-	return err
+	return n, err
 }
 
-func (l *Log) syncFile(f *os.File) error {
+func (l *Log) syncFile(f fsx.File) error {
 	if err := l.opts.Crash.check(); err != nil {
 		return err
 	}
@@ -490,11 +742,11 @@ func (l *Log) syncFile(f *os.File) error {
 	return nil
 }
 
-func (l *Log) create(name string) (*os.File, error) {
+func (l *Log) create(name string) (fsx.File, error) {
 	if err := l.opts.Crash.check(); err != nil {
 		return nil, err
 	}
-	f, err := os.Create(name)
+	f, err := fsx.Create(l.fs, name)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create: %w", err)
 	}
@@ -505,7 +757,7 @@ func (l *Log) rename(from, to string) error {
 	if err := l.opts.Crash.check(); err != nil {
 		return err
 	}
-	if err := os.Rename(from, to); err != nil {
+	if err := l.fs.Rename(from, to); err != nil {
 		return fmt.Errorf("wal: rename checkpoint: %w", err)
 	}
 	return nil
@@ -515,7 +767,7 @@ func (l *Log) remove(name string) error {
 	if err := l.opts.Crash.check(); err != nil {
 		return err
 	}
-	if err := os.Remove(name); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := l.fs.Remove(name); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("wal: compact: %w", err)
 	}
 	return nil
@@ -525,14 +777,9 @@ func (l *Log) syncDir() error {
 	if err := l.opts.Crash.check(); err != nil {
 		return err
 	}
-	d, err := os.Open(l.dir)
-	if err != nil {
-		return fmt.Errorf("wal: open dir: %w", err)
-	}
-	defer d.Close()
-	// Some filesystems reject directory fsync; the rename itself is
-	// already atomic, so this is best-effort hardening.
-	d.Sync()
+	// Directory fsync is best-effort hardening; the rename itself is
+	// already atomic, and some filesystems reject it.
+	l.fs.SyncDir(l.dir)
 	return nil
 }
 
@@ -546,8 +793,8 @@ func checkpointName(dir string, seq uint64) string {
 
 // scanDir lists segment and checkpoint sequences in ascending order and
 // removes leftover checkpoint temp files.
-func scanDir(dir string) (segs, ckpts []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func scanDir(fs fsx.FS, dir string) (segs, ckpts []uint64, err error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: scan: %w", err)
 	}
@@ -555,8 +802,12 @@ func scanDir(dir string) (segs, ckpts []uint64, err error) {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
-			// A checkpoint that never made it to rename: dead weight.
-			os.Remove(filepath.Join(dir, name))
+			// A checkpoint that never made it to rename: dead weight. A
+			// failed removal must surface — it means the directory is not
+			// in the state recovery will assume.
+			if rmErr := fs.Remove(filepath.Join(dir, name)); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+				return nil, nil, fmt.Errorf("wal: scan: remove stale temp %s: %w", name, rmErr)
+			}
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
 			var seq uint64
 			if _, err := fmt.Sscanf(name, "wal-%016x.log", &seq); err == nil {
@@ -574,32 +825,23 @@ func scanDir(dir string) (segs, ckpts []uint64, err error) {
 	return segs, ckpts, nil
 }
 
-// readSegment decodes one segment. In the final segment a torn or corrupt
-// suffix is tolerated and reported as dropped bytes; anywhere else it is
-// an error.
-func readSegment(name string, last bool) (records [][]byte, torn int64, err error) {
-	data, err := os.ReadFile(name)
+// readSegment decodes one segment, returning the records, the valid byte
+// boundary of the same read, and how many trailing bytes past it were
+// dropped. In the final segment a torn or corrupt suffix is tolerated and
+// reported as dropped bytes; anywhere else it is ErrCorruptRecord.
+func readSegment(fs fsx.FS, name string, last bool) (records [][]byte, valid int64, torn int64, err error) {
+	data, err := fs.ReadFile(name)
 	if err != nil {
-		return nil, 0, fmt.Errorf("wal: read segment: %w", err)
+		return nil, 0, 0, fmt.Errorf("wal: read segment: %w", err)
 	}
 	valid, records, complete := parseSegment(data)
 	if complete {
-		return records, 0, nil
+		return records, valid, 0, nil
 	}
 	if !last {
-		return nil, 0, fmt.Errorf("wal: corrupt record in non-final segment %s", filepath.Base(name))
+		return nil, 0, 0, fmt.Errorf("wal: segment %s: %w in non-final segment", filepath.Base(name), ErrCorruptRecord)
 	}
-	return records, int64(len(data)) - valid, nil
-}
-
-// validSegmentLen returns the byte length of the valid prefix of a segment.
-func validSegmentLen(name string) (int64, error) {
-	data, err := os.ReadFile(name)
-	if err != nil {
-		return 0, fmt.Errorf("wal: read segment: %w", err)
-	}
-	valid, _, _ := parseSegment(data)
-	return valid, nil
+	return records, valid, int64(len(data)) - valid, nil
 }
 
 // parseSegment walks the frames of a segment image and returns the length
@@ -608,7 +850,7 @@ func validSegmentLen(name string) (int64, error) {
 func parseSegment(data []byte) (valid int64, records [][]byte, complete bool) {
 	if len(data) < headerLen || [8]byte(data[:headerLen]) != magic {
 		// Crash during segment creation tore the header itself.
-		return 0, nil, false
+		return 0, nil, len(data) == 0
 	}
 	off := int64(headerLen)
 	for off < int64(len(data)) {
@@ -631,23 +873,23 @@ func parseSegment(data []byte) (valid int64, records [][]byte, complete bool) {
 }
 
 // readCheckpoint decodes a checkpoint file, rejecting torn or corrupt
-// content.
-func readCheckpoint(name string) ([]byte, error) {
-	data, err := os.ReadFile(name)
+// content with ErrCorruptRecord.
+func readCheckpoint(fs fsx.FS, name string) ([]byte, error) {
+	data, err := fs.ReadFile(name)
 	if err != nil {
 		return nil, err
 	}
 	if len(data) < headerLen+frameLen || [8]byte(data[:headerLen]) != magic {
-		return nil, errors.New("wal: malformed checkpoint header")
+		return nil, fmt.Errorf("wal: malformed checkpoint header: %w", ErrCorruptRecord)
 	}
 	n := int64(binary.LittleEndian.Uint32(data[headerLen : headerLen+4]))
 	crc := binary.LittleEndian.Uint32(data[headerLen+4 : headerLen+8])
 	if n > MaxRecordBytes || int64(len(data)) != headerLen+frameLen+n {
-		return nil, errors.New("wal: checkpoint length mismatch")
+		return nil, fmt.Errorf("wal: checkpoint length mismatch: %w", ErrCorruptRecord)
 	}
 	payload := data[headerLen+frameLen:]
 	if crc32.Checksum(payload, crcTable) != crc {
-		return nil, errors.New("wal: checkpoint checksum mismatch")
+		return nil, fmt.Errorf("wal: checkpoint checksum mismatch: %w", ErrCorruptRecord)
 	}
 	return append([]byte(nil), payload...), nil
 }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"vmwild/internal/fsx"
 )
 
 func mustOpen(t *testing.T, dir string, opts Options) (*Log, *Recovered) {
@@ -62,7 +64,7 @@ func TestSegmentRotation(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, _, err := scanDir(dir)
+	segs, _, err := scanDir(fsx.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestCheckpointCompacts(t *testing.T) {
 	}
 	l.Close()
 
-	segs, ckpts, err := scanDir(dir)
+	segs, ckpts, err := scanDir(fsx.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +197,7 @@ func TestCorruptMiddleIsFatal(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, _, _ := scanDir(dir)
+	segs, _, _ := scanDir(fsx.OS, dir)
 	if len(segs) < 2 {
 		t.Fatal("need at least two segments")
 	}
@@ -218,7 +220,7 @@ func TestSegmentGapIsFatal(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, _, _ := scanDir(dir)
+	segs, _, _ := scanDir(fsx.OS, dir)
 	if len(segs) < 3 {
 		t.Fatal("need at least three segments")
 	}

@@ -16,6 +16,7 @@ import (
 	"vmwild/internal/executor"
 	"vmwild/internal/experiments"
 	"vmwild/internal/fault"
+	"vmwild/internal/fsx"
 	"vmwild/internal/migration"
 	"vmwild/internal/monitor"
 	"vmwild/internal/placement"
@@ -444,6 +445,65 @@ func OpenControllerJournal(dir string, opts WALOptions) (*ControllerJournal, err
 	return controller.OpenJournal(dir, opts)
 }
 
+// Storage fault layer: the filesystem abstraction the durable paths run
+// on, and its seeded fault injector — the disk-side counterpart of the
+// network chaos proxy. Production code runs on OSFS; tests and the disk
+// chaos wall run on a FaultFS whose every fault is a pure function of
+// (seed, operation, path, call index).
+type (
+	// FS is the filesystem surface of the durable paths (WAL segments,
+	// journals, checkpoints, snapshots). Set WALOptions.FS to substitute.
+	FS = fsx.FS
+	// FSFile is one open file on an FS.
+	FSFile = fsx.File
+	// FaultFS injects seeded filesystem faults: torn writes, failed
+	// fsyncs and renames, corrupt reads, a byte budget that runs out
+	// (ENOSPC), and whole-process crash emulation that tears unsynced
+	// tails.
+	FaultFS = fsx.FaultFS
+	// FaultProfile parameterizes a FaultFS; the zero value injects
+	// nothing.
+	FaultProfile = fsx.Profile
+	// FSCounters snapshots what a FaultFS did and injected.
+	FSCounters = fsx.Counters
+)
+
+// OSFS is the production filesystem: a stateless passthrough to the os
+// package.
+var OSFS = fsx.OS
+
+// Typed storage failure conditions, distinguished because their operator
+// responses differ.
+var (
+	// ErrDiskFull is disk-out-of-space, injected or real: retryable once
+	// space frees. The warehouse sheds ingest (clients keep their samples)
+	// instead of acking what it cannot store.
+	ErrDiskFull = wal.ErrDiskFull
+	// ErrPoisoned marks a WAL segment whose fsync failed: the kernel may
+	// have dropped the dirty pages, so the unsynced suffix is doubtful and
+	// is never acknowledged again. The log truncates to the durable
+	// watermark and rotates.
+	ErrPoisoned = wal.ErrPoisoned
+	// ErrCorruptRecord is damage found at rest during recovery; the log
+	// refuses to silently skip acknowledged records.
+	ErrCorruptRecord = wal.ErrCorruptRecord
+)
+
+// NewFaultFS wraps base (nil means OSFS) in a seeded fault injector.
+// Paths are keyed relative to root, so a schedule is independent of where
+// the tree lives on disk.
+func NewFaultFS(base FS, root string, seed int64, p FaultProfile) (*FaultFS, error) {
+	return fsx.NewFaultFS(base, root, seed, p)
+}
+
+// ParseFaultProfile maps a -disk-fault-profile flag spelling ("off",
+// "flaky", "corrupt", "enospc:<bytes>") to a FaultProfile.
+func ParseFaultProfile(s string) (FaultProfile, error) { return fsx.ParseProfile(s) }
+
+// IsNoSpace reports whether err is a disk-full condition, injected
+// (ErrDiskFull) or real (ENOSPC from the kernel).
+func IsNoSpace(err error) bool { return fsx.IsNoSpace(err) }
+
 // Scenario harness: named end-to-end simulations that drive the full
 // controller/executor/monitor stack through scripted events (demand
 // surges, maintenance drains, rack outages, hardware swaps) and grade the
@@ -525,6 +585,11 @@ type (
 	// ResilienceScenario is one chaos-wall drill: the real serving stack
 	// driven through fault proxies, graded on timing-free invariants.
 	ResilienceScenario = scenario.ResilienceScenario
+	// DiskScenario is one disk-chaos drill: the WAL/journal/snapshot stack
+	// driven over a seeded fault-injecting filesystem, graded on
+	// durability invariants (acks honest, replay == acked, byte-identical
+	// recovery).
+	DiskScenario = scenario.DiskScenario
 )
 
 // NewChaosProxy validates the configuration and builds a fault proxy in
@@ -538,6 +603,12 @@ func ResilienceScenarios() []*ResilienceScenario { return scenario.Resilience() 
 
 // ResilienceByID finds one chaos-wall drill.
 func ResilienceByID(id string) (*ResilienceScenario, error) { return scenario.GetResilience(id) }
+
+// DiskScenarios returns the disk-chaos drills in wall order.
+func DiskScenarios() []*DiskScenario { return scenario.DiskChaos() }
+
+// DiskScenarioByID finds one disk-chaos drill.
+func DiskScenarioByID(id string) (*DiskScenario, error) { return scenario.GetDiskChaos(id) }
 
 // Warehouse query protocol: how remote planners pull aggregated series.
 type (
