@@ -14,6 +14,11 @@
 // format of the committed BENCH_report.json. A "benchmarks" section already
 // present in PATH (maintained from go test -bench runs) is preserved across
 // rewrites.
+//
+// -cpuprofile PATH and -memprofile PATH capture pprof profiles of the full
+// report run (CPU sampled throughout; heap snapshot at exit, after a GC),
+// for `go tool pprof`. Profile with -parallel 1 when attributing costs to
+// individual grid cells.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"vmwild"
@@ -54,7 +60,39 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
 	benchJSON := flag.String("bench-json", "", "write per-cell wall-time JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -25,11 +25,13 @@ func PeakToAverageCDF(set *trace.Set, intervalHours int, r trace.Resource) (*sta
 		return nil, errors.New("analysis: interval must be at least one hour")
 	}
 	ratios := make([]float64, 0, len(set.Servers))
+	var buf []float64
 	for _, st := range set.Servers {
-		demands, err := st.Series.Intervals(intervalHours, r, stats.Max)
+		demands, err := st.Series.IntervalsInto(buf, intervalHours, r, stats.Max)
 		if err != nil {
 			return nil, fmt.Errorf("server %s: %w", st.ID, err)
 		}
+		buf = demands
 		ratios = append(ratios, stats.PeakToAverage(demands))
 	}
 	return stats.NewCDF(ratios)
@@ -59,15 +61,17 @@ func ResourceRatios(set *trace.Set, intervalHours int) ([]float64, error) {
 		return nil, errors.New("analysis: empty trace set")
 	}
 	var cpuTotals, memTotals []float64
+	var cpuBuf, memBuf []float64
 	for _, st := range set.Servers {
-		cpu, err := st.Series.Intervals(intervalHours, trace.CPU, stats.Max)
+		cpu, err := st.Series.IntervalsInto(cpuBuf, intervalHours, trace.CPU, stats.Max)
 		if err != nil {
 			return nil, fmt.Errorf("server %s: %w", st.ID, err)
 		}
-		mem, err := st.Series.Intervals(intervalHours, trace.Mem, stats.Max)
+		mem, err := st.Series.IntervalsInto(memBuf, intervalHours, trace.Mem, stats.Max)
 		if err != nil {
 			return nil, fmt.Errorf("server %s: %w", st.ID, err)
 		}
+		cpuBuf, memBuf = cpu, mem
 		if cpuTotals == nil {
 			cpuTotals = make([]float64, len(cpu))
 			memTotals = make([]float64, len(mem))

@@ -21,6 +21,18 @@ type Adapter struct {
 	In Input
 
 	cur *placement.Placement
+	// clamped is the per-step scratch for bound-clamped items, reused
+	// across intervals.
+	clamped []placement.Item
+	// evac carries consolidate's cross-interval state (failure
+	// certificates, scratch buffers); nil when DisableIncremental.
+	evac *evacState
+	// vmIdx/vmIDs cache each item position's dense VM index: the
+	// population and order of items is fixed across intervals, so the
+	// per-VM map resolution is paid once, then validated per step with a
+	// cheap ID equality check.
+	vmIdx []int32
+	vmIDs []trace.ServerID
 }
 
 // NewAdapter validates the configuration.
@@ -63,7 +75,10 @@ func (a *Adapter) Step(items []placement.Item) (StepResult, error) {
 		CPU: a.In.Host.Spec.CPURPE2 * a.In.bound(),
 		Mem: a.In.Host.Spec.MemMB * a.In.bound(),
 	}
-	clamped := make([]placement.Item, len(items))
+	if cap(a.clamped) < len(items) {
+		a.clamped = make([]placement.Item, len(items))
+	}
+	clamped := a.clamped[:len(items)]
 	for i, it := range items {
 		it.Demand.CPU = min(it.Demand.CPU, capacity.CPU)
 		it.Demand.Mem = min(it.Demand.Mem, capacity.Mem)
@@ -76,32 +91,53 @@ func (a *Adapter) Step(items []placement.Item) (StepResult, error) {
 			Bound:       a.In.bound(),
 			RackSize:    a.In.rackSize(),
 			Constraints: a.In.Constraints,
+			Reference:   a.In.DisableIncremental,
 		}.Pack(clamped)
 		if err != nil {
 			return StepResult{}, fmt.Errorf("core: adapter initial pack: %w", err)
 		}
 		a.cur = p
+		if !a.In.DisableIncremental {
+			a.evac = &evacState{}
+		}
 		return StepResult{ActiveHosts: p.ActiveHosts()}, nil
 	}
 
 	if a.cur.NumVMs() != len(clamped) {
 		return StepResult{}, fmt.Errorf("core: adapter has %d VMs, step brought %d", a.cur.NumVMs(), len(clamped))
 	}
-	for _, it := range clamped {
-		if err := a.cur.UpdateDemand(it.ID, it.Demand); err != nil {
+	if len(a.vmIdx) != len(clamped) {
+		a.vmIdx, a.vmIDs = a.vmIdx[:0], a.vmIDs[:0]
+		for _, it := range clamped {
+			a.vmIdx = append(a.vmIdx, int32(a.cur.VMIndex(it.ID)))
+			a.vmIDs = append(a.vmIDs, it.ID)
+		}
+	}
+	for i, it := range clamped {
+		// The indexed resize skips the per-VM map lookup inside
+		// UpdateDemand; unknown VMs fall through to it for the error.
+		vi := -1
+		if a.vmIDs[i] == it.ID {
+			vi = int(a.vmIdx[i])
+		} else {
+			vi = a.cur.VMIndex(it.ID)
+		}
+		if vi >= 0 {
+			a.cur.UpdateDemandAt(vi, it.Demand)
+		} else if err := a.cur.UpdateDemand(it.ID, it.Demand); err != nil {
 			return StepResult{}, fmt.Errorf("core: adapter resize %s: %w", it.ID, err)
 		}
 	}
 	var res StepResult
-	res.OverloadedHosts = len(a.cur.Overloaded())
-	moved, dataMB, err := repairOverloads(a.cur, a.In)
+	res.OverloadedHosts = a.cur.NumOverloaded()
+	moved, dataMB, err := repairOverloads(a.cur, a.In, a.evac)
 	if err != nil {
 		return StepResult{}, err
 	}
 	res.Migrations += moved
 	res.MigrationDataMB += dataMB
 
-	moved, dataMB = consolidate(a.cur, a.In)
+	moved, dataMB = consolidate(a.cur, a.In, a.evac)
 	res.Migrations += moved
 	res.MigrationDataMB += dataMB
 	res.ActiveHosts = a.cur.ActiveHosts()
@@ -129,6 +165,9 @@ func (a *Adapter) Restore(p *placement.Placement) error {
 		return fmt.Errorf("core: restore placement has %d VMs, adapter tracks %d", p.NumVMs(), a.cur.NumVMs())
 	}
 	a.cur = p.Clone()
+	// The restored placement may come from a different Clone chain, whose
+	// universe numbers VMs differently — drop the cached indices.
+	a.vmIdx, a.vmIDs = nil, nil
 	return nil
 }
 

@@ -80,6 +80,15 @@ type Input struct {
 	// the structural parts (interval, sizing mode, server identity) and
 	// trusts the caller for the rest. Other planners ignore it.
 	Demands *DemandMatrix
+	// Histories, when non-nil, supplies the concatenated per-server
+	// demand columns that SizeDynamicDemands otherwise rebuilds on every
+	// call, precomputed by BuildDemandHistories from the same monitoring
+	// and evaluation sets.
+	// The histories depend only on the trace sets — not on predictors,
+	// interval or sizing mode — so one build serves every demand key of a
+	// data center. SizeDynamicDemands verifies server identity and
+	// monitoring length; results are byte-identical with or without it.
+	Histories *DemandHistories
 	// Correlations, when non-nil, supplies the stochastic planner's
 	// pairwise interval-peak correlation function precomputed by
 	// NewSharedCorrelation, letting plans over the same monitoring set
@@ -88,6 +97,30 @@ type Input struct {
 	// this input's Monitoring set and interval. Ignored when
 	// ClusterCorrelation is set; other planners ignore it.
 	Correlations placement.CorrFunc
+	// CorrIndex supplies the same correlations as Correlations through
+	// dense integer indices (a *CorrTable), letting the packer skip two
+	// string hashes per probe. Takes precedence over Correlations; values
+	// must agree. Ignored when ClusterCorrelation is set.
+	CorrIndex placement.CorrIndexer
+	// Envelopes, when non-nil, supplies the stochastic planner's body/tail
+	// envelope items precomputed over this input's Monitoring set at its
+	// body percentile (SizeEnvelope is deterministic, so precomputed items
+	// equal inline ones). The planner adopts them only when they cover
+	// exactly the monitoring servers in order; other planners ignore them.
+	Envelopes []placement.Item
+	// DisableIncremental turns off this package's incremental fast paths:
+	// the packers fall back to their retained naive reference kernels and
+	// the dynamic adapter re-derives every evacuation attempt from scratch
+	// instead of reusing cross-interval failure certificates and scratch
+	// buffers. The output is byte-identical either way (enforced by
+	// TestIncrementalEquivalence); the switch exists to prove exactly
+	// that, and as an escape hatch.
+	DisableIncremental bool
+	// PlanOnly tells the dynamic planner to skip the per-interval
+	// placement snapshots and leave Plan.Schedule nil — for plan-only
+	// cells (sensitivity sweeps) that read Provisioned and the migration
+	// counters but never replay the schedule. Counters are unaffected.
+	PlanOnly bool
 }
 
 func (in *Input) validate() error {

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"vmwild/internal/predict"
 	"vmwild/internal/sizing"
 	"vmwild/internal/stats"
 	"vmwild/internal/trace"
@@ -66,25 +68,70 @@ func SizeDynamicDemands(in Input) (*DemandMatrix, error) {
 	}
 
 	// Concatenate monitoring and evaluation demand once per server; the
-	// walk-forward predictions slice into this. One allocation per column:
-	// the cached Series columns are copied back to back.
+	// walk-forward predictions slice into this. A caller-supplied
+	// Histories (experiments.Context shares one per data center) skips
+	// the rebuild — one column copy per server per context instead of one
+	// per demand key.
 	n := len(in.Monitoring.Servers)
+	monHours := in.Monitoring.Servers[0].Series.Len()
+	hist := in.Histories
+	if hist != nil {
+		if err := hist.compatible(in, monHours); err != nil {
+			return nil, err
+		}
+	}
 	var (
-		ids     = make([]trace.ServerID, n)
-		specs   = make([]trace.Spec, n)
+		ids     []trace.ServerID
+		specs   []trace.Spec
+		cpuHist [][]float64
+		memHist [][]float64
+	)
+	if hist != nil {
+		ids, specs, cpuHist, memHist = hist.IDs, hist.Specs, hist.CPU, hist.Mem
+	} else {
+		ids = make([]trace.ServerID, n)
+		specs = make([]trace.Spec, n)
 		cpuHist = make([][]float64, n)
 		memHist = make([][]float64, n)
-	)
-	monHours := in.Monitoring.Servers[0].Series.Len()
-	for i, st := range in.Monitoring.Servers {
-		ev := in.Evaluation.Servers[i]
-		if ev.ID != st.ID {
-			return nil, fmt.Errorf("dynamic: server order mismatch at %d: %s vs %s", i, st.ID, ev.ID)
+		for i, st := range in.Monitoring.Servers {
+			ev := in.Evaluation.Servers[i]
+			if ev.ID != st.ID {
+				return nil, fmt.Errorf("dynamic: server order mismatch at %d: %s vs %s", i, st.ID, ev.ID)
+			}
+			ids[i] = st.ID
+			specs[i] = st.Spec
+			cpuHist[i] = concat(st.Series.Col(trace.CPU), ev.Series.Col(trace.CPU))
+			memHist[i] = concat(st.Series.Col(trace.Mem), ev.Series.Col(trace.Mem))
 		}
-		ids[i] = st.ID
-		specs[i] = st.Spec
-		cpuHist[i] = concat(st.Series.Col(trace.CPU), ev.Series.Col(trace.CPU))
-		memHist[i] = concat(st.Series.Col(trace.Mem), ev.Series.Col(trace.Mem))
+	}
+
+	// Per-interval block maxima over each column. Every walk-forward
+	// boundary histEnd = monHours + k*interval is a block boundary
+	// whenever monHours divides evenly, so the predictors' windows
+	// decompose into whole blocks and fold a handful of cached maxima
+	// instead of rescanning the samples — bit-identical by max
+	// associativity. The predictors are compiled to closures once per
+	// matrix (compileBlockPlan refuses any shape it cannot mirror
+	// exactly), and shared histories memoize the blocks per interval so
+	// every demand key over a data center reuses one build pass.
+	aligned := monHours%interval == 0
+	var cpuEval, memEval blockEval
+	if aligned && !in.OracleSizing {
+		cpuEval, _ = compileBlockPlan(cpuPred, interval)
+		memEval, _ = compileBlockPlan(memPred, interval)
+	}
+	var cpuBlocks, memBlocks [][]float64
+	if (aligned && in.OracleSizing) || cpuEval != nil || memEval != nil {
+		if hist != nil {
+			cpuBlocks, memBlocks = hist.blockPeaks(interval)
+		} else {
+			cpuBlocks = make([][]float64, n)
+			memBlocks = make([][]float64, n)
+			for i := 0; i < n; i++ {
+				cpuBlocks[i] = buildBlockPeaks(cpuHist[i], interval)
+				memBlocks[i] = buildBlockPeaks(memHist[i], interval)
+			}
+		}
 	}
 
 	m := &DemandMatrix{
@@ -96,19 +143,28 @@ func SizeDynamicDemands(in Input) (*DemandMatrix, error) {
 	var err error
 	for k := 0; k < intervals; k++ {
 		histEnd := monHours + k*interval
+		hb := histEnd / interval
 		row := make([]sizing.Demand, n)
 		for i := 0; i < n; i++ {
 			var cpu, mem float64
-			if in.OracleSizing {
+			switch {
+			case in.OracleSizing && cpuBlocks != nil:
+				// The block holds exactly the realized window's max
+				// (blocks clamp at the column end the same way).
+				cpu = cpuBlocks[i][hb]
+				mem = memBlocks[i][hb]
+			case in.OracleSizing:
 				cpu = stats.Max(cpuHist[i][histEnd:min(histEnd+interval, len(cpuHist[i]))])
 				mem = stats.Max(memHist[i][histEnd:min(histEnd+interval, len(memHist[i]))])
-			} else {
-				cpu, err = cpuPred.PredictPeak(cpuHist[i][:histEnd], interval)
-				if err != nil {
+			default:
+				if cpuEval != nil {
+					cpu = cpuEval(cpuBlocks[i], cpuHist[i], histEnd, hb)
+				} else if cpu, err = cpuPred.PredictPeak(cpuHist[i][:histEnd], interval); err != nil {
 					return nil, fmt.Errorf("dynamic: predict cpu for %s: %w", ids[i], err)
 				}
-				mem, err = memPred.PredictPeak(memHist[i][:histEnd], interval)
-				if err != nil {
+				if memEval != nil {
+					mem = memEval(memBlocks[i], memHist[i], histEnd, hb)
+				} else if mem, err = memPred.PredictPeak(memHist[i][:histEnd], interval); err != nil {
 					return nil, fmt.Errorf("dynamic: predict mem for %s: %w", ids[i], err)
 				}
 			}
@@ -164,6 +220,245 @@ func (m *DemandMatrix) compatible(in Input, interval, intervals int) error {
 		}
 		if m.IDs[i] != st.ID {
 			return fmt.Errorf("dynamic: demand matrix server mismatch at %d: %s vs %s", i, m.IDs[i], st.ID)
+		}
+	}
+	return nil
+}
+
+// buildBlockPeaks computes per-interval block maxima of one column: entry b
+// is the maximum of col[b*interval : min((b+1)*interval, len(col))],
+// accumulated with the same left-to-right strictly-greater scan stats.Max
+// performs, so each entry equals stats.Max of its block bit for bit.
+// interval 1 aliases the column itself — every block is one sample.
+func buildBlockPeaks(col []float64, interval int) []float64 {
+	if interval == 1 {
+		return col
+	}
+	nb := (len(col) + interval - 1) / interval
+	out := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		lo := b * interval
+		hi := min(lo+interval, len(col))
+		m := col[lo]
+		for _, x := range col[lo+1 : hi] {
+			if x > m {
+				m = x
+			}
+		}
+		out[b] = m
+	}
+	return out
+}
+
+// blockEval evaluates one compiled predictor over a column's block maxima;
+// histEnd must be hb*interval for the interval the plan was compiled with.
+// Compiled plans never fail: every error branch of the source predictor is
+// refused at compile time instead.
+type blockEval func(blocks, col []float64, histEnd, hb int) float64
+
+// compileBlockPlan translates a predictor into a blockEval, hoisting the
+// type dispatch and parameter defaulting out of the per-cell loop. A plan
+// exists only for predictor shapes whose windows decompose into whole
+// interval blocks at every aligned boundary — then folding the cached block
+// maxima left to right with the strictly-greater rule is the same reduction
+// stats.Max runs over the raw samples (max is associative), so compiled and
+// direct evaluation return the identical float. Anything else (unknown
+// predictor, misaligned periodic stride) yields ok=false and the caller
+// runs the predictor itself.
+func compileBlockPlan(p predict.Predictor, interval int) (blockEval, bool) {
+	if interval < 1 {
+		return nil, false
+	}
+	switch q := p.(type) {
+	case predict.RecentPeak:
+		w := q.Windows
+		if w < 1 {
+			w = 1
+		}
+		return func(blocks, _ []float64, _, hb int) float64 {
+			nb := w
+			if nb > hb {
+				nb = hb
+			}
+			m := blocks[hb-nb]
+			for _, x := range blocks[hb-nb+1 : hb] {
+				if x > m {
+					m = x
+				}
+			}
+			return m
+		}, true
+	case predict.Periodic:
+		spd := q.SamplesPerDay
+		if spd <= 0 {
+			spd = 24
+		}
+		days := q.Days
+		if days < 1 {
+			days = 1
+		}
+		if spd%interval != 0 || interval > spd {
+			// A day offset that is not a whole number of blocks, or a
+			// window that would clamp at the history end — the scan
+			// ranges are not block decompositions.
+			return nil, false
+		}
+		stride := spd / interval
+		return func(blocks, col []float64, histEnd, hb int) float64 {
+			// Seeded at zero and folded with max, exactly like the scan.
+			var peak float64
+			found := false
+			for d := 1; d <= days; d++ {
+				b := hb - d*stride
+				if b < 0 {
+					break
+				}
+				peak = max(peak, blocks[b])
+				found = true
+			}
+			if !found {
+				return stats.Max(col[:histEnd])
+			}
+			return peak
+		}, true
+	case predict.EWMA:
+		alpha := q.Alpha
+		if alpha <= 0 || alpha > 1 {
+			alpha = 0.5
+		}
+		bound := q.Intervals
+		return func(blocks, _ []float64, _, hb int) float64 {
+			b := 0
+			if bound > 0 && hb-bound > 0 {
+				b = hb - bound
+			}
+			est := blocks[b]
+			for b++; b < hb; b++ {
+				est = alpha*blocks[b] + (1-alpha)*est
+			}
+			return est
+		}, true
+	case predict.Combined:
+		if len(q.Predictors) == 0 {
+			return nil, false
+		}
+		parts := make([]blockEval, len(q.Predictors))
+		for i, c := range q.Predictors {
+			ev, ok := compileBlockPlan(c, interval)
+			if !ok {
+				return nil, false
+			}
+			parts[i] = ev
+		}
+		h := q.Headroom
+		if h <= 0 {
+			h = 1
+		}
+		return func(blocks, col []float64, histEnd, hb int) float64 {
+			var peak float64
+			for _, ev := range parts {
+				peak = max(peak, ev(blocks, col, histEnd, hb))
+			}
+			return peak * h
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// DemandHistories holds the concatenated monitoring+evaluation demand
+// columns of a data center — exactly what SizeDynamicDemands rebuilds from
+// the trace sets when the field is absent. The histories depend only on the
+// two trace sets (never on predictors, interval or sizing mode), so one
+// build serves every demand key computed over a data center;
+// experiments.Context caches exactly one per context.
+type DemandHistories struct {
+	// IDs and Specs mirror the monitoring set's server order.
+	IDs   []trace.ServerID
+	Specs []trace.Spec
+	// MonHours is the monitoring window length; sample MonHours+k is the
+	// k-th evaluation hour.
+	MonHours int
+	// CPU and Mem are the concatenated demand columns per server.
+	CPU, Mem [][]float64
+
+	mu sync.Mutex
+	// blocks memoizes per-interval block maxima of the columns, so every
+	// demand key sized at the same interval shares one build pass.
+	blocks map[int]*blockPair
+}
+
+// blockPair holds the block maxima of both resources for one interval.
+type blockPair struct {
+	cpu, mem [][]float64
+}
+
+// blockPeaks returns the per-interval block maxima for every column,
+// building them at most once per interval. Safe for concurrent use.
+func (h *DemandHistories) blockPeaks(interval int) (cpu, mem [][]float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.blocks == nil {
+		h.blocks = make(map[int]*blockPair)
+	}
+	bp, ok := h.blocks[interval]
+	if !ok {
+		bp = &blockPair{
+			cpu: make([][]float64, len(h.CPU)),
+			mem: make([][]float64, len(h.Mem)),
+		}
+		for i := range h.CPU {
+			bp.cpu[i] = buildBlockPeaks(h.CPU[i], interval)
+			bp.mem[i] = buildBlockPeaks(h.Mem[i], interval)
+		}
+		h.blocks[interval] = bp
+	}
+	return bp.cpu, bp.mem
+}
+
+// BuildDemandHistories concatenates the demand columns of the two sets.
+func BuildDemandHistories(mon, eval *trace.Set) (*DemandHistories, error) {
+	if mon == nil || len(mon.Servers) == 0 || eval == nil || len(eval.Servers) == 0 {
+		return nil, errors.New("dynamic: histories need monitoring and evaluation servers")
+	}
+	if len(mon.Servers) != len(eval.Servers) {
+		return nil, errors.New("dynamic: monitoring and evaluation sets differ in servers")
+	}
+	n := len(mon.Servers)
+	h := &DemandHistories{
+		IDs:      make([]trace.ServerID, n),
+		Specs:    make([]trace.Spec, n),
+		MonHours: mon.Servers[0].Series.Len(),
+		CPU:      make([][]float64, n),
+		Mem:      make([][]float64, n),
+	}
+	for i, st := range mon.Servers {
+		ev := eval.Servers[i]
+		if ev.ID != st.ID {
+			return nil, fmt.Errorf("dynamic: server order mismatch at %d: %s vs %s", i, st.ID, ev.ID)
+		}
+		h.IDs[i] = st.ID
+		h.Specs[i] = st.Spec
+		h.CPU[i] = concat(st.Series.Col(trace.CPU), ev.Series.Col(trace.CPU))
+		h.Mem[i] = concat(st.Series.Col(trace.Mem), ev.Series.Col(trace.Mem))
+	}
+	return h, nil
+}
+
+// compatible checks the histories against the input they are used with.
+func (h *DemandHistories) compatible(in Input, monHours int) error {
+	if len(h.IDs) != len(in.Monitoring.Servers) {
+		return fmt.Errorf("dynamic: histories cover %d servers, input has %d", len(h.IDs), len(in.Monitoring.Servers))
+	}
+	if h.MonHours != monHours {
+		return fmt.Errorf("dynamic: histories monitored %d hours, input %d", h.MonHours, monHours)
+	}
+	for i, st := range in.Monitoring.Servers {
+		if ev := in.Evaluation.Servers[i]; ev.ID != st.ID {
+			return fmt.Errorf("dynamic: server order mismatch at %d: %s vs %s", i, st.ID, ev.ID)
+		}
+		if h.IDs[i] != st.ID {
+			return fmt.Errorf("dynamic: histories server mismatch at %d: %s vs %s", i, h.IDs[i], st.ID)
 		}
 	}
 	return nil

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmwild/internal/predict"
+)
+
+// TestCompiledBlockPlansMatchPredictors drives the compiled block-folded
+// sizing plans against each predictor's own scan across random histories
+// and every report interval, demanding bitwise equality at every aligned
+// boundary. The demand matrix feeds a byte-identical report, so
+// approximate agreement is not enough.
+func TestCompiledBlockPlansMatchPredictors(t *testing.T) {
+	preds := []predict.Predictor{
+		predict.RecentPeak{Windows: 1},
+		predict.RecentPeak{Windows: 12},
+		predict.RecentPeak{}, // defaulted Windows
+		predict.Periodic{Days: 7, SamplesPerDay: 24},
+		predict.Periodic{Days: 3, SamplesPerDay: 24},
+		predict.EWMA{Alpha: 0.4, Intervals: 48},
+		predict.EWMA{}, // defaulted Alpha, all history
+		DefaultCPUPredictor(),
+		DefaultMemPredictor(),
+		predict.Combined{Predictors: []predict.Predictor{
+			predict.RecentPeak{Windows: 2},
+			predict.Periodic{Days: 5},
+			predict.EWMA{Alpha: 0.7, Intervals: 12},
+		}},
+	}
+	rng := rand.New(rand.NewSource(99))
+	col := make([]float64, 24*44) // 30d monitoring + 14d evaluation
+	for i := range col {
+		col[i] = rng.ExpFloat64()*40 + 15*math.Sin(float64(i)/24*2*math.Pi)
+	}
+	for _, interval := range []int{1, 2, 4, 8, 24} {
+		blocks := buildBlockPeaks(col, interval)
+		for _, p := range preds {
+			ev, ok := compileBlockPlan(p, interval)
+			if !ok {
+				t.Fatalf("interval %d: %s did not compile", interval, p.Name())
+			}
+			for histEnd := interval; histEnd <= len(col)-interval; histEnd += interval {
+				want, err := p.PredictPeak(col[:histEnd], interval)
+				if err != nil {
+					t.Fatalf("%s histEnd=%d interval=%d: %v", p.Name(), histEnd, interval, err)
+				}
+				if got := ev(blocks, col, histEnd, histEnd/interval); got != want {
+					t.Fatalf("%s histEnd=%d interval=%d: blocks %v, scan %v", p.Name(), histEnd, interval, got, want)
+				}
+			}
+		}
+	}
+	// Shapes the fold cannot mirror exactly must be refused, not
+	// approximated: a day offset that is not a whole number of blocks,
+	// an interval wider than a day, and unknown predictor types.
+	if _, ok := compileBlockPlan(predict.Periodic{Days: 2, SamplesPerDay: 10}, 8); ok {
+		t.Fatal("misaligned periodic stride should not compile")
+	}
+	if _, ok := compileBlockPlan(predict.Periodic{Days: 2, SamplesPerDay: 24}, 48); ok {
+		t.Fatal("interval wider than a day should not compile")
+	}
+	if _, ok := compileBlockPlan(predict.Oracle{Future: col}, 8); ok {
+		t.Fatal("unknown predictor should not compile")
+	}
+	if _, ok := compileBlockPlan(predict.Combined{Predictors: []predict.Predictor{predict.Oracle{}}}, 8); ok {
+		t.Fatal("combined with unknown component should not compile")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 
 	"vmwild/internal/emulator"
@@ -34,6 +35,12 @@ func (Dynamic) Name() string { return "dynamic" }
 // hosts, so the next interval's growth does not immediately re-trigger
 // migrations (anti-thrash hysteresis).
 const evacuationHeadroom = 0.97
+
+// evacSumSlack is the margin the sum-capacity reject leaves before declaring
+// an evacuation infeasible: large enough to absorb one 1e-9 fit tolerance per
+// mover plus summation rounding for any realistic fleet, small enough that a
+// genuinely feasible evacuation is never rejected.
+const evacSumSlack = 1e-3
 
 // Plan implements Planner.
 func (Dynamic) Plan(in Input) (*Plan, error) {
@@ -74,7 +81,10 @@ func (Dynamic) Plan(in Input) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	placements := make([]*placement.Placement, 0, intervals)
+	var placements []*placement.Placement
+	if !in.PlanOnly {
+		placements = make([]*placement.Placement, 0, intervals)
+	}
 	items := make([]placement.Item, n)
 	for k := 0; k < intervals; k++ {
 		row := m.Demands[k]
@@ -91,13 +101,18 @@ func (Dynamic) Plan(in Input) (*Plan, error) {
 		if step.ActiveHosts > plan.Provisioned {
 			plan.Provisioned = step.ActiveHosts
 		}
+		if in.PlanOnly {
+			continue
+		}
 		snap, err := adapter.Snapshot()
 		if err != nil {
 			return nil, err
 		}
 		placements = append(placements, snap)
 	}
-	plan.Schedule = emulator.IntervalSchedule{IntervalHours: interval, Placements: placements}
+	if !in.PlanOnly {
+		plan.Schedule = emulator.IntervalSchedule{IntervalHours: interval, Placements: placements}
+	}
 	return plan, nil
 }
 
@@ -133,75 +148,96 @@ func DefaultMemPredictor() predict.Predictor {
 // utilization bound, cheapest (smallest-memory) VMs first, preferring the
 // most-loaded feasible target so the packing stays tight. Returns the moves
 // made and the memory they transferred.
-func repairOverloads(p *placement.Placement, in Input) (int, float64, error) {
+func repairOverloads(p *placement.Placement, in Input, st *evacState) (int, float64, error) {
 	var (
 		moves  int
 		dataMB float64
+		over   []int
+		cands  []repairCand
 	)
-	for _, hostID := range p.Overloaded() {
-		hi := p.HostIndex(hostID)
-		// Candidate order: cheapest migrations first. Demands do not
-		// change during the repair, so the items and sort keys are read
-		// once up front instead of inside the comparator.
-		onHost := p.VMsAt(hi)
-		cands := make([]placement.Item, len(onHost))
-		for i, vm := range onHost {
-			cands[i], _ = p.Item(vm)
+	if st != nil {
+		over, cands = st.overIdx[:0], st.cands[:0]
+		defer func() { st.overIdx, st.cands = over[:0], cands[:0] }()
+	}
+	// The overloaded set is fixed before any repair: targets are always
+	// checked with FitsAt (or freshly opened), so a repair move can never
+	// overload another host.
+	over = p.OverloadedInto(over)
+	for _, hi := range over {
+		cands = cands[:0]
+		for _, vi := range p.VMIndicesAt(hi) {
+			cands = append(cands, repairCand{it: p.ItemAt(int(vi)), vi: vi})
 		}
-		slices.SortFunc(cands, func(a, b placement.Item) int {
-			if c := cmp.Compare(a.Demand.Mem, b.Demand.Mem); c != 0 {
-				return c
-			}
-			return cmp.Compare(a.ID, b.ID)
-		})
 		cap := p.Capacity()
-		for _, it := range cands {
+		// Candidate order: cheapest migrations first. Repairs rarely need
+		// more than a couple of moves, so instead of sorting the whole
+		// host, each round selects the minimum-(Mem, ID) candidate still
+		// untried — the picks come out in exactly sorted order (the key is
+		// a strict total order), without the O(n log n) sort.
+		n := len(cands)
+		for n > 0 {
 			used := p.UsedAt(hi)
 			if used.CPU <= cap.CPU+1e-9 && used.Mem <= cap.Mem+1e-9 {
 				break
 			}
+			best := 0
+			for i := 1; i < n; i++ {
+				if cands[i].it.Demand.Mem < cands[best].it.Demand.Mem ||
+					(cands[i].it.Demand.Mem == cands[best].it.Demand.Mem && cands[i].it.ID < cands[best].it.ID) {
+					best = i
+				}
+			}
+			c := cands[best]
+			cands[best] = cands[n-1]
+			n--
+			it := c.it
 			target := pickTarget(p, hi, it, in)
-			if target == "" {
+			if target < 0 {
 				// Power a previously freed host back on before
 				// racking a new one.
 				for i, h := range p.Hosts() {
 					if i != hi && len(p.VMsAt(i)) == 0 && in.Constraints.Permits(it.ID, h.ID, p) == nil {
-						target = h.ID
+						target = i
 						break
 					}
 				}
 			}
-			if target == "" {
+			if target < 0 {
 				h := p.OpenHost()
 				if in.Constraints.Permits(it.ID, h.ID, p) != nil {
 					continue
 				}
-				target = h.ID
+				target = len(p.Hosts()) - 1
 			}
-			if _, err := p.Remove(it.ID); err != nil {
-				return moves, dataMB, err
-			}
-			if err := p.Assign(it, target); err != nil {
-				return moves, dataMB, err
-			}
+			p.MoveAt(int(c.vi), target)
 			moves++
 			dataMB += it.Demand.Mem
 		}
 		used := p.UsedAt(hi)
 		if used.CPU > cap.CPU+1e-9 || used.Mem > cap.Mem+1e-9 {
-			return moves, dataMB, fmt.Errorf("host %s cannot be repaired within constraints", hostID)
+			return moves, dataMB, fmt.Errorf("host %s cannot be repaired within constraints", p.Hosts()[hi].ID)
 		}
 	}
 	return moves, dataMB, nil
 }
 
-// pickTarget returns the most-loaded other host that fits the item and
-// passes constraints, or "" if none. exclude is the host's index in Hosts().
-func pickTarget(p *placement.Placement, exclude int, it placement.Item, in Input) string {
-	var (
-		best     string
-		bestLoad = -1.0
-	)
+// repairCand is one overloaded-host resident: its item plus dense index, so
+// the eventual move skips ID-keyed lookups.
+type repairCand struct {
+	it placement.Item
+	vi int32
+}
+
+// pickTarget returns the index of the most-loaded other host that fits the
+// item and passes constraints, or -1 if none. exclude is the host's index in
+// Hosts().
+func pickTarget(p *placement.Placement, exclude int, it placement.Item, in Input) int {
+	if len(in.Constraints) == 0 {
+		// No constraint can veto, so the scan is the pure most-loaded-fit
+		// kernel placement implements over its flat arrays.
+		return p.MostLoadedFit(exclude, it.Demand)
+	}
+	best, bestLoad := -1, -1.0
 	cap := p.Capacity()
 	for i, h := range p.Hosts() {
 		if i == exclude || len(p.VMsAt(i)) == 0 {
@@ -216,16 +252,59 @@ func pickTarget(p *placement.Placement, exclude int, it placement.Item, in Input
 		u := p.UsedAt(i)
 		load := max(u.CPU/cap.CPU, u.Mem/cap.Mem)
 		if load > bestLoad {
-			bestLoad, best = load, h.ID
+			bestLoad, best = load, i
 		}
 	}
 	return best
 }
 
+// evacState carries the dynamic adapter's cross-interval consolidation
+// state: reusable scratch buffers (an evacuation attempt allocates nothing
+// in steady state) and, per source host, a failure certificate — a VM that
+// fit no evacuation target when the host last failed to empty.
+//
+// The certificate is re-validated before use, so reuse is sound, not
+// heuristic: if the certified VM still lives on the host and its current
+// demand exceeds every current target's full residual headroom in CPU or
+// memory, the greedy evacuation must fail — residuals only shrink as
+// earlier movers consume them, float addition is monotone, and constraint
+// vetoes can only remove further options. The attempt (sorting movers,
+// walking targets per mover) is skipped without being able to change the
+// outcome. Certificates whose VM moved away or now fits somewhere are
+// discarded and the full attempt runs.
+type evacState struct {
+	certs   map[string]trace.ServerID
+	targets []evacTarget
+	scratch []evacTarget
+	movers  []evacMover
+	pairs   []evacMove
+	overIdx []int
+	cands   []repairCand
+}
+
+// evacMover is one VM to evacuate: its item, dense index and precomputed
+// sort key.
+type evacMover struct {
+	it  placement.Item
+	vi  int32
+	key float64
+}
+
+// evacMove is one planned relocation, index-addressed so applying it skips
+// every ID-keyed lookup.
+type evacMove struct {
+	vi        int32
+	it        placement.Item
+	targetIdx int
+}
+
 // consolidate evacuates lightly loaded hosts whose VMs all fit elsewhere
 // (with hysteresis headroom), switching the freed hosts off. Hosts are
-// tried emptiest-first.
-func consolidate(p *placement.Placement, in Input) (int, float64) {
+// tried emptiest-first. A non-nil st enables the incremental machinery:
+// quick rejects against target maxima, cross-interval failure certificates
+// and buffer reuse — all outcome-preserving, so the moves made (and the
+// placement bytes) are identical with st == nil.
+func consolidate(p *placement.Placement, in Input, st *evacState) (int, float64) {
 	cap := p.Capacity()
 	limit := sizing.Demand{CPU: cap.CPU * evacuationHeadroom, Mem: cap.Mem * evacuationHeadroom}
 	// Loads are snapshotted before sorting (the placement is not mutated
@@ -254,77 +333,238 @@ func consolidate(p *placement.Placement, in Input) (int, float64) {
 		moves  int
 		dataMB float64
 	)
+	var allTargets, scratch []evacTarget
+	var movers []evacMover
+	var pairs []evacMove
+	if st != nil {
+		if st.certs == nil {
+			st.certs = make(map[string]trace.ServerID)
+		}
+		allTargets, scratch, movers, pairs = st.targets[:0], st.scratch[:0], st.movers[:0], st.pairs[:0]
+		defer func() {
+			st.targets, st.scratch, st.movers, st.pairs = allTargets[:0], scratch[:0], movers[:0], pairs[:0]
+		}()
+	}
 	// The sorted target list is a function of the placement state, which
 	// only changes when an evacuation succeeds — most attempts fail, so
 	// the list (and its O(n log n) sort) is rebuilt on success instead of
 	// per source host. Dropping the source from a copy preserves relative
 	// order, so every attempt sees exactly the list a fresh build would
 	// produce.
-	allTargets := evacTargets(p, limit)
-	scratch := make([]evacTarget, 0, len(allTargets))
+	allTargets = evacTargets(p, limit, allTargets)
+	var agg targetAgg
+	if st != nil {
+		agg = aggregateTargets(allTargets)
+	}
 	for _, cand := range active {
 		src := cand.id
-		vms := append([]trace.ServerID(nil), p.VMsAt(cand.idx)...)
-		if len(vms) == 0 {
+		vis := p.VMIndicesAt(cand.idx)
+		if len(vis) == 0 {
 			continue
 		}
+		maxRC, maxRM := math.Inf(-1), math.Inf(-1)
+		if st != nil {
+			// The exclude-self residual view is derived in O(1) from the
+			// aggregates: the per-resource maximum is the global top value
+			// unless this source holds it (then the runner-up, which under
+			// ties equals the top), and the placeable sum is the global
+			// positive-residual sum minus this host's own headroom. The
+			// source's residual is recomputed with the exact expression
+			// evacTargets used, and the placement has not mutated since the
+			// list was built, so the values match bit for bit.
+			maxRC, maxRM = agg.maxRC1, agg.maxRM1
+			if agg.maxRCIdx == cand.idx {
+				maxRC = agg.maxRC2
+			}
+			if agg.maxRMIdx == cand.idx {
+				maxRM = agg.maxRM2
+			}
+			u := p.UsedAt(cand.idx)
+			rcSrc, rmSrc := limit.CPU-u.CPU, limit.Mem-u.Mem
+			sumRC, sumRM := agg.sumRC, agg.sumRM
+			if rcSrc > 0 {
+				sumRC -= rcSrc
+			}
+			if rmSrc > 0 {
+				sumRM -= rmSrc
+			}
+			// Sum-capacity reject: greedy placement consumes residuals by
+			// exactly each mover's demand (within the 1e-9 per-placement
+			// fit tolerance), so when the source's total used demand
+			// exceeds the summed residuals by more than the slack — which
+			// covers n accumulated tolerances plus float error — every
+			// assignment order must leave some mover without a target.
+			if u.CPU > sumRC+evacSumSlack || u.Mem > sumRM+evacSumSlack {
+				continue
+			}
+			if certID, ok := st.certs[src]; ok {
+				if h, on := p.HostOf(certID); on && h == src {
+					if it, have := p.Item(certID); have && fitsNoTarget(it, allTargets, cand.idx) {
+						continue
+					}
+				} else {
+					delete(st.certs, src)
+				}
+			}
+		}
+		movers = movers[:0]
+		var reject trace.ServerID
+		big := -1
+		for _, vi := range vis {
+			it := p.ItemAt(int(vi))
+			// A VM larger than the best per-resource residual across
+			// all targets fits nowhere, so the whole evacuation is
+			// doomed; certify and skip the attempt.
+			if st != nil && (it.Demand.CPU > maxRC+1e-9 || it.Demand.Mem > maxRM+1e-9) {
+				reject = it.ID
+				break
+			}
+			key := max(it.Demand.CPU/cap.CPU, it.Demand.Mem/cap.Mem)
+			if big < 0 || key > movers[big].key || (key == movers[big].key && it.ID < movers[big].it.ID) {
+				big = len(movers)
+			}
+			movers = append(movers, evacMover{it: it, vi: vi, key: key})
+		}
+		if reject != "" {
+			st.certs[src] = reject
+			continue
+		}
+		// Fail fast on the mover the sort would place first (largest key,
+		// ties by ID): greedy tries it against full residuals, so if it
+		// fits no target on capacity alone the attempt must fail there —
+		// the identical certificate planEvacuation would return — and the
+		// sort plus planning walk are skipped.
+		if st != nil && big >= 0 && fitsNoTarget(movers[big].it, allTargets, cand.idx) {
+			st.certs[src] = movers[big].it.ID
+			continue
+		}
+		// All rejects passed — materialize the consumable target copy for
+		// the real attempt.
 		scratch = scratch[:0]
 		for _, t := range allTargets {
 			if t.id != src {
 				scratch = append(scratch, t)
 			}
 		}
-		plan, ok := planEvacuation(p, scratch, cap, vms, in)
+		// Biggest VMs first.
+		slices.SortFunc(movers, func(a, b evacMover) int {
+			if c := cmp.Compare(b.key, a.key); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.it.ID, b.it.ID)
+		})
+		var (
+			stuck trace.ServerID
+			ok    bool
+		)
+		pairs, stuck, ok = planEvacuation(p, scratch, movers, in, pairs[:0])
 		if !ok {
+			if st != nil && stuck != "" {
+				st.certs[src] = stuck
+			}
 			continue
 		}
-		// Apply in sorted order, not map order: assignment order fixes
+		if st != nil {
+			delete(st.certs, src)
+		}
+		// Apply in sorted order, not plan order: assignment order fixes
 		// the VM order on each host, which downstream float summation
-		// (emulator replay) must see deterministically.
-		moved := make([]trace.ServerID, 0, len(plan))
-		for vm := range plan {
-			moved = append(moved, vm)
-		}
-		slices.Sort(moved)
-		for _, vm := range moved {
-			target := plan[vm]
-			it, _ := p.Item(vm)
-			if _, err := p.Remove(vm); err != nil {
-				continue
-			}
-			if err := p.Assign(it, target); err != nil {
-				// Re-place on the source host; planEvacuation
-				// verified feasibility so this is defensive.
-				_ = p.Assign(it, src)
-				continue
-			}
+		// (emulator replay) must see deterministically. planEvacuation
+		// verified feasibility of every pair, so the moves are applied
+		// unconditionally through the index-addressed fast path.
+		slices.SortFunc(pairs, func(a, b evacMove) int {
+			return cmp.Compare(a.it.ID, b.it.ID)
+		})
+		for _, mv := range pairs {
+			p.MoveAt(int(mv.vi), mv.targetIdx)
 			moves++
-			dataMB += it.Demand.Mem
+			dataMB += mv.it.Demand.Mem
 		}
-		allTargets = evacTargets(p, limit)
+		allTargets = evacTargets(p, limit, allTargets[:0])
+		if st != nil {
+			agg = aggregateTargets(allTargets)
+		}
 	}
 	return moves, dataMB
 }
 
+// targetAgg summarizes a target list for O(1) exclude-one queries: the top
+// two residuals per resource (with the top holder's host index) and the sum
+// of positive residuals. Only positive residuals count as placeable
+// headroom; hosts already above the hysteresis limit must not drag the sum
+// down, or the sum reject would veto feasible evacuations.
+type targetAgg struct {
+	maxRC1, maxRC2 float64
+	maxRCIdx       int
+	maxRM1, maxRM2 float64
+	maxRMIdx       int
+	sumRC, sumRM   float64
+}
+
+func aggregateTargets(ts []evacTarget) targetAgg {
+	a := targetAgg{
+		maxRC1: math.Inf(-1), maxRC2: math.Inf(-1), maxRCIdx: -1,
+		maxRM1: math.Inf(-1), maxRM2: math.Inf(-1), maxRMIdx: -1,
+	}
+	for i := range ts {
+		t := &ts[i]
+		if t.cpu > a.maxRC1 {
+			a.maxRC2, a.maxRC1, a.maxRCIdx = a.maxRC1, t.cpu, t.idx
+		} else if t.cpu > a.maxRC2 {
+			a.maxRC2 = t.cpu
+		}
+		if t.mem > a.maxRM1 {
+			a.maxRM2, a.maxRM1, a.maxRMIdx = a.maxRM1, t.mem, t.idx
+		} else if t.mem > a.maxRM2 {
+			a.maxRM2 = t.mem
+		}
+		if t.cpu > 0 {
+			a.sumRC += t.cpu
+		}
+		if t.mem > 0 {
+			a.sumRM += t.mem
+		}
+	}
+	return a
+}
+
+// fitsNoTarget reports whether the item exceeds every target's full
+// residual headroom (the host at index exclude skipped) — the certificate
+// validity test.
+func fitsNoTarget(it placement.Item, targets []evacTarget, exclude int) bool {
+	for i := range targets {
+		if targets[i].idx == exclude {
+			continue
+		}
+		if !(it.Demand.CPU > targets[i].cpu+1e-9 || it.Demand.Mem > targets[i].mem+1e-9) {
+			return false
+		}
+	}
+	return true
+}
+
 // evacTarget is one candidate evacuation destination: residual headroom
-// against the hysteresis limit, plus the precomputed fill-order key.
+// against the hysteresis limit, plus the precomputed fill-order key and the
+// host's index in Hosts() for index-addressed application.
 type evacTarget struct {
 	id       string
+	idx      int
 	cpu, mem float64
 	key      float64
 }
 
 // evacTargets lists every active host with its residual headroom, sorted
-// most-loaded first (ties by ID) — the fill order of planEvacuation.
-func evacTargets(p *placement.Placement, limit sizing.Demand) []evacTarget {
-	targets := make([]evacTarget, 0, len(p.Hosts()))
+// most-loaded first (ties by ID) — the fill order of planEvacuation. The
+// result is appended to buf.
+func evacTargets(p *placement.Placement, limit sizing.Demand, buf []evacTarget) []evacTarget {
+	targets := buf
 	for i, h := range p.Hosts() {
 		if len(p.VMsAt(i)) == 0 {
 			continue
 		}
 		u := p.UsedAt(i)
 		rc, rm := limit.CPU-u.CPU, limit.Mem-u.Mem
-		targets = append(targets, evacTarget{id: h.ID, cpu: rc, mem: rm, key: min(rc/limit.CPU, rm/limit.Mem)})
+		targets = append(targets, evacTarget{id: h.ID, idx: i, cpu: rc, mem: rm, key: min(rc/limit.CPU, rm/limit.Mem)})
 	}
 	slices.SortFunc(targets, func(a, b evacTarget) int {
 		if c := cmp.Compare(a.key, b.key); c != 0 {
@@ -335,30 +575,23 @@ func evacTargets(p *placement.Placement, limit sizing.Demand) []evacTarget {
 	return targets
 }
 
-// planEvacuation checks whether every VM in vms fits onto the candidate
-// targets within the hysteresis headroom and constraints, and returns the
-// target mapping. targets is consumed (residuals are decremented in place);
-// callers pass a scratch copy.
-func planEvacuation(p *placement.Placement, targets []evacTarget, cap sizing.Demand, vms []trace.ServerID, in Input) (map[trace.ServerID]string, bool) {
-	// Biggest VMs first.
-	type mover struct {
-		it  placement.Item
-		key float64
+// planEvacuation checks whether every mover fits onto the candidate targets
+// within the hysteresis headroom and constraints, appending the planned
+// moves to pairs. targets is consumed (residuals are decremented in place);
+// callers pass a scratch copy. On failure it returns the mover that fit
+// nowhere — the failure certificate. The overlay view (constraints seeing
+// the post-move world) is only materialized when constraints exist; without
+// them the map bookkeeping is dead weight the hot path skips.
+func planEvacuation(p *placement.Placement, targets []evacTarget, movers []evacMover, in Input, pairs []evacMove) ([]evacMove, trace.ServerID, bool) {
+	constrained := len(in.Constraints) > 0
+	var (
+		assignment map[trace.ServerID]string
+		view       overlayView
+	)
+	if constrained {
+		assignment = make(map[trace.ServerID]string, len(movers))
+		view = overlayView{base: p, moved: assignment}
 	}
-	movers := make([]mover, len(vms))
-	for i, vm := range vms {
-		it, _ := p.Item(vm)
-		movers[i] = mover{it: it, key: max(it.Demand.CPU/cap.CPU, it.Demand.Mem/cap.Mem)}
-	}
-	slices.SortFunc(movers, func(a, b mover) int {
-		if c := cmp.Compare(b.key, a.key); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.it.ID, b.it.ID)
-	})
-
-	assignment := make(map[trace.ServerID]string, len(movers))
-	view := overlayView{base: p, moved: assignment}
 	for _, mv := range movers {
 		it := mv.it
 		placed := false
@@ -367,20 +600,23 @@ func planEvacuation(p *placement.Placement, targets []evacTarget, cap sizing.Dem
 			if it.Demand.CPU > r.cpu+1e-9 || it.Demand.Mem > r.mem+1e-9 {
 				continue
 			}
-			if in.Constraints.Permits(it.ID, r.id, view) != nil {
+			if constrained && in.Constraints.Permits(it.ID, r.id, view) != nil {
 				continue
 			}
 			r.cpu -= it.Demand.CPU
 			r.mem -= it.Demand.Mem
-			assignment[it.ID] = r.id
+			if constrained {
+				assignment[it.ID] = r.id
+			}
+			pairs = append(pairs, evacMove{vi: mv.vi, it: it, targetIdx: r.idx})
 			placed = true
 			break
 		}
 		if !placed {
-			return nil, false
+			return pairs, it.ID, false
 		}
 	}
-	return assignment, true
+	return pairs, "", true
 }
 
 // overlayView presents the placement as if the planned (but not yet

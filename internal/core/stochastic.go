@@ -2,14 +2,11 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"sync/atomic"
 
 	"vmwild/internal/cluster"
 	"vmwild/internal/emulator"
 	"vmwild/internal/placement"
 	"vmwild/internal/sizing"
-	"vmwild/internal/stats"
 	"vmwild/internal/trace"
 )
 
@@ -29,29 +26,32 @@ func (Stochastic) Plan(in Input) (*Plan, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
-	servers := in.Monitoring.Servers
-	items := make([]placement.Item, 0, len(servers))
-	for _, st := range servers {
-		env, envErr := sizing.SizeEnvelope(st, in.bodyPercentile())
-		if envErr != nil {
-			return nil, fmt.Errorf("stochastic: %w", envErr)
-		}
-		items = append(items, placement.Item{ID: st.ID, Demand: env.Body, Tail: env.Tail})
+	items, err := envelopeItems(in)
+	if err != nil {
+		return nil, err
 	}
 
 	var (
-		corr placement.CorrFunc
-		err  error
+		corr    placement.CorrFunc
+		corrIdx placement.CorrIndexer
 	)
 	switch {
 	case in.ClusterCorrelation:
 		corr, err = clusterCorrelation(in.Monitoring, in.intervalHours())
+	case in.CorrIndex != nil:
+		// Precomputed by NewCorrTable over the same monitoring set —
+		// same peak vectors, same stats.Correlation values.
+		corrIdx = in.CorrIndex
 	case in.Correlations != nil:
-		// Precomputed by NewSharedCorrelation over the same monitoring
-		// set — same peak vectors, same stats.Correlation values.
+		// Precomputed by NewSharedCorrelation; functional lookups only.
 		corr = in.Correlations
 	default:
-		corr, err = intervalPeakCorrelation(in.Monitoring, in.intervalHours())
+		var t *CorrTable
+		t, err = NewCorrTable(in.Monitoring, in.intervalHours())
+		if err == nil {
+			corrIdx = t
+			corr = t.Func()
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("stochastic: %w", err)
@@ -63,7 +63,9 @@ func (Stochastic) Plan(in Input) (*Plan, error) {
 		RackSize:    in.rackSize(),
 		Constraints: in.Constraints,
 		Corr:        corr,
+		CorrIdx:     corrIdx,
 		MaxAvgCorr:  in.MaxAvgCorr,
+		Reference:   in.DisableIncremental,
 	}.Pack(items)
 	if err != nil {
 		return nil, fmt.Errorf("stochastic: %w", err)
@@ -73,6 +75,43 @@ func (Stochastic) Plan(in Input) (*Plan, error) {
 		Provisioned: p.NumHosts(),
 		Schedule:    emulator.StaticSchedule{P: p},
 	}, nil
+}
+
+// envelopeItems sizes every server as a body/tail envelope, or adopts the
+// precomputed envelopes when they cover exactly this monitoring set (the
+// shared-cache path; SizeEnvelope is deterministic, so precomputed items
+// are identical to inline ones). Any mismatch falls back to inline sizing.
+func envelopeItems(in Input) ([]placement.Item, error) {
+	servers := in.Monitoring.Servers
+	if len(in.Envelopes) == len(servers) {
+		match := true
+		for i, st := range servers {
+			if in.Envelopes[i].ID != st.ID {
+				match = false
+				break
+			}
+		}
+		if match {
+			return in.Envelopes, nil
+		}
+	}
+	return SizeEnvelopes(in.Monitoring, in.bodyPercentile())
+}
+
+// SizeEnvelopes sizes every server of the set as a body/tail envelope at
+// the given body percentile — the stochastic planner's sizing pass, exposed
+// so experiment grids can compute it once and share it via Input.Envelopes.
+func SizeEnvelopes(set *trace.Set, percentile float64) ([]placement.Item, error) {
+	items := make([]placement.Item, 0, len(set.Servers))
+	es := sizing.EnvelopeSizer{P: percentile}
+	for _, st := range set.Servers {
+		env, err := es.Size(st)
+		if err != nil {
+			return nil, fmt.Errorf("stochastic: %w", err)
+		}
+		items = append(items, placement.Item{ID: st.ID, Demand: env.Body, Tail: env.Tail})
+	}
+	return items, nil
 }
 
 // clusterCorrelation approximates pairwise correlations by demand-pattern
@@ -89,98 +128,4 @@ func clusterCorrelation(set *trace.Set, intervalHours int) (placement.CorrFunc, 
 		return nil, err
 	}
 	return fn, nil
-}
-
-// intervalPeakCorrelation builds a pairwise Pearson correlation function
-// over per-interval CPU peaks. Interval peaks, not raw hourly samples, are
-// what co-located tails share — two workloads whose 2-hour peaks coincide
-// cannot pool their headroom even if the within-interval shapes differ.
-func intervalPeakCorrelation(set *trace.Set, intervalHours int) (placement.CorrFunc, error) {
-	n := len(set.Servers)
-	peaks := make([][]float64, n)
-	index := make(map[trace.ServerID]int, n)
-	for i, st := range set.Servers {
-		p, err := st.Series.Intervals(intervalHours, trace.CPU, stats.Max)
-		if err != nil {
-			return nil, err
-		}
-		peaks[i] = p
-		index[st.ID] = i
-	}
-	// Correlations are computed lazily and memoized in a dense matrix:
-	// PCP probes pairs repeatedly during packing, so the hit path (one
-	// index) dominates. A cell holds ^Float64bits(c); the bitwise NOT
-	// makes a stored 0.0 distinguishable from an empty (zero) cell
-	// without pre-filling the matrix.
-	cells := make([]uint64, n*n)
-	return func(a, b trace.ServerID) float64 {
-		ia, ok := index[a]
-		if !ok {
-			return 0
-		}
-		ib, ok := index[b]
-		if !ok {
-			return 0
-		}
-		if ia > ib {
-			ia, ib = ib, ia
-		}
-		k := ia*n + ib
-		if u := cells[k]; u != 0 {
-			return math.Float64frombits(^u)
-		}
-		c, err := stats.Correlation(peaks[ia], peaks[ib])
-		if err != nil {
-			c = 0
-		}
-		cells[k] = ^math.Float64bits(c)
-		return c
-	}, nil
-}
-
-// NewSharedCorrelation builds the stochastic planner's interval-peak
-// correlation function for a monitoring set, with the dense memo matrix
-// accessed atomically so the function is safe to share across concurrent
-// plans (the per-plan function built by Stochastic.Plan is not). Values are
-// identical to the inline path: stats.Correlation over the same
-// per-interval peak vectors. A racing duplicate computation evaluates the
-// same pure function, so last-write-wins stores are safe. Attach it via
-// Input.Correlations.
-func NewSharedCorrelation(set *trace.Set, intervalHours int) (placement.CorrFunc, error) {
-	n := len(set.Servers)
-	peaks := make([][]float64, n)
-	index := make(map[trace.ServerID]int, n)
-	for i, st := range set.Servers {
-		p, err := st.Series.Intervals(intervalHours, trace.CPU, stats.Max)
-		if err != nil {
-			return nil, err
-		}
-		peaks[i] = p
-		index[st.ID] = i
-	}
-	// Same ^Float64bits encoding as the inline path: zero means empty.
-	cells := make([]atomic.Uint64, n*n)
-	return func(a, b trace.ServerID) float64 {
-		ia, ok := index[a]
-		if !ok {
-			return 0
-		}
-		ib, ok := index[b]
-		if !ok {
-			return 0
-		}
-		if ia > ib {
-			ia, ib = ib, ia
-		}
-		k := ia*n + ib
-		if u := cells[k].Load(); u != 0 {
-			return math.Float64frombits(^u)
-		}
-		c, err := stats.Correlation(peaks[ia], peaks[ib])
-		if err != nil {
-			c = 0
-		}
-		cells[k].Store(^math.Float64bits(c))
-		return c
-	}, nil
 }

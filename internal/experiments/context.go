@@ -30,14 +30,22 @@ type Config struct {
 	VirtOverhead float64
 	// DedupFactor is the memory deduplication saving fraction.
 	DedupFactor float64
-	// DisableSharedCaches turns off the cross-cell demand-matrix and
-	// correlation caches, forcing every dynamic plan to recompute its
-	// predictions inline and every stochastic plan to rebuild its
-	// correlation function. The report is byte-identical either way (the
-	// equivalence is enforced by test); the switch exists to prove exactly
-	// that, and as an escape hatch should a future predictor ever become
-	// stateful.
+	// DisableSharedCaches turns off the cross-cell demand-matrix,
+	// correlation and envelope caches, forcing every dynamic plan to
+	// recompute its predictions inline and every stochastic plan to rebuild
+	// its correlation function and envelopes. The report is byte-identical
+	// either way (the equivalence is enforced by test); the switch exists
+	// to prove exactly that, and as an escape hatch should a future
+	// predictor ever become stateful.
 	DisableSharedCaches bool
+	// DisableIncremental turns off the planners' incremental fast paths —
+	// flattened packing kernels, indexed correlation lookups, the dynamic
+	// adapter's cross-interval evacuation certificates and plan-only
+	// sensitivity cells — reverting to the retained reference
+	// implementations. Byte-identical by construction and enforced by
+	// TestIncrementalEquivalence; exists to prove exactly that, and as an
+	// escape hatch.
+	DisableIncremental bool
 }
 
 // DefaultConfig returns the paper's baseline conditions (Table 3).
@@ -64,6 +72,8 @@ type Context struct {
 	runs    map[string]*runEntry
 	demands map[string]*demandEntry
 	corrs   map[int]*corrEntry
+	envs    map[float64]*envEntry
+	hists   histEntry
 }
 
 // runEntry is one memoized planner run; once guards the single computation.
@@ -81,12 +91,28 @@ type demandEntry struct {
 	err  error
 }
 
-// corrEntry is one memoized shared-correlation function, keyed by interval
+// histEntry memoizes the context's concatenated demand histories — one per
+// context, since they depend only on the two trace sets.
+type histEntry struct {
+	once sync.Once
+	h    *core.DemandHistories
+	err  error
+}
+
+// corrEntry is one memoized shared-correlation table, keyed by interval
 // length.
 type corrEntry struct {
 	once sync.Once
-	fn   placement.CorrFunc
+	t    *core.CorrTable
 	err  error
+}
+
+// envEntry is one memoized stochastic envelope slice, keyed by body
+// percentile.
+type envEntry struct {
+	once  sync.Once
+	items []placement.Item
+	err   error
 }
 
 // Run is a planner execution: the plan plus the emulator replay of its
@@ -229,9 +255,10 @@ func (c *Context) Input() core.Input {
 		host.Spec.MemMB /= 1 - c.Config.DedupFactor
 	}
 	return core.Input{
-		Monitoring: c.Monitoring,
-		Evaluation: c.Evaluation,
-		Host:       host,
+		Monitoring:         c.Monitoring,
+		Evaluation:         c.Evaluation,
+		Host:               host,
+		DisableIncremental: c.Config.DisableIncremental,
 	}
 }
 
@@ -272,8 +299,30 @@ func (c *Context) SizedDemands(in core.Input) (*core.DemandMatrix, error) {
 		c.demands[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.m, e.err = core.SizeDynamicDemands(in) })
+	e.once.Do(func() {
+		if in.Histories == nil && in.Monitoring == c.Monitoring && in.Evaluation == c.Evaluation {
+			in.Histories = c.demandHistories()
+		}
+		e.m, e.err = core.SizeDynamicDemands(in)
+	})
 	return e.m, e.err
+}
+
+// demandHistories returns the context-wide demand histories, built at most
+// once and shared by every demand-matrix computation; nil when shared
+// caches are disabled or the build fails (SizeDynamicDemands then rebuilds
+// inline, the byte-identical fallback).
+func (c *Context) demandHistories() *core.DemandHistories {
+	if c.Config.DisableSharedCaches {
+		return nil
+	}
+	c.hists.once.Do(func() {
+		c.hists.h, c.hists.err = core.BuildDemandHistories(c.Monitoring, c.Evaluation)
+	})
+	if c.hists.err != nil {
+		return nil
+	}
+	return c.hists.h
 }
 
 // withDemands attaches the shared demand matrix to a dynamic-planner input
@@ -297,12 +346,12 @@ func (c *Context) withDemands(in core.Input) core.Input {
 	return in
 }
 
-// SharedCorrelations returns the stochastic planner's interval-peak
-// correlation function over this context's monitoring set, built at most
-// once per interval length. The memo cache inside survives across plans, so
-// the blade study's three host models and the ablations probe each VM pair
-// at most once per data center.
-func (c *Context) SharedCorrelations(intervalHours int) (placement.CorrFunc, error) {
+// CorrTable returns the stochastic planner's interval-peak correlation
+// table over this context's monitoring set, built at most once per interval
+// length. The memo cache inside survives across plans, so the blade study's
+// three host models and the ablations probe each VM pair at most once per
+// data center.
+func (c *Context) CorrTable(intervalHours int) (*core.CorrTable, error) {
 	c.mu.Lock()
 	if c.corrs == nil {
 		c.corrs = make(map[int]*corrEntry)
@@ -313,41 +362,81 @@ func (c *Context) SharedCorrelations(intervalHours int) (placement.CorrFunc, err
 		c.corrs[intervalHours] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.fn, e.err = core.NewSharedCorrelation(c.Monitoring, intervalHours) })
-	return e.fn, e.err
+	e.once.Do(func() { e.t, e.err = core.NewCorrTable(c.Monitoring, intervalHours) })
+	return e.t, e.err
 }
 
-// withCorrelations attaches the shared correlation function to a
-// stochastic-planner input when caching is enabled and the input plans over
-// this context's own monitoring set. On any miss condition the input is
-// returned unchanged and the planner builds its correlation function inline
-// — the byte-identical fallback.
-func (c *Context) withCorrelations(in core.Input) core.Input {
-	if in.Correlations != nil || in.ClusterCorrelation || c.Config.DisableSharedCaches {
-		return in
-	}
-	if in.Monitoring != c.Monitoring {
-		return in
-	}
-	hours := in.IntervalHours
-	if hours == 0 {
-		hours = core.DefaultIntervalHours
-	}
-	fn, err := c.SharedCorrelations(hours)
+// SharedCorrelations is the functional view of CorrTable, kept for callers
+// that only need ID-keyed lookups.
+func (c *Context) SharedCorrelations(intervalHours int) (placement.CorrFunc, error) {
+	t, err := c.CorrTable(intervalHours)
 	if err != nil {
-		// Let the planner surface the identical error from its inline
-		// construction.
+		return nil, err
+	}
+	return t.Func(), nil
+}
+
+// SizedEnvelopes returns the stochastic planner's body/tail envelope items
+// over this context's monitoring set at the given body percentile, computed
+// at most once per percentile. SizeEnvelope is deterministic, so shared
+// envelopes equal inline ones; cells must treat the slice as read-only.
+func (c *Context) SizedEnvelopes(percentile float64) ([]placement.Item, error) {
+	c.mu.Lock()
+	if c.envs == nil {
+		c.envs = make(map[float64]*envEntry)
+	}
+	e, ok := c.envs[percentile]
+	if !ok {
+		e = &envEntry{}
+		c.envs[percentile] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.items, e.err = core.SizeEnvelopes(c.Monitoring, percentile) })
+	return e.items, e.err
+}
+
+// withCorrelations attaches the shared correlation table and envelope items
+// to a stochastic-planner input when caching is enabled and the input plans
+// over this context's own monitoring set. On any miss condition the input
+// is returned unchanged and the planner builds both inline — the
+// byte-identical fallback.
+func (c *Context) withCorrelations(in core.Input) core.Input {
+	if c.Config.DisableSharedCaches || in.Monitoring != c.Monitoring {
 		return in
 	}
-	in.Correlations = fn
+	if in.Correlations == nil && in.CorrIndex == nil && !in.ClusterCorrelation {
+		hours := in.IntervalHours
+		if hours == 0 {
+			hours = core.DefaultIntervalHours
+		}
+		if t, err := c.CorrTable(hours); err == nil {
+			// Both views of the same table: the packer prefers the
+			// indexed one, the functional one serves as fallback.
+			in.CorrIndex = t
+			in.Correlations = t.Func()
+		}
+		// On error, let the planner surface the identical error from
+		// its inline construction.
+	}
+	if in.Envelopes == nil {
+		pct := in.BodyPercentile
+		if pct == 0 {
+			pct = core.DefaultBodyPercentile
+		}
+		if items, err := c.SizedEnvelopes(pct); err == nil {
+			in.Envelopes = items
+		}
+	}
 	return in
 }
 
 // PlanDynamic plans with the dynamic planner against explicit input,
 // routing the Predict + Size steps through the shared demand cache. The
 // sensitivity and mechanism studies use it for plan-only cells that never
-// replay.
+// replay, so the returned plan carries counters only — Schedule is nil
+// (unless Config.DisableIncremental reverts to the full snapshot path).
 func (c *Context) PlanDynamic(in core.Input) (*core.Plan, error) {
+	in.PlanOnly = !c.Config.DisableIncremental
 	return core.Dynamic{}.Plan(c.withDemands(in))
 }
 

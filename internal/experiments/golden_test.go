@@ -158,6 +158,31 @@ func TestCacheEquivalence(t *testing.T) {
 	diffBytes(t, "cache-disabled report (8 workers)", want, buf.Bytes())
 }
 
+// TestIncrementalEquivalence: the incremental fast paths — flattened
+// packing kernels, indexed correlation lookups, cross-interval evacuation
+// certificates, plan-only sensitivity cells — are a pure performance
+// optimization. With Config.DisableIncremental reverting every planner to
+// its retained reference implementation, the 8-worker report must still
+// emit the committed golden bytes.
+func TestIncrementalEquivalence(t *testing.T) {
+	skipHeavy(t, "full report collection")
+	cfg := DefaultConfig()
+	cfg.DisableIncremental = true
+	res, err := Collect(context.Background(), cfg, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	diffBytes(t, "incremental-disabled report (8 workers)", want, buf.Bytes())
+}
+
 // TestSharedCacheConcurrency hammers the context-level demand and
 // correlation caches from 8 goroutines at once. Every caller must observe
 // the same matrix (pointer identity: each key computes exactly once), the

@@ -24,6 +24,8 @@ type BFD struct {
 	RackSize int
 	// Constraints veto candidate assignments.
 	Constraints constraints.Set
+	// Reference selects the retained naive kernel; see FFD.Reference.
+	Reference bool
 }
 
 // Pack places all items and returns the resulting placement.
@@ -32,44 +34,67 @@ func (f BFD) Pack(items []Item) (*Placement, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, it := range sortDecreasing(items, f.HostSpec) {
-		if err := f.place(p, it); err != nil {
-			return nil, err
+	sorted := sortDecreasing(items, f.HostSpec)
+	if f.Reference {
+		for _, it := range sorted {
+			if err := f.placeReference(p, it); err != nil {
+				return nil, err
+			}
 		}
+		return p, nil
 	}
-	return p, nil
+	return p, f.packFlat(p, sorted)
 }
 
-func (f BFD) place(p *Placement, it Item) error {
-	cap := p.Capacity()
-	if it.Demand.CPU > cap.CPU+1e-9 || it.Demand.Mem > cap.Mem+1e-9 {
-		return fmt.Errorf("placement: %s demand (%.0f RPE2, %.0f MB) exceeds host capacity (%.0f RPE2, %.0f MB)",
-			it.ID, it.Demand.CPU, it.Demand.Mem, cap.CPU, cap.Mem)
-	}
-	best := ""
-	bestSlack := math.Inf(1)
-	for _, h := range p.Hosts() {
-		if !p.Fits(h.ID, it.Demand) {
-			continue
+// packFlat is the flattened kernel: best-fit must score every host anyway,
+// so the win is walking the used arrays directly with the slack arithmetic
+// inlined, skipping the per-host ID-to-index lookups of the naive path.
+func (f BFD) packFlat(p *Placement, sorted []Item) error {
+	plain := len(f.Constraints) == 0
+	for _, it := range sorted {
+		if it.Demand.CPU > p.capCPU+1e-9 || it.Demand.Mem > p.capMem+1e-9 {
+			return fmt.Errorf("placement: %s demand (%.0f RPE2, %.0f MB) exceeds host capacity (%.0f RPE2, %.0f MB)",
+				it.ID, it.Demand.CPU, it.Demand.Mem, p.capCPU, p.capMem)
 		}
-		if f.Constraints.Permits(it.ID, h.ID, p) != nil {
-			continue
+		vi := p.internVM(it.ID)
+		p.growVMState(vi)
+		if p.vmHost[vi] >= 0 {
+			return fmt.Errorf("placement: %s already assigned", it.ID)
 		}
-		if s := f.slackAfter(p, h.ID, it.Demand); s < bestSlack {
-			bestSlack, best = s, h.ID
+		best := -1
+		bestSlack := math.Inf(1)
+		for i := range p.hosts {
+			uc, um := p.usedCPU[i], p.usedMem[i]
+			if uc+it.Demand.CPU > p.capCPU+1e-9 || um+it.Demand.Mem > p.capMem+1e-9 {
+				continue
+			}
+			if !plain && f.Constraints.Permits(it.ID, p.hosts[i].ID, p) != nil {
+				continue
+			}
+			cpuLeft := (p.capCPU - uc - it.Demand.CPU) / p.capCPU
+			memLeft := (p.capMem - um - it.Demand.Mem) / p.capMem
+			if s := math.Max(cpuLeft, memLeft); s < bestSlack {
+				bestSlack, best = s, i
+			}
 		}
-	}
-	if best != "" {
-		return p.Assign(it, best)
-	}
-	for attempts := 0; attempts < 1+len(f.Constraints); attempts++ {
-		h := p.OpenHost()
-		if err := f.Constraints.Permits(it.ID, h.ID, p); err != nil {
-			continue
+		if best < 0 {
+			opened := false
+			for attempts := 0; attempts < 1+len(f.Constraints); attempts++ {
+				h := p.OpenHost()
+				if f.Constraints.Permits(it.ID, h.ID, p) != nil {
+					continue
+				}
+				best = len(p.hosts) - 1
+				opened = true
+				break
+			}
+			if !opened {
+				return fmt.Errorf("placement: constraints leave no feasible host for %s", it.ID)
+			}
 		}
-		return p.Assign(it, h.ID)
+		p.assignAt(vi, best, it)
 	}
-	return fmt.Errorf("placement: constraints leave no feasible host for %s", it.ID)
+	return nil
 }
 
 // slackAfter scores the residual capacity of host after adding d: the

@@ -42,7 +42,7 @@ func (p *Placement) Encode() ([]byte, error) {
 	for hi, h := range p.hosts {
 		hw := hostWire{ID: h.ID, Rack: h.Rack}
 		for _, vm := range p.hostVMs[hi] {
-			it := p.items[vm]
+			it, _ := p.Item(vm)
 			hw.VMs = append(hw.VMs, vmWire{
 				ID:      it.ID,
 				CPU:     it.Demand.CPU,

@@ -21,6 +21,11 @@ type FFD struct {
 	RackSize int
 	// Constraints veto candidate assignments.
 	Constraints constraints.Set
+	// Reference selects the retained naive kernel (per-host map lookups,
+	// linear scans) instead of the flattened one. Both produce identical
+	// placements — the property tests prove it — so the flag exists as an
+	// escape hatch and as the test oracle.
+	Reference bool
 }
 
 // Pack places all items and returns the resulting placement.
@@ -29,39 +34,66 @@ func (f FFD) Pack(items []Item) (*Placement, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, it := range sortDecreasing(items, f.HostSpec) {
-		if err := f.place(p, it); err != nil {
-			return nil, err
+	sorted := sortDecreasing(items, f.HostSpec)
+	if f.Reference {
+		for _, it := range sorted {
+			if err := f.placeReference(p, it); err != nil {
+				return nil, err
+			}
 		}
+		return p, nil
 	}
-	return p, nil
+	return p, f.packFlat(p, sorted)
 }
 
-// place puts one item on the first permissible host with room.
-func (f FFD) place(p *Placement, it Item) error {
-	cap := p.Capacity()
-	if it.Demand.CPU > cap.CPU+1e-9 || it.Demand.Mem > cap.Mem+1e-9 {
-		return fmt.Errorf("placement: %s demand (%.0f RPE2, %.0f MB) exceeds host capacity (%.0f RPE2, %.0f MB)",
-			it.ID, it.Demand.CPU, it.Demand.Mem, cap.CPU, cap.Mem)
-	}
-	for _, h := range p.Hosts() {
-		if !p.Fits(h.ID, it.Demand) {
-			continue
+// packFlat is the flattened kernel: with no constraints the first fitting
+// host comes from the segment-tree finder (identical choice to the linear
+// scan, leftmost-first); with constraints the scan walks the struct-of-
+// arrays state directly so each probe is two float compares, not a map
+// lookup through hostIdx.
+func (f FFD) packFlat(p *Placement, sorted []Item) error {
+	finder := newHostFinder(p)
+	plain := len(f.Constraints) == 0
+	for _, it := range sorted {
+		if it.Demand.CPU > p.capCPU+1e-9 || it.Demand.Mem > p.capMem+1e-9 {
+			return fmt.Errorf("placement: %s demand (%.0f RPE2, %.0f MB) exceeds host capacity (%.0f RPE2, %.0f MB)",
+				it.ID, it.Demand.CPU, it.Demand.Mem, p.capCPU, p.capMem)
 		}
-		if f.Constraints.Permits(it.ID, h.ID, p) != nil {
-			continue
+		vi := p.internVM(it.ID)
+		p.growVMState(vi)
+		if p.vmHost[vi] >= 0 {
+			return fmt.Errorf("placement: %s already assigned", it.ID)
 		}
-		return p.Assign(it, h.ID)
-	}
-	// No existing host works; open fresh hosts until constraints allow
-	// the assignment (pinning constraints may reject arbitrary hosts, so
-	// bound the retries).
-	for attempts := 0; attempts < 1+len(f.Constraints); attempts++ {
-		h := p.OpenHost()
-		if err := f.Constraints.Permits(it.ID, h.ID, p); err != nil {
-			continue
+		hi := -1
+		if plain {
+			hi = finder.firstFit(0, it.Demand.CPU, it.Demand.Mem)
+		} else {
+			for i := range p.hosts {
+				if p.usedCPU[i]+it.Demand.CPU <= p.capCPU+1e-9 && p.usedMem[i]+it.Demand.Mem <= p.capMem+1e-9 &&
+					f.Constraints.Permits(it.ID, p.hosts[i].ID, p) == nil {
+					hi = i
+					break
+				}
+			}
 		}
-		return p.Assign(it, h.ID)
+		if hi < 0 {
+			opened := false
+			for attempts := 0; attempts < 1+len(f.Constraints); attempts++ {
+				h := p.OpenHost()
+				finder.hostAdded()
+				if f.Constraints.Permits(it.ID, h.ID, p) != nil {
+					continue
+				}
+				hi = len(p.hosts) - 1
+				opened = true
+				break
+			}
+			if !opened {
+				return fmt.Errorf("placement: constraints leave no feasible host for %s", it.ID)
+			}
+		}
+		p.assignAt(vi, hi, it)
+		finder.update(hi)
 	}
-	return fmt.Errorf("placement: constraints leave no feasible host for %s", it.ID)
+	return nil
 }

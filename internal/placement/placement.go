@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"maps"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 
 	"vmwild/internal/constraints"
@@ -47,6 +47,15 @@ type Host struct {
 	Rack string
 }
 
+// vmUniverse interns VM identities into dense indices. A Clone chain shares
+// one universe copy-on-write: the VM population of a dynamic run never
+// changes across its 168 interval snapshots, so the interning table (and the
+// string IDs it holds) is built once per run instead of once per snapshot.
+type vmUniverse struct {
+	ids []trace.ServerID
+	idx map[trace.ServerID]int32
+}
+
 // Placement is a mutable assignment of VMs to hosts drawn from an unbounded
 // supply of identical machines. It satisfies constraints.View.
 type Placement struct {
@@ -59,13 +68,31 @@ type Placement struct {
 	// Per-host state lives in slices parallel to hosts; hostIdx maps a
 	// host ID to its position. The planners' hot loops walk hosts by
 	// index (VMsAt/UsedAt/FitsAt) and never pay a map lookup per host.
+	// Used demand is kept as parallel float slices (struct-of-arrays) so
+	// fit checks touch two cache-friendly arrays instead of a struct
+	// slice, and Clone is a pair of memmoves.
 	hosts    []*Host
 	hostIdx  map[string]int
 	hostVMs  [][]trace.ServerID
-	used     []sizing.Demand
-	byVM     map[trace.ServerID]string
-	items    map[trace.ServerID]Item
+	hostVIs  [][]int32 // dense VM indices, parallel to hostVMs
+	usedCPU  []float64
+	usedMem  []float64
 	rackSize int
+
+	// capCPU/capMem cache Spec scaled by Bound, the values every fit
+	// check compares against. Spec and Bound are fixed at construction.
+	capCPU, capMem float64
+
+	// Per-VM state is dense: uni interns IDs, vmHost holds each VM's host
+	// index (-1 when unassigned) and vmItems its recorded item. uniShared
+	// marks the universe as shared with a Clone; the first insertion of a
+	// brand-new VM copies it (VM populations are fixed in all hot paths,
+	// so this effectively never happens after cloning).
+	uni       *vmUniverse
+	uniShared bool
+	vmHost    []int32
+	vmItems   []Item
+	numVMs    int
 }
 
 var _ constraints.View = (*Placement)(nil)
@@ -87,8 +114,9 @@ func NewPlacement(spec trace.Spec, bound float64, rackSize int) (*Placement, err
 		Spec:     spec,
 		Bound:    bound,
 		hostIdx:  make(map[string]int),
-		byVM:     make(map[trace.ServerID]string),
-		items:    make(map[trace.ServerID]Item),
+		capCPU:   spec.CPURPE2 * bound,
+		capMem:   spec.MemMB * bound,
+		uni:      &vmUniverse{idx: make(map[trace.ServerID]int32)},
 		rackSize: rackSize,
 	}, nil
 }
@@ -101,7 +129,7 @@ func (p *Placement) Hosts() []*Host { return p.hosts }
 func (p *Placement) NumHosts() int { return len(p.hosts) }
 
 // NumVMs returns how many VMs are assigned.
-func (p *Placement) NumVMs() int { return len(p.byVM) }
+func (p *Placement) NumVMs() int { return p.numVMs }
 
 // VMsOn implements constraints.View. The returned slice is shared.
 func (p *Placement) VMsOn(host string) []trace.ServerID {
@@ -123,13 +151,48 @@ func (p *Placement) HostIndex(host string) int {
 // VMsAt returns the VMs on Hosts()[i]. The returned slice is shared.
 func (p *Placement) VMsAt(i int) []trace.ServerID { return p.hostVMs[i] }
 
+// VMIndicesAt returns the dense VM indices of the VMs on Hosts()[i], in the
+// same order VMsAt lists them. The returned slice is shared; pair with
+// ItemAt to walk a host's residents without per-VM map lookups.
+func (p *Placement) VMIndicesAt(i int) []int32 { return p.hostVIs[i] }
+
 // UsedAt returns the summed body demand on Hosts()[i].
-func (p *Placement) UsedAt(i int) sizing.Demand { return p.used[i] }
+func (p *Placement) UsedAt(i int) sizing.Demand {
+	return sizing.Demand{CPU: p.usedCPU[i], Mem: p.usedMem[i]}
+}
+
+// vmSlot returns the dense index of an assigned VM, or -1.
+func (p *Placement) vmSlot(vm trace.ServerID) int32 {
+	if vi, ok := p.uni.idx[vm]; ok && int(vi) < len(p.vmHost) && p.vmHost[vi] >= 0 {
+		return vi
+	}
+	return -1
+}
+
+// VMIndex returns the VM's dense index within the placement's universe, or
+// -1 when the VM is not assigned. Indices are stable for the lifetime of a
+// Clone chain; the adapter's resize loop uses them to skip per-VM map
+// lookups.
+func (p *Placement) VMIndex(vm trace.ServerID) int { return int(p.vmSlot(vm)) }
+
+// HostOfAt returns the host index of the VM at dense index vi, or -1.
+func (p *Placement) HostOfAt(vi int) int {
+	if vi < 0 || vi >= len(p.vmHost) {
+		return -1
+	}
+	return int(p.vmHost[vi])
+}
+
+// ItemAt returns the item of the assigned VM at dense index vi.
+func (p *Placement) ItemAt(vi int) Item { return p.vmItems[vi] }
 
 // HostOf implements constraints.View.
 func (p *Placement) HostOf(vm trace.ServerID) (string, bool) {
-	h, ok := p.byVM[vm]
-	return h, ok
+	vi := p.vmSlot(vm)
+	if vi < 0 {
+		return "", false
+	}
+	return p.hosts[p.vmHost[vi]].ID, true
 }
 
 // RackOf implements constraints.View.
@@ -142,21 +205,24 @@ func (p *Placement) RackOf(host string) string {
 
 // Item returns the sized demand recorded for a VM.
 func (p *Placement) Item(vm trace.ServerID) (Item, bool) {
-	it, ok := p.items[vm]
-	return it, ok
+	vi := p.vmSlot(vm)
+	if vi < 0 {
+		return Item{}, false
+	}
+	return p.vmItems[vi], true
 }
 
 // Used returns the summed body demand on a host.
 func (p *Placement) Used(host string) sizing.Demand {
 	if i, ok := p.hostIdx[host]; ok {
-		return p.used[i]
+		return sizing.Demand{CPU: p.usedCPU[i], Mem: p.usedMem[i]}
 	}
 	return sizing.Demand{}
 }
 
 // Capacity returns the usable per-host capacity (spec scaled by bound).
 func (p *Placement) Capacity() sizing.Demand {
-	return sizing.Demand{CPU: p.Spec.CPURPE2 * p.Bound, Mem: p.Spec.MemMB * p.Bound}
+	return sizing.Demand{CPU: p.capCPU, Mem: p.capMem}
 }
 
 // OpenHost appends a fresh host and returns it.
@@ -186,7 +252,9 @@ func (p *Placement) addHost(h *Host) {
 	p.hostIdx[h.ID] = len(p.hosts)
 	p.hosts = append(p.hosts, h)
 	p.hostVMs = append(p.hostVMs, nil)
-	p.used = append(p.used, sizing.Demand{})
+	p.hostVIs = append(p.hostVIs, nil)
+	p.usedCPU = append(p.usedCPU, 0)
+	p.usedMem = append(p.usedMem, 0)
 }
 
 // Fits reports whether adding demand to the host keeps it within the bound.
@@ -197,85 +265,199 @@ func (p *Placement) Fits(host string, d sizing.Demand) bool {
 // FitsAt reports whether adding demand to Hosts()[i] keeps it within the
 // bound. A negative index checks against an empty host.
 func (p *Placement) FitsAt(i int, d sizing.Demand) bool {
-	var u sizing.Demand
+	var uc, um float64
 	if i >= 0 {
-		u = p.used[i]
+		uc, um = p.usedCPU[i], p.usedMem[i]
 	}
-	c := p.Capacity()
-	return u.CPU+d.CPU <= c.CPU+1e-9 && u.Mem+d.Mem <= c.Mem+1e-9
+	return uc+d.CPU <= p.capCPU+1e-9 && um+d.Mem <= p.capMem+1e-9
+}
+
+// MostLoadedFit returns the index of the most loaded non-empty host (load =
+// max of normalized CPU and memory use) that absorbs demand d within the
+// bound, skipping exclude; -1 when none fits. Ties keep the earliest host
+// (strict > on load), and the fit and load expressions are exactly the
+// FitsAt / UsedAt arithmetic — this is the flattened form of the repair
+// loop's unconstrained target scan, reading the host arrays directly.
+func (p *Placement) MostLoadedFit(exclude int, d sizing.Demand) int {
+	best, bestLoad := -1, -1.0
+	for i := range p.hosts {
+		if i == exclude || len(p.hostVMs[i]) == 0 {
+			continue
+		}
+		uc, um := p.usedCPU[i], p.usedMem[i]
+		if uc+d.CPU > p.capCPU+1e-9 || um+d.Mem > p.capMem+1e-9 {
+			continue
+		}
+		load := max(uc/p.capCPU, um/p.capMem)
+		if load > bestLoad {
+			bestLoad, best = load, i
+		}
+	}
+	return best
+}
+
+// internVM returns the dense index for a VM, interning it into the universe
+// on first sight (copying a shared universe first).
+func (p *Placement) internVM(id trace.ServerID) int32 {
+	if vi, ok := p.uni.idx[id]; ok {
+		return vi
+	}
+	if p.uniShared {
+		p.uni = &vmUniverse{ids: slices.Clone(p.uni.ids), idx: maps.Clone(p.uni.idx)}
+		p.uniShared = false
+	}
+	vi := int32(len(p.uni.ids))
+	p.uni.idx[id] = vi
+	p.uni.ids = append(p.uni.ids, id)
+	return vi
+}
+
+// growVMState extends the per-VM arrays to cover dense index vi.
+func (p *Placement) growVMState(vi int32) {
+	for int32(len(p.vmHost)) <= vi {
+		p.vmHost = append(p.vmHost, -1)
+		p.vmItems = append(p.vmItems, Item{})
+	}
 }
 
 // Assign places the item on the host. It fails if the VM is already placed
 // or the host does not exist.
 func (p *Placement) Assign(it Item, host string) error {
-	if _, dup := p.byVM[it.ID]; dup {
-		return fmt.Errorf("placement: %s already assigned", it.ID)
-	}
 	hi, ok := p.hostIdx[host]
 	if !ok {
 		return fmt.Errorf("placement: unknown host %s", host)
 	}
-	p.hostVMs[hi] = append(p.hostVMs[hi], it.ID)
-	p.byVM[it.ID] = host
-	p.items[it.ID] = it
-	u := p.used[hi]
-	p.used[hi] = sizing.Demand{CPU: u.CPU + it.Demand.CPU, Mem: u.Mem + it.Demand.Mem}
+	vi := p.internVM(it.ID)
+	p.growVMState(vi)
+	if p.vmHost[vi] >= 0 {
+		return fmt.Errorf("placement: %s already assigned", it.ID)
+	}
+	p.assignAt(vi, hi, it)
 	return nil
+}
+
+// assignAt is the packers' fast path: the VM index is already resolved and
+// known to be unassigned.
+func (p *Placement) assignAt(vi int32, hi int, it Item) {
+	p.hostVMs[hi] = append(p.hostVMs[hi], it.ID)
+	p.hostVIs[hi] = append(p.hostVIs[hi], vi)
+	p.vmHost[vi] = int32(hi)
+	p.vmItems[vi] = it
+	p.numVMs++
+	p.usedCPU[hi] += it.Demand.CPU
+	p.usedMem[hi] += it.Demand.Mem
 }
 
 // Remove unassigns a VM and returns its item.
 func (p *Placement) Remove(vm trace.ServerID) (Item, error) {
-	host, ok := p.byVM[vm]
-	if !ok {
+	vi := p.vmSlot(vm)
+	if vi < 0 {
 		return Item{}, fmt.Errorf("placement: %s is not assigned", vm)
 	}
-	it := p.items[vm]
-	delete(p.byVM, vm)
-	delete(p.items, vm)
-	hi := p.hostIdx[host]
-	vms := p.hostVMs[hi]
-	for i, id := range vms {
-		if id == vm {
+	it := p.vmItems[vi]
+	hi := p.vmHost[vi]
+	p.vmHost[vi] = -1
+	p.vmItems[vi] = Item{}
+	p.numVMs--
+	vis := p.hostVIs[hi]
+	for i, v := range vis {
+		if v == vi {
+			p.hostVIs[hi] = append(vis[:i], vis[i+1:]...)
+			vms := p.hostVMs[hi]
 			p.hostVMs[hi] = append(vms[:i], vms[i+1:]...)
 			break
 		}
 	}
-	u := p.used[hi]
-	p.used[hi] = sizing.Demand{CPU: u.CPU - it.Demand.CPU, Mem: u.Mem - it.Demand.Mem}
+	p.usedCPU[hi] -= it.Demand.CPU
+	p.usedMem[hi] -= it.Demand.Mem
 	return it, nil
+}
+
+// MoveAt relocates the assigned VM at dense index vi to Hosts()[hi],
+// skipping the ID-keyed lookups a Remove + Assign pair pays. The accounting
+// performs the identical subtract-then-add float operations in the identical
+// order, so host totals and VM orders match the two-call form bit for bit.
+func (p *Placement) MoveAt(vi int, hi int) {
+	it := p.vmItems[vi]
+	src := p.vmHost[vi]
+	vis := p.hostVIs[src]
+	for i, v := range vis {
+		if int(v) == vi {
+			p.hostVIs[src] = append(vis[:i], vis[i+1:]...)
+			vms := p.hostVMs[src]
+			p.hostVMs[src] = append(vms[:i], vms[i+1:]...)
+			break
+		}
+	}
+	p.usedCPU[src] -= it.Demand.CPU
+	p.usedMem[src] -= it.Demand.Mem
+	p.hostVMs[hi] = append(p.hostVMs[hi], it.ID)
+	p.hostVIs[hi] = append(p.hostVIs[hi], int32(vi))
+	p.vmHost[vi] = int32(hi)
+	p.usedCPU[hi] += it.Demand.CPU
+	p.usedMem[hi] += it.Demand.Mem
 }
 
 // UpdateDemand changes the recorded body demand of an assigned VM (dynamic
 // consolidation resizes VMs at every interval) and adjusts host accounting.
 func (p *Placement) UpdateDemand(vm trace.ServerID, d sizing.Demand) error {
-	host, ok := p.byVM[vm]
-	if !ok {
+	vi := p.vmSlot(vm)
+	if vi < 0 {
 		return fmt.Errorf("placement: %s is not assigned", vm)
 	}
-	it := p.items[vm]
-	hi := p.hostIdx[host]
-	u := p.used[hi]
-	p.used[hi] = sizing.Demand{
-		CPU: u.CPU - it.Demand.CPU + d.CPU,
-		Mem: u.Mem - it.Demand.Mem + d.Mem,
-	}
-	it.Demand = d
-	p.items[vm] = it
+	p.UpdateDemandAt(int(vi), d)
 	return nil
+}
+
+// UpdateDemandAt resizes the VM at dense index vi. The accounting follows
+// the same subtract-then-add arithmetic for every VM on every update —
+// including no-op resizes — so host totals drift through the identical
+// float rounding regardless of which VMs changed.
+func (p *Placement) UpdateDemandAt(vi int, d sizing.Demand) {
+	it := &p.vmItems[vi]
+	hi := p.vmHost[vi]
+	p.usedCPU[hi] = p.usedCPU[hi] - it.Demand.CPU + d.CPU
+	p.usedMem[hi] = p.usedMem[hi] - it.Demand.Mem + d.Mem
+	it.Demand = d
 }
 
 // Overloaded returns the IDs of hosts whose body demand exceeds the usable
 // capacity, sorted by ID.
 func (p *Placement) Overloaded() []string {
-	c := p.Capacity()
 	var out []string
 	for i, h := range p.hosts {
-		u := p.used[i]
-		if u.CPU > c.CPU+1e-9 || u.Mem > c.Mem+1e-9 {
+		if p.usedCPU[i] > p.capCPU+1e-9 || p.usedMem[i] > p.capMem+1e-9 {
 			out = append(out, h.ID)
 		}
 	}
 	return out
+}
+
+// OverloadedInto appends the indices of overloaded hosts to buf (ascending,
+// the same order Overloaded lists them in) — the allocation-free form the
+// dynamic repair loop calls once per interval.
+func (p *Placement) OverloadedInto(buf []int) []int { return p.overloadedIdx(buf) }
+
+// overloadedIdx appends the indices of overloaded hosts to buf (ascending,
+// the same order Overloaded lists them in).
+func (p *Placement) overloadedIdx(buf []int) []int {
+	for i := range p.hosts {
+		if p.usedCPU[i] > p.capCPU+1e-9 || p.usedMem[i] > p.capMem+1e-9 {
+			buf = append(buf, i)
+		}
+	}
+	return buf
+}
+
+// NumOverloaded counts hosts whose body demand exceeds the usable capacity.
+func (p *Placement) NumOverloaded() int {
+	n := 0
+	for i := range p.hosts {
+		if p.usedCPU[i] > p.capCPU+1e-9 || p.usedMem[i] > p.capMem+1e-9 {
+			n++
+		}
+	}
+	return n
 }
 
 // ActiveHosts returns how many hosts have at least one VM.
@@ -289,24 +471,33 @@ func (p *Placement) ActiveHosts() int {
 	return n
 }
 
-// Clone returns a deep copy sharing no mutable state.
+// Clone returns a deep copy sharing no mutable state (the interned VM
+// universe is shared copy-on-write; it only mutates when a brand-new VM ID
+// appears, which the fixed-population hot paths never do).
 func (p *Placement) Clone() *Placement {
+	p.uniShared = true
 	c := &Placement{
-		Spec:     p.Spec,
-		Bound:    p.Bound,
-		hosts:    make([]*Host, len(p.hosts)),
-		hostIdx:  maps.Clone(p.hostIdx),
-		hostVMs:  make([][]trace.ServerID, len(p.hostVMs)),
-		used:     make([]sizing.Demand, len(p.used)),
-		byVM:     maps.Clone(p.byVM),
-		items:    maps.Clone(p.items),
-		rackSize: p.rackSize,
+		Spec:      p.Spec,
+		Bound:     p.Bound,
+		hosts:     slices.Clone(p.hosts),
+		hostIdx:   maps.Clone(p.hostIdx),
+		hostVMs:   make([][]trace.ServerID, len(p.hostVMs)),
+		hostVIs:   make([][]int32, len(p.hostVIs)),
+		usedCPU:   slices.Clone(p.usedCPU),
+		usedMem:   slices.Clone(p.usedMem),
+		rackSize:  p.rackSize,
+		capCPU:    p.capCPU,
+		capMem:    p.capMem,
+		uni:       p.uni,
+		uniShared: true,
+		vmHost:    slices.Clone(p.vmHost),
+		vmItems:   slices.Clone(p.vmItems),
+		numVMs:    p.numVMs,
 	}
-	copy(c.hosts, p.hosts)
-	copy(c.used, p.used)
 	for i, vms := range p.hostVMs {
 		if len(vms) > 0 {
-			c.hostVMs[i] = append([]trace.ServerID(nil), vms...)
+			c.hostVMs[i] = slices.Clone(vms)
+			c.hostVIs[i] = slices.Clone(p.hostVIs[i])
 		}
 	}
 	return c
@@ -321,19 +512,37 @@ func pad(i int) string {
 }
 
 // sortDecreasing orders items by their dominant normalized demand, largest
-// first (the "decreasing" in FFD), tie-broken by ID for determinism.
+// first (the "decreasing" in FFD), tie-broken by ID for determinism. Sort
+// keys are computed once per item, not once per comparison; the comparator
+// is a strict total order (unique IDs), so the sorted sequence is identical
+// however the sort algorithm visits it.
 func sortDecreasing(items []Item, spec trace.Spec) []Item {
-	sorted := make([]Item, len(items))
-	copy(sorted, items)
-	key := func(it Item) float64 {
-		return math.Max(it.Demand.CPU/spec.CPURPE2, it.Demand.Mem/spec.MemMB)
+	type keyed struct {
+		it  Item
+		key float64
 	}
-	sort.Slice(sorted, func(i, j int) bool {
-		ki, kj := key(sorted[i]), key(sorted[j])
-		if ki != kj {
-			return ki > kj
+	ks := make([]keyed, len(items))
+	for i, it := range items {
+		ks[i] = keyed{it: it, key: math.Max(it.Demand.CPU/spec.CPURPE2, it.Demand.Mem/spec.MemMB)}
+	}
+	slices.SortFunc(ks, func(a, b keyed) int {
+		if a.key != b.key {
+			if a.key > b.key {
+				return -1
+			}
+			return 1
 		}
-		return sorted[i].ID < sorted[j].ID
+		if a.it.ID < b.it.ID {
+			return -1
+		}
+		if a.it.ID > b.it.ID {
+			return 1
+		}
+		return 0
 	})
+	sorted := make([]Item, len(items))
+	for i, k := range ks {
+		sorted[i] = k.it
+	}
 	return sorted
 }

@@ -118,13 +118,53 @@ func (e Envelope) TailBuffer() Demand {
 // SizeEnvelope computes a PCP envelope for one server: body at the given
 // percentile, tail at the maximum.
 func SizeEnvelope(st *trace.ServerTrace, bodyPercentile float64) (Envelope, error) {
-	body, err := SizeServer(st, Percentile{P: bodyPercentile})
+	var es EnvelopeSizer
+	es.P = bodyPercentile
+	return es.Size(st)
+}
+
+// EnvelopeSizer computes PCP envelopes for a stream of servers while
+// reusing one percentile working buffer across calls, so sizing a whole
+// data center does not allocate a scratch copy per server. Results and
+// errors are identical to SizeEnvelope. Not safe for concurrent use.
+type EnvelopeSizer struct {
+	// P is the body percentile in [0, 100].
+	P       float64
+	scratch []float64
+}
+
+func (e *EnvelopeSizer) body(samples []float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("sizing: empty window")
+	}
+	if cap(e.scratch) < len(samples) {
+		e.scratch = make([]float64, len(samples))
+	}
+	v, err := stats.PercentileInto(e.scratch, samples, e.P)
 	if err != nil {
-		return Envelope{}, err
+		return 0, fmt.Errorf("sizing: %w", err)
+	}
+	return v, nil
+}
+
+// Size computes the envelope for one server.
+func (e *EnvelopeSizer) Size(st *trace.ServerTrace) (Envelope, error) {
+	cpu := st.Series.Col(trace.CPU)
+	mem := st.Series.Col(trace.Mem)
+	bodyCPU, err := e.body(cpu)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("server %s cpu: %w", st.ID, err)
+	}
+	bodyMem, err := e.body(mem)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("server %s mem: %w", st.ID, err)
 	}
 	tail, err := SizeServer(st, Max{})
 	if err != nil {
 		return Envelope{}, err
 	}
-	return Envelope{Body: body, Tail: tail}, nil
+	return Envelope{
+		Body: Demand{CPU: bodyCPU, Mem: bodyMem},
+		Tail: tail,
+	}, nil
 }

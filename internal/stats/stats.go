@@ -11,7 +11,6 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
 )
 
 // ErrEmpty is returned by functions that cannot produce a meaningful result
@@ -106,18 +105,87 @@ func PeakToAverage(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between closest ranks. It copies xs before sorting.
+// interpolation between closest ranks. It copies xs; only the two order
+// statistics the interpolation touches are selected, not a full sort — order
+// statistics are properties of the multiset, so the result is identical to
+// sorting first.
 func Percentile(xs []float64, p float64) (float64, error) {
+	return PercentileInto(nil, xs, p)
+}
+
+// PercentileInto is Percentile with a caller-provided working buffer,
+// reused when its capacity covers the sample — for callers that take the
+// same percentile of many samples in a row. The computation is identical.
+func PercentileInto(scratch, xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
 	if p < 0 || p > 100 {
 		return 0, errors.New("stats: percentile out of range [0,100]")
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	return percentileSorted(sorted, p), nil
+	if cap(scratch) < len(xs) {
+		scratch = make([]float64, len(xs))
+	}
+	scratch = scratch[:len(xs)]
+	copy(scratch, xs)
+	if len(scratch) == 1 {
+		return scratch[0], nil
+	}
+	rank := p / 100 * float64(len(scratch)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	vlo := selectKth(scratch, lo)
+	if lo == hi {
+		return vlo, nil
+	}
+	// selectKth leaves everything ranked above lo in scratch[lo+1:], so the
+	// (lo+1)-th order statistic is that suffix's minimum.
+	vhi := Min(scratch[lo+1:])
+	frac := rank - float64(lo)
+	return vlo*(1-frac) + vhi*frac, nil
+}
+
+// selectKth partially orders xs in place (Hoare partitioning, median-of-three
+// pivots) so that xs[k] holds the k-th smallest element, everything before it
+// compares <= and everything after >=, and returns xs[k].
+func selectKth(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k]
+		}
+	}
+	return xs[k]
 }
 
 // percentileSorted computes the percentile of an already-sorted sample.

@@ -168,11 +168,18 @@ func (s *Series) Resample(factor int) (*Series, error) {
 // stats.Max or stats.Mean). A trailing partial interval is reduced over the
 // samples it has.
 func (s *Series) Intervals(n int, r Resource, f func([]float64) float64) ([]float64, error) {
+	return s.IntervalsInto(nil, n, r, f)
+}
+
+// IntervalsInto is Intervals appending into buf's backing storage (reused
+// from buf[:0] when the capacity suffices) — for callers that reduce one
+// server after another and do not retain the per-server slice.
+func (s *Series) IntervalsInto(buf []float64, n int, r Resource, f func([]float64) float64) ([]float64, error) {
 	if n < 1 {
 		return nil, errors.New("trace: interval length must be >= 1")
 	}
 	vals := s.Col(r)
-	out := make([]float64, 0, (len(vals)+n-1)/n)
+	out := buf[:0]
 	for i := 0; i < len(vals); i += n {
 		end := i + n
 		if end > len(vals) {

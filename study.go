@@ -52,6 +52,16 @@ func WithoutSharedCaches() Option {
 	return optionFunc(func(c *experiments.Config) { c.DisableSharedCaches = true })
 }
 
+// WithoutIncremental disables the planners' incremental fast paths —
+// flattened packing kernels, indexed correlation lookups and the dynamic
+// adapter's cross-interval evacuation certificates — reverting to the
+// retained reference implementations. Results are byte-identical either way
+// (enforced by TestIncrementalEquivalence); the switch exists for
+// benchmarking the unoptimized path and as an escape hatch.
+func WithoutIncremental() Option {
+	return optionFunc(func(c *experiments.Config) { c.DisableIncremental = true })
+}
+
 // NewStudy generates the profile's traces under the baseline configuration
 // (Table 3) and prepares the monitoring and evaluation horizons.
 func NewStudy(p *Profile, opts ...Option) (*Study, error) {
