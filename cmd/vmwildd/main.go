@@ -51,6 +51,9 @@ func run() error {
 		maxLineBytes = flag.Int("max-line-bytes", 0, "per-connection line size bound (0 = 1 MiB default)")
 		maxConns     = flag.Int("max-conns", 0, "max concurrent agent connections; excess waits in the accept backlog (0 = unbounded)")
 		qryMaxConns  = flag.Int("query-max-conns", 0, "max concurrent query connections (0 = unbounded)")
+		queryWorkers = flag.Int("query-workers", 0, "pipelined query worker pool size (0 = default 8)")
+		replicaEvery = flag.Int("replica-every", vmwild.DefaultReplicaEverySamples, "republish a shard's read replica after this many new samples (0 = disable replicas)")
+		replicaAge   = flag.Duration("replica-max-age", vmwild.DefaultReplicaMaxAge, "republish a stale shard replica after this age regardless of sample count")
 		ingestRate   = flag.Float64("ingest-rate", 0, "token-bucket ingest refill in samples/sec; requires -ingest-burst")
 		ingestBurst  = flag.Int("ingest-burst", 0, "token-bucket ingest burst in samples; 0 disables the limiter")
 		faultProfile = flag.String("disk-fault-profile", "", "inject seeded filesystem faults on the durable paths: off, flaky, corrupt or enospc:<bytes> (testing only, never production)")
@@ -90,6 +93,9 @@ func run() error {
 		maxLineBytes: *maxLineBytes,
 		maxConns:     *maxConns,
 		qryMaxConns:  *qryMaxConns,
+		queryWorkers: *queryWorkers,
+		replicaEvery: *replicaEvery,
+		replicaAge:   *replicaAge,
 		ingestRate:   *ingestRate,
 		ingestBurst:  *ingestBurst,
 		faultProfile: *faultProfile,
@@ -111,6 +117,9 @@ type serveConfig struct {
 	maxLineBytes        int
 	maxConns            int
 	qryMaxConns         int
+	queryWorkers        int
+	replicaEvery        int
+	replicaAge          time.Duration
 	ingestRate          float64
 	ingestBurst         int
 	faultProfile        string
@@ -227,6 +236,18 @@ func serve(cfg serveConfig) error {
 		detail["walTornBytes"] = rec.TornBytes
 	}
 
+	// Replicas come up after recovery so the first publish snapshots the
+	// restored history; the background cadence loop keeps them fresh from
+	// here on. -replica-every 0 opts out (every read takes shard locks).
+	if cfg.replicaEvery > 0 {
+		if err := warehouse.EnableReplicas(vmwild.ReplicaConfig{
+			EverySamples: cfg.replicaEvery,
+			MaxAge:       cfg.replicaAge,
+		}); err != nil {
+			return fmt.Errorf("enable replicas: %w", err)
+		}
+	}
+
 	addr, err := warehouse.Listen(cfg.listen)
 	if err != nil {
 		return err
@@ -237,6 +258,7 @@ func serve(cfg serveConfig) error {
 	qs.WriteTimeout = cfg.writeTimeout
 	qs.MaxLineBytes = cfg.maxLineBytes
 	qs.MaxConns = cfg.qryMaxConns
+	qs.Workers = cfg.queryWorkers
 	// Priority shedding: when the agent side approaches its connection
 	// cap, refuse NEW query connections first — losing a planning query
 	// is recoverable, losing monitoring samples is not.

@@ -92,6 +92,10 @@ type Metrics struct {
 	ShedDisk     int64 `json:"shedDisk"`
 
 	Shards []ShardMetrics `json:"shards"`
+
+	// Replica carries the snapshot replica layer's counters when the
+	// layer is enabled (nil otherwise).
+	Replica *ReplicaMetrics `json:"replica,omitempty"`
 }
 
 // Metrics gathers the overload counters shard by shard; like Stats, a
@@ -122,6 +126,7 @@ func (w *Warehouse) Metrics() Metrics {
 		}
 		sh.mu.Unlock()
 	}
+	m.Replica = w.replicaMetrics()
 	return m
 }
 
@@ -136,4 +141,18 @@ type QueryMetrics struct {
 	// SlowClients counts connections cut on a stalled or failed response
 	// write.
 	SlowClients int64 `json:"slowClients"`
+	// Workers is the pooled-request worker count; PooledRequests how many
+	// requests took the pipelined path (positive wire id).
+	Workers        int   `json:"workers"`
+	PooledRequests int64 `json:"pooledRequests"`
+	// FastPathHits counts pipelined series requests answered inline from
+	// the replica response cache, never entering the worker pool.
+	FastPathHits int64 `json:"fastPathHits"`
+	// PipelineDepth is the pooled requests queued or computing right now;
+	// MaxPipelineDepth the high-water mark since start.
+	PipelineDepth    int64 `json:"pipelineDepth"`
+	MaxPipelineDepth int64 `json:"maxPipelineDepth"`
+	// QueueWaitMicros is the cumulative time pooled requests spent waiting
+	// for a worker — the signal that Workers is undersized.
+	QueueWaitMicros int64 `json:"queueWaitMicros"`
 }

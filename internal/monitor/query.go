@@ -7,7 +7,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,17 +30,48 @@ import (
 //	{"op":"series","server":"x",
 //	 "cpuRPE2":2000,"memMB":16384,
 //	 "epoch":"2012-06-04T00:00:00Z"}        -> {"ok":true,"samples":[...]}
+//	{"op":"range","server":"x",
+//	 "from":1338768000000000000,
+//	 "to":1338771600000000000}              -> {"ok":true,"points":[...]}
+//	{"op":"advise","cpuRPE2":2000,
+//	 "memMB":16384,"epoch":"..."}           -> {"ok":true,"advice":{...}}
+//
+// Pipelining: a request may carry a positive "id". Identified requests are
+// fanned out to a bounded worker pool and may be answered OUT OF ORDER;
+// each response echoes the id it answers. Requests without an id keep the
+// original strict request/response lockstep, so pre-pipelining clients work
+// unchanged. The two styles can share a connection, but an id-less request
+// only orders against other id-less ones.
+//
+// Reads are served from the snapshot replica layer when the warehouse has
+// one (bounded staleness, lock-free, bit-identical math); a request with
+// "consistent":true always hits the live shards.
 //
 // Errors come back as {"ok":false,"error":"..."} and keep the connection
 // usable for further requests.
 
 // queryRequest is the wire format of one request.
 type queryRequest struct {
-	Op      string         `json:"op"`
-	Server  trace.ServerID `json:"server,omitempty"`
-	CPURPE2 float64        `json:"cpuRPE2,omitempty"`
-	MemMB   float64        `json:"memMB,omitempty"`
-	Epoch   time.Time      `json:"epoch,omitempty"`
+	// ID, when positive, opts this request into pipelined handling: the
+	// response may come out of order and echoes the same id.
+	ID uint64 `json:"id,omitempty"`
+	Op string `json:"op"`
+	// Consistent routes the read to the live shards instead of the
+	// replica layer — exactness over the last few seconds of ingest.
+	Consistent bool           `json:"consistent,omitempty"`
+	Server     trace.ServerID `json:"server,omitempty"`
+	CPURPE2    float64        `json:"cpuRPE2,omitempty"`
+	MemMB      float64        `json:"memMB,omitempty"`
+	Epoch      time.Time      `json:"epoch,omitempty"`
+	// LastHours restricts a series to its trailing window (0 = all).
+	LastHours int `json:"lastHours,omitempty"`
+	// From/To bound a range read in UnixNano, half-open [from, to).
+	From int64 `json:"from,omitempty"`
+	To   int64 `json:"to,omitempty"`
+	// WindowHours bounds the advise op's sizing window (0 = all); Host
+	// names the catalog target model (default the reference blade).
+	WindowHours int    `json:"windowHours,omitempty"`
+	Host        string `json:"host,omitempty"`
 }
 
 // querySample is one hourly aggregate on the wire.
@@ -46,13 +80,47 @@ type querySample struct {
 	Mem float64 `json:"mem"`
 }
 
-// queryResponse is the wire format of one response.
+// queryResponse is the wire format of one response. Samples is kept as raw
+// JSON so the server can splice in a payload memoized on the replica
+// snapshot without re-marshaling it per request.
 type queryResponse struct {
+	ID      uint64           `json:"id,omitempty"`
+	OK      bool             `json:"ok"`
+	Error   string           `json:"error,omitempty"`
+	Servers []trace.ServerID `json:"servers,omitempty"`
+	Stats   *Stat            `json:"stats,omitempty"`
+	Samples json.RawMessage  `json:"samples,omitempty"`
+	Points  []RangePoint     `json:"points,omitempty"`
+	Advice  *Advice          `json:"advice,omitempty"`
+
+	// body, when set server-side, is the pre-marshaled response line after
+	// its opening brace (a replica cache hit); the writer splices the id in
+	// front instead of marshaling the struct. Never serialized itself.
+	body []byte
+}
+
+// clientResponse is the client's decode target: the same wire shape as
+// queryResponse but with samples parsed in place, so a series response
+// costs one JSON parse, not a raw capture plus a second parse.
+type clientResponse struct {
+	ID      uint64           `json:"id,omitempty"`
 	OK      bool             `json:"ok"`
 	Error   string           `json:"error,omitempty"`
 	Servers []trace.ServerID `json:"servers,omitempty"`
 	Stats   *Stat            `json:"stats,omitempty"`
 	Samples []querySample    `json:"samples,omitempty"`
+	Points  []RangePoint     `json:"points,omitempty"`
+	Advice  *Advice          `json:"advice,omitempty"`
+}
+
+// DefaultQueryWorkers sizes the pipelined worker pool when Workers is 0.
+const DefaultQueryWorkers = 8
+
+// queryWork is one pooled request awaiting a worker.
+type queryWork struct {
+	qc  *queryConn
+	req queryRequest
+	enq time.Time
 }
 
 // QueryServer exposes a warehouse over the query protocol.
@@ -75,6 +143,13 @@ type QueryServer struct {
 	// Accept so excess dials queue in the kernel backlog. Set before
 	// Listen.
 	MaxConns int
+	// Workers sizes the pooled-request worker fleet shared by all
+	// connections (0 = DefaultQueryWorkers). Set before Listen. The pool
+	// bounds the pipelined fan-out: a connection can have any number of
+	// ids in flight, but at most Workers requests compute at once and the
+	// rest queue (blocking that connection's reader when the queue
+	// fills — backpressure, not unbounded buffering).
+	Workers int
 	// RejectWhen, when set, is consulted on every accept: true refuses
 	// the connection with an error response. Wired to
 	// Warehouse.UnderPressure this sheds query load before ingest —
@@ -85,6 +160,14 @@ type QueryServer struct {
 
 	rejected    atomic.Int64
 	slowClients atomic.Int64
+
+	pooled      atomic.Int64 // requests served through the worker pool
+	fastPath    atomic.Int64 // pipelined requests answered inline from the replica response cache
+	inflight    atomic.Int64 // pooled requests currently queued or computing
+	maxDepth    atomic.Int64 // high-water inflight
+	queueWaitNs atomic.Int64 // cumulative enqueue-to-dequeue wait
+
+	workCh chan queryWork
 
 	sem      chan struct{}
 	mu       sync.Mutex
@@ -111,6 +194,17 @@ func (qs *QueryServer) Listen(addr string) (string, error) {
 	}
 	if qs.MaxConns > 0 {
 		qs.sem = make(chan struct{}, qs.MaxConns)
+	}
+	workers := qs.Workers
+	if workers <= 0 {
+		workers = DefaultQueryWorkers
+	}
+	// A short queue past the workers absorbs bursts; beyond it the
+	// enqueuing connection's read loop blocks.
+	qs.workCh = make(chan queryWork, 4*workers)
+	for i := 0; i < workers; i++ {
+		qs.wg.Add(1)
+		go qs.worker()
 	}
 	qs.mu.Lock()
 	qs.lis = lis
@@ -184,12 +278,127 @@ func (qs *QueryServer) Metrics() QueryMetrics {
 	qs.mu.Lock()
 	conns := len(qs.conns)
 	qs.mu.Unlock()
-	return QueryMetrics{
-		Conns:       conns,
-		MaxConns:    qs.MaxConns,
-		Rejected:    qs.rejected.Load(),
-		SlowClients: qs.slowClients.Load(),
+	workers := qs.Workers
+	if workers <= 0 {
+		workers = DefaultQueryWorkers
 	}
+	return QueryMetrics{
+		Conns:            conns,
+		MaxConns:         qs.MaxConns,
+		Rejected:         qs.rejected.Load(),
+		SlowClients:      qs.slowClients.Load(),
+		Workers:          workers,
+		PooledRequests:   qs.pooled.Load(),
+		FastPathHits:     qs.fastPath.Load(),
+		PipelineDepth:    qs.inflight.Load(),
+		MaxPipelineDepth: qs.maxDepth.Load(),
+		QueueWaitMicros:  qs.queueWaitNs.Load() / 1000,
+	}
+}
+
+// queryConn serializes response writes for one connection: the inline
+// lockstep path and any number of pool workers may interleave on it.
+// Responses accumulate in a buffered writer and flush when the connection
+// has no request left unanswered — under pipelining, one write syscall
+// carries a batch of responses instead of one each.
+type queryConn struct {
+	qs   *QueryServer
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	// unanswered counts requests read off this connection whose response
+	// has not been written yet; the writer that drops it to zero flushes.
+	unanswered atomic.Int64
+}
+
+// writeResp marshals and writes one response line; false means the peer is
+// stalled or gone and the connection has been cut. Every request read from
+// the connection must be balanced by exactly one writeResp call.
+func (qc *queryConn) writeResp(resp queryResponse) bool {
+	var data []byte
+	if resp.body == nil {
+		var err error
+		data, err = json.Marshal(resp)
+		if err != nil {
+			// Response values are always marshalable; treat like a cut peer.
+			return false
+		}
+		data = append(data, '\n')
+	}
+	qc.wmu.Lock()
+	defer qc.wmu.Unlock()
+	if qc.qs.WriteTimeout > 0 {
+		if err := qc.conn.SetWriteDeadline(time.Now().Add(qc.qs.WriteTimeout)); err != nil {
+			// A connection that cannot arm its write deadline must not
+			// write without one — mirror of the read-side rule.
+			qc.qs.slowClients.Add(1)
+			qc.conn.Close()
+			return false
+		}
+	}
+	var werr error
+	if resp.body != nil {
+		// Pre-marshaled body: splice {"id":N, + body (or just { + body for
+		// an id-less response) straight into the write buffer — byte-
+		// identical to marshaling the struct, with no per-response line.
+		var hdrArr [32]byte
+		hdr := hdrArr[:0]
+		if resp.ID > 0 {
+			hdr = append(hdr, `{"id":`...)
+			hdr = strconv.AppendUint(hdr, resp.ID, 10)
+			hdr = append(hdr, ',')
+		} else {
+			hdr = append(hdr, '{')
+		}
+		if _, werr = qc.bw.Write(hdr); werr == nil {
+			if _, werr = qc.bw.Write(resp.body); werr == nil {
+				werr = qc.bw.WriteByte('\n')
+			}
+		}
+	} else {
+		_, werr = qc.bw.Write(data)
+	}
+	// The decrement happens under wmu, so at most one writer sees zero and
+	// it is the one whose response is last in the buffer.
+	if werr == nil && qc.unanswered.Add(-1) == 0 {
+		werr = qc.bw.Flush()
+	}
+	if werr != nil {
+		// Half-closed or stalled peer: close rather than spin. The
+		// client re-dials; the response is recomputable.
+		qc.qs.slowClients.Add(1)
+		qc.conn.Close()
+		return false
+	}
+	return true
+}
+
+// worker drains the pooled-request queue until shutdown.
+func (qs *QueryServer) worker() {
+	defer qs.wg.Done()
+	for {
+		select {
+		case <-qs.shutdown:
+			return
+		case work := <-qs.workCh:
+			qs.queueWaitNs.Add(time.Since(work.enq).Nanoseconds())
+			resp := qs.handle(work.req)
+			resp.ID = work.req.ID
+			work.qc.writeResp(resp)
+			qs.inflight.Add(-1)
+		}
+	}
+}
+
+// finishBatch releases one "unanswered" hold. When it was the last, every
+// response written so far leaves in a single syscall. A flush error is
+// left for the next write to surface — the connection is torn down there.
+func (qc *queryConn) finishBatch() {
+	qc.wmu.Lock()
+	if qc.unanswered.Add(-1) == 0 {
+		qc.bw.Flush()
+	}
+	qc.wmu.Unlock()
 }
 
 func (qs *QueryServer) serveConn(conn net.Conn) {
@@ -208,11 +417,20 @@ func (qs *QueryServer) serveConn(conn net.Conn) {
 	// Line-based request reading mirrors the warehouse ingestion path: a
 	// malformed request line is answered with an error and the connection
 	// stays usable; an oversized or timed-out line ends the connection.
-	sc := bufio.NewScanner(conn)
-	// Scanner treats max(cap(buf), limit) as the token bound, so the
-	// initial buffer must not exceed the configured limit.
-	sc.Buffer(make([]byte, 0, min(4096, maxLine)), maxLine)
-	enc := json.NewEncoder(conn)
+	rd := bufio.NewReaderSize(conn, min(32<<10, maxLine))
+	var overflow []byte
+	qc := &queryConn{qs: qs, conn: conn, bw: bufio.NewWriterSize(conn, 32<<10)}
+	// While more requests are already buffered, the reader holds an extra
+	// "unanswered" token so inline responses accumulate in the write
+	// buffer and go out in one syscall when the input drains, instead of
+	// one flush per response.
+	tokenHeld := false
+	release := func() {
+		if tokenHeld {
+			tokenHeld = false
+			qc.finishBatch()
+		}
+	}
 	for {
 		if qs.ReadTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(qs.ReadTimeout)); err != nil {
@@ -221,50 +439,154 @@ func (qs *QueryServer) serveConn(conn net.Conn) {
 				return
 			}
 		}
-		if !sc.Scan() {
+		raw, err := readQueryLine(rd, &overflow, maxLine)
+		if err != nil {
 			// EOF, read timeout, or a line beyond MaxLineBytes.
 			return
 		}
-		line := bytes.TrimSpace(sc.Bytes())
+		line := bytes.TrimSpace(raw)
+		// The token is acquired before answering and released only once
+		// the input buffer is dry, so the reader never blocks holding it.
+		more := rd.Buffered() > 0
+		if more && !tokenHeld {
+			tokenHeld = true
+			qc.unanswered.Add(1)
+		}
 		if len(line) == 0 {
+			if !more {
+				release()
+			}
 			continue
 		}
-		var resp queryResponse
+		// Count the request before answering it: writeResp flushes when
+		// every request read so far has its response in the buffer.
+		qc.unanswered.Add(1)
 		var req queryRequest
 		if err := json.Unmarshal(line, &req); err != nil {
-			resp = queryResponse{Error: fmt.Sprintf("malformed request: %v", err)}
-		} else {
-			resp = qs.handle(req)
-		}
-		if qs.WriteTimeout > 0 {
-			if err := conn.SetWriteDeadline(time.Now().Add(qs.WriteTimeout)); err != nil {
-				// A connection that cannot arm its write deadline must
-				// not write without one — mirror of the read-side rule.
-				qs.slowClients.Add(1)
+			if !qc.writeResp(queryResponse{Error: fmt.Sprintf("malformed request: %v", err)}) {
 				return
 			}
+			goto answered
 		}
-		if err := enc.Encode(resp); err != nil {
-			// Half-closed or stalled peer: close rather than spin. The
-			// client re-dials; the response is recomputable.
-			qs.slowClients.Add(1)
+		if req.ID == 0 {
+			// Lockstep path: compute and answer inline, in order.
+			resp := qs.handle(req)
+			if !qc.writeResp(resp) {
+				return
+			}
+			goto answered
+		}
+		// Fast path: a series question the replica layer has already
+		// answered on the current snapshot generation is a map lookup —
+		// answer it from the reader goroutine rather than paying two
+		// channel handoffs to have a worker do the same lookup.
+		if req.Op == "series" && req.Server != "" && !req.Consistent {
+			if rep := qs.warehouse.replicas.Load(); rep != nil {
+				spec := trace.Spec{CPURPE2: req.CPURPE2, MemMB: req.MemMB}
+				if body, err, ok := rep.seriesJSONPeek(req.Server, spec, req.Epoch, req.LastHours); ok {
+					qs.fastPath.Add(1)
+					resp := queryResponse{ID: req.ID, OK: true, body: body}
+					if err != nil {
+						resp = queryResponse{ID: req.ID, Error: err.Error()}
+					}
+					if !qc.writeResp(resp) {
+						return
+					}
+					goto answered
+				}
+			}
+		}
+		// Pipelined path: hand off to the pool and keep reading. The
+		// send blocks when the queue is full — bounded backpressure.
+		qs.pooled.Add(1)
+		{
+			d := qs.inflight.Add(1)
+			for {
+				m := qs.maxDepth.Load()
+				if d <= m || qs.maxDepth.CompareAndSwap(m, d) {
+					break
+				}
+			}
+		}
+		select {
+		case qs.workCh <- queryWork{qc: qc, req: req, enq: time.Now()}:
+		case <-qs.shutdown:
+			qs.inflight.Add(-1)
 			return
+		}
+	answered:
+		if !more {
+			release()
+		}
+	}
+}
+
+// readQueryLine returns the next newline-terminated request, tolerating
+// lines larger than the reader's buffer up to maxLine (scratch carries the
+// reassembly buffer between calls). A trailing unterminated line at EOF is
+// returned as a final request, matching the scanner this replaced.
+func readQueryLine(rd *bufio.Reader, scratch *[]byte, maxLine int) ([]byte, error) {
+	line, err := rd.ReadSlice('\n')
+	if err == nil || (err == io.EOF && len(line) > 0) {
+		return line, nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	buf := append((*scratch)[:0], line...)
+	for {
+		line, err = rd.ReadSlice('\n')
+		buf = append(buf, line...)
+		if len(buf) > maxLine {
+			return nil, errors.New("monitor: request line too long")
+		}
+		switch {
+		case err == nil, err == io.EOF && len(buf) > 0:
+			*scratch = buf
+			return buf, nil
+		case err == bufio.ErrBufferFull:
+			// keep reassembling
+		default:
+			return nil, err
 		}
 	}
 }
 
 func (qs *QueryServer) handle(req queryRequest) queryResponse {
+	w := qs.warehouse
+	rep := w.replicas.Load()
+	useRep := rep != nil && !req.Consistent
 	switch req.Op {
 	case "servers":
-		return queryResponse{OK: true, Servers: qs.warehouse.Servers()}
+		if useRep {
+			return queryResponse{OK: true, Servers: slices.Clone(rep.serverIDs())}
+		}
+		return queryResponse{OK: true, Servers: w.Servers()}
 	case "stats":
-		s := qs.warehouse.Stats()
+		var s Stat
+		if useRep {
+			s = rep.stats()
+		} else {
+			s = w.Stats()
+		}
 		return queryResponse{OK: true, Stats: &s}
 	case "series":
 		if req.Server == "" {
 			return queryResponse{Error: "series: missing server"}
 		}
-		series, err := qs.warehouse.HourlySeries(req.Server, trace.Spec{CPURPE2: req.CPURPE2, MemMB: req.MemMB}, req.Epoch)
+		spec := trace.Spec{CPURPE2: req.CPURPE2, MemMB: req.MemMB}
+		if useRep {
+			// Replica answers come pre-marshaled: the response body is
+			// memoized on the immutable snapshot generation, so repeated
+			// questions (every planner pulls the same fleet each interval)
+			// skip the aggregation and the entire response encode.
+			body, err := rep.seriesJSON(req.Server, spec, req.Epoch, req.LastHours)
+			if err != nil {
+				return queryResponse{Error: err.Error()}
+			}
+			return queryResponse{OK: true, body: body}
+		}
+		series, err := w.HourlySeriesWindow(req.Server, spec, req.Epoch, req.LastHours)
 		if err != nil {
 			return queryResponse{Error: err.Error()}
 		}
@@ -272,14 +594,47 @@ func (qs *QueryServer) handle(req queryRequest) queryResponse {
 		for i, u := range series.Samples {
 			samples[i] = querySample{CPU: u.CPU, Mem: u.Mem}
 		}
-		return queryResponse{OK: true, Samples: samples}
+		data, err := json.Marshal(samples)
+		if err != nil {
+			return queryResponse{Error: err.Error()}
+		}
+		return queryResponse{OK: true, Samples: data}
+	case "range":
+		if req.Server == "" {
+			return queryResponse{Error: "range: missing server"}
+		}
+		var (
+			points []RangePoint
+			err    error
+		)
+		if useRep {
+			points, err = rep.rangeRead(req.Server, req.From, req.To)
+		} else {
+			points, err = w.Range(req.Server, req.From, req.To)
+		}
+		if err != nil {
+			return queryResponse{Error: err.Error()}
+		}
+		return queryResponse{OK: true, Points: points}
+	case "advise":
+		advice, err := w.Advise(AdviseRequest{
+			Spec:        trace.Spec{CPURPE2: req.CPURPE2, MemMB: req.MemMB},
+			Epoch:       req.Epoch,
+			WindowHours: req.WindowHours,
+			Host:        req.Host,
+			Consistent:  req.Consistent,
+		})
+		if err != nil {
+			return queryResponse{Error: err.Error()}
+		}
+		return queryResponse{OK: true, Advice: advice}
 	default:
 		return queryResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
 // Close stops the query listener, severs live client connections and waits
-// for the handlers to drain.
+// for the handlers and pool workers to drain.
 func (qs *QueryServer) Close() error {
 	close(qs.shutdown)
 	qs.mu.Lock()
@@ -297,15 +652,34 @@ func (qs *QueryServer) Close() error {
 }
 
 // QueryClient is the planner-side client of the query protocol. It holds
-// one connection and is safe for sequential use; create one per goroutine.
+// one pipelined connection and is safe for concurrent use: every request
+// carries an id, a reader goroutine demultiplexes responses, and any
+// number of calls may be in flight at once.
 type QueryClient struct {
-	// Timeout bounds each request/response round trip (0 disables) so a
+	// Timeout bounds each request/response exchange (0 disables) so a
 	// hung server cannot stall the control loop indefinitely.
 	Timeout time.Duration
+	// Consistent routes every request from this client to the live
+	// shards, bypassing the replica layer.
+	Consistent bool
 
 	conn net.Conn
-	dec  *json.Decoder
+	bw   *bufio.Writer
 	enc  *json.Encoder
+	wmu  sync.Mutex
+	// sending counts calls that have a request to write but have not
+	// written it yet; the writer that drops it to zero flushes, so
+	// concurrent calls batch their requests into one syscall.
+	sending atomic.Int64
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan clientResponse
+	readErr error
+
+	readerOnce sync.Once
+	done       chan struct{}
 }
 
 // DialQuery connects to a query server.
@@ -314,31 +688,106 @@ func DialQuery(ctx context.Context, addr string) (*QueryClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("monitor: dial query server: %w", err)
 	}
+	bw := bufio.NewWriterSize(conn, 16<<10)
 	return &QueryClient{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
+		conn:    conn,
+		bw:      bw,
+		enc:     json.NewEncoder(bw),
+		pending: make(map[uint64]chan clientResponse),
+		done:    make(chan struct{}),
 	}, nil
 }
 
-// Close releases the connection.
+// Close releases the connection; in-flight calls fail.
 func (c *QueryClient) Close() error { return c.conn.Close() }
 
-func (c *QueryClient) roundTrip(req queryRequest) (queryResponse, error) {
+// startReader begins demultiplexing responses by id. Started lazily so a
+// client that is dialed but never used costs no goroutine.
+func (c *QueryClient) startReader() {
+	go func() {
+		dec := json.NewDecoder(bufio.NewReader(c.conn))
+		for {
+			var resp clientResponse
+			if err := dec.Decode(&resp); err != nil {
+				c.mu.Lock()
+				if c.readErr == nil {
+					c.readErr = fmt.Errorf("monitor: read response: %w", err)
+				}
+				c.mu.Unlock()
+				close(c.done)
+				return
+			}
+			c.mu.Lock()
+			ch := c.pending[resp.ID]
+			delete(c.pending, resp.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
+		}
+	}()
+}
+
+func (c *QueryClient) roundTrip(req queryRequest) (clientResponse, error) {
+	c.readerOnce.Do(c.startReader)
+	id := c.nextID.Add(1)
+	req.ID = id
+	req.Consistent = req.Consistent || c.Consistent
+	ch := make(chan clientResponse, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return clientResponse{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.sending.Add(1)
+	c.wmu.Lock()
 	if c.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+		c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return queryResponse{}, fmt.Errorf("monitor: send query: %w", err)
+	err := c.enc.Encode(req)
+	// Flush only when no other call is waiting to append its request —
+	// under concurrent use the last writer in line carries the batch out.
+	if c.sending.Add(-1) == 0 {
+		if ferr := c.bw.Flush(); err == nil {
+			err = ferr
+		}
 	}
-	var resp queryResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		return queryResponse{}, fmt.Errorf("monitor: read response: %w", err)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return clientResponse{}, fmt.Errorf("monitor: send query: %w", err)
 	}
-	if !resp.OK {
-		return queryResponse{}, fmt.Errorf("monitor: query failed: %s", resp.Error)
+
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
 	}
-	return resp, nil
+	select {
+	case resp := <-ch:
+		if !resp.OK {
+			return clientResponse{}, fmt.Errorf("monitor: query failed: %s", resp.Error)
+		}
+		return resp, nil
+	case <-timeout:
+		// Abandon the id; a late response is dropped by the reader.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return clientResponse{}, errors.New("monitor: query timeout")
+	case <-c.done:
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return clientResponse{}, err
+	}
 }
 
 // Servers lists the monitored servers.
@@ -364,12 +813,19 @@ func (c *QueryClient) Stats() (Stat, error) {
 
 // HourlySeries fetches one server's aggregated demand series.
 func (c *QueryClient) HourlySeries(id trace.ServerID, spec trace.Spec, epoch time.Time) (*trace.Series, error) {
+	return c.HourlySeriesWindow(id, spec, epoch, 0)
+}
+
+// HourlySeriesWindow fetches the trailing lastHours hours of a server's
+// aggregated demand series (0 = everything).
+func (c *QueryClient) HourlySeriesWindow(id trace.ServerID, spec trace.Spec, epoch time.Time, lastHours int) (*trace.Series, error) {
 	resp, err := c.roundTrip(queryRequest{
-		Op:      "series",
-		Server:  id,
-		CPURPE2: spec.CPURPE2,
-		MemMB:   spec.MemMB,
-		Epoch:   epoch,
+		Op:        "series",
+		Server:    id,
+		CPURPE2:   spec.CPURPE2,
+		MemMB:     spec.MemMB,
+		Epoch:     epoch,
+		LastHours: lastHours,
 	})
 	if err != nil {
 		return nil, err
@@ -381,26 +837,182 @@ func (c *QueryClient) HourlySeries(id trace.ServerID, spec trace.Spec, epoch tim
 	return trace.NewSeries(time.Hour, samples)
 }
 
+// Range fetches the raw samples with from <= ts < to (UnixNano).
+func (c *QueryClient) Range(id trace.ServerID, from, to int64) ([]RangePoint, error) {
+	resp, err := c.roundTrip(queryRequest{Op: "range", Server: id, From: from, To: to})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Points, nil
+}
+
+// Advise asks the server for a consolidation recommendation computed over
+// its (replica) data: workload attributes, the recommended mode, and a
+// placement plan's headline numbers.
+func (c *QueryClient) Advise(spec trace.Spec, epoch time.Time, windowHours int) (*Advice, error) {
+	resp, err := c.roundTrip(queryRequest{
+		Op:          "advise",
+		CPURPE2:     spec.CPURPE2,
+		MemMB:       spec.MemMB,
+		Epoch:       epoch,
+		WindowHours: windowHours,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Advice == nil {
+		return nil, errors.New("monitor: advise response without payload")
+	}
+	return resp.Advice, nil
+}
+
+// fetchSetInflight bounds FetchSet's pipelined fan-out per connection.
+const fetchSetInflight = 16
+
+// fetchSeries fills results[i] for every index in idx, keeping up to
+// inflight series requests pipelined on c. First error wins.
+func fetchSeries(c *QueryClient, ids []trace.ServerID, idx []int, specs map[trace.ServerID]trace.Spec, epoch time.Time, results []*trace.ServerTrace, inflight int) error {
+	sem := make(chan struct{}, inflight)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, i := range idx {
+		errMu.Lock()
+		failed := firstErr != nil
+		errMu.Unlock()
+		if failed {
+			break
+		}
+		id := ids[i]
+		spec := specs[id]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id trace.ServerID, spec trace.Spec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			series, err := c.HourlySeries(id, spec, epoch)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			results[i] = &trace.ServerTrace{ID: id, Spec: spec, Series: series}
+		}(i, id, spec)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // FetchSet pulls every monitored server into a trace set, given each
 // server's hardware spec — the remote analogue of Warehouse.CollectSet and
-// the input to consolidation planning.
+// the input to consolidation planning. Per-server series requests are
+// pipelined over the connection (up to 16 in flight) instead of paying one
+// lockstep round trip each; the result is ordered by server ID exactly as
+// before.
 func (c *QueryClient) FetchSet(name string, specs map[trace.ServerID]trace.Spec, epoch time.Time) (*trace.Set, error) {
 	ids, err := c.Servers()
 	if err != nil {
 		return nil, err
 	}
-	set := &trace.Set{Name: name}
 	for _, id := range ids {
-		spec, ok := specs[id]
-		if !ok {
+		if _, ok := specs[id]; !ok {
 			return nil, fmt.Errorf("monitor: no spec for server %s", id)
 		}
-		series, err := c.HourlySeries(id, spec, epoch)
+	}
+	results := make([]*trace.ServerTrace, len(ids))
+	idx := make([]int, len(ids))
+	for i := range idx {
+		idx[i] = i
+	}
+	if err := fetchSeries(c, ids, idx, specs, epoch, results, fetchSetInflight); err != nil {
+		return nil, err
+	}
+	set := &trace.Set{Name: name, Servers: results}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// FetchSetParallel is FetchSet over conns parallel connections: servers
+// are split across the connections and each fetches its share pipelined —
+// the bounded fan-out helper for pulling a large estate. The result is
+// identical to (and ordered like) a single-connection FetchSet.
+func FetchSetParallel(ctx context.Context, addr, name string, specs map[trace.ServerID]trace.Spec, epoch time.Time, conns int) (*trace.Set, error) {
+	if conns <= 1 {
+		c, err := DialQuery(ctx, addr)
 		if err != nil {
 			return nil, err
 		}
-		set.Servers = append(set.Servers, &trace.ServerTrace{ID: id, Spec: spec, Series: series})
+		defer c.Close()
+		return c.FetchSet(name, specs, epoch)
 	}
+	c0, err := DialQuery(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c0.Close()
+	ids, err := c0.Servers()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if _, ok := specs[id]; !ok {
+			return nil, fmt.Errorf("monitor: no spec for server %s", id)
+		}
+	}
+	if conns > len(ids) && len(ids) > 0 {
+		conns = len(ids)
+	}
+	results := make([]*trace.ServerTrace, len(ids))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for part := 0; part < conns; part++ {
+		var idx []int
+		for i := part; i < len(ids); i += conns {
+			idx = append(idx, i)
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(part int, idx []int) {
+			defer wg.Done()
+			c := c0
+			if part > 0 {
+				var err error
+				c, err = DialQuery(ctx, addr)
+				if err != nil {
+					record(err)
+					return
+				}
+				defer c.Close()
+			}
+			if err := fetchSeries(c, ids, idx, specs, epoch, results, fetchSetInflight); err != nil {
+				record(err)
+			}
+		}(part, idx)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	set := &trace.Set{Name: name, Servers: results}
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}

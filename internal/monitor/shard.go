@@ -52,6 +52,12 @@ type serverStore struct {
 	// range was ingested; hour indexing is no longer exact, so queries
 	// take the scan path and the buckets stop being maintained.
 	wildTimes bool
+	// rewrites counts the operations that disturb the column prefix — an
+	// out-of-order insertAt or an eviction shift. The replica publisher
+	// reuses its previously sealed compressed chunks only while this is
+	// unchanged; a pure in-order append never bumps it, so steady ingest
+	// republishes in O(new samples).
+	rewrites uint64
 }
 
 func newServerStore() *serverStore {
@@ -123,6 +129,7 @@ func (st *serverStore) appendSample(s Sample) {
 }
 
 func (st *serverStore) insertAt(pos int, s Sample) {
+	st.rewrites++
 	st.ts = append(st.ts, time.Time{})
 	copy(st.ts[pos+1:], st.ts[pos:])
 	st.ts[pos] = s.Timestamp
@@ -238,6 +245,7 @@ func (st *serverStore) evict(cutoff time.Time) int {
 	if drop == 0 {
 		return 0
 	}
+	st.rewrites++
 	if st.wildTimes {
 		st.ts = st.ts[drop:]
 		st.cpu = st.cpu[drop:]

@@ -54,7 +54,61 @@ type shard struct {
 	// shed counts this shard's samples refused by the ingest limiter;
 	// atomic because shedding happens without taking the shard lock.
 	shed atomic.Int64
-	_    [64]byte
+	// mutations counts every insert into this shard (bumped under mu,
+	// read without it). The replica publisher compares it against the
+	// generation it last published to decide staleness — the lag unit is
+	// samples.
+	mutations atomic.Uint64
+	// idGen/idCache memoize this shard's sorted server IDs: idGen bumps
+	// when a server first appears, and Servers() merges the per-shard
+	// caches instead of rescanning unchanged shards.
+	idGen   atomic.Uint64
+	idCache atomic.Pointer[serverCache]
+	_       [64]byte
+}
+
+// sortedIDs returns this shard's server IDs in sorted order, rebuilt only
+// when a server has appeared since the last call. The returned slice is
+// shared and must not be mutated.
+func (sh *shard) sortedIDs() []trace.ServerID {
+	gen := sh.idGen.Load()
+	if c := sh.idCache.Load(); c != nil && c.gen == gen {
+		return c.ids
+	}
+	sh.mu.Lock()
+	ids := make([]trace.ServerID, 0, len(sh.servers))
+	for id := range sh.servers {
+		ids = append(ids, id)
+	}
+	sh.mu.Unlock()
+	slices.Sort(ids)
+	// gen was read before the scan, so a server landing mid-scan may be
+	// cached under too old a generation — one extra rebuild later, never a
+	// stale hit.
+	sh.idCache.Store(&serverCache{gen: gen, ids: ids})
+	return ids
+}
+
+// mergeSortedIDs k-way merges sorted per-shard ID lists. Shards partition
+// servers by hash, so the lists are disjoint and the merge is a plain
+// interleave.
+func mergeSortedIDs(lists [][]trace.ServerID, total int) []trace.ServerID {
+	out := make([]trace.ServerID, 0, total)
+	heads := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i := range lists {
+			if heads[i] >= len(lists[i]) {
+				continue
+			}
+			if best < 0 || lists[i][heads[i]] < lists[best][heads[best]] {
+				best = i
+			}
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
 }
 
 // serverCache is the memoized sorted server list; gen ties it to the
@@ -124,6 +178,10 @@ type Warehouse struct {
 
 	serverGen  atomic.Uint64 // bumped after a new server's map insert
 	serverList atomic.Pointer[serverCache]
+
+	// replicas, once enabled, is the read-only snapshot layer queries are
+	// served from without touching shard locks.
+	replicas atomic.Pointer[replicaSet]
 
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -536,6 +594,7 @@ func (w *Warehouse) insert(s Sample) {
 	isNew := sh.insertLocked(w.Retention, s)
 	sh.mu.Unlock()
 	if isNew {
+		sh.idGen.Add(1)
 		w.serverGen.Add(1)
 	}
 }
@@ -551,6 +610,7 @@ func (sh *shard) insertLocked(retention time.Duration, s Sample) (isNew bool) {
 	}
 	st.insert(s)
 	sh.samples++
+	sh.mutations.Add(1)
 	if retention > 0 {
 		cutoff := st.ts[len(st.ts)-1].Add(-retention)
 		d := st.evict(cutoff)
@@ -676,13 +736,18 @@ func (w *Warehouse) IngestBatch(samples []Sample) {
 			continue
 		}
 		sh := &w.shards[k]
+		shardNew := 0
 		sh.mu.Lock()
 		for _, o := range order[pos:end] {
 			if sh.insertLocked(w.Retention, samples[o]) {
-				newServers++
+				shardNew++
 			}
 		}
 		sh.mu.Unlock()
+		if shardNew > 0 {
+			sh.idGen.Add(uint64(shardNew))
+			newServers += shardNew
+		}
 		pos = end
 	}
 	if newServers > 0 {
@@ -706,23 +771,22 @@ func (w *Warehouse) Dropped() int {
 }
 
 // Servers lists the monitored server IDs in sorted order. The list is
-// rebuilt only when a server appears for the first time; steady-state
-// calls return a copy of the cached slice without taking any shard lock.
+// rebuilt only when a server appears for the first time, and the rebuild
+// itself merges per-shard sorted caches, so only shards that actually
+// gained a server are rescanned and re-sorted; steady-state calls return
+// a copy of the cached slice without taking any shard lock.
 func (w *Warehouse) Servers() []trace.ServerID {
 	gen := w.serverGen.Load()
 	if c := w.serverList.Load(); c != nil && c.gen == gen {
 		return slices.Clone(c.ids)
 	}
-	var ids []trace.ServerID
+	lists := make([][]trace.ServerID, len(w.shards))
+	total := 0
 	for i := range w.shards {
-		sh := &w.shards[i]
-		sh.mu.Lock()
-		for id := range sh.servers {
-			ids = append(ids, id)
-		}
-		sh.mu.Unlock()
+		lists[i] = w.shards[i].sortedIDs()
+		total += len(lists[i])
 	}
-	slices.Sort(ids)
+	ids := mergeSortedIDs(lists, total)
 	// gen was read before the scan, so a server that lands mid-scan may
 	// be cached under too old a generation — which only means one extra
 	// rebuild later, never a stale hit.
@@ -747,6 +811,13 @@ func (w *Warehouse) SampleCount(id trace.ServerID) int {
 // zero. With an hour-aligned epoch the read costs O(occupied hours) off
 // the live ingest-time aggregates, independent of sample density.
 func (w *Warehouse) HourlySeries(id trace.ServerID, spec trace.Spec, epoch time.Time) (*trace.Series, error) {
+	return w.HourlySeriesWindow(id, spec, epoch, 0)
+}
+
+// HourlySeriesWindow is HourlySeries restricted to the trailing lastHours
+// hours of the aggregate (0 = everything) — the cheap "recent window" read
+// sizing advisors issue, without shipping a 30-day series to slice one day.
+func (w *Warehouse) HourlySeriesWindow(id trace.ServerID, spec trace.Spec, epoch time.Time, lastHours int) (*trace.Series, error) {
 	sh := &w.shards[w.shardIndex(id)]
 	sh.mu.Lock()
 	st := sh.servers[id]
@@ -763,7 +834,15 @@ func (w *Warehouse) HourlySeries(id trace.ServerID, spec trace.Spec, epoch time.
 	if err != nil {
 		return nil, err
 	}
-	return trace.NewSeries(time.Hour, out)
+	return trace.NewSeries(time.Hour, windowTail(out, lastHours))
+}
+
+// windowTail slices the trailing lastHours entries (0 keeps everything).
+func windowTail(out []trace.Usage, lastHours int) []trace.Usage {
+	if lastHours > 0 && lastHours < len(out) {
+		return out[len(out)-lastHours:]
+	}
+	return out
 }
 
 // CollectSet aggregates every monitored server into a trace set, given each

@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// roundTrip compresses, decodes, and demands bit-identity.
+func roundTrip(t *testing.T, nanos []int64, cpu, mem []float64) *CompressedChunk {
+	t.Helper()
+	c, err := CompressChunk(nanos, cpu, mem)
+	if err != nil {
+		t.Fatalf("CompressChunk: %v", err)
+	}
+	gotN, gotC, gotM, err := c.AppendTo(nil, nil, nil)
+	if err != nil {
+		t.Fatalf("AppendTo: %v", err)
+	}
+	if len(gotN) != len(nanos) {
+		t.Fatalf("decoded %d samples, want %d", len(gotN), len(nanos))
+	}
+	for i := range nanos {
+		if gotN[i] != nanos[i] {
+			t.Fatalf("ts[%d] = %d, want %d", i, gotN[i], nanos[i])
+		}
+		if math.Float64bits(gotC[i]) != math.Float64bits(cpu[i]) {
+			t.Fatalf("cpu[%d] = %x, want %x", i, math.Float64bits(gotC[i]), math.Float64bits(cpu[i]))
+		}
+		if math.Float64bits(gotM[i]) != math.Float64bits(mem[i]) {
+			t.Fatalf("mem[%d] = %x, want %x", i, math.Float64bits(gotM[i]), math.Float64bits(mem[i]))
+		}
+	}
+	return c
+}
+
+func TestChunkRoundTripRegularCadence(t *testing.T) {
+	const n = 4096
+	base := time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC).UnixNano()
+	nanos := make([]int64, n)
+	cpu := make([]float64, n)
+	mem := make([]float64, n)
+	for i := range nanos {
+		nanos[i] = base + int64(i)*int64(time.Minute)
+		cpu[i] = 20 + 10*math.Sin(float64(i)/60)
+		mem[i] = 4096
+	}
+	c := roundTrip(t, nanos, cpu, mem)
+	// A steady cadence must compress the timestamp column to ~1 bit per
+	// sample; the exact bound guards against silent codec regressions.
+	if got, limit := len(c.ts), n/8+16; got > limit {
+		t.Errorf("timestamp stream %d bytes for %d regular samples, want <= %d", got, n, limit)
+	}
+	// Constant memory compresses to ~1 bit per sample too.
+	if got, limit := len(c.mem), n/8+24; got > limit {
+		t.Errorf("constant mem stream %d bytes, want <= %d", got, limit)
+	}
+}
+
+func TestChunkRoundTripHostileValues(t *testing.T) {
+	nanos := []int64{0, 0, 1, 1, math.MaxInt64 / 2, math.MaxInt64 - 1}
+	cpu := []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1), 5e-324}
+	mem := []float64{math.MaxFloat64, -math.MaxFloat64, 1e300, -5e-324, 0, math.Float64frombits(0x7ff8000000000001)}
+	roundTrip(t, nanos, cpu, mem)
+}
+
+func TestChunkRoundTripRandom(t *testing.T) {
+	for _, seed := range []int64{20141208, 7, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(2000)
+		nanos := make([]int64, n)
+		cpu := make([]float64, n)
+		mem := make([]float64, n)
+		ts := rng.Int63n(1 << 40)
+		for i := range nanos {
+			// Irregular cadence with duplicates and occasional huge gaps.
+			switch rng.Intn(10) {
+			case 0: // duplicate timestamp
+			case 1:
+				ts += rng.Int63n(int64(24 * time.Hour))
+			default:
+				ts += int64(time.Minute) + rng.Int63n(int64(time.Second)) - int64(time.Second)/2
+			}
+			nanos[i] = ts
+			if rng.Intn(4) == 0 {
+				cpu[i] = math.Float64frombits(rng.Uint64())
+			} else {
+				cpu[i] = rng.Float64() * 100
+			}
+			mem[i] = float64(rng.Intn(1 << 20))
+		}
+		roundTrip(t, nanos, cpu, mem)
+	}
+}
+
+func TestChunkRoundTripSingleSample(t *testing.T) {
+	c := roundTrip(t, []int64{42}, []float64{1.5}, []float64{-0.0})
+	if c.FirstNanos() != 42 || c.LastNanos() != 42 || c.Count() != 1 {
+		t.Fatalf("header = (%d, %d, %d), want (42, 42, 1)", c.FirstNanos(), c.LastNanos(), c.Count())
+	}
+}
+
+func TestChunkAppendToExistingBuffers(t *testing.T) {
+	a, _ := CompressChunk([]int64{1, 2}, []float64{1, 2}, []float64{3, 4})
+	b, _ := CompressChunk([]int64{3, 4}, []float64{5, 6}, []float64{7, 8})
+	nanos, cpu, mem, err := a.AppendTo(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nanos, cpu, mem, err = b.AppendTo(nanos, cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := []int64{1, 2, 3, 4}
+	wantC := []float64{1, 2, 5, 6}
+	wantM := []float64{3, 4, 7, 8}
+	for i := range wantN {
+		if nanos[i] != wantN[i] || cpu[i] != wantC[i] || mem[i] != wantM[i] {
+			t.Fatalf("concatenated decode[%d] = (%d, %v, %v), want (%d, %v, %v)",
+				i, nanos[i], cpu[i], mem[i], wantN[i], wantC[i], wantM[i])
+		}
+	}
+}
+
+func TestChunkCompressRejects(t *testing.T) {
+	if _, err := CompressChunk(nil, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := CompressChunk([]int64{1, 2}, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := CompressChunk([]int64{2, 1}, []float64{0, 0}, []float64{0, 0}); err == nil {
+		t.Error("decreasing timestamps accepted")
+	}
+}
+
+func TestChunkOverlaps(t *testing.T) {
+	c, _ := CompressChunk([]int64{100, 200}, []float64{0, 0}, []float64{0, 0})
+	for _, tc := range []struct {
+		from, to int64
+		want     bool
+	}{
+		{0, 100, false},   // ends before the chunk
+		{0, 101, true},    // touches the first sample
+		{200, 300, true},  // starts at the last sample
+		{201, 300, false}, // starts after the chunk
+		{150, 160, true},  // inside
+	} {
+		if got := c.Overlaps(tc.from, tc.to); got != tc.want {
+			t.Errorf("Overlaps(%d, %d) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestChunkMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	nanos := make([]int64, n)
+	cpu := make([]float64, n)
+	mem := make([]float64, n)
+	ts := int64(0)
+	for i := range nanos {
+		ts += rng.Int63n(int64(time.Hour))
+		nanos[i] = ts
+		cpu[i] = rng.NormFloat64() * 50
+		mem[i] = rng.NormFloat64() * 1e4
+	}
+	c, err := CompressChunk(nanos, cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := c.MarshalBinary()
+	d, err := UnmarshalChunk(raw)
+	if err != nil {
+		t.Fatalf("UnmarshalChunk: %v", err)
+	}
+	if d.Count() != c.Count() || d.FirstNanos() != c.FirstNanos() || d.LastNanos() != c.LastNanos() {
+		t.Fatalf("header mismatch after round trip")
+	}
+	gotN, gotC, gotM, err := d.AppendTo(nil, nil, nil)
+	if err != nil {
+		t.Fatalf("decode after round trip: %v", err)
+	}
+	for i := range nanos {
+		if gotN[i] != nanos[i] ||
+			math.Float64bits(gotC[i]) != math.Float64bits(cpu[i]) ||
+			math.Float64bits(gotM[i]) != math.Float64bits(mem[i]) {
+			t.Fatalf("sample %d differs after marshal round trip", i)
+		}
+	}
+}
+
+func TestUnmarshalChunkRejects(t *testing.T) {
+	c, _ := CompressChunk([]int64{1, 2, 3}, []float64{1, 2, 3}, []float64{4, 5, 6})
+	raw := c.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad version":   append([]byte{0x7f}, raw[1:]...),
+		"truncated":     raw[:len(raw)-1],
+		"trailing junk": append(bytes.Clone(raw), 0xaa),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalChunk(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// FuzzGorillaDecode hardens the compressed-block decoder against arbitrary
+// bytes: whatever arrives, UnmarshalChunk + AppendTo must return a typed
+// error or a well-formed decode — never panic, never loop, never
+// over-allocate. When the input happens to round-trip, the re-encoded
+// chunk must decode identically.
+func FuzzGorillaDecode(f *testing.F) {
+	// Seed with well-formed chunks so coverage starts inside the decoder.
+	small, _ := CompressChunk([]int64{1}, []float64{0}, []float64{0})
+	f.Add(small.MarshalBinary())
+	nanos := make([]int64, 300)
+	cpu := make([]float64, 300)
+	mem := make([]float64, 300)
+	rng := rand.New(rand.NewSource(20141208))
+	for i := range nanos {
+		nanos[i] = int64(i) * int64(time.Minute)
+		cpu[i] = rng.Float64() * 100
+		mem[i] = math.Float64frombits(rng.Uint64())
+	}
+	big, _ := CompressChunk(nanos, cpu, mem)
+	f.Add(big.MarshalBinary())
+	f.Add([]byte{chunkVersion, 0x01})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalChunk(data)
+		if err != nil {
+			return
+		}
+		gotN, gotC, gotM, err := c.AppendTo(nil, nil, nil)
+		if err != nil {
+			return
+		}
+		if len(gotN) != c.Count() || len(gotC) != c.Count() || len(gotM) != c.Count() {
+			t.Fatalf("decode produced %d/%d/%d samples for count %d",
+				len(gotN), len(gotC), len(gotM), c.Count())
+		}
+		// A successful decode must satisfy the header's contract.
+		if gotN[0] != c.FirstNanos() || gotN[len(gotN)-1] != c.LastNanos() {
+			t.Fatalf("decoded range [%d, %d] contradicts header [%d, %d]",
+				gotN[0], gotN[len(gotN)-1], c.FirstNanos(), c.LastNanos())
+		}
+		for i := 1; i < len(gotN); i++ {
+			if gotN[i] < gotN[i-1] {
+				t.Fatalf("decoded timestamps decrease at %d", i)
+			}
+		}
+		// Round-trip: re-encoding the decode must reproduce it exactly.
+		re, err := CompressChunk(gotN, gotC, gotM)
+		if err != nil {
+			t.Fatalf("re-encode of a valid decode failed: %v", err)
+		}
+		reN, reC, reM, err := re.AppendTo(nil, nil, nil)
+		if err != nil {
+			t.Fatalf("decode of re-encode failed: %v", err)
+		}
+		for i := range gotN {
+			if reN[i] != gotN[i] ||
+				math.Float64bits(reC[i]) != math.Float64bits(gotC[i]) ||
+				math.Float64bits(reM[i]) != math.Float64bits(gotM[i]) {
+				t.Fatalf("re-encode round trip diverges at sample %d", i)
+			}
+		}
+	})
+}

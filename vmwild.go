@@ -626,6 +626,40 @@ func DialQuery(ctx context.Context, addr string) (*QueryClient, error) {
 	return monitor.DialQuery(ctx, addr)
 }
 
+// Read-path scale-out: generation-versioned snapshot replicas with
+// Gorilla-compressed columns serve queries lock-free, and the pipelined
+// query protocol multiplexes many requests per connection.
+type (
+	// ReplicaConfig tunes the warehouse's snapshot replica layer: publish
+	// cadence (samples and age) and compressed block size.
+	ReplicaConfig = monitor.ReplicaConfig
+	// ReplicaMetrics counts the replica layer's publishes, reads, block
+	// skips, staleness lag, and compression footprint.
+	ReplicaMetrics = monitor.ReplicaMetrics
+	// RangePoint is one raw sample in a range query result.
+	RangePoint = monitor.RangePoint
+	// AdviseRequest parameterizes a server-side consolidation
+	// recommendation (the op:"advise" query).
+	AdviseRequest = monitor.AdviseRequest
+	// Advice is the advise query's result: recommended mode, measured
+	// attributes, and the recommended planner's placement headline.
+	Advice = monitor.Advice
+)
+
+// Default replica publish cadence: a shard republishes after this many new
+// samples or this much staleness, whichever comes first.
+const (
+	DefaultReplicaEverySamples = monitor.DefaultReplicaEverySamples
+	DefaultReplicaMaxAge       = monitor.DefaultReplicaMaxAge
+)
+
+// FetchSetParallel pulls a complete trace set over several pipelined query
+// connections with bounded fan-out, returning exactly the single-connection
+// result.
+func FetchSetParallel(ctx context.Context, addr, name string, specs map[ServerID]Spec, epoch time.Time, conns int) (*TraceSet, error) {
+	return monitor.FetchSetParallel(ctx, addr, name, specs, epoch, conns)
+}
+
 // WriteReport renders the complete reproduction — every table and figure of
 // the paper — using the baseline configuration with the given seed. It runs
 // the experiment grid strictly sequentially; use WriteReportWith to fan it
